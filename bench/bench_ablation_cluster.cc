@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: cluster geometry. The paper generates multi-bit faults in a
+ * 3x3 cluster; this harness compares 3x3 against a row-adjacent-only
+ * 1x3 shape and a tight 2x2 shape for triple-bit faults, on a
+ * representative workload subset. Spatial shape matters because cache
+ * rows are (set, way) pairs: row-spanning clusters corrupt several ways
+ * or sets at once.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mbusim;
+using namespace mbusim::bench;
+
+int
+main()
+{
+    core::StudyConfig base = benchStudyConfig();
+    base.cacheDir.clear();
+    if (envString("MBUSIM_INJECTIONS", "").empty())
+        base.injections = 40;   // ablations stay quick by default
+    if (base.workloads.empty())
+        base.workloads = {"stringsearch", "susan_c", "susan_e",
+                          "djpeg", "sha"};
+    banner("cluster-shape ablation (2- and 3-bit faults)", base);
+
+    struct Shape
+    {
+        const char* name;
+        core::ClusterShape shape;
+    };
+    const Shape shapes[] = {
+        {"3x3 (paper)", {3, 3}},
+        {"2x2", {2, 2}},
+        {"1x3 row-only", {1, 3}},
+    };
+
+    for (core::Component c : {core::Component::RegFile,
+                              core::Component::DTLB,
+                              core::Component::L1D}) {
+        TextTable table({"Cluster", "2-bit AVF", "3-bit AVF"});
+        table.title(strprintf("cluster ablation — %s",
+                              core::componentName(c)));
+        for (const Shape& s : shapes) {
+            core::StudyConfig config = base;
+            config.cluster = s.shape;
+            core::Study study(config);
+            core::ComponentAvf avf = study.componentAvf(c);
+            table.addRow({s.name, fmtPercent(avf.forCardinality(2)),
+                          fmtPercent(avf.forCardinality(3))});
+        }
+        table.print();
+        printf("\n");
+    }
+    printf("expectation: tighter clusters concentrate faults in one "
+           "row/entry, typically raising per-fault masking differences "
+           "only slightly — the aggregate trend is robust to the shape, "
+           "which is why the paper's 3x3 choice is safe.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension: in-order vs out-of-order vulnerability. The paper's
+ * conclusion notes the methodology "is generic and also applicable to
+ * other CPU models (e.g., in-order CPUs)"; this harness runs it. The
+ * in-order core issues in strict program order (completion stays out of
+ * order), so faulty state is consumed with different timing — in-flight
+ * register lifetimes stretch, cache residency patterns shift.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mbusim;
+using namespace mbusim::bench;
+
+int
+main()
+{
+    core::StudyConfig base = benchStudyConfig();
+    base.cacheDir.clear();
+    if (envString("MBUSIM_INJECTIONS", "").empty())
+        base.injections = 40;   // ablations stay quick by default
+    if (base.workloads.empty())
+        base.workloads = {"stringsearch", "susan_c", "susan_e",
+                          "djpeg", "sha"};
+    banner("in-order vs out-of-order extension (paper Sec. VII)", base);
+
+    for (core::Component c : {core::Component::RegFile,
+                              core::Component::L1D,
+                              core::Component::DTLB}) {
+        TextTable table({"Core", "1-bit AVF", "2-bit AVF", "3-bit AVF",
+                         "golden cycles (sum)"});
+        table.title(strprintf("in-order extension — %s",
+                              core::componentName(c)));
+        for (bool in_order : {false, true}) {
+            core::StudyConfig config = base;
+            config.cpu.inOrderIssue = in_order;
+            core::Study study(config);
+            core::ComponentAvf avf = study.componentAvf(c);
+            uint64_t cycles = 0;
+            for (const auto* w : study.workloadSet())
+                cycles += study.goldenCycles(w->name);
+            table.addRow({in_order ? "in-order" : "out-of-order",
+                          fmtPercent(avf.forCardinality(1)),
+                          fmtPercent(avf.forCardinality(2)),
+                          fmtPercent(avf.forCardinality(3)),
+                          fmtGrouped(cycles)});
+        }
+        table.print();
+        printf("\n");
+    }
+    printf("expectation: the in-order core runs longer (same work, "
+           "lower ILP), so per-cycle fault exposure differs; the "
+           "cardinality trend (1 < 2 < 3 bits) must survive the core "
+           "change — that is the 'generic methodology' claim.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: structure occupancy. The principal systematic of this
+ * reproduction (EXPERIMENTS.md): our workloads are scaled to ~1/400 of
+ * the paper's runtimes, so they occupy a far smaller fraction of the
+ * Table I caches than MiBench-on-Linux does, which depresses absolute
+ * cache AVFs. This harness demonstrates the mechanism by shrinking the
+ * caches (same workloads, occupancy restored) and watching the AVFs
+ * climb toward the paper's range.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mbusim;
+using namespace mbusim::bench;
+
+int
+main()
+{
+    core::StudyConfig base = benchStudyConfig();
+    base.cacheDir.clear();
+    if (envString("MBUSIM_INJECTIONS", "").empty())
+        base.injections = 40;   // ablations stay quick by default
+    if (base.workloads.empty())
+        base.workloads = {"dijkstra", "qsort"};
+    banner("occupancy ablation (cache size sweep, 1-bit L1D faults)",
+           base);
+
+    struct Geometry
+    {
+        const char* name;
+        uint32_t l1_bytes;
+        uint32_t l2_bytes;
+    };
+    const Geometry geometries[] = {
+        {"Table I  (32K/512K)", 32 * 1024, 512 * 1024},
+        {"1/4 size ( 8K/128K)", 8 * 1024, 128 * 1024},
+        {"1/16 size ( 2K/32K)", 2 * 1024, 32 * 1024},
+    };
+
+    TextTable table({"Caches", "L1D AVF", "L2 AVF"});
+    table.title("AVF vs cache capacity (occupancy mechanism)");
+    for (const Geometry& g : geometries) {
+        core::StudyConfig config = base;
+        config.cpu.l1d.sizeBytes = g.l1_bytes;
+        config.cpu.l1i.sizeBytes = g.l1_bytes;
+        config.cpu.l2.sizeBytes = g.l2_bytes;
+        core::Study study(config);
+        core::OutcomeCounts l1d, l2;
+        for (const auto* w : study.workloadSet()) {
+            l1d += study.campaign(w->name, core::Component::L1D, 1)
+                       .counts;
+            l2 += study.campaign(w->name, core::Component::L2, 1)
+                      .counts;
+        }
+        table.addRow({g.name, fmtPercent(l1d.avf()),
+                      fmtPercent(l2.avf())});
+    }
+    table.print();
+    printf("\nexpectation: AVF rises as capacity shrinks at fixed "
+           "footprint — occupancy, not the fault model, explains the "
+           "absolute-magnitude gap to the paper (whose workloads fill "
+           "their caches).\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared infrastructure for the table/figure bench harnesses.
+ *
+ * Every harness prints a banner with the campaign parameters and the
+ * achieved statistical error margin, then regenerates one table or
+ * figure of the paper as an aligned text table. Campaign results are
+ * shared across harnesses through the Study disk cache, which defaults
+ * to .mbusim-cache/ in the working directory (override or disable with
+ * MBUSIM_CACHE_DIR).
+ */
+
+#ifndef MBUSIM_BENCH_COMMON_HH
+#define MBUSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/sampling.hh"
+#include "core/study.hh"
+#include "util/csv.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+namespace mbusim::bench {
+
+/** Study config for benches: defaults + an always-on result cache. */
+inline core::StudyConfig
+benchStudyConfig()
+{
+    core::StudyConfig config = core::defaultStudyConfig();
+    if (envString("MBUSIM_CACHE_DIR", "<unset>") == "<unset>")
+        config.cacheDir = ".mbusim-cache";
+    return config;
+}
+
+/** Print the reproduction banner for a harness. */
+inline void
+banner(const char* what, const core::StudyConfig& config)
+{
+    double margin =
+        core::errorMargin(1e12, config.injections, core::Confidence99);
+    std::printf("mbusim reproduction of %s\n", what);
+    std::printf("campaigns: %u injections each, 3x3 cluster, seed 0x%llx"
+                " -> +/-%.2f%% @99%% confidence (paper: 2000 -> "
+                "+/-2.88%%)\n",
+                config.injections,
+                static_cast<unsigned long long>(config.seed),
+                margin * 100.0);
+    if (!config.cacheDir.empty())
+        std::printf("result cache: %s\n", config.cacheDir.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+/**
+ * Regenerate one of the paper's per-component figures (Figs. 1-6): the
+ * five-class AVF breakdown for single/double/triple-bit campaigns over
+ * all 15 workloads.
+ */
+inline int
+runComponentFigure(const char* figure, core::Component component)
+{
+    core::StudyConfig config = benchStudyConfig();
+    std::string what = std::string(figure) + " (" +
+                       core::componentName(component) +
+                       " AVF per workload and fault cardinality)";
+    banner(what.c_str(), config);
+
+    // Optional raw-data export for external plotting.
+    std::unique_ptr<CsvWriter> csv;
+    std::string csv_dir = envString("MBUSIM_CSV_DIR", "");
+    if (!csv_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(csv_dir, ec);
+        csv = std::make_unique<CsvWriter>(
+            csv_dir + "/" + core::componentShortName(component) +
+            ".csv");
+        csv->writeRow({"workload", "faults", "masked", "sdc", "crash",
+                       "timeout", "assert", "avf", "avf_lo99",
+                       "avf_hi99"});
+    }
+
+    core::Study study(config);
+    for (uint32_t faults = 1; faults <= 3; ++faults) {
+        TextTable table({"Benchmark", "Masked", "SDC", "Crash",
+                         "Timeout", "Assert", "AVF"});
+        table.title(strprintf("%s — %u-bit faults", figure, faults));
+        for (const auto* w : study.workloadSet()) {
+            const core::CampaignResult& r =
+                study.campaign(w->name, component, faults);
+            table.addRow({
+                w->name,
+                fmtPercent(r.counts.fraction(core::Outcome::Masked), 1),
+                fmtPercent(r.counts.fraction(core::Outcome::Sdc), 1),
+                fmtPercent(r.counts.fraction(core::Outcome::Crash), 1),
+                fmtPercent(r.counts.fraction(core::Outcome::Timeout), 1),
+                fmtPercent(r.counts.fraction(core::Outcome::Assert), 1),
+                fmtPercent(r.avf(), 1),
+            });
+            if (csv) {
+                uint64_t n = r.counts.total();
+                uint64_t vulnerable =
+                    n - r.counts.count(core::Outcome::Masked);
+                core::Interval ci =
+                    core::wilsonInterval(vulnerable, n);
+                csv->writeRow({
+                    w->name, strprintf("%u", faults),
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  r.counts.count(
+                                      core::Outcome::Masked))),
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  r.counts.count(core::Outcome::Sdc))),
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  r.counts.count(
+                                      core::Outcome::Crash))),
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  r.counts.count(
+                                      core::Outcome::Timeout))),
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  r.counts.count(
+                                      core::Outcome::Assert))),
+                    strprintf("%.6f", r.avf()),
+                    strprintf("%.6f", ci.lo),
+                    strprintf("%.6f", ci.hi),
+                });
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // Weighted summary row per cardinality (feeds Table V).
+    core::ComponentAvf avf = study.componentAvf(component);
+    std::printf("weighted AVF (Eq. 2): 1-bit %s   2-bit %s   3-bit %s\n",
+                fmtPercent(avf.forCardinality(1)).c_str(),
+                fmtPercent(avf.forCardinality(2)).c_str(),
+                fmtPercent(avf.forCardinality(3)).c_str());
+    return 0;
+}
+
+} // namespace mbusim::bench
+
+#endif // MBUSIM_BENCH_COMMON_HH

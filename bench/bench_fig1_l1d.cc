@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 1: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the L1 Data Cache.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 1", mbusim::core::Component::L1D);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 2: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the L1 Instruction Cache.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 2", mbusim::core::Component::L1I);
+}

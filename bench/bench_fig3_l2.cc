@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 3: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the L2 Cache.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 3", mbusim::core::Component::L2);
+}

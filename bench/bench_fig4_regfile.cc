@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 4: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the Register File.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 4", mbusim::core::Component::RegFile);
+}

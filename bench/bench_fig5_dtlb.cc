@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 5: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the Data TLB.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 5", mbusim::core::Component::DTLB);
+}

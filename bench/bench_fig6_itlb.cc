@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 6: AVF for single-, double- and triple-bit fault injection
+ * campaigns for 15 benchmarks on the Instruction TLB.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return mbusim::bench::runComponentFigure(
+        "Fig. 6", mbusim::core::Component::ITLB);
+}

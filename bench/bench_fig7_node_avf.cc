@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 7: aggregate multi-bit weighted AVF per component for all eight
+ * technology nodes (Eq. 3). For every bar the single-bit part (the
+ * paper's green area, equal to the 250nm AVF) and the multi-bit extra
+ * (red area) are printed, along with the single-bit assessment gap the
+ * figure exists to expose.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace mbusim;
+using namespace mbusim::bench;
+
+int
+main()
+{
+    core::StudyConfig config = benchStudyConfig();
+    banner("Fig. 7 (multi-bit weighted AVF per component per node)",
+           config);
+
+    core::Study study(config);
+    for (core::Component c : core::AllComponents) {
+        core::ComponentAvf avf = study.componentAvf(c);
+        TextTable table({"Node", "AVF (Eq. 3)", "single-bit part",
+                         "multi-bit extra", "1-bit-only loss", "bar"});
+        table.title(strprintf("Fig. 7 — %s", core::componentName(c)));
+        double single_only = avf.forCardinality(1);
+        for (core::TechNode node : core::AllTechNodes) {
+            double total = core::nodeAvf(avf, node);
+            double share = core::multiBitShare(avf, node);
+            // The paper's "loss": what single-bit-only assessment
+            // misses, relative to the true AVF.
+            double gap =
+                total > 0 ? (total - single_only) / total : 0.0;
+            table.addRow({core::techName(node), fmtPercent(total),
+                          fmtPercent(total * (1 - share)),
+                          fmtPercent(total * share),
+                          (gap >= 0 ? "+" : "") + fmtPercent(gap, 1),
+                          fmtBar(total, 30)});
+        }
+        table.print();
+        printf("\n");
+    }
+    printf("paper shape: every component's AVF rises monotonically from "
+           "250nm to 22nm; the 22nm bar exceeds the single-bit-only "
+           "estimate by a double-digit percentage.\n");
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table VII: raw FIT per bit for each technology node.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/technology.hh"
+
+using namespace mbusim;
+
+int
+main()
+{
+    printf("mbusim reproduction of Table VII (raw FIT per bit)\n\n");
+    TextTable table({"Node", "Raw FIT per bit"});
+    table.title("TABLE VII. RAW FIT FOR 250NM TO 22NM NODES");
+    for (core::TechNode node : core::AllTechNodes) {
+        table.addRow({core::techName(node),
+                      strprintf("%.0f x 10^-8",
+                                core::rawFitPerBit(node) * 1e8)});
+    }
+    table.print();
+    printf("\nshape: per-bit FIT rises from 250nm to a peak at 130nm, "
+           "then falls to 22nm.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate itself: simulator
+ * cycle throughput (the quantity that bounds campaign cost), functional
+ * simulation, assembly, mask generation and the SRAM bit-array
+ * accessors.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mask_generator.hh"
+#include "sim/assembler.hh"
+#include "sim/cache.hh"
+#include "sim/funcsim.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace mbusim;
+
+namespace {
+
+void
+BM_OoOSimulatorCycles(benchmark::State& state)
+{
+    const auto& w = workloads::workloadByName("stringsearch");
+    sim::Program program = w.assemble();
+    sim::CpuConfig config;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::Simulator simulator(program, config);
+        sim::SimResult r = simulator.run(1'000'000);
+        cycles += r.cycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OoOSimulatorCycles)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulator(benchmark::State& state)
+{
+    const auto& w = workloads::workloadByName("stringsearch");
+    sim::Program program = w.assemble();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::FuncSim fs(program);
+        insts += fs.run(10'000'000).instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assemble(benchmark::State& state)
+{
+    const auto& w = workloads::workloadByName("rijndael_dec");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::assemble(w.source));
+}
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MaskGeneration(benchmark::State& state)
+{
+    core::MaskGenerator gen(4096, 512);
+    Rng rng(1);
+    for (auto _ : state) {
+        core::FaultMask mask =
+            gen.generate(static_cast<uint32_t>(state.range(0)), rng);
+        benchmark::DoNotOptimize(mask);
+    }
+}
+BENCHMARK(BM_MaskGeneration)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_CacheHit(benchmark::State& state)
+{
+    sim::PhysicalMemory mem(1 << 20);
+    sim::MemoryBackend backend(mem, 60);
+    sim::Cache cache("L1", sim::CacheConfig{32 * 1024, 4, 64, 2},
+                     backend);
+    uint32_t value = 0;
+    cache.read(0x1000, 4, value);
+    for (auto _ : state) {
+        cache.read(0x1000, 4, value);
+        benchmark::DoNotOptimize(value);
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_TlbLookup(benchmark::State& state)
+{
+    sim::Tlb tlb("T", 32);
+    for (uint32_t vpn = 0; vpn < 32; ++vpn) {
+        sim::TlbEntry e;
+        e.valid = true;
+        e.vpn = vpn;
+        e.pfn = vpn + 100;
+        e.perms = {true, true, true};
+        tlb.insert(e);
+    }
+    uint32_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(vpn));
+        vpn = (vpn + 7) % 32;   // defeat the last-hit hint half the time
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_BitArrayField(benchmark::State& state)
+{
+    sim::BitArray bits(512, 512);
+    uint32_t col = 0;
+    for (auto _ : state) {
+        bits.write(5, col, 32, 0xdeadbeef);
+        benchmark::DoNotOptimize(bits.read(5, col, 32));
+        col = (col + 8) % 480;
+    }
+}
+BENCHMARK(BM_BitArrayField);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload characterization (in the venue's spirit): per-workload
+ * microarchitectural profile on the fault-free timing model — IPC,
+ * branch misprediction rate, cache miss rates, TLB behaviour, store
+ * forwarding. This is the context for interpreting the per-workload AVF
+ * differences in Figs. 1-6: streaming (CRC32), pointer-heavy
+ * (dijkstra), crypto (rijndael/sha) and stencil (susan) kernels stress
+ * the six structures very differently.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+
+using namespace mbusim;
+using namespace mbusim::bench;
+
+namespace {
+
+std::string
+missRate(const sim::CacheStats& stats)
+{
+    uint64_t accesses = stats.hits + stats.misses;
+    if (accesses == 0)
+        return "-";
+    return fmtPercent(static_cast<double>(stats.misses) /
+                          static_cast<double>(accesses), 2);
+}
+
+std::string
+missRate(const sim::TlbStats& stats)
+{
+    uint64_t accesses = stats.hits + stats.misses;
+    if (accesses == 0)
+        return "-";
+    return fmtPercent(static_cast<double>(stats.misses) /
+                          static_cast<double>(accesses), 3);
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("mbusim workload characterization (fault-free runs, Table I "
+           "configuration)\n\n");
+    sim::CpuConfig config;
+    TextTable table({"Workload", "Cycles", "IPC", "BrMiss", "L1D miss",
+                     "L1I miss", "L2 miss", "DTLB miss", "ITLB miss",
+                     "St-fwd"});
+    table.title("WORKLOAD MICROARCHITECTURAL PROFILE");
+    for (const auto& w : workloads::allWorkloads()) {
+        sim::Simulator simulator(w.assemble(), config);
+        sim::SimResult r = simulator.run(50'000'000);
+        if (r.status.kind != sim::ExitKind::Exited)
+            fatal("%s did not exit: %s", w.name.c_str(),
+                  r.status.describe().c_str());
+        double ipc = r.cycles ? static_cast<double>(r.instructions) /
+                                    static_cast<double>(r.cycles)
+                              : 0.0;
+        double br_miss =
+            r.cpuStats.branches
+                ? static_cast<double>(r.cpuStats.mispredicts) /
+                      static_cast<double>(r.cpuStats.branches)
+                : 0.0;
+        table.addRow({w.name, fmtGrouped(r.cycles), fmtDouble(ipc, 2),
+                      fmtPercent(br_miss, 1), missRate(r.l1dStats),
+                      missRate(r.l1iStats), missRate(r.l2Stats),
+                      missRate(r.dtlbStats), missRate(r.itlbStats),
+                      fmtGrouped(r.cpuStats.storeForwards)});
+    }
+    table.print();
+    printf("\nreading guide: CRC32's L1D/L2 traffic explains its "
+           "dominant cache AVF; the susan kernels' tiny footprints "
+           "explain their near-total masking; every workload's DTLB/"
+           "ITLB miss profile bounds how much corrupted-translation "
+           "state it can consume.\n");
+    return 0;
+}

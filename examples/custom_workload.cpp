@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Custom workload: bring your own program. Reads an MRISC32 assembly
+ * file, validates it against the functional reference model, then runs
+ * a multi-bit fault campaign on any of the six structures — the flow a
+ * user would follow to assess their own kernel's vulnerability.
+ *
+ * Usage: custom_workload [file.s] [component] [faults] [injections]
+ *        component in {l1d, l1i, l2, regfile, itlb, dtlb}
+ *
+ * With no arguments, an embedded demo kernel (vector dot product) is
+ * used: ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.hh"
+#include "sim/assembler.hh"
+#include "util/log.hh"
+#include "sim/funcsim.hh"
+#include "sim/simulator.hh"
+
+using namespace mbusim;
+
+namespace {
+
+const char* const demo_kernel = R"(
+# Dot product of two LCG-filled 256-element vectors.
+.data
+va:  .space 1024
+vb:  .space 1024
+.text
+main:
+    la   r2, va
+    la   r3, vb
+    li   r8, 0x00D07000
+    li   r9, 1103515245
+    li   r4, 256
+fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    andi r5, r8, 0xff
+    sw   r5, 0(r2)
+    srli r5, r8, 20
+    andi r5, r5, 0xff
+    sw   r5, 0(r3)
+    addi r2, r2, 4
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, fill
+    la   r2, va
+    la   r3, vb
+    li   r4, 256
+    li   r1, 0
+dot:
+    lw   r5, 0(r2)
+    lw   r6, 0(r3)
+    mul  r5, r5, r6
+    add  r1, r1, r5
+    addi r2, r2, 4
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, dot
+    sys  3                   # emit the dot product
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string source = demo_kernel;
+    std::string name = "<embedded dot-product demo>";
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in)
+            fatal("cannot open '%s'", argv[1]);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+        name = argv[1];
+    }
+    core::Component component =
+        argc > 2 ? core::componentFromShortName(argv[2])
+                 : core::Component::L1D;
+    uint32_t faults =
+        argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 2;
+    uint32_t injections =
+        argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 80;
+
+    // Assemble and sanity-check on the functional reference.
+    sim::Program program;
+    try {
+        program = sim::assemble(source);
+    } catch (const sim::AsmError& e) {
+        fatal("%s", e.what());
+    }
+    sim::FuncSim reference(program);
+    sim::FuncResult ref = reference.run(200'000'000);
+    if (ref.status.kind != sim::ExitKind::Exited)
+        fatal("program did not exit cleanly on the reference model: %s",
+              ref.status.describe().c_str());
+    printf("%s: %u instructions of code, reference run retired %llu "
+           "instructions, %zu output bytes\n",
+           name.c_str(), static_cast<unsigned>(program.code.size()),
+           static_cast<unsigned long long>(ref.instructions),
+           ref.output.size());
+
+    // Campaign. The Workload wrapper wants a registry entry, so drive
+    // Campaign's pieces directly for an ad-hoc program.
+    sim::CpuConfig cpu;
+    sim::Simulator golden(program, cpu);
+    sim::SimResult golden_result = golden.run(500'000'000);
+    if (golden_result.status.kind != sim::ExitKind::Exited)
+        fatal("timing-model golden run failed: %s",
+              golden_result.status.describe().c_str());
+
+    auto [rows, cols] = sim::Simulator::targetGeometry(
+        core::targetFor(component), cpu);
+    core::MaskGenerator generator(rows, cols);
+    Rng rng(0x5eed);
+    core::OutcomeCounts counts;
+    for (uint32_t i = 0; i < injections; ++i) {
+        Rng run_rng = rng.fork(1, i);
+        core::FaultMask mask = generator.generate(faults, run_rng);
+        sim::Simulator faulty(program, cpu);
+        sim::Injection injection;
+        injection.target = core::targetFor(component);
+        injection.cycle = run_rng.below(golden_result.cycles);
+        injection.flips = mask.flips;
+        faulty.scheduleInjection(injection);
+        sim::SimResult result =
+            faulty.run(golden_result.cycles * 4);
+        counts.add(core::classify(golden_result, result));
+    }
+
+    printf("\n%u-bit fault campaign on %s (%u runs):\n", faults,
+           core::componentName(component), injections);
+    for (core::Outcome o : core::AllOutcomes) {
+        printf("  %-8s %5.1f%%\n", core::outcomeName(o),
+               counts.fraction(o) * 100.0);
+    }
+    printf("  AVF     %5.1f%%\n", counts.avf() * 100.0);
+    return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper plus the ablations and
+# substrate microbenchmarks. Campaign results are shared through
+# MBUSIM_CACHE_DIR (defaults to .mbusim-cache/ next to the binaries), so
+# the expensive sweep is paid once.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+    echo "===================================================================="
+    echo "== $b"
+    echo "===================================================================="
+    "$b" || echo "** $b failed with rc=$? **"
+    echo
+done

@@ -1,0 +1,76 @@
+#include "core/avf.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+double
+weightedAvf(const std::vector<WeightedSample>& samples)
+{
+    if (samples.empty())
+        fatal("weightedAvf over no samples");
+    double num = 0, den = 0;
+    for (const WeightedSample& s : samples) {
+        if (s.weight <= 0)
+            fatal("weightedAvf: nonpositive weight");
+        num += s.avf * s.weight;
+        den += s.weight;
+    }
+    return num / den;
+}
+
+double
+nodeAvf(const ComponentAvf& avf, TechNode node)
+{
+    MbuRates rates = mbuRates(node);
+    double total = 0;
+    for (uint32_t i = 1; i <= 3; ++i)
+        total += avf.forCardinality(i) * rates.forCardinality(i);
+    return total;
+}
+
+double
+multiBitShare(const ComponentAvf& avf, TechNode node)
+{
+    MbuRates rates = mbuRates(node);
+    double total = nodeAvf(avf, node);
+    if (total <= 0)
+        return 0.0;
+    double multi = avf.forCardinality(2) * rates.forCardinality(2) +
+                   avf.forCardinality(3) * rates.forCardinality(3);
+    return multi / total;
+}
+
+double
+structFit(double avf_value, TechNode node, uint64_t bits)
+{
+    return avf_value * rawFitPerBit(node) * static_cast<double>(bits);
+}
+
+double
+structFit(const ComponentAvf& avf, TechNode node)
+{
+    return structFit(nodeAvf(avf, node), node,
+                     componentBits(avf.component));
+}
+
+CpuFitBreakdown
+cpuFit(const std::vector<ComponentAvf>& components, TechNode node)
+{
+    CpuFitBreakdown breakdown;
+    MbuRates rates = mbuRates(node);
+    for (const ComponentAvf& c : components) {
+        uint64_t bits = componentBits(c.component);
+        double total_avf = nodeAvf(c, node);
+        double multi_avf =
+            c.forCardinality(2) * rates.forCardinality(2) +
+            c.forCardinality(3) * rates.forCardinality(3);
+        breakdown.totalFit += structFit(total_avf, node, bits);
+        breakdown.multiBitFit += structFit(multi_avf, node, bits);
+        breakdown.singleBitOnlyFit +=
+            structFit(c.forCardinality(1), node, bits);
+    }
+    return breakdown;
+}
+
+} // namespace mbusim::core

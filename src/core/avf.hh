@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AVF and FIT mathematics — the paper's Equations 2, 3 and 4.
+ *
+ *   Eq. 2: execution-time-weighted AVF of a component over workloads,
+ *          W_AVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+ *   Eq. 3: aggregate multi-bit AVF at a technology node,
+ *          Node_AVF(c) = sum_{i=1..3} AVF_i(c) * f_node(i)
+ *   Eq. 4: FIT_struct = AVF_struct * rawFIT_bit * #Bits_struct
+ *
+ * The CPU FIT is the sum over the six structures.
+ */
+
+#ifndef MBUSIM_CORE_AVF_HH
+#define MBUSIM_CORE_AVF_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/technology.hh"
+
+namespace mbusim::core {
+
+/** One workload's AVF sample with its weight (execution cycles). */
+struct WeightedSample
+{
+    double avf;
+    double weight;   ///< execution time in cycles (Eq. 2's t_k)
+};
+
+/** Eq. 2: execution-time-weighted average AVF. */
+double weightedAvf(const std::vector<WeightedSample>& samples);
+
+/** AVF of one component for each fault cardinality (1, 2, 3). */
+struct ComponentAvf
+{
+    Component component = Component::L1D;
+    std::array<double, 3> byCardinality{};   ///< index 0 -> 1 fault
+
+    double forCardinality(uint32_t faults) const
+    {
+        return byCardinality[faults - 1];
+    }
+};
+
+/** Eq. 3: aggregate multi-bit AVF of @p avf at @p node. */
+double nodeAvf(const ComponentAvf& avf, TechNode node);
+
+/**
+ * The multi-bit share of the node AVF: the fraction contributed by
+ * cardinality-2 and -3 upsets (the red area of Figs. 7/8).
+ */
+double multiBitShare(const ComponentAvf& avf, TechNode node);
+
+/** Eq. 4: FIT of a structure with @p avf_value at @p node. */
+double structFit(double avf_value, TechNode node, uint64_t bits);
+
+/** Eq. 4 with Table VIII bit counts. */
+double structFit(const ComponentAvf& avf, TechNode node);
+
+/** Per-node CPU totals for Fig. 8. */
+struct CpuFitBreakdown
+{
+    double totalFit = 0;       ///< sum over the six structures
+    double multiBitFit = 0;    ///< part contributed by 2/3-bit upsets
+    double singleBitOnlyFit = 0; ///< what a single-bit-only study reports
+
+    /** Rate-weighted share of FIT caused by 2/3-bit upsets. */
+    double multiBitFraction() const
+    {
+        return totalFit > 0 ? multiBitFit / totalFit : 0.0;
+    }
+
+    /**
+     * The paper's Fig. 8 "red area": the fraction of the true FIT that
+     * a single-bit-only study misses, (total - singleOnly) / total.
+     * This is the quantity that reaches 21% at 22nm in the paper.
+     */
+    double assessmentGap() const
+    {
+        return totalFit > 0
+                   ? (totalFit - singleBitOnlyFit) / totalFit
+                   : 0.0;
+    }
+};
+
+/** Fig. 8: CPU FIT at a node from all six components' AVFs. */
+CpuFitBreakdown cpuFit(const std::vector<ComponentAvf>& components,
+                       TechNode node);
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_AVF_HH

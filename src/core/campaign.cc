@@ -1,0 +1,138 @@
+#include "core/campaign.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "util/env.hh"
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+sim::FaultTarget
+targetFor(Component component)
+{
+    switch (component) {
+      case Component::L1D: return sim::FaultTarget::L1DData;
+      case Component::L1I: return sim::FaultTarget::L1IData;
+      case Component::L2: return sim::FaultTarget::L2Data;
+      case Component::RegFile: return sim::FaultTarget::RegFileBits;
+      case Component::ITLB: return sim::FaultTarget::ItlbBits;
+      case Component::DTLB: return sim::FaultTarget::DtlbBits;
+    }
+    panic("bad Component");
+}
+
+Campaign::Campaign(const workloads::Workload& workload,
+                   const CampaignConfig& config)
+    : workload_(workload), config_(config),
+      program_(workload.assemble())
+{
+    if (config_.faults < 1 || config_.faults > 3)
+        fatal("campaigns support 1..3 faults, got %u", config_.faults);
+    if (config_.timeoutFactor < 2)
+        fatal("timeout factor must be at least 2");
+}
+
+sim::SimResult
+Campaign::runGolden() const
+{
+    sim::Simulator simulator(program_, config_.cpu);
+    sim::SimResult golden = simulator.run(500'000'000);
+    if (golden.status.kind != sim::ExitKind::Exited) {
+        fatal("golden run of '%s' did not exit cleanly: %s",
+              workload_.name.c_str(),
+              golden.status.describe().c_str());
+    }
+    return golden;
+}
+
+uint64_t
+Campaign::goldenCycles() const
+{
+    return runGolden().cycles;
+}
+
+RunRecord
+Campaign::runOne(const sim::SimResult& golden, uint32_t index,
+                 const MaskGenerator& generator) const
+{
+    // Independent stream per run: reproducible regardless of threading.
+    Rng rng = Rng(config_.seed)
+                  .fork(static_cast<uint64_t>(config_.component) * 4 +
+                            config_.faults,
+                        index);
+
+    RunRecord record;
+    record.index = index;
+    record.mask = generator.generate(config_.faults, rng);
+    record.cycle = rng.below(golden.cycles);
+
+    sim::Simulator simulator(program_, config_.cpu);
+    sim::Injection injection;
+    injection.target = config_.targetOverride
+                           ? *config_.targetOverride
+                           : targetFor(config_.component);
+    injection.cycle = record.cycle;
+    injection.flips = record.mask.flips;
+    simulator.scheduleInjection(injection);
+
+    sim::SimResult faulty =
+        simulator.run(golden.cycles * config_.timeoutFactor);
+    record.outcome = classify(golden, faulty);
+    record.cycles = faulty.cycles;
+    return record;
+}
+
+CampaignResult
+Campaign::run(bool keep_runs) const
+{
+    sim::SimResult golden = runGolden();
+
+    sim::FaultTarget target = config_.targetOverride
+                                  ? *config_.targetOverride
+                                  : targetFor(config_.component);
+    auto [rows, cols] =
+        sim::Simulator::targetGeometry(target, config_.cpu);
+    MaskGenerator generator(rows, cols, config_.cluster);
+
+    CampaignResult result;
+    result.goldenCycles = golden.cycles;
+    result.goldenInstructions = golden.instructions;
+
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envInt("MBUSIM_THREADS",
+                   std::max(1u, std::thread::hardware_concurrency())));
+    }
+    threads = std::max(1u, std::min(threads, config_.injections));
+
+    std::vector<RunRecord> records(config_.injections);
+    std::atomic<uint32_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            uint32_t i = next.fetch_add(1);
+            if (i >= config_.injections)
+                return;
+            records[i] = runOne(golden, i, generator);
+        }
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
+    }
+
+    for (const RunRecord& record : records)
+        result.counts.add(record.outcome);
+    if (keep_runs)
+        result.runs = std::move(records);
+    return result;
+}
+
+} // namespace mbusim::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fault injection campaigns — the experiment unit of the paper.
+ *
+ * One campaign = one (workload, component, fault cardinality) triple:
+ * a golden run followed by N statistically independent injected runs,
+ * each with a fresh spatial multi-bit mask (cluster placed uniformly at
+ * random) injected at a uniformly random cycle of the golden execution
+ * window, classified into the five outcome classes. Runs are fully
+ * deterministic in (seed, run index) and are executed on a thread pool.
+ */
+
+#ifndef MBUSIM_CORE_CAMPAIGN_HH
+#define MBUSIM_CORE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classification.hh"
+#include "core/mask_generator.hh"
+#include "core/technology.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::core {
+
+/** Map a studied component to its simulator fault target. */
+sim::FaultTarget targetFor(Component component);
+
+/** Parameters of one campaign. */
+struct CampaignConfig
+{
+    Component component = Component::L1D;
+    uint32_t faults = 1;           ///< cardinality: 1, 2 or 3
+    uint32_t injections = 60;      ///< sample size (paper: 2000)
+    uint64_t seed = 0x5eed;        ///< campaign RNG seed
+    ClusterShape cluster;          ///< paper: 3x3
+    uint32_t timeoutFactor = 4;    ///< faulty budget = factor x golden
+    uint32_t threads = 0;          ///< 0 = hardware concurrency
+    sim::CpuConfig cpu;            ///< microarchitecture under test
+    /** Inject somewhere other than the component's data array (tag
+     * ablation); the component still names the campaign. */
+    std::optional<sim::FaultTarget> targetOverride;
+};
+
+/** Details of one injected run (for drill-down and CSV export). */
+struct RunRecord
+{
+    uint32_t index = 0;
+    uint64_t cycle = 0;            ///< injection cycle
+    FaultMask mask;
+    Outcome outcome = Outcome::Masked;
+    uint64_t cycles = 0;           ///< faulty run length
+};
+
+/** Aggregated campaign results. */
+struct CampaignResult
+{
+    OutcomeCounts counts;
+    uint64_t goldenCycles = 0;
+    uint64_t goldenInstructions = 0;
+    std::vector<RunRecord> runs;   ///< filled when keepRuns was set
+
+    double avf() const { return counts.avf(); }
+};
+
+/** Campaign executor for one workload. */
+class Campaign
+{
+  public:
+    /**
+     * @param workload the benchmark to run
+     * @param config campaign parameters
+     */
+    Campaign(const workloads::Workload& workload,
+             const CampaignConfig& config);
+
+    /**
+     * Run the golden execution plus all injections.
+     * @param keep_runs record per-run details in the result
+     */
+    CampaignResult run(bool keep_runs = false) const;
+
+    /** Golden-run cycle count (runs the golden execution once). */
+    uint64_t goldenCycles() const;
+
+  private:
+    sim::SimResult runGolden() const;
+    RunRecord runOne(const sim::SimResult& golden, uint32_t index,
+                     const MaskGenerator& generator) const;
+
+    const workloads::Workload& workload_;
+    CampaignConfig config_;
+    sim::Program program_;
+};
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_CAMPAIGN_HH

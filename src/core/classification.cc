@@ -1,0 +1,76 @@
+#include "core/classification.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+const char*
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::Sdc: return "SDC";
+      case Outcome::Crash: return "Crash";
+      case Outcome::Timeout: return "Timeout";
+      case Outcome::Assert: return "Assert";
+    }
+    return "<?>";
+}
+
+Outcome
+classify(const sim::SimResult& golden, const sim::SimResult& faulty)
+{
+    switch (faulty.status.kind) {
+      case sim::ExitKind::SimAssert:
+        return Outcome::Assert;
+      case sim::ExitKind::LimitReached:
+        return Outcome::Timeout;
+      case sim::ExitKind::ProcessCrash:
+      case sim::ExitKind::KernelPanic:
+        return Outcome::Crash;
+      case sim::ExitKind::Exited:
+        if (faulty.output == golden.output &&
+            faulty.status.exitCode == golden.status.exitCode) {
+            return Outcome::Masked;
+        }
+        return Outcome::Sdc;
+    }
+    panic("unreachable exit kind");
+}
+
+uint64_t
+OutcomeCounts::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+OutcomeCounts::fraction(Outcome outcome) const
+{
+    uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(count(outcome)) / static_cast<double>(n);
+}
+
+double
+OutcomeCounts::avf() const
+{
+    uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    return 1.0 - fraction(Outcome::Masked);
+}
+
+OutcomeCounts&
+OutcomeCounts::operator+=(const OutcomeCounts& other)
+{
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    return *this;
+}
+
+} // namespace mbusim::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fault-effect classification — the paper's Section III.C.
+ *
+ * Five outcome classes per injected run, judged against the golden run:
+ * Masked (identical output, clean exit), SDC (ran to completion but the
+ * output stream differs), Crash (process crash or kernel panic), Timeout
+ * (did not finish within 4x the golden cycles — deadlock or livelock),
+ * Assert (the simulator hit an unrepresentable state).
+ */
+
+#ifndef MBUSIM_CORE_CLASSIFICATION_HH
+#define MBUSIM_CORE_CLASSIFICATION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/simulator.hh"
+
+namespace mbusim::core {
+
+/** The five fault-effect classes. */
+enum class Outcome : uint8_t
+{
+    Masked, Sdc, Crash, Timeout, Assert,
+};
+
+constexpr std::array<Outcome, 5> AllOutcomes = {
+    Outcome::Masked, Outcome::Sdc, Outcome::Crash, Outcome::Timeout,
+    Outcome::Assert,
+};
+
+/** Display name, e.g. "Masked". */
+const char* outcomeName(Outcome outcome);
+
+/** Classify a faulty run against the golden run. */
+Outcome classify(const sim::SimResult& golden,
+                 const sim::SimResult& faulty);
+
+/** Tally of outcomes for one campaign. */
+struct OutcomeCounts
+{
+    std::array<uint64_t, 5> counts{};
+
+    void add(Outcome outcome)
+    {
+        ++counts[static_cast<size_t>(outcome)];
+    }
+
+    uint64_t count(Outcome outcome) const
+    {
+        return counts[static_cast<size_t>(outcome)];
+    }
+
+    uint64_t total() const;
+
+    /** Fraction of runs with this outcome (0 if no runs). */
+    double fraction(Outcome outcome) const;
+
+    /**
+     * Architectural vulnerability factor: the probability that a fault
+     * affects correct execution, i.e. 1 - masked fraction.
+     */
+    double avf() const;
+
+    /** Merge another tally into this one. */
+    OutcomeCounts& operator+=(const OutcomeCounts& other);
+};
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_CLASSIFICATION_HH

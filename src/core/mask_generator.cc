@@ -1,0 +1,55 @@
+#include "core/mask_generator.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+MaskGenerator::MaskGenerator(uint32_t rows, uint32_t cols,
+                             ClusterShape shape)
+    : rows_(rows), cols_(cols), shape_(shape)
+{
+    if (rows == 0 || cols == 0)
+        panic("MaskGenerator over an empty array");
+    // A cluster larger than the array degrades to the whole array.
+    shape_.rows = std::min(shape_.rows, rows_);
+    shape_.cols = std::min(shape_.cols, cols_);
+    if (shape_.rows == 0 || shape_.cols == 0)
+        fatal("fault cluster must have nonzero dimensions");
+}
+
+FaultMask
+MaskGenerator::generate(uint32_t faults, Rng& rng) const
+{
+    uint32_t cells = shape_.rows * shape_.cols;
+    if (faults == 0 || faults > cells) {
+        fatal("cannot place %u faults in a %ux%u cluster", faults,
+              shape_.rows, shape_.cols);
+    }
+
+    FaultMask mask;
+    mask.clusterRow =
+        static_cast<uint32_t>(rng.below(rows_ - shape_.rows + 1));
+    mask.clusterCol =
+        static_cast<uint32_t>(rng.below(cols_ - shape_.cols + 1));
+
+    // Draw distinct cells inside the cluster (rejection sampling; the
+    // cluster is tiny so this terminates immediately in practice).
+    std::vector<uint32_t> chosen;
+    chosen.reserve(faults);
+    while (chosen.size() < faults) {
+        uint32_t cell = static_cast<uint32_t>(rng.below(cells));
+        if (std::find(chosen.begin(), chosen.end(), cell) ==
+            chosen.end()) {
+            chosen.push_back(cell);
+        }
+    }
+    for (uint32_t cell : chosen) {
+        mask.flips.push_back({mask.clusterRow + cell / shape_.cols,
+                              mask.clusterCol + cell % shape_.cols});
+    }
+    return mask;
+}
+
+} // namespace mbusim::core

@@ -1,0 +1,64 @@
+#include "core/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+uint64_t
+sampleSize(double population, double e, double t, double p)
+{
+    if (population <= 0 || e <= 0 || t <= 0 || p <= 0 || p >= 1)
+        fatal("sampleSize: invalid parameters");
+    double n = population /
+               (1.0 + e * e * (population - 1.0) / (t * t * p * (1 - p)));
+    return static_cast<uint64_t>(std::ceil(n));
+}
+
+double
+errorMargin(double population, uint64_t n, double t, double p)
+{
+    if (population <= 1 || n == 0 || t <= 0 || p <= 0 || p >= 1)
+        fatal("errorMargin: invalid parameters");
+    double nn = static_cast<double>(n);
+    if (nn >= population)
+        return 0.0;
+    // Invert the sample-size formula for e.
+    double e2 = (population / nn - 1.0) * t * t * p * (1 - p) /
+                (population - 1.0);
+    return std::sqrt(std::max(e2, 0.0));
+}
+
+Interval
+wilsonInterval(uint64_t successes, uint64_t n, double t)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    if (successes > n)
+        fatal("wilsonInterval: successes > n");
+    double p = static_cast<double>(successes) / static_cast<double>(n);
+    double z2 = t * t;
+    double nn = static_cast<double>(n);
+    double denom = 1.0 + z2 / nn;
+    double centre = p + z2 / (2 * nn);
+    double spread =
+        t * std::sqrt(p * (1 - p) / nn + z2 / (4 * nn * nn));
+    return {std::max(0.0, (centre - spread) / denom),
+            std::min(1.0, (centre + spread) / denom)};
+}
+
+double
+adjustedErrorMargin(double population, uint64_t n, double avf, double t)
+{
+    // Worst-case margin at p = 0.5.
+    double e0 = errorMargin(population, n, t, 0.5);
+    // Shift the measured AVF toward 0.5 by e0 (the conservative side).
+    double p = avf < 0.5 ? std::min(avf + e0, 0.5)
+                         : std::max(avf - e0, 0.5);
+    p = std::clamp(p, 1e-6, 1.0 - 1e-6);
+    return errorMargin(population, n, t, p);
+}
+
+} // namespace mbusim::core

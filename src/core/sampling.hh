@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Statistical fault sampling — Leveugle et al. (DATE 2009), as used in
+ * the paper's Section III.A.
+ *
+ * For a fault population of size N, the sample size needed for error
+ * margin e at confidence t (the normal quantile, 2.5758 for 99%) with
+ * an assumed fault-activation probability p is
+ *
+ *     n = N / (1 + e^2 (N - 1) / (t^2 p (1 - p)))
+ *
+ * The paper draws 2,000 faults per campaign with p = 0.5 (worst case),
+ * giving e ~= 2.88% at 99% confidence, then re-evaluates the margin at
+ * the measured AVF shifted by the margin.
+ */
+
+#ifndef MBUSIM_CORE_SAMPLING_HH
+#define MBUSIM_CORE_SAMPLING_HH
+
+#include <cstdint>
+
+namespace mbusim::core {
+
+/** Normal quantiles for common confidence levels. */
+constexpr double Confidence95 = 1.9600;
+constexpr double Confidence99 = 2.5758;
+
+/**
+ * Sample size for error margin @p e (fraction, e.g. 0.0288).
+ * @param population fault population size (e.g. structure bits x cycles)
+ * @param e target error margin
+ * @param t confidence quantile
+ * @param p assumed activation probability (0.5 = worst case)
+ */
+uint64_t sampleSize(double population, double e,
+                    double t = Confidence99, double p = 0.5);
+
+/**
+ * Error margin achieved by @p n samples from @p population.
+ */
+double errorMargin(double population, uint64_t n,
+                   double t = Confidence99, double p = 0.5);
+
+/**
+ * The paper's refined margin: re-evaluate e at the measured AVF shifted
+ * by the worst-case margin, i.e. p' = clamp(avf +/- e0 toward 0.5).
+ */
+double adjustedErrorMargin(double population, uint64_t n, double avf,
+                           double t = Confidence99);
+
+/** A two-sided confidence interval on a proportion. */
+struct Interval
+{
+    double lo;
+    double hi;
+};
+
+/**
+ * Wilson score interval for an observed proportion @p successes / @p n.
+ * Better behaved than the normal approximation at the extremes (AVFs
+ * near 0% or 100%, exactly where several of our campaigns live).
+ */
+Interval wilsonInterval(uint64_t successes, uint64_t n,
+                        double t = Confidence99);
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_SAMPLING_HH

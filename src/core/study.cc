@@ -1,0 +1,192 @@
+#include "core/study.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/env.hh"
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+StudyConfig
+defaultStudyConfig()
+{
+    StudyConfig config;
+    config.injections =
+        static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 200));
+    config.seed = static_cast<uint64_t>(envInt("MBUSIM_SEED", 0x5eed));
+    config.threads = static_cast<uint32_t>(envInt("MBUSIM_THREADS", 0));
+    config.cacheDir = envString("MBUSIM_CACHE_DIR", "");
+    config.workloads = envList("MBUSIM_WORKLOADS");
+    return config;
+}
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config))
+{
+    for (const auto& w : workloads::allWorkloads()) {
+        if (config_.workloads.empty() ||
+            std::find(config_.workloads.begin(), config_.workloads.end(),
+                      w.name) != config_.workloads.end()) {
+            workloads_.push_back(&w);
+        }
+    }
+    if (workloads_.empty())
+        fatal("study has no workloads (check MBUSIM_WORKLOADS)");
+}
+
+std::string
+Study::cacheKey(const std::string& workload, Component component,
+                uint32_t faults) const
+{
+    // Digest of every CPU parameter that can change outcomes.
+    const sim::CpuConfig& c = config_.cpu;
+    uint64_t digest = 1469598103934665603ULL;
+    auto mix = [&digest](uint64_t v) {
+        digest = (digest ^ v) * 1099511628211ULL;
+    };
+    mix(c.fetchWidth); mix(c.issueWidth); mix(c.wbWidth);
+    mix(c.commitWidth); mix(c.robEntries); mix(c.iqEntries);
+    mix(c.lsqEntries); mix(c.numPhysRegs); mix(c.bimodalEntries);
+    mix(c.btbEntries); mix(c.rasEntries); mix(c.l1i.sizeBytes);
+    mix(c.l1i.ways); mix(c.l1i.hitLatency); mix(c.l1d.sizeBytes);
+    mix(c.l1d.ways); mix(c.l1d.hitLatency); mix(c.l2.sizeBytes);
+    mix(c.l2.ways); mix(c.l2.hitLatency); mix(c.tlbEntries);
+    mix(c.memoryLatency); mix(c.pageWalkLatency); mix(c.physMemBytes);
+    if (c.inOrderIssue)
+        mix(0x10DE);   // only when set: existing cache keys stay valid
+    if (c.l1d.interleave != 1 || c.l1i.interleave != 1 ||
+        c.l2.interleave != 1) {
+        mix(c.l1d.interleave); mix(c.l1i.interleave);
+        mix(c.l2.interleave);
+    }
+    // The workload's assembly source: a recalibrated workload must not
+    // reuse stale cached results.
+    for (const char* p = workloads::workloadByName(workload).source;
+         *p; ++p) {
+        mix(static_cast<unsigned char>(*p));
+    }
+
+    return strprintf("%s_%s_f%u_n%u_s%llx_c%ux%u_t%u_%016llx",
+                     workload.c_str(), componentShortName(component),
+                     faults, config_.injections,
+                     static_cast<unsigned long long>(config_.seed),
+                     config_.cluster.rows, config_.cluster.cols,
+                     config_.timeoutFactor,
+                     static_cast<unsigned long long>(digest));
+}
+
+bool
+Study::loadCached(const std::string& key, CampaignResult& result) const
+{
+    if (config_.cacheDir.empty())
+        return false;
+    std::ifstream in(config_.cacheDir + "/" + key + ".txt");
+    if (!in)
+        return false;
+    uint64_t golden_cycles = 0, golden_insts = 0;
+    std::array<uint64_t, 5> counts{};
+    in >> golden_cycles >> golden_insts;
+    for (auto& c : counts)
+        in >> c;
+    if (!in)
+        return false;
+    result = CampaignResult{};
+    result.goldenCycles = golden_cycles;
+    result.goldenInstructions = golden_insts;
+    result.counts.counts = counts;
+    return true;
+}
+
+void
+Study::storeCached(const std::string& key,
+                   const CampaignResult& result) const
+{
+    if (config_.cacheDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(config_.cacheDir, ec);
+    std::ofstream out(config_.cacheDir + "/" + key + ".txt");
+    if (!out) {
+        warn("cannot write study cache entry '%s'", key.c_str());
+        return;
+    }
+    out << result.goldenCycles << ' ' << result.goldenInstructions;
+    for (uint64_t c : result.counts.counts)
+        out << ' ' << c;
+    out << '\n';
+}
+
+const CampaignResult&
+Study::campaign(const std::string& workload, Component component,
+                uint32_t faults)
+{
+    std::string key = cacheKey(workload, component, faults);
+    auto it = results_.find(key);
+    if (it != results_.end())
+        return it->second;
+
+    CampaignResult result;
+    if (!loadCached(key, result)) {
+        CampaignConfig cc;
+        cc.component = component;
+        cc.faults = faults;
+        cc.injections = config_.injections;
+        cc.seed = config_.seed;
+        cc.cluster = config_.cluster;
+        cc.timeoutFactor = config_.timeoutFactor;
+        cc.threads = config_.threads;
+        cc.cpu = config_.cpu;
+        Campaign campaign(workloads::workloadByName(workload), cc);
+        result = campaign.run();
+        storeCached(key, result);
+    }
+    golden_[workload] = result.goldenCycles;
+    return results_.emplace(key, std::move(result)).first->second;
+}
+
+uint64_t
+Study::goldenCycles(const std::string& workload)
+{
+    auto it = golden_.find(workload);
+    if (it != golden_.end())
+        return it->second;
+    // Cheapest way to learn it: the 1-bit L1D campaign caches it; but a
+    // plain golden run avoids triggering injections.
+    CampaignConfig cc;
+    cc.cpu = config_.cpu;
+    Campaign campaign(workloads::workloadByName(workload), cc);
+    uint64_t cycles = campaign.goldenCycles();
+    golden_[workload] = cycles;
+    return cycles;
+}
+
+ComponentAvf
+Study::componentAvf(Component component)
+{
+    ComponentAvf result;
+    result.component = component;
+    for (uint32_t faults = 1; faults <= 3; ++faults) {
+        std::vector<WeightedSample> samples;
+        for (const auto* w : workloads_) {
+            const CampaignResult& r = campaign(w->name, component,
+                                               faults);
+            samples.push_back({r.avf(),
+                               static_cast<double>(r.goldenCycles)});
+        }
+        result.byCardinality[faults - 1] = weightedAvf(samples);
+    }
+    return result;
+}
+
+std::vector<ComponentAvf>
+Study::allComponentAvfs()
+{
+    std::vector<ComponentAvf> all;
+    for (Component c : AllComponents)
+        all.push_back(componentAvf(c));
+    return all;
+}
+
+} // namespace mbusim::core

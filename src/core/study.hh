@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Study orchestration: the full (workload x component x cardinality)
+ * sweep of the paper, with result caching.
+ *
+ * The paper's headline results (Tables IV/V, Figs. 7/8) need campaigns
+ * for all 15 workloads x 6 components x 3 cardinalities. A Study runs
+ * campaigns on demand and memoizes them in-process and, optionally, in a
+ * small on-disk cache keyed by every parameter that affects the result,
+ * so the bench binaries can share one sweep (set MBUSIM_CACHE_DIR).
+ *
+ * Environment knobs honoured by defaultStudyConfig():
+ *   MBUSIM_INJECTIONS  sample size per campaign   (default 200)
+ *   MBUSIM_SEED        campaign seed              (default 0x5eed)
+ *   MBUSIM_THREADS     worker threads             (default: hw)
+ *   MBUSIM_CACHE_DIR   on-disk result cache       (default: off)
+ *   MBUSIM_WORKLOADS   comma list to restrict the sweep (default: all)
+ */
+
+#ifndef MBUSIM_CORE_STUDY_HH
+#define MBUSIM_CORE_STUDY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/avf.hh"
+#include "core/campaign.hh"
+
+namespace mbusim::core {
+
+/** Sweep-wide configuration (campaign parameters + cache). */
+struct StudyConfig
+{
+    uint32_t injections = 200;
+    uint64_t seed = 0x5eed;
+    ClusterShape cluster;
+    uint32_t timeoutFactor = 4;
+    uint32_t threads = 0;
+    sim::CpuConfig cpu;
+    std::string cacheDir;               ///< empty = no disk cache
+    std::vector<std::string> workloads; ///< empty = all 15
+};
+
+/** Build a StudyConfig from the MBUSIM_* environment knobs. */
+StudyConfig defaultStudyConfig();
+
+/** On-demand, memoized campaign sweep. */
+class Study
+{
+  public:
+    explicit Study(StudyConfig config = defaultStudyConfig());
+
+    const StudyConfig& config() const { return config_; }
+
+    /** The workloads in this study (respects the restriction list). */
+    const std::vector<const workloads::Workload*>& workloadSet() const
+    {
+        return workloads_;
+    }
+
+    /** Campaign result for one (workload, component, faults) triple. */
+    const CampaignResult& campaign(const std::string& workload,
+                                   Component component, uint32_t faults);
+
+    /** Golden cycles of a workload (Eq. 2 weights). */
+    uint64_t goldenCycles(const std::string& workload);
+
+    /**
+     * Eq. 2 weighted AVF of a component for all three cardinalities
+     * (runs 3 x |workloads| campaigns on first use).
+     */
+    ComponentAvf componentAvf(Component component);
+
+    /** componentAvf for all six components. */
+    std::vector<ComponentAvf> allComponentAvfs();
+
+  private:
+    std::string cacheKey(const std::string& workload,
+                         Component component, uint32_t faults) const;
+    bool loadCached(const std::string& key, CampaignResult& result) const;
+    void storeCached(const std::string& key,
+                     const CampaignResult& result) const;
+
+    StudyConfig config_;
+    std::vector<const workloads::Workload*> workloads_;
+    std::map<std::string, CampaignResult> results_;
+    std::map<std::string, uint64_t> golden_;
+};
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_STUDY_HH

@@ -1,0 +1,132 @@
+#include "core/technology.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+namespace {
+
+struct NodeData
+{
+    const char* name;
+    uint32_t nm;
+    MbuRates rates;     // Table VI
+    double rawFit;      // Table VII (FIT per bit)
+};
+
+// Tables VI and VII, transcribed from the paper (source: Ibe et al.).
+constexpr NodeData nodeData[] = {
+    {"250nm", 250, {1.000, 0.000, 0.000}, 47e-8},
+    {"180nm", 180, {0.964, 0.036, 0.000}, 85e-8},
+    {"130nm", 130, {0.934, 0.044, 0.022}, 106e-8},
+    {"90nm",  90,  {0.878, 0.096, 0.026}, 100e-8},
+    {"65nm",  65,  {0.816, 0.161, 0.023}, 85e-8},
+    {"45nm",  45,  {0.722, 0.230, 0.048}, 58e-8},
+    {"32nm",  32,  {0.653, 0.291, 0.056}, 38e-8},
+    {"22nm",  22,  {0.553, 0.344, 0.103}, 23e-8},
+};
+
+const NodeData&
+data(TechNode node)
+{
+    auto idx = static_cast<size_t>(node);
+    if (idx >= std::size(nodeData))
+        panic("bad TechNode %zu", idx);
+    return nodeData[idx];
+}
+
+struct ComponentData
+{
+    const char* name;
+    const char* shortName;
+    uint64_t bits;      // Table VIII
+};
+
+constexpr ComponentData componentData[] = {
+    {"L1D Cache", "l1d", 262144},
+    {"L1I Cache", "l1i", 262144},
+    {"L2 Cache", "l2", 4194304},
+    {"Register File", "regfile", 2112},
+    {"ITLB", "itlb", 1024},
+    {"DTLB", "dtlb", 1024},
+};
+
+const ComponentData&
+cdata(Component c)
+{
+    auto idx = static_cast<size_t>(c);
+    if (idx >= std::size(componentData))
+        panic("bad Component %zu", idx);
+    return componentData[idx];
+}
+
+} // namespace
+
+double
+MbuRates::forCardinality(uint32_t faults) const
+{
+    switch (faults) {
+      case 1: return single;
+      case 2: return dbl;
+      case 3: return triple;
+      default:
+        panic("MbuRates::forCardinality(%u): only 1..3 supported",
+              faults);
+    }
+}
+
+const char*
+techName(TechNode node)
+{
+    return data(node).name;
+}
+
+uint32_t
+techNanometres(TechNode node)
+{
+    return data(node).nm;
+}
+
+MbuRates
+mbuRates(TechNode node)
+{
+    return data(node).rates;
+}
+
+double
+rawFitPerBit(TechNode node)
+{
+    return data(node).rawFit;
+}
+
+const char*
+componentName(Component c)
+{
+    return cdata(c).name;
+}
+
+const char*
+componentShortName(Component c)
+{
+    return cdata(c).shortName;
+}
+
+Component
+componentFromShortName(const char* name)
+{
+    for (Component c : AllComponents) {
+        if (std::strcmp(cdata(c).shortName, name) == 0)
+            return c;
+    }
+    fatal("unknown component '%s'", name);
+}
+
+uint64_t
+componentBits(Component c)
+{
+    return cdata(c).bits;
+}
+
+} // namespace mbusim::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fabrication-technology data: the paper's Tables VI, VII and VIII.
+ *
+ * Table VI (multi-bit upset rate per node) and Table VII (raw FIT per bit)
+ * come from Ibe et al., "Impact of Scaling on Neutron-Induced Soft Error
+ * in SRAMs From a 250 nm to a 22 nm Design Rule", IEEE TED 2010 — the same
+ * single source the paper uses for consistency. Table VIII is the bit size
+ * of each studied Cortex-A9 structure.
+ */
+
+#ifndef MBUSIM_CORE_TECHNOLOGY_HH
+#define MBUSIM_CORE_TECHNOLOGY_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mbusim::core {
+
+/** The eight fabrication technology nodes of the study. */
+enum class TechNode : uint8_t
+{
+    Nm250, Nm180, Nm130, Nm90, Nm65, Nm45, Nm32, Nm22,
+};
+
+/** All nodes, oldest (largest) first — the paper's presentation order. */
+constexpr std::array<TechNode, 8> AllTechNodes = {
+    TechNode::Nm250, TechNode::Nm180, TechNode::Nm130, TechNode::Nm90,
+    TechNode::Nm65, TechNode::Nm45, TechNode::Nm32, TechNode::Nm22,
+};
+
+/** Node name, e.g. "250nm". */
+const char* techName(TechNode node);
+
+/** Feature size in nanometres. */
+uint32_t techNanometres(TechNode node);
+
+/**
+ * Fraction of particle-induced upsets of each cardinality (Table VI).
+ * Quadruple-bit and larger upsets are folded into the triple class, as
+ * the paper does. The three fractions sum to 1.
+ */
+struct MbuRates
+{
+    double single;
+    double dbl;
+    double triple;
+
+    /** Rate for cardinality 1, 2 or 3. */
+    double forCardinality(uint32_t faults) const;
+};
+
+/** Table VI row for @p node. */
+MbuRates mbuRates(TechNode node);
+
+/** Raw soft-error FIT per storage bit for @p node (Table VII). */
+double rawFitPerBit(TechNode node);
+
+/** The six studied hardware structures. */
+enum class Component : uint8_t
+{
+    L1D, L1I, L2, RegFile, ITLB, DTLB,
+};
+
+/** All components in the paper's presentation order. */
+constexpr std::array<Component, 6> AllComponents = {
+    Component::L1D, Component::L1I, Component::L2,
+    Component::RegFile, Component::ITLB, Component::DTLB,
+};
+
+/** Component display name, e.g. "L1D Cache". */
+const char* componentName(Component c);
+
+/** Short machine-friendly name, e.g. "l1d". */
+const char* componentShortName(Component c);
+
+/** Parse a short name; fatal() if unknown. */
+Component componentFromShortName(const char* name);
+
+/** Storage bits of the structure (Table VIII). */
+uint64_t componentBits(Component c);
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_TECHNOLOGY_HH

@@ -1,0 +1,821 @@
+#include "sim/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "sim/isa.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+AsmError::AsmError(int line, const std::string& message)
+    : std::runtime_error(strprintf("asm line %d: %s", line,
+                                   message.c_str())),
+      line_(line)
+{}
+
+namespace {
+
+/** One source line reduced to label list + statement. */
+struct Stmt
+{
+    int line = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic;                ///< lowercase, empty if none
+    std::vector<std::string> operands;   ///< comma-split, trimmed
+};
+
+std::string
+trim(const std::string& s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+/**
+ * Split an operand string on commas, but never inside quotes or
+ * parentheses, so `.ascii "a,b"` and `lw r1, 4(r2)` parse correctly.
+ */
+std::vector<std::string>
+splitOperands(const std::string& s, int line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_quote = false;
+    int paren = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_quote) {
+            cur += c;
+            if (c == '\\' && i + 1 < s.size())
+                cur += s[++i];
+            else if (c == '"')
+                in_quote = false;
+        } else if (c == '"') {
+            cur += c;
+            in_quote = true;
+        } else if (c == '(') {
+            ++paren;
+            cur += c;
+        } else if (c == ')') {
+            --paren;
+            cur += c;
+        } else if (c == ',' && paren == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (in_quote)
+        throw AsmError(line, "unterminated string literal");
+    if (paren != 0)
+        throw AsmError(line, "unbalanced parentheses");
+    std::string last = trim(cur);
+    if (!last.empty() || !out.empty())
+        out.push_back(last);
+    // Drop a single trailing empty operand (e.g. "a, b,").
+    if (!out.empty() && out.back().empty())
+        throw AsmError(line, "empty operand");
+    return out;
+}
+
+/** Strip comments ('#' or ';' outside string literals). */
+std::string
+stripComment(const std::string& s)
+{
+    bool in_quote = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_quote) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_quote = false;
+        } else if (c == '"') {
+            in_quote = true;
+        } else if (c == '#' || c == ';') {
+            return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+/** Parse one physical line into a Stmt (may carry several labels). */
+Stmt
+parseLine(const std::string& raw, int line)
+{
+    Stmt stmt;
+    stmt.line = line;
+    std::string s = trim(stripComment(raw));
+    // Peel off leading labels.
+    for (;;) {
+        size_t i = 0;
+        while (i < s.size() && isIdentChar(s[i]))
+            ++i;
+        if (i > 0 && i < s.size() && s[i] == ':') {
+            stmt.labels.push_back(s.substr(0, i));
+            s = trim(s.substr(i + 1));
+        } else {
+            break;
+        }
+    }
+    if (s.empty())
+        return stmt;
+    size_t i = 0;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+    stmt.mnemonic = lower(s.substr(0, i));
+    std::string rest = trim(s.substr(i));
+    if (!rest.empty())
+        stmt.operands = splitOperands(rest, line);
+    return stmt;
+}
+
+std::optional<uint32_t>
+regNumber(const std::string& name)
+{
+    std::string n = lower(name);
+    if (n == "zero")
+        return 0;
+    if (n == "sp")
+        return RegSP;
+    if (n == "lr")
+        return RegLR;
+    if (n == "rv")
+        return RegRV;
+    if (n.size() >= 2 && n[0] == 'r') {
+        char* end = nullptr;
+        long v = std::strtol(n.c_str() + 1, &end, 10);
+        if (end && *end == '\0' && v >= 0 &&
+            v < static_cast<long>(NumArchRegs)) {
+            return static_cast<uint32_t>(v);
+        }
+    }
+    return std::nullopt;
+}
+
+uint32_t
+parseReg(const std::string& s, int line)
+{
+    auto r = regNumber(s);
+    if (!r)
+        throw AsmError(line, "expected register, got '" + s + "'");
+    return *r;
+}
+
+/** Parse a character escape inside a string or char literal. */
+char
+unescape(char c, int line)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        throw AsmError(line, std::string("unknown escape '\\") + c + "'");
+    }
+}
+
+/**
+ * Evaluate an operand expression: integer literal, char literal, symbol,
+ * or symbol+/-constant. Pass @p symbols as nullptr during pass 1 to skip
+ * symbol resolution (only numeric results are needed there).
+ */
+int64_t
+parseExpr(const std::string& s,
+          const std::map<std::string, uint32_t>* symbols, int line)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        throw AsmError(line, "empty expression");
+    // Char literal.
+    if (t.front() == '\'') {
+        if (t.size() == 3 && t.back() == '\'')
+            return static_cast<unsigned char>(t[1]);
+        if (t.size() == 4 && t[1] == '\\' && t.back() == '\'')
+            return static_cast<unsigned char>(unescape(t[2], line));
+        throw AsmError(line, "bad char literal " + t);
+    }
+    // Pure number?
+    {
+        char* end = nullptr;
+        long long v = std::strtoll(t.c_str(), &end, 0);
+        if (end && *end == '\0' && end != t.c_str())
+            return v;
+    }
+    // symbol [+|- constant]
+    size_t i = 0;
+    while (i < t.size() && isIdentChar(t[i]))
+        ++i;
+    if (i == 0)
+        throw AsmError(line, "bad expression '" + t + "'");
+    std::string name = t.substr(0, i);
+    int64_t offset = 0;
+    std::string rest = trim(t.substr(i));
+    if (!rest.empty()) {
+        if (rest[0] != '+' && rest[0] != '-')
+            throw AsmError(line, "bad expression '" + t + "'");
+        char* end = nullptr;
+        long long v = std::strtoll(rest.c_str(), &end, 0);
+        if (!end || *end != '\0')
+            throw AsmError(line, "bad expression offset '" + rest + "'");
+        offset = v;
+    }
+    if (!symbols)
+        return 0; // pass 1: value unused
+    auto it = symbols->find(name);
+    if (it == symbols->end())
+        throw AsmError(line, "undefined symbol '" + name + "'");
+    return static_cast<int64_t>(it->second) + offset;
+}
+
+/** Split `off(reg)` into (offset expression, register). */
+std::pair<std::string, uint32_t>
+parseMemOperand(const std::string& s, int line)
+{
+    size_t open = s.rfind('(');
+    size_t close = s.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        throw AsmError(line, "expected mem operand off(reg), got '" + s +
+                       "'");
+    }
+    std::string off = trim(s.substr(0, open));
+    if (off.empty())
+        off = "0";
+    uint32_t reg = parseReg(trim(s.substr(open + 1, close - open - 1)),
+                            line);
+    return {off, reg};
+}
+
+/** Decode a string literal operand (including the quotes). */
+std::string
+parseString(const std::string& s, int line)
+{
+    std::string t = trim(s);
+    if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+        throw AsmError(line, "expected string literal, got '" + t + "'");
+    std::string out;
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+        if (t[i] == '\\') {
+            if (i + 2 >= t.size() + 1)
+                throw AsmError(line, "dangling escape");
+            out += unescape(t[++i], line);
+        } else {
+            out += t[i];
+        }
+    }
+    return out;
+}
+
+enum class Section { Text, Data };
+
+/** Instruction encoding context shared between pass helpers. */
+struct Assembly
+{
+    std::map<std::string, uint32_t> symbols;
+    std::vector<uint32_t> code;
+    std::vector<uint8_t> data;
+    uint32_t codeBase;
+    uint32_t dataBase;
+};
+
+const std::map<std::string, Opcode> r3Ops = {
+    {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"and", Opcode::And},
+    {"or", Opcode::Or}, {"xor", Opcode::Xor}, {"sll", Opcode::Sll},
+    {"srl", Opcode::Srl}, {"sra", Opcode::Sra}, {"mul", Opcode::Mul},
+    {"mulh", Opcode::Mulh}, {"div", Opcode::Div}, {"rem", Opcode::Rem},
+    {"slt", Opcode::Slt}, {"sltu", Opcode::Sltu}, {"min", Opcode::Min},
+    {"max", Opcode::Max},
+};
+
+const std::map<std::string, Opcode> immOps = {
+    {"addi", Opcode::Addi}, {"andi", Opcode::Andi}, {"ori", Opcode::Ori},
+    {"xori", Opcode::Xori}, {"slli", Opcode::Slli},
+    {"srli", Opcode::Srli}, {"srai", Opcode::Srai},
+    {"slti", Opcode::Slti}, {"sltiu", Opcode::Sltiu},
+};
+
+const std::map<std::string, Opcode> loadOps = {
+    {"lw", Opcode::Lw}, {"lb", Opcode::Lb}, {"lbu", Opcode::Lbu},
+    {"lh", Opcode::Lh}, {"lhu", Opcode::Lhu},
+};
+
+const std::map<std::string, Opcode> storeOps = {
+    {"sw", Opcode::Sw}, {"sb", Opcode::Sb}, {"sh", Opcode::Sh},
+};
+
+const std::map<std::string, Opcode> branchOps = {
+    {"beq", Opcode::Beq}, {"bne", Opcode::Bne}, {"blt", Opcode::Blt},
+    {"bge", Opcode::Bge}, {"bltu", Opcode::Bltu}, {"bgeu", Opcode::Bgeu},
+};
+
+/** beqz-family: mnemonic -> (opcode, reg-is-rs1). */
+struct ZeroBranch { Opcode op; bool regFirst; };
+const std::map<std::string, ZeroBranch> zeroBranchOps = {
+    {"beqz", {Opcode::Beq, true}},
+    {"bnez", {Opcode::Bne, true}},
+    {"bltz", {Opcode::Blt, true}},   // rs < 0
+    {"bgez", {Opcode::Bge, true}},   // rs >= 0
+    {"bgtz", {Opcode::Blt, false}},  // 0 < rs
+    {"blez", {Opcode::Bge, false}},  // 0 >= rs
+};
+
+/**
+ * Number of instruction words a (pseudo-)instruction expands to. Must
+ * agree exactly between pass 1 (layout) and pass 2 (emission).
+ */
+uint32_t
+instWords(const Stmt& stmt)
+{
+    const std::string& m = stmt.mnemonic;
+    if (m == "li") {
+        if (stmt.operands.size() != 2)
+            throw AsmError(stmt.line, "li needs 2 operands");
+        int64_t v = parseExpr(stmt.operands[1], nullptr, stmt.line);
+        // Numeric-only li can use one addi if it fits imm18; pass 1 can
+        // evaluate it because li forbids symbol operands (use la).
+        char* end = nullptr;
+        std::string t = trim(stmt.operands[1]);
+        std::strtoll(t.c_str(), &end, 0);
+        bool numeric = end && *end == '\0' && end != t.c_str();
+        bool is_char = !t.empty() && t.front() == '\'';
+        if (!numeric && !is_char)
+            throw AsmError(stmt.line,
+                           "li takes a numeric constant; use la for "
+                           "symbols");
+        if (is_char)
+            v = parseExpr(t, nullptr, stmt.line);
+        else
+            v = std::strtoll(t.c_str(), nullptr, 0);
+        return (v >= Imm18Min && v <= Imm18Max) ? 1 : 2;
+    }
+    if (m == "la")
+        return 2;
+    return 1;
+}
+
+/** Encode the `li rd, const` expansion into @p out. */
+void
+emitLoadImm(std::vector<uint32_t>& out, uint32_t rd, uint32_t value)
+{
+    int64_t sval = static_cast<int32_t>(value);
+    if (sval >= Imm18Min && sval <= Imm18Max) {
+        out.push_back(encodeI(Opcode::Addi, rd, 0,
+                              static_cast<int32_t>(sval)));
+        return;
+    }
+    uint32_t hi = value >> 14;
+    uint32_t lo = value & 0x3fff;
+    int32_t hi_signed = static_cast<int32_t>(hi);
+    if (hi_signed > Imm18Max)
+        hi_signed -= 1 << 18;
+    out.push_back(encodeI(Opcode::Lui, rd, 0, hi_signed));
+    out.push_back(encodeI(Opcode::Ori, rd, rd,
+                          static_cast<int32_t>(lo)));
+}
+
+void
+requireOperands(const Stmt& stmt, size_t n)
+{
+    if (stmt.operands.size() != n) {
+        throw AsmError(stmt.line,
+                       strprintf("'%s' expects %zu operands, got %zu",
+                                 stmt.mnemonic.c_str(), n,
+                                 stmt.operands.size()));
+    }
+}
+
+int32_t
+branchOffset(uint32_t pc, int64_t target, int line)
+{
+    int64_t delta = target - (static_cast<int64_t>(pc) + 4);
+    if (delta % 4 != 0)
+        throw AsmError(line, "branch target not word-aligned");
+    int64_t words = delta / 4;
+    if (words < Imm18Min || words > Imm18Max)
+        throw AsmError(line, "branch target out of range");
+    return static_cast<int32_t>(words);
+}
+
+int32_t
+jumpOffset(uint32_t pc, int64_t target, int line)
+{
+    int64_t delta = target - (static_cast<int64_t>(pc) + 4);
+    if (delta % 4 != 0)
+        throw AsmError(line, "jump target not word-aligned");
+    int64_t words = delta / 4;
+    if (words < Off22Min || words > Off22Max)
+        throw AsmError(line, "jump target out of range");
+    return static_cast<int32_t>(words);
+}
+
+/** Emit one (pseudo-)instruction at virtual address @p pc. */
+void
+emitInst(Assembly& as, const Stmt& stmt, uint32_t pc)
+{
+    const std::string& m = stmt.mnemonic;
+    const auto* syms = &as.symbols;
+    auto& out = as.code;
+
+    if (auto it = r3Ops.find(m); it != r3Ops.end()) {
+        requireOperands(stmt, 3);
+        out.push_back(encodeR(it->second,
+                              parseReg(stmt.operands[0], stmt.line),
+                              parseReg(stmt.operands[1], stmt.line),
+                              parseReg(stmt.operands[2], stmt.line)));
+        return;
+    }
+    if (auto it = immOps.find(m); it != immOps.end()) {
+        requireOperands(stmt, 3);
+        int64_t imm = parseExpr(stmt.operands[2], syms, stmt.line);
+        if (imm < Imm18Min || imm > Imm18Max)
+            throw AsmError(stmt.line, "immediate out of range");
+        out.push_back(encodeI(it->second,
+                              parseReg(stmt.operands[0], stmt.line),
+                              parseReg(stmt.operands[1], stmt.line),
+                              static_cast<int32_t>(imm)));
+        return;
+    }
+    if (m == "lui") {
+        requireOperands(stmt, 2);
+        int64_t imm = parseExpr(stmt.operands[1], syms, stmt.line);
+        if (imm < Imm18Min || imm > Imm18Max)
+            throw AsmError(stmt.line, "immediate out of range");
+        out.push_back(encodeI(Opcode::Lui,
+                              parseReg(stmt.operands[0], stmt.line), 0,
+                              static_cast<int32_t>(imm)));
+        return;
+    }
+    if (auto it = loadOps.find(m); it != loadOps.end()) {
+        requireOperands(stmt, 2);
+        auto [off, base] = parseMemOperand(stmt.operands[1], stmt.line);
+        int64_t imm = parseExpr(off, syms, stmt.line);
+        if (imm < Imm18Min || imm > Imm18Max)
+            throw AsmError(stmt.line, "load offset out of range");
+        out.push_back(encodeI(it->second,
+                              parseReg(stmt.operands[0], stmt.line), base,
+                              static_cast<int32_t>(imm)));
+        return;
+    }
+    if (auto it = storeOps.find(m); it != storeOps.end()) {
+        requireOperands(stmt, 2);
+        auto [off, base] = parseMemOperand(stmt.operands[1], stmt.line);
+        int64_t imm = parseExpr(off, syms, stmt.line);
+        if (imm < Imm18Min || imm > Imm18Max)
+            throw AsmError(stmt.line, "store offset out of range");
+        out.push_back(encodeI(it->second,
+                              parseReg(stmt.operands[0], stmt.line), base,
+                              static_cast<int32_t>(imm)));
+        return;
+    }
+    if (auto it = branchOps.find(m); it != branchOps.end()) {
+        requireOperands(stmt, 3);
+        int64_t target = parseExpr(stmt.operands[2], syms, stmt.line);
+        out.push_back(encodeB(it->second,
+                              parseReg(stmt.operands[0], stmt.line),
+                              parseReg(stmt.operands[1], stmt.line),
+                              branchOffset(pc, target, stmt.line)));
+        return;
+    }
+    if (auto it = zeroBranchOps.find(m); it != zeroBranchOps.end()) {
+        requireOperands(stmt, 2);
+        uint32_t reg = parseReg(stmt.operands[0], stmt.line);
+        int64_t target = parseExpr(stmt.operands[1], syms, stmt.line);
+        int32_t off = branchOffset(pc, target, stmt.line);
+        if (it->second.regFirst)
+            out.push_back(encodeB(it->second.op, reg, 0, off));
+        else
+            out.push_back(encodeB(it->second.op, 0, reg, off));
+        return;
+    }
+    if (m == "jal" || m == "call") {
+        uint32_t rd = RegLR;
+        std::string target_str;
+        if (stmt.operands.size() == 2) {
+            rd = parseReg(stmt.operands[0], stmt.line);
+            target_str = stmt.operands[1];
+        } else {
+            requireOperands(stmt, 1);
+            target_str = stmt.operands[0];
+        }
+        int64_t target = parseExpr(target_str, syms, stmt.line);
+        out.push_back(encodeJ(Opcode::Jal, rd,
+                              jumpOffset(pc, target, stmt.line)));
+        return;
+    }
+    if (m == "j") {
+        requireOperands(stmt, 1);
+        int64_t target = parseExpr(stmt.operands[0], syms, stmt.line);
+        out.push_back(encodeJ(Opcode::Jal, 0,
+                              jumpOffset(pc, target, stmt.line)));
+        return;
+    }
+    if (m == "jalr") {
+        uint32_t rd, rs1;
+        int64_t imm = 0;
+        if (stmt.operands.size() == 3) {
+            rd = parseReg(stmt.operands[0], stmt.line);
+            rs1 = parseReg(stmt.operands[1], stmt.line);
+            imm = parseExpr(stmt.operands[2], syms, stmt.line);
+        } else {
+            requireOperands(stmt, 2);
+            rd = parseReg(stmt.operands[0], stmt.line);
+            rs1 = parseReg(stmt.operands[1], stmt.line);
+        }
+        if (imm < Imm18Min || imm > Imm18Max)
+            throw AsmError(stmt.line, "jalr offset out of range");
+        out.push_back(encodeI(Opcode::Jalr, rd, rs1,
+                              static_cast<int32_t>(imm)));
+        return;
+    }
+    if (m == "jr") {
+        requireOperands(stmt, 1);
+        out.push_back(encodeI(Opcode::Jalr, 0,
+                              parseReg(stmt.operands[0], stmt.line), 0));
+        return;
+    }
+    if (m == "ret") {
+        requireOperands(stmt, 0);
+        out.push_back(encodeI(Opcode::Jalr, 0, RegLR, 0));
+        return;
+    }
+    if (m == "sys") {
+        requireOperands(stmt, 1);
+        int64_t code = parseExpr(stmt.operands[0], syms, stmt.line);
+        if (code < 0 || code > 0x3ffffff)
+            throw AsmError(stmt.line, "syscall code out of range");
+        out.push_back(encodeS(static_cast<uint32_t>(code)));
+        return;
+    }
+    if (m == "li") {
+        requireOperands(stmt, 2);
+        int64_t v = parseExpr(stmt.operands[1], nullptr, stmt.line);
+        // Re-evaluate numerically (instWords validated the form).
+        std::string t = trim(stmt.operands[1]);
+        if (t.front() == '\'')
+            v = parseExpr(t, nullptr, stmt.line);
+        else
+            v = std::strtoll(t.c_str(), nullptr, 0);
+        emitLoadImm(out, parseReg(stmt.operands[0], stmt.line),
+                    static_cast<uint32_t>(v));
+        return;
+    }
+    if (m == "la") {
+        requireOperands(stmt, 2);
+        int64_t v = parseExpr(stmt.operands[1], syms, stmt.line);
+        uint32_t rd = parseReg(stmt.operands[0], stmt.line);
+        // Always the 2-word form so pass-1 layout stays valid.
+        uint32_t value = static_cast<uint32_t>(v);
+        uint32_t hi = value >> 14;
+        int32_t hi_signed = static_cast<int32_t>(hi);
+        if (hi_signed > Imm18Max)
+            hi_signed -= 1 << 18;
+        out.push_back(encodeI(Opcode::Lui, rd, 0, hi_signed));
+        out.push_back(encodeI(Opcode::Ori, rd, rd,
+                              static_cast<int32_t>(value & 0x3fff)));
+        return;
+    }
+    if (m == "mov") {
+        requireOperands(stmt, 2);
+        out.push_back(encodeI(Opcode::Addi,
+                              parseReg(stmt.operands[0], stmt.line),
+                              parseReg(stmt.operands[1], stmt.line), 0));
+        return;
+    }
+    if (m == "not") {
+        requireOperands(stmt, 2);
+        out.push_back(encodeI(Opcode::Xori,
+                              parseReg(stmt.operands[0], stmt.line),
+                              parseReg(stmt.operands[1], stmt.line), -1));
+        return;
+    }
+    if (m == "neg") {
+        requireOperands(stmt, 2);
+        out.push_back(encodeR(Opcode::Sub,
+                              parseReg(stmt.operands[0], stmt.line), 0,
+                              parseReg(stmt.operands[1], stmt.line)));
+        return;
+    }
+    if (m == "nop") {
+        requireOperands(stmt, 0);
+        out.push_back(encodeI(Opcode::Addi, 0, 0, 0));
+        return;
+    }
+    throw AsmError(stmt.line, "unknown mnemonic '" + m + "'");
+}
+
+} // namespace
+
+Program
+assemble(const std::string& source, uint32_t code_base, uint32_t data_base)
+{
+    if (code_base % 4 != 0)
+        fatal("code base 0x%x not word-aligned", code_base);
+
+    // Split into statements.
+    std::vector<Stmt> stmts;
+    {
+        std::string line;
+        int line_no = 1;
+        for (size_t i = 0; i <= source.size(); ++i) {
+            if (i == source.size() || source[i] == '\n') {
+                Stmt stmt = parseLine(line, line_no);
+                if (!stmt.labels.empty() || !stmt.mnemonic.empty())
+                    stmts.push_back(std::move(stmt));
+                line.clear();
+                ++line_no;
+            } else {
+                line += source[i];
+            }
+        }
+    }
+
+    Assembly as;
+    as.codeBase = code_base;
+    as.dataBase = data_base;
+
+    // Pass 1: layout -- assign addresses to every label.
+    {
+        Section sec = Section::Text;
+        uint32_t text_pos = 0;
+        uint32_t data_pos = 0;
+        for (const auto& stmt : stmts) {
+            uint32_t& pos = (sec == Section::Text) ? text_pos : data_pos;
+            uint32_t base =
+                (sec == Section::Text) ? code_base : data_base;
+            for (const auto& label : stmt.labels) {
+                if (as.symbols.count(label))
+                    throw AsmError(stmt.line,
+                                   "duplicate label '" + label + "'");
+                as.symbols[label] = base + pos;
+            }
+            const std::string& m = stmt.mnemonic;
+            if (m.empty())
+                continue;
+            if (m == ".text") {
+                sec = Section::Text;
+            } else if (m == ".data") {
+                sec = Section::Data;
+            } else if (m == ".word") {
+                pos += 4 * static_cast<uint32_t>(stmt.operands.size());
+            } else if (m == ".half") {
+                pos += 2 * static_cast<uint32_t>(stmt.operands.size());
+            } else if (m == ".byte") {
+                pos += static_cast<uint32_t>(stmt.operands.size());
+            } else if (m == ".ascii" || m == ".asciiz") {
+                requireOperands(stmt, 1);
+                std::string s = parseString(stmt.operands[0], stmt.line);
+                pos += static_cast<uint32_t>(s.size()) +
+                       (m == ".asciiz" ? 1 : 0);
+            } else if (m == ".space") {
+                requireOperands(stmt, 1);
+                int64_t n = parseExpr(stmt.operands[0], nullptr,
+                                      stmt.line);
+                if (n < 0)
+                    throw AsmError(stmt.line, "negative .space");
+                pos += static_cast<uint32_t>(n);
+            } else if (m == ".align") {
+                requireOperands(stmt, 1);
+                int64_t p = parseExpr(stmt.operands[0], nullptr,
+                                      stmt.line);
+                if (p < 0 || p > 16)
+                    throw AsmError(stmt.line, "bad .align power");
+                uint32_t mask = (1u << p) - 1;
+                pos = (pos + mask) & ~mask;
+            } else if (m[0] == '.') {
+                throw AsmError(stmt.line, "unknown directive '" + m + "'");
+            } else {
+                if (sec != Section::Text)
+                    throw AsmError(stmt.line,
+                                   "instruction outside .text");
+                pos += 4 * instWords(stmt);
+            }
+        }
+    }
+
+    // Pass 2: emission.
+    {
+        Section sec = Section::Text;
+        for (const auto& stmt : stmts) {
+            const std::string& m = stmt.mnemonic;
+            if (m.empty())
+                continue;
+            if (m == ".text") {
+                sec = Section::Text;
+                continue;
+            }
+            if (m == ".data") {
+                sec = Section::Data;
+                continue;
+            }
+            bool text = sec == Section::Text;
+            auto emitBytes = [&](uint64_t value, uint32_t n) {
+                if (text) {
+                    // In .text only word-sized data is representable.
+                    if (n != 4)
+                        throw AsmError(stmt.line,
+                                       "only .word allowed in .text");
+                    as.code.push_back(static_cast<uint32_t>(value));
+                } else {
+                    for (uint32_t i = 0; i < n; ++i)
+                        as.data.push_back(
+                            static_cast<uint8_t>(value >> (8 * i)));
+                }
+            };
+            if (m == ".word" || m == ".half" || m == ".byte") {
+                uint32_t n = m == ".word" ? 4 : (m == ".half" ? 2 : 1);
+                for (const auto& operand : stmt.operands) {
+                    int64_t v = parseExpr(operand, &as.symbols,
+                                          stmt.line);
+                    emitBytes(static_cast<uint64_t>(v), n);
+                }
+            } else if (m == ".ascii" || m == ".asciiz") {
+                std::string s = parseString(stmt.operands[0], stmt.line);
+                if (m == ".asciiz")
+                    s += '\0';
+                if (text)
+                    throw AsmError(stmt.line, "strings not allowed in "
+                                   ".text");
+                for (char c : s)
+                    as.data.push_back(static_cast<uint8_t>(c));
+            } else if (m == ".space") {
+                int64_t n = parseExpr(stmt.operands[0], nullptr,
+                                      stmt.line);
+                if (text) {
+                    if (n % 4 != 0)
+                        throw AsmError(stmt.line,
+                                       ".space in .text must be a "
+                                       "multiple of 4");
+                    for (int64_t i = 0; i < n / 4; ++i)
+                        as.code.push_back(0);
+                } else {
+                    for (int64_t i = 0; i < n; ++i)
+                        as.data.push_back(0);
+                }
+            } else if (m == ".align") {
+                int64_t p = parseExpr(stmt.operands[0], nullptr,
+                                      stmt.line);
+                uint32_t mask = (1u << p) - 1;
+                if (text) {
+                    uint32_t pos = static_cast<uint32_t>(
+                        as.code.size()) * 4;
+                    uint32_t target = (pos + mask) & ~mask;
+                    while (pos < target) {
+                        as.code.push_back(encodeI(Opcode::Addi, 0, 0, 0));
+                        pos += 4;
+                    }
+                } else {
+                    uint32_t pos =
+                        static_cast<uint32_t>(as.data.size());
+                    uint32_t target = (pos + mask) & ~mask;
+                    as.data.resize(target, 0);
+                }
+            } else {
+                uint32_t pc = code_base +
+                              static_cast<uint32_t>(as.code.size()) * 4;
+                emitInst(as, stmt, pc);
+            }
+        }
+    }
+
+    Program prog;
+    prog.code = std::move(as.code);
+    prog.data = std::move(as.data);
+    prog.codeBase = code_base;
+    prog.dataBase = data_base;
+    prog.symbols = std::move(as.symbols);
+    auto main_it = prog.symbols.find("main");
+    prog.entry = main_it != prog.symbols.end() ? main_it->second
+                                               : code_base;
+    if (prog.code.empty())
+        throw AsmError(0, "program has no instructions");
+    return prog;
+}
+
+} // namespace mbusim::sim

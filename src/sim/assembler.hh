@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-pass assembler for the MRISC32 ISA.
+ *
+ * Workloads live in this repository as assembly text (like MiBench lives
+ * as C): the assembler turns that text into a Program image. Supported
+ * syntax:
+ *
+ *   - sections: `.text`, `.data`
+ *   - data directives: `.word v,...`, `.half v,...`, `.byte v,...`,
+ *     `.ascii "s"`, `.asciiz "s"`, `.space n`, `.align p` (2^p bytes)
+ *   - labels: `name:`; instruction may follow on the same line
+ *   - registers: r0..r15 plus aliases zero, sp, lr, rv
+ *   - all native mnemonics from isa.hh, e.g. `add r1, r2, r3`,
+ *     `lw r1, 8(r2)`, `beq r1, r2, loop`, `jal lr, func`, `sys 1`
+ *   - pseudo-instructions: `li rd, imm32`, `la rd, label`, `mov rd, rs`,
+ *     `not rd, rs`, `neg rd, rs`, `nop`, `j label`, `call label`, `ret`,
+ *     `jr rs`, `beqz/bnez/bltz/bgez/bgtz/blez rs, label`
+ *   - operand expressions: integer (dec/hex/char), label, label+off,
+ *     label-off
+ *   - comments: `#` or `;` to end of line
+ *
+ * Errors raise AsmError with a line number; the assembler is host-side
+ * tooling, so user mistakes are exceptions rather than fatal() to keep it
+ * testable.
+ */
+
+#ifndef MBUSIM_SIM_ASSEMBLER_HH
+#define MBUSIM_SIM_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/program.hh"
+
+namespace mbusim::sim {
+
+/** Assembly syntax or semantic error, with source line context. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string& message);
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Assemble source text into a Program.
+ *
+ * @param source full assembly text
+ * @param code_base virtual base of the .text section
+ * @param data_base virtual base of the .data section
+ * @throws AsmError on any syntax or range error
+ */
+Program assemble(const std::string& source,
+                 uint32_t code_base = DefaultCodeBase,
+                 uint32_t data_base = DefaultDataBase);
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_ASSEMBLER_HH

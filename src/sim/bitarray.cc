@@ -1,0 +1,64 @@
+#include "sim/bitarray.hh"
+
+#include <bit>
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+BitArray::BitArray(uint32_t rows, uint32_t cols)
+    : rows_(rows), cols_(cols), wordsPerRow_((cols + 63) / 64),
+      words_(static_cast<size_t>(rows) * wordsPerRow_, 0)
+{
+    if (rows == 0 || cols == 0)
+        panic("BitArray with zero dimension (%u x %u)", rows, cols);
+}
+
+void
+BitArray::fieldViolation(uint32_t row, uint32_t col, uint32_t width) const
+{
+    panic("BitArray field [row %u, col %u, width %u] out of range "
+          "(%u x %u)", row, col, width, rows_, cols_);
+}
+
+void
+BitArray::setBit(uint32_t row, uint32_t col, bool value)
+{
+    checkField(row, col, 1);
+    uint64_t& w = words_[wordIndex(row, col)];
+    uint64_t mask = 1ULL << (col % 64);
+    w = value ? (w | mask) : (w & ~mask);
+}
+
+void
+BitArray::flipBit(uint32_t row, uint32_t col)
+{
+    checkField(row, col, 1);
+    words_[wordIndex(row, col)] ^= 1ULL << (col % 64);
+}
+
+void
+BitArray::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+uint64_t
+BitArray::popcount() const
+{
+    // Mask off padding bits beyond each row's width before counting.
+    uint64_t count = 0;
+    uint32_t tail_bits = cols_ % 64;
+    for (uint32_t r = 0; r < rows_; ++r) {
+        for (uint32_t w = 0; w < wordsPerRow_; ++w) {
+            uint64_t word = words_[static_cast<uint64_t>(r)
+                                   * wordsPerRow_ + w];
+            if (tail_bits && w == wordsPerRow_ - 1)
+                word &= (1ULL << tail_bits) - 1;
+            count += std::popcount(word);
+        }
+    }
+    return count;
+}
+
+} // namespace mbusim::sim

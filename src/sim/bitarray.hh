@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bit-addressable 2-D SRAM array model — the fault-injection target.
+ *
+ * Every hardware structure the paper injects into (cache tag/data arrays,
+ * TLB entry arrays, the physical register file) stores its state in a
+ * BitArray rather than in plain C++ fields. The array has an explicit 2-D
+ * geometry (rows x columns) matching the physical SRAM layout, because the
+ * paper's spatial multi-bit fault model places an XxY *cluster* of flips at
+ * a random position in the array: adjacency in rows and columns must be
+ * physically meaningful for the fault model to be faithful.
+ *
+ * The field accessors are inline: they sit on the simulator's hottest
+ * paths (every fetch, load, store and TLB probe goes through them).
+ */
+
+#ifndef MBUSIM_SIM_BITARRAY_HH
+#define MBUSIM_SIM_BITARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mbusim::sim {
+
+/**
+ * A rows x cols array of bits with word-granularity accessors.
+ *
+ * Rows model SRAM word lines; columns model bit lines. Functional reads
+ * and writes address (row, starting column, width<=64) fields; the fault
+ * injector addresses single (row, col) bits via flipBit().
+ */
+class BitArray
+{
+  public:
+    /** Construct a zero-initialized array of rows x cols bits. */
+    BitArray(uint32_t rows, uint32_t cols);
+
+    uint32_t rows() const { return rows_; }
+    uint32_t cols() const { return cols_; }
+
+    /** Total number of bits in the array. */
+    uint64_t sizeBits() const
+    {
+        return static_cast<uint64_t>(rows_) * cols_;
+    }
+
+    /** Read one bit. */
+    bool
+    bit(uint32_t row, uint32_t col) const
+    {
+        checkField(row, col, 1);
+        return (words_[wordIndex(row, col)] >> (col % 64)) & 1;
+    }
+
+    /** Write one bit. */
+    void setBit(uint32_t row, uint32_t col, bool value);
+
+    /** Invert one bit (the particle strike). */
+    void flipBit(uint32_t row, uint32_t col);
+
+    /**
+     * Read a field of @p width bits starting at (row, col), LSB first.
+     * The field must not cross the end of the row.
+     */
+    uint64_t
+    read(uint32_t row, uint32_t col, uint32_t width) const
+    {
+        checkField(row, col, width);
+        uint64_t idx = wordIndex(row, col);
+        uint32_t shift = col % 64;
+        uint64_t value = words_[idx] >> shift;
+        uint32_t got = 64 - shift;
+        if (got < width)
+            value |= words_[idx + 1] << got;
+        if (width < 64)
+            value &= (1ULL << width) - 1;
+        return value;
+    }
+
+    /** Write a field of @p width bits starting at (row, col), LSB first. */
+    void
+    write(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
+    {
+        checkField(row, col, width);
+        if (width < 64)
+            value &= (1ULL << width) - 1;
+        uint64_t idx = wordIndex(row, col);
+        uint32_t shift = col % 64;
+        uint32_t got = 64 - shift;
+        uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+        words_[idx] = (words_[idx] & ~(mask << shift)) | (value << shift);
+        if (got < width) {
+            uint32_t rest = width - got;
+            uint64_t hi_mask = (1ULL << rest) - 1;
+            words_[idx + 1] =
+                (words_[idx + 1] & ~hi_mask) | ((value >> got) & hi_mask);
+        }
+    }
+
+    /** Reset all bits to zero. */
+    void clear();
+
+    /** Count set bits (test/debug aid). */
+    uint64_t popcount() const;
+
+  private:
+    uint64_t
+    wordIndex(uint32_t row, uint32_t col) const
+    {
+        return static_cast<uint64_t>(row) * wordsPerRow_ + col / 64;
+    }
+
+    /** Bounds check; reports a panic on violation. */
+    void
+    checkField(uint32_t row, uint32_t col, uint32_t width) const
+    {
+        if (row >= rows_ || width == 0 || width > 64 ||
+            static_cast<uint64_t>(col) + width > cols_) {
+            fieldViolation(row, col, width);
+        }
+    }
+
+    [[noreturn]] void fieldViolation(uint32_t row, uint32_t col,
+                                     uint32_t width) const;
+
+    uint32_t rows_;
+    uint32_t cols_;
+    uint32_t wordsPerRow_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_BITARRAY_HH

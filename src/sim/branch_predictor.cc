@@ -1,0 +1,105 @@
+#include "sim/branch_predictor.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(uint32_t bimodal_entries,
+                                 uint32_t btb_entries,
+                                 uint32_t ras_entries)
+    : counters_(bimodal_entries, 1),   // weakly not-taken
+      btb_(btb_entries), ras_(ras_entries, 0)
+{
+    if (!isPowerOfTwo(bimodal_entries) || !isPowerOfTwo(btb_entries))
+        fatal("predictor table sizes must be powers of two");
+    if (ras_entries == 0)
+        fatal("RAS needs at least one entry");
+}
+
+uint32_t
+BranchPredictor::counterIndex(uint32_t pc) const
+{
+    return (pc >> 2) & (static_cast<uint32_t>(counters_.size()) - 1);
+}
+
+uint32_t
+BranchPredictor::btbIndex(uint32_t pc) const
+{
+    return (pc >> 2) & (static_cast<uint32_t>(btb_.size()) - 1);
+}
+
+BranchPrediction
+BranchPredictor::predict(uint32_t pc, bool is_conditional, bool is_call,
+                         bool is_return)
+{
+    ++lookups_;
+    BranchPrediction pred;
+
+    if (is_call) {
+        // Push the return address before predicting the target.
+        ras_[rasTop_] = pc + 4;
+        rasTop_ = (rasTop_ + 1) % ras_.size();
+        if (rasCount_ < ras_.size())
+            ++rasCount_;
+    }
+
+    if (is_return && rasCount_ > 0) {
+        rasTop_ = (rasTop_ + static_cast<uint32_t>(ras_.size()) - 1) %
+                  ras_.size();
+        --rasCount_;
+        pred.taken = true;
+        pred.target = ras_[rasTop_];
+        pred.fromRas = true;
+        return pred;
+    }
+
+    const BtbEntry& entry = btb_[btbIndex(pc)];
+    bool btb_hit = entry.valid && entry.pc == pc;
+
+    if (!is_conditional) {
+        // jal/jalr: taken if we know where to.
+        if (btb_hit) {
+            pred.taken = true;
+            pred.target = entry.target;
+        }
+        return pred;
+    }
+
+    bool dir = counters_[counterIndex(pc)] >= 2;
+    if (dir && btb_hit) {
+        pred.taken = true;
+        pred.target = entry.target;
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(uint32_t pc, bool is_conditional, bool taken,
+                        uint32_t target)
+{
+    if (is_conditional) {
+        uint8_t& ctr = counters_[counterIndex(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+    if (taken) {
+        BtbEntry& entry = btb_[btbIndex(pc)];
+        entry.valid = true;
+        entry.pc = pc;
+        entry.target = target;
+    }
+}
+
+} // namespace mbusim::sim

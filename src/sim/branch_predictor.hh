@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Branch prediction: bimodal direction predictor + BTB + return stack.
+ *
+ * Predictor state is plain C++ (not a fault target — the paper injects
+ * only into the six studied SRAM structures), but mispredictions matter a
+ * lot to the fault study anyway: corrupted I-cache bits that change a
+ * branch's displacement surface as squashes and wrong-path fetches.
+ */
+
+#ifndef MBUSIM_SIM_BRANCH_PREDICTOR_HH
+#define MBUSIM_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mbusim::sim {
+
+/** Fetch-time prediction for one instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    uint32_t target = 0;    ///< valid when taken
+    bool fromRas = false;   ///< target popped from the return stack
+};
+
+/** Bimodal + BTB + RAS predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(uint32_t bimodal_entries, uint32_t btb_entries,
+                    uint32_t ras_entries);
+
+    /**
+     * Predict a control instruction at @p pc.
+     * @param is_return jalr through the link register (pops the RAS)
+     * @param is_call writes the link register (pushes pc+4)
+     * @param is_unconditional jal/jalr (taken if target known)
+     */
+    BranchPrediction predict(uint32_t pc, bool is_conditional,
+                             bool is_call, bool is_return);
+
+    /** Train with the resolved outcome. */
+    void update(uint32_t pc, bool is_conditional, bool taken,
+                uint32_t target);
+
+    /** Statistics. */
+    uint64_t lookups() const { return lookups_; }
+
+  private:
+    uint32_t counterIndex(uint32_t pc) const;
+    uint32_t btbIndex(uint32_t pc) const;
+
+    std::vector<uint8_t> counters_;   ///< 2-bit saturating
+    struct BtbEntry
+    {
+        bool valid = false;
+        uint32_t pc = 0;
+        uint32_t target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<uint32_t> ras_;
+    uint32_t rasTop_ = 0;    ///< index of next push slot
+    uint32_t rasCount_ = 0;
+    uint64_t lookups_ = 0;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,265 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "sim/memory.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+MemoryBackend::MemoryBackend(PhysicalMemory& mem, uint32_t latency)
+    : mem_(mem), latency_(latency)
+{}
+
+uint32_t
+MemoryBackend::readLine(uint32_t paddr, uint8_t* out, uint32_t line_bytes)
+{
+    mem_.dump(paddr, out, line_bytes);
+    return latency_;
+}
+
+uint32_t
+MemoryBackend::writeLine(uint32_t paddr, const uint8_t* data,
+                         uint32_t line_bytes)
+{
+    mem_.load(paddr, data, line_bytes);
+    return latency_;
+}
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheConfig& config, MemLevel& next)
+    : name_(std::move(name)), sets_(config.sets()), ways_(config.ways),
+      lineBytes_(config.lineBytes), hitLatency_(config.hitLatency),
+      interleave_(config.interleave),
+      tagBits_(32 - static_cast<uint32_t>(std::countr_zero(
+                   config.sets() * config.lineBytes))),
+      next_(next),
+      data_(sets_ * ways_, lineBytes_ * 8),
+      tags_(sets_ * ways_, 2 + tagBits_),
+      lastUse_(sets_ * ways_, 0), mru_(sets_, 0)
+{
+    if (!isPowerOfTwo(sets_) || !isPowerOfTwo(lineBytes_))
+        fatal("%s: sets and line size must be powers of two",
+              name_.c_str());
+    if (interleave_ == 0 || (lineBytes_ / 4) % interleave_ != 0)
+        fatal("%s: interleave %u must divide the %u words per line",
+              name_.c_str(), interleave_, lineBytes_ / 4);
+}
+
+uint64_t
+Cache::readData(uint32_t row, uint32_t bit_off, uint32_t width) const
+{
+    if (interleave_ == 1)
+        return data_.read(row, bit_off, width);
+    uint64_t value = 0;
+    for (uint32_t b = 0; b < width; ++b) {
+        if (data_.bit(row, physCol(bit_off + b)))
+            value |= 1ULL << b;
+    }
+    return value;
+}
+
+void
+Cache::writeData(uint32_t row, uint32_t bit_off, uint32_t width,
+                 uint64_t value)
+{
+    if (interleave_ == 1) {
+        data_.write(row, bit_off, width, value);
+        return;
+    }
+    for (uint32_t b = 0; b < width; ++b)
+        data_.setBit(row, physCol(bit_off + b), (value >> b) & 1);
+}
+
+uint32_t
+Cache::setOf(uint32_t paddr) const
+{
+    return (paddr / lineBytes_) & (sets_ - 1);
+}
+
+uint32_t
+Cache::tagOf(uint32_t paddr) const
+{
+    return paddr >> (32 - tagBits_);
+}
+
+bool
+Cache::lineValid(uint32_t set, uint32_t way) const
+{
+    return tags_.bit(rowOf(set, way), 0);
+}
+
+bool
+Cache::lineDirty(uint32_t set, uint32_t way) const
+{
+    return tags_.bit(rowOf(set, way), 1);
+}
+
+int
+Cache::lookup(uint32_t set, uint32_t tag) const
+{
+    for (uint32_t way = 0; way < ways_; ++way) {
+        uint32_t row = rowOf(set, way);
+        if (tags_.bit(row, 0) &&
+            tags_.read(row, 2, tagBits_) == tag) {
+            return static_cast<int>(way);
+        }
+    }
+    return -1;
+}
+
+void
+Cache::touch(uint32_t set, uint32_t way)
+{
+    lastUse_[rowOf(set, way)] = ++useCounter_;
+}
+
+uint32_t
+Cache::victimWay(uint32_t set) const
+{
+    // Invalid way first, then true LRU.
+    uint32_t victim = 0;
+    uint64_t oldest = ~0ULL;
+    for (uint32_t way = 0; way < ways_; ++way) {
+        uint32_t row = rowOf(set, way);
+        if (!tags_.bit(row, 0))
+            return way;
+        if (lastUse_[row] < oldest) {
+            oldest = lastUse_[row];
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+void
+Cache::readLineBits(uint32_t row, uint8_t* out) const
+{
+    for (uint32_t i = 0; i < lineBytes_; ++i)
+        out[i] = static_cast<uint8_t>(readData(row, i * 8, 8));
+}
+
+void
+Cache::writeLineBits(uint32_t row, const uint8_t* data)
+{
+    for (uint32_t i = 0; i < lineBytes_; ++i)
+        writeData(row, i * 8, 8, data[i]);
+}
+
+std::pair<uint32_t, uint32_t>
+Cache::fill(uint32_t paddr)
+{
+    uint32_t set = setOf(paddr);
+    uint32_t tag = tagOf(paddr);
+    // MRU-way fast path: consecutive accesses overwhelmingly hit the
+    // same way. Host-side speedup only — tag bits are still read.
+    {
+        uint32_t mru = mru_[set];
+        uint32_t row = rowOf(set, mru);
+        if (tags_.bit(row, 0) && tags_.read(row, 2, tagBits_) == tag) {
+            ++stats_.hits;
+            touch(set, mru);
+            return {mru, hitLatency_};
+        }
+    }
+    int way = lookup(set, tag);
+    if (way >= 0) {
+        ++stats_.hits;
+        touch(set, static_cast<uint32_t>(way));
+        mru_[set] = static_cast<uint32_t>(way);
+        return {static_cast<uint32_t>(way), hitLatency_};
+    }
+
+    ++stats_.misses;
+    uint32_t victim = victimWay(set);
+    uint32_t row = rowOf(set, victim);
+    uint32_t latency = hitLatency_;
+
+    // Write back a dirty victim. The victim's address is reconstructed
+    // from its (possibly corrupted) stored tag: a flipped tag bit makes
+    // dirty data land at the wrong physical address, as in hardware.
+    if (tags_.bit(row, 0) && tags_.bit(row, 1)) {
+        uint32_t old_tag =
+            static_cast<uint32_t>(tags_.read(row, 2, tagBits_));
+        uint32_t wb_addr = (old_tag << (32 - tagBits_)) |
+                           (set * lineBytes_);
+        std::vector<uint8_t> line(lineBytes_);
+        readLineBits(row, line.data());
+        next_.writeLine(wb_addr, line.data(), lineBytes_);
+        ++stats_.writebacks;
+    }
+
+    // Fetch the new line.
+    uint32_t line_addr = paddr & ~(lineBytes_ - 1);
+    std::vector<uint8_t> line(lineBytes_);
+    latency += next_.readLine(line_addr, line.data(), lineBytes_);
+    writeLineBits(row, line.data());
+    tags_.setBit(row, 0, true);
+    tags_.setBit(row, 1, false);
+    tags_.write(row, 2, tagBits_, tag);
+    touch(set, victim);
+    mru_[set] = victim;
+    return {victim, latency};
+}
+
+uint32_t
+Cache::read(uint32_t paddr, uint32_t bytes, uint32_t& value)
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4)
+        panic("%s: bad access size %u", name_.c_str(), bytes);
+    if (paddr % bytes != 0)
+        panic("%s: unaligned cache access 0x%x", name_.c_str(), paddr);
+    auto [way, latency] = fill(paddr);
+    uint32_t row = rowOf(setOf(paddr), way);
+    uint32_t offset = paddr & (lineBytes_ - 1);
+    value = static_cast<uint32_t>(readData(row, offset * 8, bytes * 8));
+    return latency;
+}
+
+uint32_t
+Cache::write(uint32_t paddr, uint32_t bytes, uint32_t value)
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4)
+        panic("%s: bad access size %u", name_.c_str(), bytes);
+    if (paddr % bytes != 0)
+        panic("%s: unaligned cache access 0x%x", name_.c_str(), paddr);
+    auto [way, latency] = fill(paddr);
+    uint32_t row = rowOf(setOf(paddr), way);
+    uint32_t offset = paddr & (lineBytes_ - 1);
+    writeData(row, offset * 8, bytes * 8, value);
+    tags_.setBit(row, 1, true);
+    return latency;
+}
+
+uint32_t
+Cache::readLine(uint32_t paddr, uint8_t* out, uint32_t line_bytes)
+{
+    if (line_bytes != lineBytes_)
+        panic("%s: line size mismatch", name_.c_str());
+    auto [way, latency] = fill(paddr);
+    readLineBits(rowOf(setOf(paddr), way), out);
+    return latency;
+}
+
+uint32_t
+Cache::writeLine(uint32_t paddr, const uint8_t* data, uint32_t line_bytes)
+{
+    if (line_bytes != lineBytes_)
+        panic("%s: line size mismatch", name_.c_str());
+    auto [way, latency] = fill(paddr);
+    uint32_t row = rowOf(setOf(paddr), way);
+    writeLineBits(row, data);
+    tags_.setBit(row, 1, true);
+    return latency;
+}
+
+} // namespace mbusim::sim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Set-associative write-back cache with bit-backed tag and data arrays.
+ *
+ * The data array is the paper's fault-injection target (Table VIII sizes
+ * are data bits only); the tag array is bit-backed too so the tag
+ * ablation bench can inject there. Corruption propagates exactly the way
+ * hardware would see it: flipped data bits are returned to loads and
+ * written back when dirty; flipped tag bits cause false misses (stale
+ * memory is read, dirty data is written back to a *wrong* address) or
+ * false hits.
+ *
+ * Physical SRAM layout: one array row per (set, way) pair, so a spatial
+ * multi-bit cluster can span adjacent ways of one set and adjacent sets,
+ * like the layouts studied by Ibe et al.
+ */
+
+#ifndef MBUSIM_SIM_CACHE_HH
+#define MBUSIM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/bitarray.hh"
+#include "sim/config.hh"
+
+namespace mbusim::sim {
+
+/**
+ * A level in the memory hierarchy that can serve full cache lines.
+ * Return values are access latencies in cycles.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Read a line-aligned block. */
+    virtual uint32_t readLine(uint32_t paddr, uint8_t* out,
+                              uint32_t line_bytes) = 0;
+
+    /** Write a line-aligned block. */
+    virtual uint32_t writeLine(uint32_t paddr, const uint8_t* data,
+                               uint32_t line_bytes) = 0;
+};
+
+class PhysicalMemory;
+
+/** Adapter presenting PhysicalMemory as the last MemLevel. */
+class MemoryBackend : public MemLevel
+{
+  public:
+    MemoryBackend(PhysicalMemory& mem, uint32_t latency);
+
+    uint32_t readLine(uint32_t paddr, uint8_t* out,
+                      uint32_t line_bytes) override;
+    uint32_t writeLine(uint32_t paddr, const uint8_t* data,
+                       uint32_t line_bytes) override;
+
+  private:
+    PhysicalMemory& mem_;
+    uint32_t latency_;
+};
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+};
+
+/** Bit-backed set-associative write-back, write-allocate cache. */
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param name debug name ("L1D", ...)
+     * @param config geometry and hit latency
+     * @param next the next level (L2 or memory backend)
+     */
+    Cache(std::string name, const CacheConfig& config, MemLevel& next);
+
+    /**
+     * Sub-line read of 1/2/4 naturally-aligned bytes.
+     * @return access latency in cycles
+     */
+    uint32_t read(uint32_t paddr, uint32_t bytes, uint32_t& value);
+
+    /** Sub-line write of 1/2/4 naturally-aligned bytes. */
+    uint32_t write(uint32_t paddr, uint32_t bytes, uint32_t value);
+
+    uint32_t readLine(uint32_t paddr, uint8_t* out,
+                      uint32_t line_bytes) override;
+    uint32_t writeLine(uint32_t paddr, const uint8_t* data,
+                       uint32_t line_bytes) override;
+
+    /** Data SRAM array: rows = sets*ways, cols = line bits. */
+    BitArray& dataArray() { return data_; }
+    const BitArray& dataArray() const { return data_; }
+
+    /** Tag SRAM array: rows = sets*ways, cols = valid+dirty+tag. */
+    BitArray& tagArray() { return tags_; }
+    const BitArray& tagArray() const { return tags_; }
+
+    const CacheStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+    uint32_t sets() const { return sets_; }
+    uint32_t ways() const { return ways_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Is (set, way) valid? (test inspection) */
+    bool lineValid(uint32_t set, uint32_t way) const;
+    /** Is (set, way) dirty? (test inspection) */
+    bool lineDirty(uint32_t set, uint32_t way) const;
+
+  private:
+    uint32_t rowOf(uint32_t set, uint32_t way) const
+    {
+        return set * ways_ + way;
+    }
+    /**
+     * Physical column of a logical data bit under column-multiplexed
+     * word interleaving: bit b of k adjacent 32-bit words sits in k
+     * neighbouring columns, so physically adjacent bits always belong
+     * to different words.
+     */
+    uint32_t
+    physCol(uint32_t logical_bit) const
+    {
+        if (interleave_ == 1)
+            return logical_bit;
+        uint32_t word = logical_bit / 32;
+        uint32_t bit = logical_bit % 32;
+        uint32_t group = word / interleave_;
+        uint32_t slot = word % interleave_;
+        return group * 32 * interleave_ + bit * interleave_ + slot;
+    }
+    /** Read a logical data field through the interleaving map. */
+    uint64_t readData(uint32_t row, uint32_t bit_off,
+                      uint32_t width) const;
+    /** Write a logical data field through the interleaving map. */
+    void writeData(uint32_t row, uint32_t bit_off, uint32_t width,
+                   uint64_t value);
+    uint32_t setOf(uint32_t paddr) const;
+    uint32_t tagOf(uint32_t paddr) const;
+    /** Find the hitting way for @p paddr, or -1. */
+    int lookup(uint32_t set, uint32_t tag) const;
+    /** Ensure the line holding @p paddr is resident; returns (way, lat). */
+    std::pair<uint32_t, uint32_t> fill(uint32_t paddr);
+    void touch(uint32_t set, uint32_t way);
+    uint32_t victimWay(uint32_t set) const;
+    void readLineBits(uint32_t row, uint8_t* out) const;
+    void writeLineBits(uint32_t row, const uint8_t* data);
+
+    std::string name_;
+    uint32_t sets_;
+    uint32_t ways_;
+    uint32_t lineBytes_;
+    uint32_t hitLatency_;
+    uint32_t interleave_;
+    uint32_t tagBits_;
+    MemLevel& next_;
+    BitArray data_;
+    BitArray tags_;
+    std::vector<uint64_t> lastUse_;   ///< LRU timestamps (not a target)
+    std::vector<uint32_t> mru_;       ///< per-set MRU way (lookup hint)
+    uint64_t useCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_CACHE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CPU configuration — the paper's Table I.
+ *
+ * All microarchitectural knobs live here so tests and ablation benches
+ * can vary them; the defaults reproduce the ARM Cortex-A9-like setup of
+ * the paper: 32 KiB 4-way L1s, 512 KiB 8-way L2, 32-entry TLBs, 56+
+ * physical registers (66 total so the Table VIII bit count of 2112
+ * matches), 32-entry instruction queue, 40-entry ROB, 2-wide fetch,
+ * 4-wide issue and writeback.
+ */
+
+#ifndef MBUSIM_SIM_CONFIG_HH
+#define MBUSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace mbusim::sim {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes;
+    uint32_t ways;
+    uint32_t lineBytes = 64;
+    uint32_t hitLatency;      ///< cycles on a hit
+
+    /**
+     * Physical word-interleaving degree of the data array (1 = none).
+     * With degree k, bit b of k adjacent 32-bit words occupies k
+     * neighbouring physical columns, so a spatial multi-bit cluster
+     * corrupts k different logical words by one bit each — the classic
+     * SRAM protection the paper cites (George et al., DSN 2010). Must
+     * divide the words per line.
+     */
+    uint32_t interleave = 1;
+
+    uint32_t sets() const { return sizeBytes / (ways * lineBytes); }
+    uint64_t dataBits() const { return uint64_t(sizeBytes) * 8; }
+};
+
+/** Full CPU configuration (Table I defaults). */
+struct CpuConfig
+{
+    // Core widths and structure sizes.
+    uint32_t fetchWidth = 2;
+    uint32_t issueWidth = 4;      ///< "Execute width"
+    uint32_t wbWidth = 4;
+    uint32_t commitWidth = 2;
+    uint32_t robEntries = 40;
+    uint32_t iqEntries = 32;
+    uint32_t lsqEntries = 16;
+    uint32_t numPhysRegs = 66;    ///< 2112 bits at 32b each (Table VIII)
+
+    // Branch prediction.
+    uint32_t bimodalEntries = 512;
+    uint32_t btbEntries = 64;
+    uint32_t rasEntries = 8;
+
+    // Memory hierarchy.
+    CacheConfig l1i{32 * 1024, 4, 64, 1};
+    CacheConfig l1d{32 * 1024, 4, 64, 2};
+    CacheConfig l2{512 * 1024, 8, 64, 8};
+    uint32_t tlbEntries = 32;
+    uint32_t memoryLatency = 60;  ///< DRAM access, cycles
+    uint32_t pageWalkLatency = 24;
+
+    // Platform.
+    uint64_t physMemBytes = 8 * 1024 * 1024;
+    uint64_t clockHz = 2'000'000'000;  ///< 2 GHz (Table I)
+
+    /**
+     * In-order issue mode (the paper's conclusion notes the methodology
+     * applies to in-order CPUs too): the instruction queue issues
+     * strictly in program order, stalling at the first not-ready
+     * instruction. Completion stays out of order (like ARM's in-order
+     * cores), so the same structures remain the fault targets.
+     */
+    bool inOrderIssue = false;
+
+    /** Fault-model switch: inject into tag arrays too (ablation). */
+    bool injectTags = false;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_CONFIG_HH

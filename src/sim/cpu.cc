@@ -1,0 +1,702 @@
+#include "sim/cpu.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+Cpu::Cpu(const CpuConfig& config, System& system)
+    : config_(config), sys_(system),
+      memBackend_(system.memory(), config.memoryLatency),
+      l2_("L2", config.l2, memBackend_),
+      l1i_("L1I", config.l1i, l2_),
+      l1d_("L1D", config.l1d, l2_),
+      itlb_("ITLB", config.tlbEntries),
+      dtlb_("DTLB", config.tlbEntries),
+      regFile_(config.numPhysRegs),
+      predictor_(config.bimodalEntries, config.btbEntries,
+                 config.rasEntries),
+      rob_(config.robEntries),
+      regReady_(config.numPhysRegs, true),
+      fetchPc_(system.entryPc())
+{
+    if (config.numPhysRegs <= NumArchRegs)
+        fatal("need more physical than architectural registers");
+    if (config.numPhysRegs >= ZeroReg)
+        fatal("physical register count exceeds encoding space");
+    for (uint32_t i = 0; i < NumArchRegs; ++i) {
+        frontMap_[i] = static_cast<uint8_t>(i);
+        retireMap_[i] = static_cast<uint8_t>(i);
+    }
+    for (uint32_t p = NumArchRegs; p < config.numPhysRegs; ++p)
+        freeList_.push_back(static_cast<uint8_t>(p));
+    regFile_.write(frontMap_[RegSP], sys_.initialSp());
+}
+
+void
+Cpu::tick()
+{
+    if (halted_)
+        return;
+    commitStage();
+    if (halted_)
+        return;
+    writebackStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    ++cycle_;
+    ++stats_.cycles;
+}
+
+bool
+Cpu::robFull() const
+{
+    return robCount_ == rob_.size();
+}
+
+uint32_t
+Cpu::robPush()
+{
+    uint32_t idx = robTail_;
+    robTail_ = (robTail_ + 1) % rob_.size();
+    ++robCount_;
+    return idx;
+}
+
+uint32_t
+Cpu::readSrc(uint8_t phys) const
+{
+    if (phys == ZeroReg || phys == NoReg)
+        return 0;
+    return regFile_.read(phys);
+}
+
+bool
+Cpu::srcReady(uint8_t phys) const
+{
+    if (phys == ZeroReg || phys == NoReg)
+        return true;
+    return regReady_[phys];
+}
+
+void
+Cpu::haltWith(const ExitStatus& status)
+{
+    halted_ = true;
+    exitStatus_ = status;
+}
+
+void
+Cpu::recordMemException(Inst& inst, ExceptionType type, uint32_t addr)
+{
+    inst.exception = type;
+    inst.faultAddr = addr;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+Cpu::fetchStage()
+{
+    if (cycle_ < fetchReadyCycle_ || fetchBlocked_)
+        return;
+
+    for (uint32_t slot = 0; slot < config_.fetchWidth; ++slot) {
+        if (fetchQueue_.size() >= 2 * config_.fetchWidth)
+            break;
+
+        FetchedInst fi{};
+        fi.pc = fetchPc_;
+        fi.exception = ExceptionType::None;
+        fi.simAssert = false;
+
+        Translation tr =
+            sys_.mmu().translate(itlb_, fetchPc_, AccessType::Execute);
+        if (tr.latency > 0)
+            fetchReadyCycle_ = cycle_ + tr.latency;
+        if (!tr.ok()) {
+            fi.exception = tr.status == Translation::Status::PageFault
+                               ? ExceptionType::PageFault
+                               : ExceptionType::PermissionFault;
+            fi.faultAddr = fetchPc_;
+            fi.di = decode(0);
+            fi.di.cls = InstClass::Illegal;
+            fetchQueue_.push_back(fi);
+            fetchBlocked_ = true;   // cannot fetch past the unknown
+            break;
+        }
+
+        uint32_t word = 0;
+        bool assert_failed = false;
+        uint32_t icache_lat = 0;
+        try {
+            icache_lat = l1i_.read(tr.paddr, 4, word);
+        } catch (const SimAssert&) {
+            assert_failed = true;
+        }
+        if (assert_failed) {
+            fi.simAssert = true;
+            fi.faultAddr = tr.paddr;
+            fi.di = decode(0);
+            fi.di.cls = InstClass::Illegal;
+            fetchQueue_.push_back(fi);
+            fetchBlocked_ = true;
+            break;
+        }
+        if (icache_lat > config_.l1i.hitLatency)
+            fetchReadyCycle_ = cycle_ + icache_lat;
+
+        fi.di = decode(word);
+        fi.predictedTaken = false;
+        fi.predictedTarget = 0;
+
+        switch (fi.di.cls) {
+          case InstClass::Branch: {
+            BranchPrediction pred =
+                predictor_.predict(fi.pc, true, false, false);
+            fi.predictedTaken = pred.taken;
+            // Direction from the predictor, target from the decoder
+            // (PC-relative displacement travels with the instruction).
+            fi.predictedTarget =
+                fi.pc + 4 + static_cast<uint32_t>(fi.di.imm) * 4;
+            break;
+          }
+          case InstClass::Jump:
+            if (fi.di.op == Opcode::Jal) {
+                bool is_call = fi.di.rd == RegLR;
+                predictor_.predict(fi.pc, false, is_call, false);
+                fi.predictedTaken = true;
+                fi.predictedTarget =
+                    fi.pc + 4 + static_cast<uint32_t>(fi.di.imm) * 4;
+            } else {
+                bool is_return = fi.di.rs1 == RegLR && fi.di.rd == 0;
+                bool is_call = fi.di.rd == RegLR;
+                BranchPrediction pred =
+                    predictor_.predict(fi.pc, false, is_call, is_return);
+                fi.predictedTaken = pred.taken;
+                fi.predictedTarget = pred.target;
+            }
+            break;
+          default:
+            break;
+        }
+
+        fetchQueue_.push_back(fi);
+        fetchPc_ = fi.predictedTaken ? fi.predictedTarget : fi.pc + 4;
+
+        if (fi.di.cls == InstClass::Syscall) {
+            // Serialize: the mini-OS runs at commit.
+            fetchBlocked_ = true;
+            break;
+        }
+        if (fi.predictedTaken)
+            break;   // one redirect per cycle
+        if (cycle_ < fetchReadyCycle_)
+            break;   // miss being serviced
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+Cpu::renameStage()
+{
+    for (uint32_t slot = 0; slot < config_.fetchWidth; ++slot) {
+        if (fetchQueue_.empty() || robFull())
+            return;
+        const FetchedInst& fi = fetchQueue_.front();
+
+        bool is_mem = fi.di.isMemRef();
+        bool needs_iq = fi.di.cls != InstClass::Syscall &&
+                        fi.di.cls != InstClass::Illegal &&
+                        fi.exception == ExceptionType::None &&
+                        !fi.simAssert;
+        bool needs_dest =
+            (fi.di.writesReg() && fi.di.rd != 0 && needs_iq) ||
+            fi.di.cls == InstClass::Syscall;
+        if (is_mem && lsq_.size() >= config_.lsqEntries)
+            return;
+        if (needs_iq && iq_.size() >= config_.iqEntries)
+            return;
+        if (needs_dest && freeList_.empty())
+            return;
+
+        uint32_t idx = robPush();
+        Inst& inst = rob_[idx];
+        inst = Inst{};
+        inst.valid = true;
+        inst.seq = nextSeq_++;
+        inst.pc = fi.pc;
+        inst.di = fi.di;
+        inst.predictedTaken = fi.predictedTaken;
+        inst.predictedTarget = fi.predictedTarget;
+        inst.exception = fi.exception;
+        inst.simAssert = fi.simAssert;
+        inst.faultAddr = fi.faultAddr;
+
+        if (needs_iq) {
+            if (inst.di.readsRs1()) {
+                inst.physSrc1 = inst.di.rs1 == 0
+                                    ? ZeroReg
+                                    : frontMap_[inst.di.rs1];
+            }
+            if (inst.di.readsRs2()) {
+                inst.physSrc2 = inst.di.rs2 == 0
+                                    ? ZeroReg
+                                    : frontMap_[inst.di.rs2];
+            }
+            if (inst.di.cls == InstClass::Store) {
+                inst.physStoreData = inst.di.rd == 0
+                                         ? ZeroReg
+                                         : frontMap_[inst.di.rd];
+            }
+        }
+
+        if (needs_dest) {
+            uint32_t arch = fi.di.cls == InstClass::Syscall
+                                ? RegRV
+                                : inst.di.rd;
+            uint8_t phys = freeList_.back();
+            freeList_.pop_back();
+            regReady_[phys] = false;
+            inst.physDest = phys;
+            inst.oldPhysDest = frontMap_[arch];
+            frontMap_[arch] = phys;
+            inst.di.rd = static_cast<uint8_t>(arch);
+        }
+
+        if (inst.di.isControl()) {
+            inst.hasCheckpoint = true;
+            inst.checkpoint = frontMap_;
+        }
+
+        if (needs_iq) {
+            inst.inIq = true;
+            iq_.push_back(idx);
+            if (is_mem)
+                lsq_.push_back(idx);
+        } else {
+            // Syscalls, illegal encodings and faulted fetches do their
+            // work (or die) at commit.
+            inst.executed = true;
+            if (inst.di.cls == InstClass::Illegal &&
+                inst.exception == ExceptionType::None && !inst.simAssert) {
+                inst.exception = ExceptionType::IllegalInstruction;
+                inst.faultAddr = inst.di.raw;
+            }
+        }
+
+        fetchQueue_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+bool
+Cpu::loadCanIssue(uint32_t rob_idx, bool& forward, uint32_t& fwd_value)
+{
+    Inst& load = rob_[rob_idx];
+    uint32_t la = readSrc(load.physSrc1) +
+                  static_cast<uint32_t>(load.di.imm);
+    uint32_t lb = load.di.memBytes();
+    forward = false;
+
+    // Walk older stores, youngest first.
+    for (auto it = lsq_.rbegin(); it != lsq_.rend(); ++it) {
+        Inst& other = rob_[*it];
+        if (!other.valid || other.seq >= load.seq ||
+            other.di.cls != InstClass::Store) {
+            continue;
+        }
+        if (!other.addrReady)
+            return false;   // conservative: wait for the address
+        uint32_t sa = other.effAddr;
+        uint32_t sb = other.di.memBytes();
+        bool overlap = la < sa + sb && sa < la + lb;
+        if (!overlap)
+            continue;
+        bool covers = sa <= la && la + lb <= sa + sb;
+        if (!covers)
+            return false;   // partial overlap: wait for store commit
+        forward = true;
+        uint32_t shift = (la - sa) * 8;
+        uint64_t mask =
+            lb == 4 ? 0xffffffffULL : ((1ULL << (lb * 8)) - 1);
+        fwd_value =
+            static_cast<uint32_t>((other.storeValue >> shift) & mask);
+        return true;
+    }
+    return true;
+}
+
+void
+Cpu::executeInst(uint32_t rob_idx)
+{
+    Inst& inst = rob_[rob_idx];
+    uint32_t latency = execLatency(inst.di.cls);
+    uint32_t a = readSrc(inst.physSrc1);
+    uint32_t b = inst.di.readsRs2()
+                     ? readSrc(inst.physSrc2)
+                     : static_cast<uint32_t>(inst.di.imm);
+
+    auto writeDest = [&](uint32_t value) {
+        if (inst.physDest != NoReg)
+            regFile_.write(inst.physDest, value);
+    };
+
+    switch (inst.di.cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+        writeDest(aluResult(inst.di.op, a, b));
+        break;
+
+      case InstClass::Load: {
+        ++stats_.loads;
+        uint32_t addr = a + static_cast<uint32_t>(inst.di.imm);
+        uint32_t bytes = inst.di.memBytes();
+        inst.effAddr = addr;
+        inst.addrReady = true;
+        if (addr % bytes != 0) {
+            recordMemException(inst, ExceptionType::UnalignedAccess,
+                               addr);
+            writeDest(0);
+            break;
+        }
+        bool forward = false;
+        uint32_t value = 0;
+        // Re-run the forwarding decision made at issue eligibility.
+        loadCanIssue(rob_idx, forward, value);
+        Translation tr =
+            sys_.mmu().translate(dtlb_, addr, AccessType::Read);
+        latency += tr.latency;
+        if (!tr.ok()) {
+            recordMemException(
+                inst,
+                tr.status == Translation::Status::PageFault
+                    ? ExceptionType::PageFault
+                    : ExceptionType::PermissionFault,
+                addr);
+            writeDest(0);
+            break;
+        }
+        inst.paddr = tr.paddr;
+        if (forward) {
+            ++stats_.storeForwards;
+        } else {
+            try {
+                latency += l1d_.read(tr.paddr, bytes, value);
+            } catch (const SimAssert&) {
+                inst.simAssert = true;
+                inst.faultAddr = tr.paddr;
+                writeDest(0);
+                break;
+            }
+        }
+        if (inst.di.memSigned()) {
+            uint32_t shift = 32 - 8 * bytes;
+            value = static_cast<uint32_t>(
+                static_cast<int32_t>(value << shift) >> shift);
+        }
+        writeDest(value);
+        break;
+      }
+
+      case InstClass::Store: {
+        ++stats_.stores;
+        uint32_t addr = a + static_cast<uint32_t>(inst.di.imm);
+        uint32_t bytes = inst.di.memBytes();
+        inst.effAddr = addr;
+        inst.addrReady = true;
+        inst.storeValue = readSrc(inst.physStoreData);
+        if (addr % bytes != 0) {
+            recordMemException(inst, ExceptionType::UnalignedAccess,
+                               addr);
+            break;
+        }
+        Translation tr =
+            sys_.mmu().translate(dtlb_, addr, AccessType::Write);
+        latency += tr.latency;
+        if (!tr.ok()) {
+            recordMemException(
+                inst,
+                tr.status == Translation::Status::PageFault
+                    ? ExceptionType::PageFault
+                    : ExceptionType::PermissionFault,
+                addr);
+            break;
+        }
+        inst.paddr = tr.paddr;
+        break;
+      }
+
+      case InstClass::Branch:
+        ++stats_.branches;
+        inst.actualTaken = branchTaken(inst.di.op, a,
+                                       readSrc(inst.physSrc2));
+        inst.actualTarget =
+            inst.pc + 4 + static_cast<uint32_t>(inst.di.imm) * 4;
+        break;
+
+      case InstClass::Jump:
+        ++stats_.branches;
+        inst.actualTaken = true;
+        if (inst.di.op == Opcode::Jal) {
+            inst.actualTarget =
+                inst.pc + 4 + static_cast<uint32_t>(inst.di.imm) * 4;
+        } else {
+            inst.actualTarget =
+                (a + static_cast<uint32_t>(inst.di.imm)) & ~3u;
+        }
+        writeDest(inst.pc + 4);
+        break;
+
+      default:
+        panic("executeInst on class %u",
+              static_cast<unsigned>(inst.di.cls));
+    }
+
+    inst.issued = true;
+    completions_.push_back({cycle_ + latency, rob_idx, inst.seq});
+    std::push_heap(completions_.begin(), completions_.end(),
+                   std::greater<>());
+}
+
+void
+Cpu::issueStage()
+{
+    // In-place compaction: issued (and squash-stale) entries are
+    // dropped, everything else keeps its age order. No allocation on
+    // this per-cycle path.
+    uint32_t issued = 0;
+    size_t out = 0;
+    for (size_t i = 0; i < iq_.size(); ++i) {
+        uint32_t idx = iq_[i];
+        Inst& inst = rob_[idx];
+        if (!inst.valid || inst.issued)
+            continue;   // squashed or stale
+        bool can_issue = issued < config_.issueWidth &&
+                         srcReady(inst.physSrc1) &&
+                         srcReady(inst.physSrc2);
+        if (can_issue && inst.di.cls == InstClass::Store)
+            can_issue = srcReady(inst.physStoreData);
+        if (can_issue && inst.di.cls == InstClass::Load) {
+            bool forward = false;
+            uint32_t value = 0;
+            can_issue = loadCanIssue(idx, forward, value);
+        }
+        if (can_issue) {
+            executeInst(idx);
+            inst.inIq = false;
+            ++issued;
+        } else {
+            iq_[out++] = idx;
+            if (config_.inOrderIssue) {
+                // Strict program-order issue: keep everything younger.
+                for (size_t k = i + 1; k < iq_.size(); ++k)
+                    iq_[out++] = iq_[k];
+                break;
+            }
+        }
+    }
+    iq_.resize(out);
+}
+
+// ---------------------------------------------------------------------
+// Writeback
+// ---------------------------------------------------------------------
+
+void
+Cpu::writebackStage()
+{
+    uint32_t done = 0;
+    while (!completions_.empty() && done < config_.wbWidth) {
+        const Completion top = completions_.front();
+        if (top.cycle > cycle_)
+            break;
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<>());
+        completions_.pop_back();
+
+        Inst& inst = rob_[top.robIdx];
+        if (!inst.valid || inst.seq != top.seq || inst.executed)
+            continue;   // squashed since issue
+
+        inst.executed = true;
+        if (inst.physDest != NoReg)
+            regReady_[inst.physDest] = true;
+        ++done;
+
+        if (inst.di.isControl()) {
+            bool mispredict =
+                inst.actualTaken != inst.predictedTaken ||
+                (inst.actualTaken &&
+                 inst.actualTarget != inst.predictedTarget);
+            predictor_.update(inst.pc,
+                              inst.di.cls == InstClass::Branch,
+                              inst.actualTaken, inst.actualTarget);
+            if (mispredict) {
+                ++stats_.mispredicts;
+                uint32_t redirect = inst.actualTaken
+                                        ? inst.actualTarget
+                                        : inst.pc + 4;
+                squashAfter(inst.seq, redirect, inst.checkpoint);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+void
+Cpu::squashAfter(uint64_t seq, uint32_t new_fetch_pc,
+                 const std::array<uint8_t, NumArchRegs>& map)
+{
+    // Walk the ROB tail back to (and excluding) seq.
+    while (robCount_ > 0) {
+        uint32_t last = (robTail_ + static_cast<uint32_t>(rob_.size()) -
+                         1) % rob_.size();
+        Inst& inst = rob_[last];
+        if (inst.seq <= seq)
+            break;
+        if (inst.physDest != NoReg) {
+            freeList_.push_back(inst.physDest);
+            regReady_[inst.physDest] = false;
+        }
+        inst.valid = false;
+        robTail_ = last;
+        --robCount_;
+        ++stats_.squashedInsts;
+    }
+
+    auto drop_squashed = [&](std::vector<uint32_t>& queue) {
+        std::vector<uint32_t> kept;
+        kept.reserve(queue.size());
+        for (uint32_t idx : queue)
+            if (rob_[idx].valid && rob_[idx].seq <= seq)
+                kept.push_back(idx);
+        queue = std::move(kept);
+    };
+    drop_squashed(iq_);
+    drop_squashed(lsq_);
+
+    frontMap_ = map;
+    fetchQueue_.clear();
+    fetchBlocked_ = false;
+    fetchPc_ = new_fetch_pc;
+    fetchReadyCycle_ = cycle_ + 2;   // redirect penalty
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Cpu::commitStage()
+{
+    for (uint32_t slot = 0; slot < config_.commitWidth; ++slot) {
+        if (robCount_ == 0)
+            return;
+        Inst& inst = rob_[robHead_];
+        if (!inst.executed)
+            return;
+
+        // Precise exceptions and model assertions.
+        if (inst.simAssert) {
+            ExitStatus status;
+            status.kind = ExitKind::SimAssert;
+            status.faultPc = inst.pc;
+            status.faultAddr = inst.faultAddr;
+            haltWith(status);
+            return;
+        }
+        if (inst.exception != ExceptionType::None) {
+            haltWith(sys_.deliverException(inst.exception, inst.pc,
+                                           inst.faultAddr));
+            return;
+        }
+
+        if (inst.di.cls == InstClass::Syscall) {
+            uint32_t arg = regFile_.read(retireMap_[1]);
+            SyscallResult res =
+                sys_.syscall(inst.di.sysCode, arg, cycle_);
+            if (res.bad) {
+                haltWith(sys_.deliverException(
+                    ExceptionType::BadSyscall, inst.pc,
+                    inst.di.sysCode));
+                return;
+            }
+            if (res.exits) {
+                ExitStatus status;
+                status.kind = ExitKind::Exited;
+                status.exitCode = res.exitCode;
+                haltWith(status);
+                return;
+            }
+            uint32_t value = res.writesRv
+                                 ? res.rvValue
+                                 : regFile_.read(retireMap_[RegRV]);
+            regFile_.write(inst.physDest, value);
+            regReady_[inst.physDest] = true;
+            fetchBlocked_ = false;   // resume fetch past the syscall
+        }
+
+        if (inst.di.cls == InstClass::Store) {
+            uint32_t bytes = inst.di.memBytes();
+            if (sys_.storeHitsKernel(inst.paddr, bytes)) {
+                ExitStatus status;
+                status.kind = ExitKind::KernelPanic;
+                status.exception = ExceptionType::PermissionFault;
+                status.faultPc = inst.pc;
+                status.faultAddr = inst.paddr;
+                haltWith(status);
+                return;
+            }
+            try {
+                l1d_.write(inst.paddr, bytes, inst.storeValue);
+            } catch (const SimAssert&) {
+                ExitStatus status;
+                status.kind = ExitKind::SimAssert;
+                status.faultPc = inst.pc;
+                status.faultAddr = inst.paddr;
+                haltWith(status);
+                return;
+            }
+            // Leave the LSQ.
+            auto it = std::find(lsq_.begin(), lsq_.end(), robHead_);
+            if (it != lsq_.end())
+                lsq_.erase(it);
+        }
+        if (inst.di.cls == InstClass::Load) {
+            auto it = std::find(lsq_.begin(), lsq_.end(), robHead_);
+            if (it != lsq_.end())
+                lsq_.erase(it);
+        }
+
+        if (inst.physDest != NoReg) {
+            uint32_t arch = inst.di.rd;
+            if (inst.oldPhysDest != NoReg)
+                freeList_.push_back(inst.oldPhysDest);
+            retireMap_[arch] = inst.physDest;
+        }
+
+        if (commitHook_)
+            commitHook_(cycle_, inst.pc, inst.di);
+        inst.valid = false;
+        robHead_ = (robHead_ + 1) % rob_.size();
+        --robCount_;
+        ++stats_.committed;
+    }
+}
+
+} // namespace mbusim::sim

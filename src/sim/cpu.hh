@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Cycle-level out-of-order CPU core (ARM Cortex-A9-like, Table I).
+ *
+ * Classic physical-register-file microarchitecture: fetch (with bimodal
+ * + BTB + RAS prediction) -> decode -> rename (merged-file renaming with
+ * per-branch rename-map checkpoints) -> dispatch into ROB / IQ / LSQ ->
+ * age-ordered issue -> execute (ALU 1c, pipelined MUL 3c, DIV 12c, loads
+ * through DTLB + L1D with store-to-load forwarding) -> writeback (width
+ * capped) -> in-order commit (stores write the D-cache here; precise
+ * exceptions; syscalls serialize fetch).
+ *
+ * Everything the paper injects into is bit-backed: the caches and TLBs
+ * own BitArrays and the register values live in PhysRegFile. All other
+ * pipeline bookkeeping (ROB, IQ, maps, predictor) is plain C++ and not a
+ * fault target, matching the paper's scope.
+ *
+ * Faulty-machine anomalies (page faults from corrupted pointers,
+ * physical addresses outside the platform, illegal re-decoded opcodes)
+ * never throw out of tick(): they are recorded on the instruction and
+ * take effect only if it commits, so wrong-path corruption behaves
+ * exactly like hardware.
+ */
+
+#ifndef MBUSIM_SIM_CPU_HH
+#define MBUSIM_SIM_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/branch_predictor.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/exceptions.hh"
+#include "sim/isa.hh"
+#include "sim/regfile.hh"
+#include "sim/system.hh"
+#include "sim/tlb.hh"
+
+namespace mbusim::sim {
+
+/** Aggregated core statistics. */
+struct CpuStats
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t squashedInsts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t storeForwards = 0;
+};
+
+/** The out-of-order core. */
+class Cpu
+{
+  public:
+    Cpu(const CpuConfig& config, System& system);
+
+    /** Advance one clock cycle. */
+    void tick();
+
+    /** Has the program exited or been killed? */
+    bool halted() const { return halted_; }
+
+    /** Terminal status; valid once halted(). */
+    const ExitStatus& exitStatus() const { return exitStatus_; }
+
+    const CpuStats& stats() const { return stats_; }
+    uint64_t cycle() const { return cycle_; }
+
+    /** Called for every committed instruction (tracing / debugging). */
+    using CommitHook =
+        std::function<void(uint64_t cycle, uint32_t pc,
+                           const DecodedInst& inst)>;
+    void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
+
+    /** @name Fault-injection targets */
+    /// @{
+    Cache& l1i() { return l1i_; }
+    Cache& l1d() { return l1d_; }
+    Cache& l2() { return l2_; }
+    Tlb& itlb() { return itlb_; }
+    Tlb& dtlb() { return dtlb_; }
+    PhysRegFile& regFile() { return regFile_; }
+    /// @}
+
+  private:
+    static constexpr uint8_t NoReg = 0xff;   ///< no physical register
+    static constexpr uint8_t ZeroReg = 0xfe; ///< architectural r0
+
+    /** One in-flight instruction (ROB slot). */
+    struct Inst
+    {
+        uint64_t seq = 0;
+        uint32_t pc = 0;
+        DecodedInst di;
+        bool valid = false;
+
+        uint8_t physDest = NoReg;
+        uint8_t oldPhysDest = NoReg;
+        uint8_t physSrc1 = NoReg;
+        uint8_t physSrc2 = NoReg;
+        uint8_t physStoreData = NoReg;
+
+        bool inIq = false;
+        bool issued = false;
+        bool executed = false;
+
+        // Control flow.
+        bool predictedTaken = false;
+        uint32_t predictedTarget = 0;
+        bool actualTaken = false;
+        uint32_t actualTarget = 0;
+        bool hasCheckpoint = false;
+        std::array<uint8_t, NumArchRegs> checkpoint{};
+
+        // Memory.
+        bool addrReady = false;
+        uint32_t effAddr = 0;
+        uint32_t paddr = 0;
+        uint32_t storeValue = 0;
+
+        // Exception state, delivered at commit.
+        ExceptionType exception = ExceptionType::None;
+        bool simAssert = false;
+        uint32_t faultAddr = 0;
+    };
+
+    // Pipeline stages (called newest-to-oldest each tick).
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // Helpers.
+    bool robFull() const;
+    uint32_t robPush();
+    Inst& robAt(uint32_t idx) { return rob_[idx]; }
+    void squashAfter(uint64_t seq, uint32_t new_fetch_pc,
+                     const std::array<uint8_t, NumArchRegs>& map);
+    void executeInst(uint32_t rob_idx);
+    uint32_t readSrc(uint8_t phys) const;
+    bool srcReady(uint8_t phys) const;
+    bool loadCanIssue(uint32_t rob_idx, bool& forward,
+                      uint32_t& fwd_value);
+    void recordMemException(Inst& inst, ExceptionType type,
+                            uint32_t addr);
+    void haltWith(const ExitStatus& status);
+
+    CpuConfig config_;
+    System& sys_;
+
+    // Memory hierarchy (construction order matters).
+    MemoryBackend memBackend_;
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    PhysRegFile regFile_;
+    BranchPredictor predictor_;
+
+    // ROB: circular buffer.
+    std::vector<Inst> rob_;
+    uint32_t robHead_ = 0;
+    uint32_t robTail_ = 0;
+    uint32_t robCount_ = 0;
+
+    // Rename state.
+    std::array<uint8_t, NumArchRegs> frontMap_{};
+    std::array<uint8_t, NumArchRegs> retireMap_{};
+    std::vector<uint8_t> freeList_;
+    std::vector<bool> regReady_;
+
+    // Queues. Entries are ROB indices.
+    std::vector<uint32_t> iq_;
+    std::vector<uint32_t> lsq_;
+
+    // Fetch state.
+    struct FetchedInst
+    {
+        uint32_t pc;
+        DecodedInst di;
+        bool predictedTaken;
+        uint32_t predictedTarget;
+        ExceptionType exception;
+        bool simAssert;
+        uint32_t faultAddr;
+    };
+    std::deque<FetchedInst> fetchQueue_;
+    uint32_t fetchPc_;
+    uint64_t fetchReadyCycle_ = 0;
+    bool fetchBlocked_ = false;   ///< waiting for a serializing commit
+
+    // Writeback: (complete cycle, rob index, seq) min-heap by cycle.
+    struct Completion
+    {
+        uint64_t cycle;
+        uint32_t robIdx;
+        uint64_t seq;
+        bool operator>(const Completion& o) const
+        {
+            return cycle > o.cycle;
+        }
+    };
+    std::vector<Completion> completions_;   // heap
+
+    CommitHook commitHook_;
+    uint64_t cycle_ = 0;
+    uint64_t nextSeq_ = 1;
+    bool halted_ = false;
+    ExitStatus exitStatus_;
+    CpuStats stats_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_CPU_HH

@@ -1,0 +1,45 @@
+#include "sim/exceptions.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+const char*
+exceptionName(ExceptionType type)
+{
+    switch (type) {
+      case ExceptionType::None: return "none";
+      case ExceptionType::IllegalInstruction: return "illegal-instruction";
+      case ExceptionType::UnalignedAccess: return "unaligned-access";
+      case ExceptionType::UnalignedFetch: return "unaligned-fetch";
+      case ExceptionType::PageFault: return "page-fault";
+      case ExceptionType::PermissionFault: return "permission-fault";
+      case ExceptionType::BadSyscall: return "bad-syscall";
+      case ExceptionType::StackOverflow: return "stack-overflow";
+    }
+    return "<?>";
+}
+
+std::string
+ExitStatus::describe() const
+{
+    switch (kind) {
+      case ExitKind::Exited:
+        return strprintf("exited with code %u", exitCode);
+      case ExitKind::ProcessCrash:
+        return strprintf("process crash: %s at pc=0x%08x addr=0x%08x",
+                         exceptionName(exception), faultPc, faultAddr);
+      case ExitKind::KernelPanic:
+        return strprintf("kernel panic: %s at pc=0x%08x",
+                         exceptionName(exception), faultPc);
+      case ExitKind::LimitReached:
+        return "execution limit reached";
+      case ExitKind::SimAssert:
+        return strprintf("simulator assertion: %s at pc=0x%08x "
+                         "addr=0x%08x",
+                         exceptionName(exception), faultPc, faultAddr);
+    }
+    return "<?>";
+}
+
+} // namespace mbusim::sim

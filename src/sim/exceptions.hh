@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectural exception and program-exit definitions.
+ *
+ * Shared between the functional reference simulator and the out-of-order
+ * core so both models kill programs for exactly the same reasons; the
+ * fault-effect classifier depends on the two agreeing.
+ */
+
+#ifndef MBUSIM_SIM_EXCEPTIONS_HH
+#define MBUSIM_SIM_EXCEPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbusim::sim {
+
+/** Reasons the mini-OS terminates a process (the "Crash" plumbing). */
+enum class ExceptionType : uint8_t
+{
+    None,
+    IllegalInstruction,   ///< undefined encoding reached commit
+    UnalignedAccess,      ///< lw/lh/sw/sh address not naturally aligned
+    UnalignedFetch,       ///< PC not word-aligned
+    PageFault,            ///< access to an unmapped virtual page
+    PermissionFault,      ///< write to read-only / exec of no-exec page
+    BadSyscall,           ///< undefined syscall code
+    StackOverflow,        ///< SP escaped the stack guard region
+};
+
+/** Human-readable exception name. */
+const char* exceptionName(ExceptionType type);
+
+/** How a simulated program run ended. */
+enum class ExitKind : uint8_t
+{
+    Exited,        ///< sys exit reached; exitCode valid
+    ProcessCrash,  ///< exception killed the process
+    KernelPanic,   ///< exception hit kernel state (unrecoverable)
+    LimitReached,  ///< instruction/cycle budget exhausted (timeout)
+    SimAssert,     ///< the model hit an unrepresentable state (paper's
+                   ///< "Assert" class, e.g. a physical address outside
+                   ///< the platform after TLB corruption)
+};
+
+/** Terminal state of one simulated execution. */
+struct ExitStatus
+{
+    ExitKind kind = ExitKind::LimitReached;
+    uint32_t exitCode = 0;
+    ExceptionType exception = ExceptionType::None;
+    uint32_t faultPc = 0;     ///< PC of the faulting instruction
+    uint32_t faultAddr = 0;   ///< offending address, if a memory fault
+
+    bool exitedCleanly() const
+    {
+        return kind == ExitKind::Exited && exitCode == 0;
+    }
+
+    /** One-line summary for logs and examples. */
+    std::string describe() const;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_EXCEPTIONS_HH

@@ -1,0 +1,220 @@
+#include "sim/funcsim.hh"
+
+#include <cstring>
+
+#include "sim/isa.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+namespace {
+
+constexpr uint32_t PageSize = 4096;
+
+uint32_t
+pageAlignUp(uint32_t addr)
+{
+    return (addr + PageSize - 1) & ~(PageSize - 1);
+}
+
+} // namespace
+
+FuncSim::FuncSim(const Program& program)
+    : mem_(DefaultStackTop, 0)
+{
+    codeBase_ = program.codeBase;
+    codeLimit_ = program.codeBase + program.codeBytes();
+    if (codeLimit_ > mem_.size() ||
+        program.dataBase + program.data.size() > mem_.size()) {
+        fatal("program image does not fit the functional address space");
+    }
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        uint32_t word = program.code[i];
+        uint32_t addr = program.codeBase + static_cast<uint32_t>(i) * 4;
+        std::memcpy(mem_.data() + addr, &word, 4);
+    }
+    if (!program.data.empty()) {
+        std::memcpy(mem_.data() + program.dataBase, program.data.data(),
+                    program.data.size());
+    }
+    heapTop_ = pageAlignUp(program.dataBase +
+                           static_cast<uint32_t>(program.data.size()));
+    pc_ = program.entry;
+    regs_[RegSP] = DefaultStackTop;
+}
+
+bool
+FuncSim::mapped(uint32_t vaddr, uint32_t bytes) const
+{
+    uint32_t end = vaddr + bytes;
+    if (end < vaddr)
+        return false;
+    bool in_code = vaddr >= codeBase_ && end <= codeLimit_;
+    bool in_data = vaddr >= DefaultDataBase && end <= heapTop_;
+    bool in_stack = vaddr >= DefaultStackTop - DefaultStackBytes &&
+                    end <= DefaultStackTop;
+    return in_code || in_data || in_stack;
+}
+
+uint32_t
+FuncSim::load(uint32_t vaddr, uint32_t bytes) const
+{
+    uint32_t value = 0;
+    for (uint32_t i = 0; i < bytes; ++i)
+        value |= static_cast<uint32_t>(mem_[vaddr + i]) << (8 * i);
+    return value;
+}
+
+void
+FuncSim::store(uint32_t vaddr, uint32_t bytes, uint32_t value)
+{
+    for (uint32_t i = 0; i < bytes; ++i)
+        mem_[vaddr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+uint32_t
+FuncSim::peek(uint32_t vaddr) const
+{
+    if (vaddr + 4 > mem_.size())
+        fatal("peek(0x%x) outside address space", vaddr);
+    return load(vaddr, 4);
+}
+
+FuncResult
+FuncSim::run(uint64_t max_insts)
+{
+    result_ = FuncResult{};
+    auto crash = [&](ExceptionType type, uint32_t addr) {
+        result_.status.kind = ExitKind::ProcessCrash;
+        result_.status.exception = type;
+        result_.status.faultPc = pc_;
+        result_.status.faultAddr = addr;
+    };
+
+    while (result_.instructions < max_insts) {
+        // Fetch.
+        if (pc_ % 4 != 0) {
+            crash(ExceptionType::UnalignedFetch, pc_);
+            return result_;
+        }
+        if (pc_ < codeBase_ || pc_ + 4 > codeLimit_) {
+            crash(ExceptionType::PageFault, pc_);
+            return result_;
+        }
+        DecodedInst inst = decode(load(pc_, 4));
+        uint32_t next_pc = pc_ + 4;
+        ++result_.instructions;
+
+        uint32_t a = regs_[inst.rs1];
+        uint32_t b = inst.readsRs2() ? regs_[inst.rs2]
+                                     : static_cast<uint32_t>(inst.imm);
+
+        switch (inst.cls) {
+          case InstClass::IntAlu:
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+            if (inst.rd != 0)
+                regs_[inst.rd] = aluResult(inst.op, a, b);
+            break;
+
+          case InstClass::Load: {
+            uint32_t addr = a + static_cast<uint32_t>(inst.imm);
+            uint32_t bytes = inst.memBytes();
+            if (addr % bytes != 0) {
+                crash(ExceptionType::UnalignedAccess, addr);
+                return result_;
+            }
+            if (!mapped(addr, bytes)) {
+                crash(ExceptionType::PageFault, addr);
+                return result_;
+            }
+            uint32_t value = load(addr, bytes);
+            if (inst.memSigned()) {
+                uint32_t shift = 32 - 8 * bytes;
+                value = static_cast<uint32_t>(
+                    static_cast<int32_t>(value << shift) >> shift);
+            }
+            if (inst.rd != 0)
+                regs_[inst.rd] = value;
+            break;
+          }
+
+          case InstClass::Store: {
+            uint32_t addr = a + static_cast<uint32_t>(inst.imm);
+            uint32_t bytes = inst.memBytes();
+            if (addr % bytes != 0) {
+                crash(ExceptionType::UnalignedAccess, addr);
+                return result_;
+            }
+            if (!mapped(addr, bytes)) {
+                crash(ExceptionType::PageFault, addr);
+                return result_;
+            }
+            if (addr < codeLimit_ && addr + bytes > codeBase_) {
+                crash(ExceptionType::PermissionFault, addr);
+                return result_;
+            }
+            store(addr, bytes, regs_[inst.rd]);
+            break;
+          }
+
+          case InstClass::Branch:
+            if (branchTaken(inst.op, a, regs_[inst.rs2]))
+                next_pc = pc_ + 4 + static_cast<uint32_t>(inst.imm) * 4;
+            break;
+
+          case InstClass::Jump:
+            if (inst.rd != 0)
+                regs_[inst.rd] = pc_ + 4;
+            if (inst.op == Opcode::Jal)
+                next_pc = pc_ + 4 + static_cast<uint32_t>(inst.imm) * 4;
+            else
+                next_pc = (a + static_cast<uint32_t>(inst.imm)) & ~3u;
+            break;
+
+          case InstClass::Syscall:
+            switch (static_cast<Syscall>(inst.sysCode)) {
+              case Syscall::Exit:
+                result_.status.kind = ExitKind::Exited;
+                result_.status.exitCode = regs_[1];
+                return result_;
+              case Syscall::PutChar:
+                result_.output.push_back(
+                    static_cast<uint8_t>(regs_[1]));
+                break;
+              case Syscall::PutWord:
+                for (int i = 0; i < 4; ++i)
+                    result_.output.push_back(
+                        static_cast<uint8_t>(regs_[1] >> (8 * i)));
+                break;
+              case Syscall::Brk: {
+                uint32_t old = heapTop_;
+                uint32_t want = regs_[1];
+                if (want >= heapTop_ &&
+                    want <= DefaultStackTop - DefaultStackBytes) {
+                    heapTop_ = pageAlignUp(want);
+                }
+                regs_[RegRV] = old;
+                break;
+              }
+              case Syscall::Cycles:
+                regs_[RegRV] =
+                    static_cast<uint32_t>(result_.instructions);
+                break;
+              default:
+                crash(ExceptionType::BadSyscall, inst.sysCode);
+                return result_;
+            }
+            break;
+
+          case InstClass::Illegal:
+            crash(ExceptionType::IllegalInstruction, inst.raw);
+            return result_;
+        }
+        pc_ = next_pc;
+    }
+    result_.status.kind = ExitKind::LimitReached;
+    return result_;
+}
+
+} // namespace mbusim::sim

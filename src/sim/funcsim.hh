@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional (architectural) reference simulator.
+ *
+ * Executes a Program one instruction at a time over a flat virtual memory
+ * with no timing, no caches and no TLBs. Two jobs:
+ *
+ *  1. Golden model: every workload's reference output and the OoO core's
+ *     architectural correctness are validated against it (the tests run
+ *     both and require identical outputs — a strong whole-pipeline
+ *     invariant).
+ *  2. Workload development: assembling and running a kernel here is
+ *     instant, so reference outputs are produced without timing noise.
+ *
+ * It deliberately shares the exception and syscall semantics of the full
+ * system via sim/exceptions.hh.
+ */
+
+#ifndef MBUSIM_SIM_FUNCSIM_HH
+#define MBUSIM_SIM_FUNCSIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/exceptions.hh"
+#include "sim/isa.hh"
+#include "sim/program.hh"
+
+namespace mbusim::sim {
+
+/** Result of a functional run. */
+struct FuncResult
+{
+    ExitStatus status;
+    std::vector<uint8_t> output;   ///< program output stream
+    uint64_t instructions = 0;     ///< retired instruction count
+};
+
+/** Architectural interpreter for MRISC32 programs. */
+class FuncSim
+{
+  public:
+    /** Load @p program into a fresh flat memory image. */
+    explicit FuncSim(const Program& program);
+
+    /**
+     * Run until exit, crash or @p max_insts retired instructions.
+     */
+    FuncResult run(uint64_t max_insts = 1'000'000'000);
+
+    /** Read a register (test inspection). */
+    uint32_t reg(uint32_t index) const { return regs_[index]; }
+
+    /** Read a 32-bit word of virtual memory (test inspection). */
+    uint32_t peek(uint32_t vaddr) const;
+
+  private:
+    bool mapped(uint32_t vaddr, uint32_t bytes) const;
+    uint32_t load(uint32_t vaddr, uint32_t bytes) const;
+    void store(uint32_t vaddr, uint32_t bytes, uint32_t value);
+
+    std::vector<uint8_t> mem_;
+    uint32_t regs_[NumArchRegs] = {};
+    uint32_t pc_ = 0;
+    uint32_t heapTop_ = 0;
+    uint32_t codeBase_ = 0;
+    uint32_t codeLimit_ = 0;
+    FuncResult result_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_FUNCSIM_HH

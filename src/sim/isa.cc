@@ -1,0 +1,410 @@
+#include "sim/isa.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+namespace {
+
+int32_t
+signExtend(uint32_t value, uint32_t bits)
+{
+    uint32_t shift = 32 - bits;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+} // namespace
+
+InstClass
+classify(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sltu: case Opcode::Min: case Opcode::Max:
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai: case Opcode::Slti: case Opcode::Lui:
+      case Opcode::Sltiu:
+        return InstClass::IntAlu;
+      case Opcode::Mul: case Opcode::Mulh:
+        return InstClass::IntMul;
+      case Opcode::Div: case Opcode::Rem:
+        return InstClass::IntDiv;
+      case Opcode::Lw: case Opcode::Lb: case Opcode::Lbu:
+      case Opcode::Lh: case Opcode::Lhu:
+        return InstClass::Load;
+      case Opcode::Sw: case Opcode::Sb: case Opcode::Sh:
+        return InstClass::Store;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        return InstClass::Branch;
+      case Opcode::Jal: case Opcode::Jalr:
+        return InstClass::Jump;
+      case Opcode::Sys:
+        return InstClass::Syscall;
+      default:
+        return InstClass::Illegal;
+    }
+}
+
+bool
+DecodedInst::writesReg() const
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::Load:
+        return true;
+      case InstClass::Jump:
+        return true; // link register (may be r0, still written)
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::readsRs1() const
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+        return op != Opcode::Lui;
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::Load:
+      case InstClass::Store:
+      case InstClass::Branch:
+        return true;
+      case InstClass::Jump:
+        return op == Opcode::Jalr;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::readsRs2() const
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+        // R-type ALU ops read rs2; immediates do not.
+        switch (op) {
+          case Opcode::Add: case Opcode::Sub: case Opcode::And:
+          case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+          case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+          case Opcode::Mulh: case Opcode::Div: case Opcode::Rem:
+          case Opcode::Slt: case Opcode::Sltu: case Opcode::Min:
+          case Opcode::Max:
+            return true;
+          default:
+            return false;
+        }
+      case InstClass::Branch:
+        return true;
+      case InstClass::Store:
+        return false; // store data register is rd, handled separately
+      default:
+        return false;
+    }
+}
+
+uint32_t
+DecodedInst::memBytes() const
+{
+    switch (op) {
+      case Opcode::Lw: case Opcode::Sw: return 4;
+      case Opcode::Lh: case Opcode::Lhu: case Opcode::Sh: return 2;
+      case Opcode::Lb: case Opcode::Lbu: case Opcode::Sb: return 1;
+      default: return 0;
+    }
+}
+
+bool
+DecodedInst::memSigned() const
+{
+    return op == Opcode::Lb || op == Opcode::Lh;
+}
+
+DecodedInst
+decode(uint32_t word)
+{
+    DecodedInst inst;
+    inst.raw = word;
+    inst.op = static_cast<Opcode>((word >> 26) & 0x3f);
+    inst.cls = classify(inst.op);
+
+    switch (inst.cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::Load:
+      case InstClass::Store:
+        inst.rd = (word >> 22) & 0xf;
+        inst.rs1 = (word >> 18) & 0xf;
+        inst.rs2 = (word >> 14) & 0xf;
+        inst.imm = signExtend(word & 0x3ffff, 18);
+        break;
+      case InstClass::Branch:
+        inst.rs1 = (word >> 22) & 0xf;
+        inst.rs2 = (word >> 18) & 0xf;
+        inst.imm = signExtend(word & 0x3ffff, 18);
+        break;
+      case InstClass::Jump:
+        inst.rd = (word >> 22) & 0xf;
+        if (inst.op == Opcode::Jal) {
+            inst.imm = signExtend(word & 0x3fffff, 22);
+        } else {
+            inst.rs1 = (word >> 18) & 0xf;
+            inst.imm = signExtend(word & 0x3ffff, 18);
+        }
+        break;
+      case InstClass::Syscall:
+        inst.sysCode = word & 0x3ffffff;
+        break;
+      case InstClass::Illegal:
+        break;
+    }
+    return inst;
+}
+
+namespace {
+
+uint32_t
+opBits(Opcode op)
+{
+    return static_cast<uint32_t>(op) << 26;
+}
+
+void
+checkReg(uint32_t r, const char* what)
+{
+    if (r >= NumArchRegs)
+        panic("encode: %s register r%u out of range", what, r);
+}
+
+} // namespace
+
+uint32_t
+encodeR(Opcode op, uint32_t rd, uint32_t rs1, uint32_t rs2)
+{
+    checkReg(rd, "rd");
+    checkReg(rs1, "rs1");
+    checkReg(rs2, "rs2");
+    return opBits(op) | (rd << 22) | (rs1 << 18) | (rs2 << 14);
+}
+
+uint32_t
+encodeI(Opcode op, uint32_t rd, uint32_t rs1, int32_t imm18)
+{
+    checkReg(rd, "rd");
+    checkReg(rs1, "rs1");
+    if (imm18 < Imm18Min || imm18 > Imm18Max)
+        panic("encode: imm18 %d out of range", imm18);
+    return opBits(op) | (rd << 22) | (rs1 << 18) |
+           (static_cast<uint32_t>(imm18) & 0x3ffff);
+}
+
+uint32_t
+encodeB(Opcode op, uint32_t rs1, uint32_t rs2, int32_t off18)
+{
+    checkReg(rs1, "rs1");
+    checkReg(rs2, "rs2");
+    if (off18 < Imm18Min || off18 > Imm18Max)
+        panic("encode: branch offset %d out of range", off18);
+    return opBits(op) | (rs1 << 22) | (rs2 << 18) |
+           (static_cast<uint32_t>(off18) & 0x3ffff);
+}
+
+uint32_t
+encodeJ(Opcode op, uint32_t rd, int32_t off22)
+{
+    checkReg(rd, "rd");
+    if (off22 < Off22Min || off22 > Off22Max)
+        panic("encode: jump offset %d out of range", off22);
+    return opBits(op) | (rd << 22) |
+           (static_cast<uint32_t>(off22) & 0x3fffff);
+}
+
+uint32_t
+encodeS(uint32_t code)
+{
+    if (code > 0x3ffffff)
+        panic("encode: syscall code %u out of range", code);
+    return opBits(Opcode::Sys) | code;
+}
+
+uint32_t
+execLatency(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu: return 1;
+      case InstClass::IntMul: return 3;   // A9 pipelined multiplier
+      case InstClass::IntDiv: return 12;  // unpipelined
+      case InstClass::Load: return 1;     // plus cache latency
+      case InstClass::Store: return 1;
+      case InstClass::Branch: return 1;
+      case InstClass::Jump: return 1;
+      case InstClass::Syscall: return 1;
+      case InstClass::Illegal: return 1;
+    }
+    return 1;
+}
+
+uint32_t
+aluResult(Opcode op, uint32_t a, uint32_t b)
+{
+    int32_t sa = static_cast<int32_t>(a);
+    int32_t sb = static_cast<int32_t>(b);
+    switch (op) {
+      case Opcode::Add: case Opcode::Addi: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And: case Opcode::Andi: return a & b;
+      case Opcode::Or: case Opcode::Ori: return a | b;
+      case Opcode::Xor: case Opcode::Xori: return a ^ b;
+      case Opcode::Sll: case Opcode::Slli: return a << (b & 31);
+      case Opcode::Srl: case Opcode::Srli: return a >> (b & 31);
+      case Opcode::Sra: case Opcode::Srai:
+        return static_cast<uint32_t>(sa >> (b & 31));
+      case Opcode::Mul:
+        return a * b;
+      case Opcode::Mulh:
+        return static_cast<uint32_t>(
+            (static_cast<int64_t>(sa) * sb) >> 32);
+      case Opcode::Div:
+        if (b == 0)
+            return 0xffffffffu;
+        if (a == 0x80000000u && b == 0xffffffffu)
+            return 0x80000000u;
+        return static_cast<uint32_t>(sa / sb);
+      case Opcode::Rem:
+        if (b == 0)
+            return a;
+        if (a == 0x80000000u && b == 0xffffffffu)
+            return 0;
+        return static_cast<uint32_t>(sa % sb);
+      case Opcode::Slt: case Opcode::Slti: return sa < sb ? 1 : 0;
+      case Opcode::Sltu: case Opcode::Sltiu: return a < b ? 1 : 0;
+      case Opcode::Min: return sa < sb ? a : b;
+      case Opcode::Max: return sa > sb ? a : b;
+      case Opcode::Lui: return b << 14;
+      default:
+        panic("aluResult on non-ALU opcode %u",
+              static_cast<unsigned>(op));
+    }
+}
+
+bool
+branchTaken(Opcode op, uint32_t a, uint32_t b)
+{
+    int32_t sa = static_cast<int32_t>(a);
+    int32_t sb = static_cast<int32_t>(b);
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      case Opcode::Bltu: return a < b;
+      case Opcode::Bgeu: return a >= b;
+      default:
+        panic("branchTaken on non-branch opcode %u",
+              static_cast<unsigned>(op));
+    }
+}
+
+namespace {
+
+const char*
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Mul: return "mul";
+      case Opcode::Mulh: return "mulh";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Lui: return "lui";
+      case Opcode::Sltiu: return "sltiu";
+      case Opcode::Lw: return "lw";
+      case Opcode::Lb: return "lb";
+      case Opcode::Lbu: return "lbu";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lhu: return "lhu";
+      case Opcode::Sw: return "sw";
+      case Opcode::Sb: return "sb";
+      case Opcode::Sh: return "sh";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Sys: return "sys";
+      default: return "<illegal>";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const DecodedInst& inst)
+{
+    const char* m = mnemonic(inst.op);
+    switch (inst.cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+        if (inst.op == Opcode::Lui)
+            return strprintf("%s r%u, %d", m, inst.rd, inst.imm);
+        if (inst.readsRs2())
+            return strprintf("%s r%u, r%u, r%u", m, inst.rd, inst.rs1,
+                             inst.rs2);
+        return strprintf("%s r%u, r%u, %d", m, inst.rd, inst.rs1,
+                         inst.imm);
+      case InstClass::Load:
+        return strprintf("%s r%u, %d(r%u)", m, inst.rd, inst.imm,
+                         inst.rs1);
+      case InstClass::Store:
+        return strprintf("%s r%u, %d(r%u)", m, inst.rd, inst.imm,
+                         inst.rs1);
+      case InstClass::Branch:
+        return strprintf("%s r%u, r%u, %d", m, inst.rs1, inst.rs2,
+                         inst.imm);
+      case InstClass::Jump:
+        if (inst.op == Opcode::Jal)
+            return strprintf("jal r%u, %d", inst.rd, inst.imm);
+        return strprintf("jalr r%u, r%u, %d", inst.rd, inst.rs1,
+                         inst.imm);
+      case InstClass::Syscall:
+        return strprintf("sys %u", inst.sysCode);
+      case InstClass::Illegal:
+        return strprintf("<illegal 0x%08x>", inst.raw);
+    }
+    return "<?>";
+}
+
+} // namespace mbusim::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The MRISC32 instruction set: a 32-bit fixed-width RISC ISA.
+ *
+ * The paper runs ARMv7 binaries; we cannot ship an ARM decoder plus Linux,
+ * so workloads are written for this ISA instead (see DESIGN.md,
+ * substitution table). What the fault-injection methodology actually needs
+ * from the ISA is that *instructions live in the I-cache as real bit
+ * encodings*: a bit flip in a cached instruction word must re-decode into a
+ * different-but-defined instruction (silent behaviour change), an undefined
+ * instruction (exception -> process crash), or an equivalent one (masked).
+ * The encoding below is dense (49 of 64 primary opcodes defined) so that
+ * single-bit flips mostly land on *valid* neighbours, like real ISAs.
+ *
+ * Encoding (little-endian 32-bit words), fields from bit 31 down:
+ *   R-type:  op[31:26] rd[25:22] rs1[21:18] rs2[17:14] zero[13:0]
+ *   I-type:  op[31:26] rd[25:22] rs1[21:18] imm18[17:0]   (signed)
+ *   B-type:  op[31:26] rs1[25:22] rs2[21:18] off18[17:0]  (signed words)
+ *   J-type:  op[31:26] rd[25:22] off22[21:0]              (signed words)
+ *   S-type:  op[31:26] code[25:0]                          (syscall)
+ *
+ * Sixteen general-purpose registers r0..r15. r0 is hardwired to zero
+ * (reads as 0, writes are discarded), which the rename stage exploits.
+ * Software conventions: r13 = sp, r14 = lr, r15 = rv.
+ */
+
+#ifndef MBUSIM_SIM_ISA_HH
+#define MBUSIM_SIM_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mbusim::sim {
+
+/** Number of architectural general-purpose registers. */
+constexpr uint32_t NumArchRegs = 16;
+
+/** Software-convention register aliases. */
+constexpr uint32_t RegSP = 13;
+constexpr uint32_t RegLR = 14;
+constexpr uint32_t RegRV = 15;
+
+/** Primary opcodes (bits [31:26] of the instruction word). */
+enum class Opcode : uint8_t
+{
+    // R-type ALU
+    Add = 0x00, Sub = 0x01, And = 0x02, Or = 0x03, Xor = 0x04,
+    Sll = 0x05, Srl = 0x06, Sra = 0x07,
+    Mul = 0x08, Mulh = 0x09, Div = 0x0a, Rem = 0x0b,
+    Slt = 0x0c, Sltu = 0x0d, Min = 0x0e, Max = 0x0f,
+    // I-type ALU
+    Addi = 0x10, Andi = 0x11, Ori = 0x12, Xori = 0x13,
+    Slli = 0x14, Srli = 0x15, Srai = 0x16, Slti = 0x17,
+    Lui = 0x18, Sltiu = 0x19,
+    // Loads / stores (I-type address = rs1 + imm; store data in rd)
+    Lw = 0x20, Lb = 0x21, Lbu = 0x22, Lh = 0x23, Lhu = 0x24,
+    Sw = 0x25, Sb = 0x26, Sh = 0x27,
+    // Branches (B-type, PC-relative in words)
+    Beq = 0x28, Bne = 0x29, Blt = 0x2a, Bge = 0x2b,
+    Bltu = 0x2c, Bgeu = 0x2d,
+    // Jumps
+    Jal = 0x30, Jalr = 0x31,
+    // System
+    Sys = 0x3f,
+};
+
+/** Syscall numbers (S-type code field). */
+enum class Syscall : uint32_t
+{
+    Exit = 1,      ///< r1 = exit code
+    PutChar = 2,   ///< r1 = byte appended to the program output stream
+    PutWord = 3,   ///< r1 = 32-bit value appended to the output stream
+    Brk = 4,       ///< r1 = new heap top; returns old top in rv (r15)
+    Cycles = 5,    ///< returns current cycle count (low 32 bits) in rv
+};
+
+/** Broad instruction classes used by the pipeline. */
+enum class InstClass : uint8_t
+{
+    IntAlu,     ///< single-cycle integer ALU
+    IntMul,     ///< pipelined multiplier
+    IntDiv,     ///< unpipelined divider
+    Load,
+    Store,
+    Branch,     ///< conditional branch
+    Jump,       ///< jal/jalr
+    Syscall,
+    Illegal,    ///< undefined encoding
+};
+
+/**
+ * A decoded instruction. decode() never fails: undefined encodings decode
+ * to InstClass::Illegal and raise at execute/commit time, because a bit
+ * flip in the I-cache must flow through the pipeline like any other fetched
+ * word.
+ */
+struct DecodedInst
+{
+    Opcode op = Opcode::Sys;
+    InstClass cls = InstClass::Illegal;
+    uint8_t rd = 0;            ///< destination (or store-data) register
+    uint8_t rs1 = 0;           ///< first source register
+    uint8_t rs2 = 0;           ///< second source register
+    int32_t imm = 0;           ///< sign-extended immediate / offset
+    uint32_t sysCode = 0;      ///< S-type code field
+    uint32_t raw = 0;          ///< original instruction word
+
+    bool writesReg() const;    ///< does it produce a register result?
+    bool readsRs1() const;
+    bool readsRs2() const;
+    bool isMemRef() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+    bool
+    isControl() const
+    {
+        return cls == InstClass::Branch || cls == InstClass::Jump;
+    }
+    /** Memory access size in bytes (loads/stores only). */
+    uint32_t memBytes() const;
+    /** Is the loaded value sign-extended (lb/lh)? */
+    bool memSigned() const;
+};
+
+/** Decode a 32-bit instruction word. Never throws. */
+DecodedInst decode(uint32_t word);
+
+/** Map an opcode to its class; Illegal for undefined opcodes. */
+InstClass classify(Opcode op);
+
+/** @name Encoding helpers (used by the assembler and tests). */
+/// @{
+uint32_t encodeR(Opcode op, uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t encodeI(Opcode op, uint32_t rd, uint32_t rs1, int32_t imm18);
+uint32_t encodeB(Opcode op, uint32_t rs1, uint32_t rs2, int32_t off18);
+uint32_t encodeJ(Opcode op, uint32_t rd, int32_t off22);
+uint32_t encodeS(uint32_t code);
+/// @}
+
+/** Immediate field ranges. */
+constexpr int32_t Imm18Min = -(1 << 17);
+constexpr int32_t Imm18Max = (1 << 17) - 1;
+constexpr int32_t Off22Min = -(1 << 21);
+constexpr int32_t Off22Max = (1 << 21) - 1;
+
+/** Render a decoded instruction as assembly text (debug / trace aid). */
+std::string disassemble(const DecodedInst& inst);
+
+/**
+ * Evaluate an ALU/mul/div operation. @p b is the second register value or
+ * the sign-extended immediate, as the opcode requires; for Lui it is the
+ * immediate. Division follows RISC-V conventions (x/0 = -1, x%0 = x,
+ * INT_MIN/-1 = INT_MIN) so no arithmetic traps exist.
+ */
+uint32_t aluResult(Opcode op, uint32_t a, uint32_t b);
+
+/** Evaluate a conditional branch: taken given rs1=@p a, rs2=@p b? */
+bool branchTaken(Opcode op, uint32_t a, uint32_t b);
+
+/** Execution latency in cycles for each class (Cortex-A9-like). */
+uint32_t execLatency(InstClass cls);
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_ISA_HH

@@ -1,0 +1,67 @@
+#include "sim/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes)
+    : data_(size_bytes, 0)
+{
+    if (size_bytes == 0)
+        panic("PhysicalMemory of size zero");
+}
+
+void
+PhysicalMemory::check(uint64_t paddr, uint64_t len) const
+{
+    if (paddr + len > data_.size() || paddr + len < paddr) {
+        simAssertFail("physical access [0x%llx, +%llu) beyond memory size "
+                      "0x%llx",
+                      static_cast<unsigned long long>(paddr),
+                      static_cast<unsigned long long>(len),
+                      static_cast<unsigned long long>(data_.size()));
+    }
+}
+
+uint32_t
+PhysicalMemory::read(uint64_t paddr, uint32_t bytes) const
+{
+    check(paddr, bytes);
+    uint32_t value = 0;
+    for (uint32_t i = 0; i < bytes; ++i)
+        value |= static_cast<uint32_t>(data_[paddr + i]) << (8 * i);
+    return value;
+}
+
+void
+PhysicalMemory::write(uint64_t paddr, uint32_t bytes, uint32_t value)
+{
+    check(paddr, bytes);
+    for (uint32_t i = 0; i < bytes; ++i)
+        data_[paddr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+void
+PhysicalMemory::load(uint64_t paddr, const uint8_t* src, uint64_t len)
+{
+    check(paddr, len);
+    std::memcpy(data_.data() + paddr, src, len);
+}
+
+void
+PhysicalMemory::dump(uint64_t paddr, uint8_t* dst, uint64_t len) const
+{
+    check(paddr, len);
+    std::memcpy(dst, data_.data() + paddr, len);
+}
+
+void
+PhysicalMemory::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+} // namespace mbusim::sim

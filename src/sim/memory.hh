@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Physical memory model.
+ *
+ * A flat, byte-addressable physical address space backing the cache
+ * hierarchy. Accesses beyond the configured size raise SimAssert: in the
+ * fault-injection methodology a corrupted TLB entry or cache tag can
+ * produce a physical address the platform cannot decode, which the paper
+ * classifies as the "Assert" outcome (the simulator, like gem5, refuses to
+ * model a bus error it has no device for).
+ */
+
+#ifndef MBUSIM_SIM_MEMORY_HH
+#define MBUSIM_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mbusim::sim {
+
+/** Flat little-endian physical memory. */
+class PhysicalMemory
+{
+  public:
+    /** Construct @p size_bytes of zeroed memory. */
+    explicit PhysicalMemory(uint64_t size_bytes);
+
+    uint64_t size() const { return data_.size(); }
+
+    /** Read an aligned or unaligned little-endian value of 1/2/4 bytes. */
+    uint32_t read(uint64_t paddr, uint32_t bytes) const;
+
+    /** Write a little-endian value of 1/2/4 bytes. */
+    void write(uint64_t paddr, uint32_t bytes, uint32_t value);
+
+    /** Bulk copy into memory (program loading). */
+    void load(uint64_t paddr, const uint8_t* src, uint64_t len);
+
+    /** Bulk copy out of memory. */
+    void dump(uint64_t paddr, uint8_t* dst, uint64_t len) const;
+
+    /** Zero all of memory. */
+    void clear();
+
+  private:
+    void check(uint64_t paddr, uint64_t len) const;
+
+    std::vector<uint8_t> data_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_MEMORY_HH

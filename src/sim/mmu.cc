@@ -1,0 +1,89 @@
+#include "sim/mmu.hh"
+
+#include "sim/memory.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+Mmu::Mmu(PhysicalMemory& mem, uint32_t walk_latency)
+    : mem_(mem), walkLatency_(walk_latency)
+{
+    if (mem_.size() < PageTableBase + PageTableBytes)
+        fatal("physical memory too small for the page table");
+}
+
+uint32_t
+Mmu::mapPage(uint32_t vpn, PagePerms perms)
+{
+    uint32_t pfn = nextFrame_++;
+    if ((static_cast<uint64_t>(pfn) << PageShift) + PageBytes >
+        mem_.size()) {
+        fatal("out of physical frames mapping vpn 0x%x", vpn);
+    }
+    mapPageAt(vpn, pfn, perms);
+    return pfn;
+}
+
+void
+Mmu::mapPageAt(uint32_t vpn, uint32_t pfn, PagePerms perms)
+{
+    if (vpn > MaxVpn)
+        panic("vpn 0x%x out of range", vpn);
+    TlbEntry e;
+    e.valid = true;
+    e.perms = perms;
+    e.vpn = vpn;
+    e.pfn = pfn;
+    mem_.write(pteAddr(vpn), 4, e.pack());
+}
+
+bool
+Mmu::mapped(uint32_t vpn) const
+{
+    if (vpn > MaxVpn)
+        return false;
+    return TlbEntry::unpack(mem_.read(pteAddr(vpn), 4)).valid;
+}
+
+Translation
+Mmu::translate(Tlb& tlb, uint32_t vaddr, AccessType type)
+{
+    Translation result;
+
+    // Virtual addresses beyond the 16 MiB space are unmappable.
+    if ((vaddr >> PageShift) > MaxVpn) {
+        result.status = Translation::Status::PageFault;
+        return result;
+    }
+    uint32_t vpn = vaddr >> PageShift;
+
+    TlbEntry entry;
+    auto slot = tlb.lookup(vpn);
+    if (slot) {
+        entry = tlb.entryAt(*slot);
+    } else {
+        // Page walk (uncached PTE read).
+        ++walks_;
+        result.latency += walkLatency_;
+        entry = TlbEntry::unpack(mem_.read(pteAddr(vpn), 4));
+        if (!entry.valid) {
+            result.status = Translation::Status::PageFault;
+            return result;
+        }
+        entry.vpn = vpn;
+        tlb.insert(entry);
+    }
+
+    bool allowed = (type == AccessType::Read && entry.perms.read) ||
+                   (type == AccessType::Write && entry.perms.write) ||
+                   (type == AccessType::Execute && entry.perms.exec);
+    if (!allowed) {
+        result.status = Translation::Status::PermissionFault;
+        return result;
+    }
+    result.status = Translation::Status::Ok;
+    result.paddr = (entry.pfn << PageShift) | (vaddr & (PageBytes - 1));
+    return result;
+}
+
+} // namespace mbusim::sim

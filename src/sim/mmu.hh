@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory management: software page table and hardware page walker.
+ *
+ * The mini-OS builds a single-level page table (4096 PTEs of 4 bytes,
+ * covering the 16 MiB virtual space) in physical memory. On a TLB miss
+ * the walker reads the PTE directly from physical memory (uncached — see
+ * DESIGN.md) and refills the TLB. PTEs use the same 32-bit packed format
+ * as TLB entries.
+ *
+ * The page-table region is the model's "kernel data": a committed store
+ * whose (possibly fault-corrupted) translation lands inside it would
+ * corrupt kernel state, which the System reports as a kernel panic.
+ */
+
+#ifndef MBUSIM_SIM_MMU_HH
+#define MBUSIM_SIM_MMU_HH
+
+#include <cstdint>
+
+#include "sim/tlb.hh"
+
+namespace mbusim::sim {
+
+class PhysicalMemory;
+
+/** Physical layout of kernel structures. */
+constexpr uint32_t PageTableBase = 0x4000;
+constexpr uint32_t PageTableBytes = (MaxVpn + 1) * 4;   // 16 KiB
+constexpr uint32_t FirstUserFrame =
+    (PageTableBase + PageTableBytes) >> PageShift;
+
+/** Kind of memory access being translated. */
+enum class AccessType : uint8_t { Read, Write, Execute };
+
+/** Outcome of a translation. */
+struct Translation
+{
+    enum class Status : uint8_t
+    {
+        Ok,
+        PageFault,        ///< unmapped page
+        PermissionFault,  ///< mapped, but access kind not allowed
+    };
+
+    Status status = Status::PageFault;
+    uint32_t paddr = 0;
+    uint32_t latency = 0;   ///< cycles (page walk included on a miss)
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+/** Page table manager and walker. */
+class Mmu
+{
+  public:
+    /**
+     * @param mem physical memory holding the page table
+     * @param walk_latency page walk cost in cycles
+     */
+    Mmu(PhysicalMemory& mem, uint32_t walk_latency);
+
+    /** @name OS-side interface */
+    /// @{
+    /** Map a virtual page to a fresh physical frame. */
+    uint32_t mapPage(uint32_t vpn, PagePerms perms);
+
+    /** Map a virtual page to a specific frame. */
+    void mapPageAt(uint32_t vpn, uint32_t pfn, PagePerms perms);
+
+    /** Is the VPN mapped (per the page table)? */
+    bool mapped(uint32_t vpn) const;
+
+    /** Number of frames handed out so far. */
+    uint32_t framesAllocated() const { return nextFrame_ - FirstUserFrame; }
+    /// @}
+
+    /**
+     * Translate @p vaddr through @p tlb, walking the page table on a
+     * miss. Never throws: PFN validity is checked by physical memory at
+     * access time, so corrupted translations surface there.
+     */
+    Translation translate(Tlb& tlb, uint32_t vaddr, AccessType type);
+
+    uint64_t pageWalks() const { return walks_; }
+
+  private:
+    uint32_t pteAddr(uint32_t vpn) const
+    {
+        return PageTableBase + vpn * 4;
+    }
+
+    PhysicalMemory& mem_;
+    uint32_t walkLatency_;
+    uint32_t nextFrame_ = FirstUserFrame;
+    uint64_t walks_ = 0;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_MMU_HH

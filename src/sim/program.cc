@@ -1,0 +1,16 @@
+#include "sim/program.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+uint32_t
+Program::symbol(const std::string& name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+} // namespace mbusim::sim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Assembled program image.
+ *
+ * The unit the System loader maps into the simulated address space: a code
+ * section, a data section, their (virtual) base addresses, the entry point
+ * and the symbol table. Produced by the assembler; consumed by the loader
+ * and by tests.
+ */
+
+#ifndef MBUSIM_SIM_PROGRAM_HH
+#define MBUSIM_SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mbusim::sim {
+
+/** Default virtual section layout (4 KiB-page aligned). */
+constexpr uint32_t DefaultCodeBase = 0x00001000;
+constexpr uint32_t DefaultDataBase = 0x00100000;
+constexpr uint32_t DefaultStackTop = 0x00400000;
+constexpr uint32_t DefaultStackBytes = 64 * 1024;
+
+/** An assembled program ready for loading. */
+struct Program
+{
+    std::vector<uint32_t> code;        ///< instruction words
+    std::vector<uint8_t> data;         ///< initialized data bytes
+    uint32_t codeBase = DefaultCodeBase;
+    uint32_t dataBase = DefaultDataBase;
+    uint32_t entry = DefaultCodeBase;  ///< first executed instruction
+    uint32_t bssBytes = 0;             ///< zeroed bytes after data
+    std::map<std::string, uint32_t> symbols;
+
+    /** Virtual address of a symbol; fatal() if undefined. */
+    uint32_t symbol(const std::string& name) const;
+
+    /** Size of the code section in bytes. */
+    uint32_t codeBytes() const
+    {
+        return static_cast<uint32_t>(code.size()) * 4;
+    }
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_PROGRAM_HH

@@ -1,0 +1,26 @@
+#include "sim/regfile.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+PhysRegFile::PhysRegFile(uint32_t regs)
+    : bits_(regs, 32)
+{
+    if (regs < 16)
+        panic("physical register file smaller than the architectural set");
+}
+
+uint32_t
+PhysRegFile::read(uint32_t phys_reg) const
+{
+    return static_cast<uint32_t>(bits_.read(phys_reg, 0, 32));
+}
+
+void
+PhysRegFile::write(uint32_t phys_reg, uint32_t value)
+{
+    bits_.write(phys_reg, 0, 32, value);
+}
+
+} // namespace mbusim::sim

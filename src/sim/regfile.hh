@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Physical register file, backed by a BitArray.
+ *
+ * Register values live as bits in a rows=registers x cols=32 SRAM array
+ * so the fault injector can flip them; the rename machinery (maps, free
+ * list, scoreboard) lives in the pipeline and is NOT a fault target,
+ * matching the paper, which injects only into the register value array.
+ */
+
+#ifndef MBUSIM_SIM_REGFILE_HH
+#define MBUSIM_SIM_REGFILE_HH
+
+#include "sim/bitarray.hh"
+
+namespace mbusim::sim {
+
+/** Bit-backed physical register file. */
+class PhysRegFile
+{
+  public:
+    /** Create @p regs zero-initialized 32-bit physical registers. */
+    explicit PhysRegFile(uint32_t regs);
+
+    uint32_t numRegs() const { return bits_.rows(); }
+
+    /** Read a physical register. */
+    uint32_t read(uint32_t phys_reg) const;
+
+    /** Write a physical register. */
+    void write(uint32_t phys_reg, uint32_t value);
+
+    /** The raw SRAM array (fault-injection target). */
+    BitArray& bits() { return bits_; }
+    const BitArray& bits() const { return bits_; }
+
+  private:
+    BitArray bits_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_REGFILE_HH

@@ -1,0 +1,114 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+Simulator::Simulator(const Program& program, const CpuConfig& config)
+    : config_(config),
+      system_(std::make_unique<System>(program, config.physMemBytes,
+                                       config.pageWalkLatency)),
+      cpu_(std::make_unique<Cpu>(config, *system_))
+{}
+
+void
+Simulator::scheduleInjection(const Injection& injection)
+{
+    injections_.push_back(injection);
+    std::sort(injections_.begin(), injections_.end(),
+              [](const Injection& a, const Injection& b) {
+                  return a.cycle < b.cycle;
+              });
+}
+
+std::pair<uint32_t, uint32_t>
+Simulator::targetGeometry(FaultTarget target, const CpuConfig& config)
+{
+    auto cache_geometry = [](const CacheConfig& c) {
+        return std::make_pair(c.sets() * c.ways, c.lineBytes * 8);
+    };
+    auto tag_geometry = [](const CacheConfig& c) {
+        uint32_t offset_index_bits = 0;
+        for (uint32_t v = c.sets() * c.lineBytes; v > 1; v >>= 1)
+            ++offset_index_bits;
+        return std::make_pair(c.sets() * c.ways,
+                              2 + 32 - offset_index_bits);
+    };
+    switch (target) {
+      case FaultTarget::L1DData: return cache_geometry(config.l1d);
+      case FaultTarget::L1IData: return cache_geometry(config.l1i);
+      case FaultTarget::L2Data: return cache_geometry(config.l2);
+      case FaultTarget::RegFileBits:
+        return {config.numPhysRegs, 32};
+      case FaultTarget::ItlbBits:
+      case FaultTarget::DtlbBits:
+        return {config.tlbEntries, 32};
+      case FaultTarget::L1DTags: return tag_geometry(config.l1d);
+      case FaultTarget::L1ITags: return tag_geometry(config.l1i);
+      case FaultTarget::L2Tags: return tag_geometry(config.l2);
+    }
+    panic("bad FaultTarget");
+}
+
+BitArray&
+Simulator::targetBits(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::L1DData: return cpu_->l1d().dataArray();
+      case FaultTarget::L1IData: return cpu_->l1i().dataArray();
+      case FaultTarget::L2Data: return cpu_->l2().dataArray();
+      case FaultTarget::RegFileBits: return cpu_->regFile().bits();
+      case FaultTarget::ItlbBits: return cpu_->itlb().bits();
+      case FaultTarget::DtlbBits: return cpu_->dtlb().bits();
+      case FaultTarget::L1DTags: return cpu_->l1d().tagArray();
+      case FaultTarget::L1ITags: return cpu_->l1i().tagArray();
+      case FaultTarget::L2Tags: return cpu_->l2().tagArray();
+    }
+    panic("bad FaultTarget");
+}
+
+SimResult
+Simulator::run(uint64_t max_cycles)
+{
+    SimResult result;
+    size_t next_injection = 0;
+
+    try {
+        while (!cpu_->halted() &&
+               (max_cycles == 0 || cpu_->cycle() < max_cycles)) {
+            while (next_injection < injections_.size() &&
+                   injections_[next_injection].cycle <= cpu_->cycle()) {
+                const Injection& inj = injections_[next_injection];
+                BitArray& bits = targetBits(inj.target);
+                for (const BitFlip& flip : inj.flips)
+                    bits.flipBit(flip.row, flip.col);
+                ++next_injection;
+            }
+            cpu_->tick();
+        }
+        if (cpu_->halted()) {
+            result.status = cpu_->exitStatus();
+        } else {
+            result.status.kind = ExitKind::LimitReached;
+        }
+    } catch (const SimAssert&) {
+        // Backstop: an assertion outside instruction context.
+        result.status.kind = ExitKind::SimAssert;
+    }
+
+    result.output = system_->output();
+    result.cycles = cpu_->cycle();
+    result.instructions = cpu_->stats().committed;
+    result.cpuStats = cpu_->stats();
+    result.l1iStats = cpu_->l1i().stats();
+    result.l1dStats = cpu_->l1d().stats();
+    result.l2Stats = cpu_->l2().stats();
+    result.itlbStats = cpu_->itlb().stats();
+    result.dtlbStats = cpu_->dtlb().stats();
+    result.pageWalks = system_->mmu().pageWalks();
+    return result;
+}
+
+} // namespace mbusim::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level simulation driver.
+ *
+ * Wraps System + Cpu into single runs with a cycle budget, and provides
+ * the hook the fault injector uses: a set of bit flips applied to one of
+ * the six studied structures at a chosen cycle. SimAssert escaping the
+ * core (it should not — the core records assertions per instruction) is
+ * caught here as a backstop and classified as an Assert outcome.
+ */
+
+#ifndef MBUSIM_SIM_SIMULATOR_HH
+#define MBUSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.hh"
+#include "sim/program.hh"
+#include "sim/system.hh"
+
+namespace mbusim::sim {
+
+/** The six injectable structures, as the simulator names them. */
+enum class FaultTarget : uint8_t
+{
+    L1DData, L1IData, L2Data, RegFileBits, ItlbBits, DtlbBits,
+    // Ablation targets:
+    L1DTags, L1ITags, L2Tags,
+};
+
+/** One bit to flip. */
+struct BitFlip
+{
+    uint32_t row;
+    uint32_t col;
+};
+
+/** A scheduled injection: flips applied when the cycle is reached. */
+struct Injection
+{
+    FaultTarget target = FaultTarget::L1DData;
+    uint64_t cycle = 0;
+    std::vector<BitFlip> flips;
+};
+
+/** Result of one complete simulation. */
+struct SimResult
+{
+    ExitStatus status;
+    std::vector<uint8_t> output;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    CpuStats cpuStats;
+
+    // Memory-hierarchy characterization (filled by Simulator::run).
+    CacheStats l1iStats, l1dStats, l2Stats;
+    TlbStats itlbStats, dtlbStats;
+    uint64_t pageWalks = 0;
+};
+
+/** One program execution on the full timing model. */
+class Simulator
+{
+  public:
+    Simulator(const Program& program, const CpuConfig& config);
+
+    /** Schedule an injection (before run()). */
+    void scheduleInjection(const Injection& injection);
+
+    /**
+     * Run to completion or @p max_cycles (0 = unlimited). A hit budget
+     * yields ExitKind::LimitReached — the Timeout outcome class.
+     */
+    SimResult run(uint64_t max_cycles);
+
+    Cpu& cpu() { return *cpu_; }
+    System& system() { return *system_; }
+
+    /** Geometry (rows, cols) of a fault target under this config. */
+    static std::pair<uint32_t, uint32_t>
+    targetGeometry(FaultTarget target, const CpuConfig& config);
+
+    /** The BitArray behind a fault target. */
+    BitArray& targetBits(FaultTarget target);
+
+  private:
+    CpuConfig config_;
+    std::unique_ptr<System> system_;
+    std::unique_ptr<Cpu> cpu_;
+    std::vector<Injection> injections_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_SIMULATOR_HH

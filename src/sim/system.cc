@@ -1,0 +1,133 @@
+#include "sim/system.hh"
+
+#include "sim/isa.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+System::System(const Program& program, uint64_t phys_mem_bytes,
+               uint32_t page_walk_latency)
+    : mem_(phys_mem_bytes), mmu_(mem_, page_walk_latency),
+      entry_(program.entry), heapTopVpn_(0)
+{
+    loadProgram(program);
+}
+
+void
+System::loadProgram(const Program& program)
+{
+    auto mapRegion = [&](uint32_t base, uint32_t bytes, PagePerms perms) {
+        uint32_t first_vpn = base >> PageShift;
+        uint32_t last_vpn = (base + bytes - 1) >> PageShift;
+        for (uint32_t vpn = first_vpn; vpn <= last_vpn; ++vpn)
+            mmu_.mapPage(vpn, perms);
+    };
+
+    // Code: read + execute.
+    if (program.code.empty())
+        fatal("empty program");
+    uint32_t code_bytes = program.codeBytes();
+    mapRegion(program.codeBase, code_bytes, {true, false, true});
+    // Data (+ heap growth happens via Brk): read + write.
+    uint32_t data_bytes =
+        std::max<uint32_t>(static_cast<uint32_t>(program.data.size()), 1);
+    mapRegion(program.dataBase, data_bytes, {true, true, false});
+    heapTopVpn_ =
+        ((program.dataBase + data_bytes - 1) >> PageShift) + 1;
+    // Stack: read + write.
+    mapRegion(DefaultStackTop - DefaultStackBytes, DefaultStackBytes,
+              {true, true, false});
+
+    // Copy the images through the identity of the page table.
+    auto copyOut = [&](uint32_t vaddr, const uint8_t* src,
+                       uint32_t bytes) {
+        for (uint32_t i = 0; i < bytes; ++i) {
+            uint32_t vpn = (vaddr + i) >> PageShift;
+            uint32_t pte = mem_.read(PageTableBase + vpn * 4, 4);
+            TlbEntry e = TlbEntry::unpack(pte);
+            uint32_t pa = (e.pfn << PageShift) |
+                          ((vaddr + i) & (PageBytes - 1));
+            mem_.write(pa, 1, src[i]);
+        }
+    };
+    std::vector<uint8_t> code_bytes_vec(code_bytes);
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        uint32_t w = program.code[i];
+        for (int b = 0; b < 4; ++b)
+            code_bytes_vec[i * 4 + static_cast<size_t>(b)] =
+                static_cast<uint8_t>(w >> (8 * b));
+    }
+    copyOut(program.codeBase, code_bytes_vec.data(), code_bytes);
+    if (!program.data.empty())
+        copyOut(program.dataBase, program.data.data(),
+                static_cast<uint32_t>(program.data.size()));
+}
+
+SyscallResult
+System::syscall(uint32_t code, uint32_t arg, uint64_t cycle)
+{
+    SyscallResult result;
+    switch (static_cast<Syscall>(code)) {
+      case Syscall::Exit:
+        result.exits = true;
+        result.exitCode = arg;
+        break;
+      case Syscall::PutChar:
+        output_.push_back(static_cast<uint8_t>(arg));
+        break;
+      case Syscall::PutWord:
+        for (int i = 0; i < 4; ++i)
+            output_.push_back(static_cast<uint8_t>(arg >> (8 * i)));
+        break;
+      case Syscall::Brk: {
+        uint32_t old_top = heapTopVpn_ << PageShift;
+        uint32_t want_vpn =
+            (arg + PageBytes - 1) >> PageShift;
+        uint32_t stack_base_vpn =
+            (DefaultStackTop - DefaultStackBytes) >> PageShift;
+        if (want_vpn > heapTopVpn_ && want_vpn <= stack_base_vpn) {
+            for (uint32_t vpn = heapTopVpn_; vpn < want_vpn; ++vpn)
+                mmu_.mapPage(vpn, {true, true, false});
+            heapTopVpn_ = want_vpn;
+        }
+        result.writesRv = true;
+        result.rvValue = old_top;
+        break;
+      }
+      case Syscall::Cycles:
+        result.writesRv = true;
+        result.rvValue = static_cast<uint32_t>(cycle);
+        break;
+      default:
+        result.bad = true;
+        break;
+    }
+    return result;
+}
+
+ExitStatus
+System::deliverException(ExceptionType type, uint32_t pc, uint32_t addr)
+{
+    ExitStatus status;
+    status.exception = type;
+    status.faultPc = pc;
+    status.faultAddr = addr;
+    // A fault whose address implicates kernel physical state is not
+    // attributable to the process: panic. (Virtual addresses never map
+    // there in a healthy system; only corrupted translations do this.)
+    bool kernel_addr = addr >= PageTableBase &&
+                       addr < PageTableBase + PageTableBytes &&
+                       type == ExceptionType::PermissionFault;
+    status.kind = kernel_addr ? ExitKind::KernelPanic
+                              : ExitKind::ProcessCrash;
+    return status;
+}
+
+bool
+System::storeHitsKernel(uint32_t paddr, uint32_t bytes) const
+{
+    return paddr < PageTableBase + PageTableBytes &&
+           paddr + bytes > PageTableBase;
+}
+
+} // namespace mbusim::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The mini operating system and platform.
+ *
+ * Owns physical memory, the MMU/page tables and program state. Loads a
+ * Program into the virtual address space (code pages R+X, data and stack
+ * pages R+W), services syscalls at commit time and turns architectural
+ * exceptions into process-crash or kernel-panic terminations — the
+ * "Crash" plumbing of the paper's fault-effect classification.
+ */
+
+#ifndef MBUSIM_SIM_SYSTEM_HH
+#define MBUSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/exceptions.hh"
+#include "sim/memory.hh"
+#include "sim/mmu.hh"
+#include "sim/program.hh"
+
+namespace mbusim::sim {
+
+/** Result of servicing one syscall. */
+struct SyscallResult
+{
+    bool exits = false;          ///< program called exit
+    uint32_t exitCode = 0;
+    bool writesRv = false;       ///< result to be written to r15
+    uint32_t rvValue = 0;
+    bool bad = false;            ///< undefined syscall number
+};
+
+/** Mini-OS: loader, syscall handler, exception semantics. */
+class System
+{
+  public:
+    /**
+     * Create the platform and load @p program.
+     * @param phys_mem_bytes physical memory size
+     * @param page_walk_latency MMU walker cost in cycles
+     */
+    System(const Program& program, uint64_t phys_mem_bytes,
+           uint32_t page_walk_latency);
+
+    PhysicalMemory& memory() { return mem_; }
+    Mmu& mmu() { return mmu_; }
+
+    /** Initial program counter. */
+    uint32_t entryPc() const { return entry_; }
+    /** Initial stack pointer. */
+    uint32_t initialSp() const { return DefaultStackTop; }
+
+    /**
+     * Service a syscall (commit stage).
+     * @param code syscall number from the instruction
+     * @param arg committed value of r1
+     * @param cycle current cycle (for Syscall::Cycles)
+     */
+    SyscallResult syscall(uint32_t code, uint32_t arg, uint64_t cycle);
+
+    /**
+     * Turn a committed exception into a termination. Exceptions whose
+     * fault address or PC implicates kernel state become kernel panics;
+     * everything else kills only the process.
+     */
+    ExitStatus deliverException(ExceptionType type, uint32_t pc,
+                                uint32_t addr);
+
+    /**
+     * Does a committed store to physical @p paddr corrupt kernel state
+     * (the page-table region)? Such stores panic the kernel.
+     */
+    bool storeHitsKernel(uint32_t paddr, uint32_t bytes) const;
+
+    /** Program output stream (PutChar/PutWord). */
+    const std::vector<uint8_t>& output() const { return output_; }
+
+  private:
+    void loadProgram(const Program& program);
+
+    PhysicalMemory mem_;
+    Mmu mmu_;
+    uint32_t entry_;
+    uint32_t heapTopVpn_;     ///< first unmapped heap VPN
+    std::vector<uint8_t> output_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_SYSTEM_HH

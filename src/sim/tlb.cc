@@ -1,0 +1,90 @@
+#include "sim/tlb.hh"
+
+#include "util/log.hh"
+
+namespace mbusim::sim {
+
+uint32_t
+TlbEntry::pack() const
+{
+    uint32_t bits = 0;
+    bits |= valid ? 1u : 0u;
+    bits |= (perms.read ? 1u : 0u) << 1;
+    bits |= (perms.write ? 1u : 0u) << 2;
+    bits |= (perms.exec ? 1u : 0u) << 3;
+    bits |= (vpn & MaxVpn) << 4;
+    bits |= (pfn & MaxVpn) << 18;
+    return bits;
+}
+
+TlbEntry
+TlbEntry::unpack(uint32_t bits)
+{
+    TlbEntry e;
+    e.valid = bits & 1;
+    e.perms.read = (bits >> 1) & 1;
+    e.perms.write = (bits >> 2) & 1;
+    e.perms.exec = (bits >> 3) & 1;
+    e.vpn = (bits >> 4) & MaxVpn;
+    e.pfn = (bits >> 18) & MaxVpn;
+    return e;
+}
+
+Tlb::Tlb(std::string name, uint32_t entries)
+    : name_(std::move(name)), bits_(entries, 32)
+{
+    if (entries == 0)
+        panic("TLB with zero entries");
+}
+
+std::optional<uint32_t>
+Tlb::lookup(uint32_t vpn)
+{
+    auto matches = [&](uint32_t i) {
+        TlbEntry e = TlbEntry::unpack(
+            static_cast<uint32_t>(bits_.read(i, 0, 32)));
+        return e.valid && e.vpn == (vpn & MaxVpn);
+    };
+    // Micro-TLB behaviour: consecutive accesses usually hit the same
+    // entry, so probe the last hit first. This is purely a host-side
+    // speedup — the entry bits (possibly corrupted) are still what is
+    // read.
+    if (lastHit_ < numEntries() && matches(lastHit_)) {
+        ++stats_.hits;
+        return lastHit_;
+    }
+    for (uint32_t i = 0; i < numEntries(); ++i) {
+        if (matches(i)) {
+            ++stats_.hits;
+            lastHit_ = i;
+            return i;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+TlbEntry
+Tlb::entryAt(uint32_t index) const
+{
+    return TlbEntry::unpack(static_cast<uint32_t>(bits_.read(index, 0,
+                                                             32)));
+}
+
+uint32_t
+Tlb::insert(const TlbEntry& entry)
+{
+    uint32_t slot = fifo_;
+    bits_.write(slot, 0, 32, entry.pack());
+    fifo_ = (fifo_ + 1) % numEntries();
+    return slot;
+}
+
+void
+Tlb::flush()
+{
+    bits_.clear();
+    fifo_ = 0;
+}
+
+} // namespace mbusim::sim

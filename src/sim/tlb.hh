@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Translation lookaside buffer with bit-packed entries.
+ *
+ * 32 fully-associative entries of 32 bits each (Table VIII: 1024 bits per
+ * TLB). Entry layout, LSB first:
+ *
+ *   bit 0      valid
+ *   bit 1..3   permissions: R, W, X
+ *   bit 4..17  VPN (14 bits -> 16 MiB virtual space, 1 KiB pages)
+ *   bit 18..31 PFN (14 bits)
+ *
+ * The 1 KiB page size (vs. Linux's 4 KiB on the paper's platform) keeps
+ * the packed entry at exactly 32 bits while letting the scaled-down
+ * workloads exercise a realistic fraction of the 32 TLB entries; see
+ * DESIGN.md.
+ *
+ * The entry array is a BitArray (rows = entries, cols = 32): a flipped
+ * VPN bit retargets the mapping to a different virtual page (silent wrong
+ * translation), a flipped PFN bit sends accesses to a wrong — possibly
+ * nonexistent — physical frame (the paper's dominant DTLB Assert source),
+ * and a flipped permission or valid bit produces faults or misses.
+ */
+
+#ifndef MBUSIM_SIM_TLB_HH
+#define MBUSIM_SIM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/bitarray.hh"
+
+namespace mbusim::sim {
+
+/** Page geometry shared by TLB, MMU and loader. */
+constexpr uint32_t PageShift = 10;
+constexpr uint32_t PageBytes = 1u << PageShift;
+constexpr uint32_t VpnBits = 14;
+constexpr uint32_t MaxVpn = (1u << VpnBits) - 1;
+
+/** Permission bits. */
+struct PagePerms
+{
+    bool read = false;
+    bool write = false;
+    bool exec = false;
+};
+
+/** Unpacked view of one TLB entry. */
+struct TlbEntry
+{
+    bool valid = false;
+    PagePerms perms;
+    uint32_t vpn = 0;
+    uint32_t pfn = 0;
+
+    /** Pack into the 32-bit SRAM format. */
+    uint32_t pack() const;
+    /** Unpack from the 32-bit SRAM format. */
+    static TlbEntry unpack(uint32_t bits);
+};
+
+/** Hit/miss counters. */
+struct TlbStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/** Fully-associative TLB with FIFO replacement. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, uint32_t entries);
+
+    uint32_t numEntries() const { return bits_.rows(); }
+
+    /**
+     * Look up a VPN. Returns the entry index of the first valid match,
+     * or nullopt. Updates hit/miss statistics.
+     */
+    std::optional<uint32_t> lookup(uint32_t vpn);
+
+    /** Read entry @p index (possibly corrupted bits, unpacked). */
+    TlbEntry entryAt(uint32_t index) const;
+
+    /** Insert a translation at the FIFO cursor; returns the slot. */
+    uint32_t insert(const TlbEntry& entry);
+
+    /** Invalidate everything (context switch / reset). */
+    void flush();
+
+    /** The raw SRAM array (fault-injection target). */
+    BitArray& bits() { return bits_; }
+    const BitArray& bits() const { return bits_; }
+
+    const TlbStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    BitArray bits_;
+    uint32_t fifo_ = 0;
+    uint32_t lastHit_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace mbusim::sim
+
+#endif // MBUSIM_SIM_TLB_HH

@@ -1,0 +1,54 @@
+#include "util/csv.hh"
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+    open_ = true;
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& fields)
+{
+    if (!open_)
+        panic("CsvWriter::writeRow after close");
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (open_) {
+        out_.flush();
+        out_.close();
+        open_ = false;
+    }
+}
+
+} // namespace mbusim

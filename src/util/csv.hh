@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting campaign results.
+ *
+ * Bench harnesses can dump their raw per-run data next to the rendered
+ * tables (set MBUSIM_CSV_DIR) so results can be re-plotted externally.
+ */
+
+#ifndef MBUSIM_UTIL_CSV_HH
+#define MBUSIM_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mbusim {
+
+/**
+ * RFC-4180-style CSV writer. Quotes fields containing separators, quotes
+ * or newlines; everything else is written verbatim.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string>& fields);
+
+    /** Flush and close; further writes are a bug. */
+    void close();
+
+    /** Quote a single field per RFC 4180 if needed. */
+    static std::string escape(const std::string& field);
+
+  private:
+    std::ofstream out_;
+    bool open_ = false;
+};
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_CSV_HH

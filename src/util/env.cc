@@ -1,0 +1,51 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+int64_t
+envInt(const char* name, int64_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char* end = nullptr;
+    long long parsed = std::strtoll(v, &end, 0);
+    if (end == v || *end != '\0')
+        fatal("environment variable %s='%s' is not an integer", name, v);
+    return parsed;
+}
+
+std::string
+envString(const char* name, const std::string& fallback)
+{
+    const char* v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+std::vector<std::string>
+envList(const char* name)
+{
+    std::vector<std::string> out;
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return out;
+    std::string cur;
+    for (const char* p = v; ; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur.push_back(*p);
+        }
+    }
+    return out;
+}
+
+} // namespace mbusim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Environment-variable configuration helpers.
+ *
+ * All bench harnesses scale their campaigns via MBUSIM_* environment
+ * variables (e.g. MBUSIM_INJECTIONS=2000 reproduces the paper's sample
+ * size); these helpers centralize the parsing and error reporting.
+ */
+
+#ifndef MBUSIM_UTIL_ENV_HH
+#define MBUSIM_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbusim {
+
+/** Read an integer environment variable, or fall back to a default. */
+int64_t envInt(const char* name, int64_t fallback);
+
+/** Read a string environment variable, or fall back to a default. */
+std::string envString(const char* name, const std::string& fallback);
+
+/**
+ * Read a comma-separated list environment variable.
+ * @return the split values, or an empty vector if unset/empty.
+ */
+std::vector<std::string> envList(const char* name);
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_ENV_HH

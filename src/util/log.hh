@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Mirrors the gem5 discipline: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user errors that make it impossible to
+ * continue, warn()/inform() for status. A separate SimAssert exception type
+ * models the paper's "Assert" fault-effect class: a condition the simulated
+ * hardware model cannot represent (e.g. a corrupted TLB entry pointing
+ * outside physical memory) raised *during simulation of a faulty machine*,
+ * which must be caught and classified rather than aborting the host process.
+ */
+
+#ifndef MBUSIM_UTIL_LOG_HH
+#define MBUSIM_UTIL_LOG_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace mbusim {
+
+/**
+ * Raised when the simulated machine reaches a state the model cannot
+ * handle (the paper's "Assert" outcome class). Callers running fault
+ * injection campaigns catch this and classify the run; it never indicates
+ * a host-program bug.
+ */
+class SimAssert : public std::runtime_error
+{
+  public:
+    explicit SimAssert(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char* fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of user input, i.e. an mbusim bug.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error message: the simulation cannot continue due to a
+ * user-side problem (bad configuration, malformed assembly, etc.).
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Raise a SimAssert (the "Assert" fault-effect class). */
+[[noreturn]] void simAssertFail(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr without stopping the program. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_LOG_HH

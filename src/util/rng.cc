@@ -1,0 +1,115 @@
+#include "util/rng.hh"
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    seed_ = seed_value;
+    uint64_t sm = seed_value;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below called with bound 0");
+    // Lemire's nearly-divisionless rejection method.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range: lo > hi");
+    uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + below(span);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(uint64_t label, uint64_t index) const
+{
+    // Mix (seed, label, index) through splitmix64 into a fresh seed.
+    uint64_t x = seed_;
+    uint64_t a = splitmix64(x);
+    x ^= label * 0x9e3779b97f4a7c15ULL;
+    uint64_t b = splitmix64(x);
+    x ^= index + 0x632be59bd9b4e019ULL;
+    uint64_t c = splitmix64(x);
+    return Rng(a ^ rotl(b, 23) ^ rotl(c, 47));
+}
+
+} // namespace mbusim

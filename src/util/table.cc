@@ -1,0 +1,110 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        panic("TextTable row arity %zu != header arity %zu",
+              row.size(), headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+
+    std::string out;
+    if (!title_.empty()) {
+        out += title_;
+        out += '\n';
+        out += std::string(std::max(total, title_.size()), '=');
+        out += '\n';
+    }
+    out += renderRow(headers_);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto& row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    return strprintf("%.*f", decimals, value);
+}
+
+std::string
+fmtGrouped(uint64_t value)
+{
+    std::string digits = strprintf("%" PRIu64, value);
+    std::string out;
+    size_t lead = digits.size() % 3;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        // Guard i >= lead: size_t subtraction must not wrap.
+        if (i != 0 && i >= lead && (i - lead) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string
+fmtBar(double fraction, int width)
+{
+    double f = std::clamp(fraction, 0.0, 1.0);
+    int n = static_cast<int>(f * width + 0.5);
+    return std::string(static_cast<size_t>(n), '#');
+}
+
+} // namespace mbusim

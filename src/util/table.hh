@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain-text table renderer used by every bench harness.
+ *
+ * The paper's deliverables are tables and bar-chart figures; the bench
+ * binaries regenerate them as aligned ASCII tables (one row per table row
+ * or per bar). Keeping the renderer in one place guarantees a uniform,
+ * diff-able output format across all 15 harnesses.
+ */
+
+#ifndef MBUSIM_UTIL_TABLE_HH
+#define MBUSIM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mbusim {
+
+/**
+ * Column-aligned text table with an optional title and header row.
+ *
+ * Cells are strings; numeric formatting is the caller's business (the
+ * helpers fmtPercent/fmtDouble below cover the common cases).
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void title(std::string t) { title_ = std::move(t); }
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the full table (title, rule, header, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a fraction (0..1) as a percentage with the given decimals. */
+std::string fmtPercent(double fraction, int decimals = 2);
+
+/** Format a double with the given decimals. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Format an integer with thousands separators (e.g. 132,195,721). */
+std::string fmtGrouped(uint64_t value);
+
+/**
+ * Render a unit-width horizontal bar of '#' characters, e.g. for the
+ * figure harnesses' stacked-bar output. @p fraction is clamped to [0,1].
+ */
+std::string fmtBar(double fraction, int width = 40);
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_TABLE_HH

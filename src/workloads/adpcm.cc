@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ADPCM_dec workload: IMA ADPCM decoder over an LCG-generated nibble
+ * stream. Mirrors MiBench telecomm/adpcm (rawdaudio decode). Output: every
+ * 256th decoded sample plus a final sum checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const adpcmDec = R"(
+# IMA ADPCM decode of 3500 4-bit codes into a sample buffer.
+.data
+# Standard IMA step-size table (89 entries).
+steptab:
+    .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+    .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+    .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+    .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+    .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+    .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+    .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+    .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+    .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+# Standard IMA index-adjust table (by 4-bit code).
+idxtab:
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+outbuf:
+    .space 7600                # decoded 16-bit samples (~8 pages)
+
+.text
+main:
+    # r3 = valpred, r4 = index, r5 = remaining codes, r8 = LCG state
+    # r9 = LCG multiplier, r10 = sample sum, r12 = emit countdown
+    li   r3, 0
+    li   r4, 0
+    li   r5, 3500
+    li   r8, 0xBEEF0001
+    li   r9, 1103515245
+    li   r10, 0
+    li   r12, 256
+decode:
+    # next 4-bit code from the LCG
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r6, r8, 13
+    andi r6, r6, 15            # delta
+
+    # step = steptab[index]
+    la   r7, steptab
+    slli r11, r4, 2
+    add  r7, r7, r11
+    lw   r7, 0(r7)             # step
+
+    # vpdiff = step >> 3, plus step terms per delta bit
+    srli r11, r7, 3            # vpdiff
+    andi r2, r6, 4
+    beqz r2, no4
+    add  r11, r11, r7
+no4:
+    andi r2, r6, 2
+    beqz r2, no2
+    srli r2, r7, 1
+    add  r11, r11, r2
+no2:
+    andi r2, r6, 1
+    beqz r2, no1
+    srli r2, r7, 2
+    add  r11, r11, r2
+no1:
+    # apply sign bit
+    andi r2, r6, 8
+    beqz r2, plus
+    sub  r3, r3, r11
+    j    clamp
+plus:
+    add  r3, r3, r11
+clamp:
+    li   r2, 32767
+    min  r3, r3, r2
+    li   r2, -32768
+    max  r3, r3, r2
+
+    # index += idxtab[delta], clamped to [0, 88]
+    la   r7, idxtab
+    slli r11, r6, 2
+    add  r7, r7, r11
+    lw   r7, 0(r7)
+    add  r4, r4, r7
+    li   r2, 88
+    min  r4, r4, r2
+    max  r4, r4, r0            # max(index, 0)
+
+    add  r10, r10, r3          # checksum
+
+    # append the sample to the output buffer
+    la   r2, outbuf
+    slli r7, r5, 1
+    add  r2, r2, r7
+    sh   r3, -2(r2)            # outbuf[total - remaining] (reversed)
+
+    # emit every 256th sample
+    addi r12, r12, -1
+    bnez r12, no_emit
+    li   r12, 256
+    mov  r1, r3
+    sys  3
+no_emit:
+    addi r5, r5, -1
+    bnez r5, decode
+
+    mov  r1, r10               # final checksum
+    sys  3
+    mov  r1, r4                # final index (state check)
+    sys  3
+
+    # re-read the decoded sample buffer (like writing the output file)
+    la   r2, outbuf
+    li   r5, 3500
+    li   r10, 0
+rd_loop:
+    lh   r3, 0(r2)
+    add  r10, r10, r3
+    addi r2, r2, 2
+    addi r5, r5, -1
+    bnez r5, rd_loop
+    mov  r1, r10               # buffer checksum
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

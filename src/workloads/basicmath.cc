@@ -1,0 +1,100 @@
+/**
+ * @file
+ * basicmath workload: integer square root (bit-by-bit), integer cube root
+ * (Hacker's Delight shift-3 method) and degree-to-radian conversion in
+ * Q16.16 over an LCG input stream. Mirrors MiBench automotive/basicmath
+ * (sqrt / cubic / rad2deg mix). Output: three accumulator checksums plus
+ * periodic samples.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const basicmath = R"(
+# 600 iterations of { isqrt, icbrt, deg->rad } on LCG inputs.
+.text
+main:
+    # r8 = LCG state, r9 = multiplier, r5 = iteration count
+    # r6 = isqrt sum, r7 = icbrt sum, r10 = radian sum
+    li   r8, 0x0BADF00D
+    li   r9, 1103515245
+    li   r5, 600
+    li   r6, 0
+    li   r7, 0
+    li   r10, 0
+iter:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    mov  r2, r8                # x (full 32-bit, unsigned)
+
+    # ---- isqrt(x): bit-by-bit method ----
+    # r3 = res, r4 = bit, r2 = x (consumed)
+    li   r3, 0
+    li   r4, 0x40000000
+sq_shrink:
+    bleu_check:
+    bgeu r2, r4, sq_loop       # while bit > x: bit >>= 2
+    srli r4, r4, 2
+    bnez r4, bleu_check
+sq_loop:
+    beqz r4, sq_done
+    add  r11, r3, r4           # res + bit
+    srli r3, r3, 1
+    bltu r2, r11, sq_skip
+    sub  r2, r2, r11
+    add  r3, r3, r4            # res = (res >> 1) + bit
+sq_skip:
+    srli r4, r4, 2
+    j    sq_loop
+sq_done:
+    add  r6, r6, r3
+
+    # ---- icbrt(x): shift-by-3 method (Hacker's Delight) ----
+    mov  r2, r8                # fresh x
+    li   r3, 0                 # y
+    li   r4, 30                # s
+cb_loop:
+    slli r3, r3, 1             # y = 2y
+    # b = 3*y*(y+1) + 1
+    addi r11, r3, 1
+    mul  r11, r3, r11
+    slli r12, r11, 1
+    add  r11, r11, r12         # 3*y*(y+1)
+    addi r11, r11, 1
+    srl  r12, r2, r4           # x >> s
+    bltu r12, r11, cb_skip
+    sll  r11, r11, r4
+    sub  r2, r2, r11           # x -= b << s
+    addi r3, r3, 1
+cb_skip:
+    addi r4, r4, -3
+    bgez r4, cb_loop
+    add  r7, r7, r3
+
+    # ---- deg -> rad: rad = deg * (pi/180) in Q16.16 (1144) ----
+    andi r11, r8, 0x1ff        # degrees 0..511
+    li   r12, 1144
+    mul  r11, r11, r12
+    add  r10, r10, r11
+
+    # every 64th iteration, emit the running isqrt sum
+    andi r11, r5, 63
+    bnez r11, no_emit
+    mov  r1, r6
+    sys  3
+no_emit:
+    addi r5, r5, -1
+    bnez r5, iter
+
+    mov  r1, r6
+    sys  3
+    mov  r1, r7
+    sys  3
+    mov  r1, r10
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

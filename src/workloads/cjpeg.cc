@@ -1,0 +1,236 @@
+/**
+ * @file
+ * cjpeg workload: JPEG-style compression of 8x8 blocks — integer 2-D DCT
+ * (cosine table built at runtime in Q14 via the Chebyshev recurrence),
+ * standard luminance quantization, zigzag scan and run-length encoding.
+ * Mirrors MiBench consumer/jpeg (cjpeg). Output: RLE symbol stream, one
+ * word per nonzero coefficient, EOB marker per block.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const cjpeg = R"(
+# Forward DCT + quantize + zigzag + RLE over 4 LCG-filled 8x8 blocks.
+.data
+costab: .space 128           # 32 x Q14 cos(k*pi/16)
+fblk:   .space 256           # 64-word input block (pixel - 128)
+tblk:   .space 256           # row-pass intermediate
+oblk:   .space 256           # coefficient block
+quant:                        # standard JPEG luminance table
+    .word 16, 11, 10, 16, 24, 40, 51, 61
+    .word 12, 12, 14, 19, 26, 58, 60, 55
+    .word 14, 13, 16, 24, 40, 57, 69, 56
+    .word 14, 17, 22, 29, 51, 87, 80, 62
+    .word 18, 22, 37, 56, 68, 109, 103, 77
+    .word 24, 35, 55, 64, 81, 104, 113, 92
+    .word 49, 64, 78, 87, 103, 121, 120, 101
+    .word 72, 92, 95, 98, 112, 100, 103, 99
+zigzag:                       # standard zigzag scan order
+    .word 0, 1, 8, 16, 9, 2, 3, 10
+    .word 17, 24, 32, 25, 18, 11, 4, 5
+    .word 12, 19, 26, 33, 40, 48, 41, 34
+    .word 27, 20, 13, 6, 7, 14, 21, 28
+    .word 35, 42, 49, 56, 57, 50, 43, 36
+    .word 29, 22, 15, 23, 30, 37, 44, 51
+    .word 58, 59, 52, 45, 38, 31, 39, 46
+    .word 53, 60, 61, 54, 47, 55, 62, 63
+
+.text
+main:
+    addi sp, sp, -16
+
+    # ---- build costab: c[k] = cos(k*pi/16) in Q14, Chebyshev ----
+    la   r3, costab
+    li   r4, 16384           # c[0]
+    sw   r4, 0(r3)
+    li   r5, 16069           # c[1] = cos(pi/16)
+    sw   r5, 4(r3)
+    li   r6, 2               # k
+ctab_loop:
+    # c[k] = (2*c1*c[k-1] >> 14) - c[k-2]
+    li   r7, 16069
+    mul  r7, r7, r5
+    slli r7, r7, 1
+    srai r7, r7, 14
+    sub  r7, r7, r4
+    slli r11, r6, 2
+    add  r11, r3, r11
+    sw   r7, 0(r11)
+    mov  r4, r5
+    mov  r5, r7
+    addi r6, r6, 1
+    li   r7, 32
+    bne  r6, r7, ctab_loop
+
+    li   r8, 0x5EED1234      # LCG state (global)
+    li   r9, 1103515245
+    sw   r0, 0(sp)           # block counter
+
+block_loop:
+    # ---- fill fblk with LCG pixels - 128 ----
+    la   r3, fblk
+    li   r4, 64
+px_fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    andi r5, r5, 0xff
+    addi r5, r5, -128
+    sw   r5, 0(r3)
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, px_fill
+
+    # ---- row pass: t[u][y] = sum_x cos[(2x+1)u & 31] * f[x][y] >> 14
+    la   r10, costab
+    la   r11, fblk
+    la   r12, tblk
+    li   r3, 0               # u
+rp_u:
+    li   r4, 0               # y
+rp_y:
+    li   r5, 0               # acc
+    li   r6, 0               # x
+rp_x:
+    slli r7, r6, 1
+    addi r7, r7, 1
+    mul  r7, r7, r3
+    andi r7, r7, 31
+    slli r7, r7, 2
+    add  r7, r10, r7
+    lw   r7, 0(r7)           # cos
+    slli r2, r6, 3
+    add  r2, r2, r4
+    slli r2, r2, 2
+    add  r2, r11, r2
+    lw   r2, 0(r2)           # f[x][y]
+    mul  r7, r7, r2
+    add  r5, r5, r7
+    addi r6, r6, 1
+    li   r7, 8
+    bne  r6, r7, rp_x
+    srai r5, r5, 14
+    slli r2, r3, 3
+    add  r2, r2, r4
+    slli r2, r2, 2
+    add  r2, r12, r2
+    sw   r5, 0(r2)
+    addi r4, r4, 1
+    li   r7, 8
+    bne  r4, r7, rp_y
+    addi r3, r3, 1
+    li   r7, 8
+    bne  r3, r7, rp_u
+
+    # ---- col pass: F[u][v] = sum_y t[u][y] * cos[(2y+1)v & 31] >> 14
+    la   r11, tblk
+    la   r12, oblk
+    li   r3, 0               # u
+cp_u:
+    li   r4, 0               # v
+cp_v:
+    li   r5, 0               # acc
+    li   r6, 0               # y
+cp_y:
+    slli r7, r6, 1
+    addi r7, r7, 1
+    mul  r7, r7, r4
+    andi r7, r7, 31
+    slli r7, r7, 2
+    add  r7, r10, r7
+    lw   r7, 0(r7)           # cos
+    slli r2, r3, 3
+    add  r2, r2, r6
+    slli r2, r2, 2
+    add  r2, r11, r2
+    lw   r2, 0(r2)           # t[u][y]
+    mul  r7, r7, r2
+    add  r5, r5, r7
+    addi r6, r6, 1
+    li   r7, 8
+    bne  r6, r7, cp_y
+    srai r5, r5, 14
+    slli r2, r3, 3
+    add  r2, r2, r4
+    slli r2, r2, 2
+    add  r2, r12, r2
+    sw   r5, 0(r2)
+    addi r4, r4, 1
+    li   r7, 8
+    bne  r4, r7, cp_v
+    addi r3, r3, 1
+    li   r7, 8
+    bne  r3, r7, cp_u
+
+    # ---- alpha scaling (1/sqrt2 on row/col 0), 1/4, quantize ----
+    la   r11, oblk
+    la   r12, quant
+    li   r3, 0               # idx
+sc_loop:
+    slli r4, r3, 2
+    add  r4, r11, r4
+    lw   r5, 0(r4)
+    srai r5, r5, 2           # the 1/4 factor
+    srli r6, r3, 3           # row
+    bnez r6, sc_no_row0
+    li   r7, 11585
+    mul  r5, r5, r7
+    srai r5, r5, 14
+sc_no_row0:
+    andi r6, r3, 7           # col
+    bnez r6, sc_no_col0
+    li   r7, 11585
+    mul  r5, r5, r7
+    srai r5, r5, 14
+sc_no_col0:
+    slli r6, r3, 2
+    add  r6, r12, r6
+    lw   r6, 0(r6)
+    div  r5, r5, r6          # quantize
+    sw   r5, 0(r4)
+    addi r3, r3, 1
+    li   r7, 64
+    bne  r3, r7, sc_loop
+
+    # ---- zigzag + RLE emit ----
+    la   r11, oblk
+    la   r12, zigzag
+    li   r3, 0               # k
+    li   r4, 0               # zero run
+zz_loop:
+    slli r5, r3, 2
+    add  r5, r12, r5
+    lw   r5, 0(r5)           # zig index
+    slli r5, r5, 2
+    add  r5, r11, r5
+    lw   r5, 0(r5)           # coefficient
+    beqz r5, zz_zero
+    slli r1, r4, 16
+    andi r5, r5, 0xffff
+    or   r1, r1, r5
+    sys  3                   # emit (run << 16) | (coef & 0xffff)
+    li   r4, 0
+    j    zz_next
+zz_zero:
+    addi r4, r4, 1
+zz_next:
+    addi r3, r3, 1
+    li   r7, 64
+    bne  r3, r7, zz_loop
+    li   r1, 0xFFFF0000      # end-of-block
+    sys  3
+
+    # next block
+    lw   r3, 0(sp)
+    addi r3, r3, 1
+    sw   r3, 0(sp)
+    li   r7, 4
+    bne  r3, r7, block_loop
+
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

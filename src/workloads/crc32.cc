@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CRC32 workload: table-driven CRC-32 (poly 0xEDB88320) over an LCG-filled
+ * 40 KiB buffer (exceeding L1D, so the stream is re-read through
+ * L2). Mirrors MiBench telecomm/CRC32. Output: the CRC word.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const crc32 = R"(
+# CRC32: build the 256-entry reflected CRC table, fill a 40 KiB buffer
+# from an LCG, then run one full CRC pass emitting the CRC.
+.data
+table:  .space 1024          # 256 x 4-byte CRC table
+buf:    .space 40960         # input buffer (40 pages, > L1D)
+
+.text
+main:
+    # ---- build CRC table: for i in 0..255 ----
+    la   r2, table
+    li   r3, 0               # i
+tbl_outer:
+    mov  r4, r3              # c = i
+    li   r5, 8               # bit counter
+tbl_bit:
+    andi r6, r4, 1
+    srli r4, r4, 1
+    beqz r6, tbl_nox
+    li   r7, 0xEDB88320
+    xor  r4, r4, r7
+tbl_nox:
+    addi r5, r5, -1
+    bnez r5, tbl_bit
+    slli r6, r3, 2
+    add  r6, r2, r6
+    sw   r4, 0(r6)
+    addi r3, r3, 1
+    li   r7, 256
+    bne  r3, r7, tbl_outer
+
+    # ---- fill buffer from LCG: x = x*1103515245 + 12345 ----
+    la   r3, buf
+    li   r4, 40960
+    add  r4, r3, r4          # end
+    li   r8, 0x12345678      # LCG state
+    li   r9, 1103515245
+fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r6, r8, 16
+    sb   r6, 0(r3)
+    addi r3, r3, 1
+    bne  r3, r4, fill
+
+    # ---- CRC pass ----
+    li   r10, 1              # pass counter
+pass:
+    la   r3, buf
+    li   r4, 40960
+    add  r4, r3, r4
+    li   r5, -1              # crc = 0xFFFFFFFF
+crc_loop:
+    lbu  r6, 0(r3)
+    xor  r6, r6, r5
+    andi r6, r6, 0xff
+    slli r6, r6, 2
+    add  r6, r2, r6
+    lw   r6, 0(r6)
+    srli r5, r5, 8
+    xor  r5, r5, r6
+    addi r3, r3, 1
+    bne  r3, r4, crc_loop
+    not  r1, r5              # final xor
+    sys  3                   # putword(crc)
+    addi r10, r10, -1
+    bnez r10, pass
+
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

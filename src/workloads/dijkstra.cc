@@ -1,0 +1,143 @@
+/**
+ * @file
+ * dijkstra workload: single-source shortest paths (O(N^2) scan variant,
+ * like MiBench network/dijkstra) on a dense 48-node LCG-weighted digraph,
+ * run from 2 different sources. Output: per-source distance-sum checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const dijkstra = R"(
+# Dijkstra over a dense 48-node graph, adjacency matrix of LCG weights.
+.data
+adj:   .space 9216           # 48*48 words (9 pages)
+dist:  .space 192            # 48 words
+seen:  .space 192            # 48 words
+
+.text
+main:
+    # ---- build adjacency matrix: weight 1..255, 0 on the diagonal ----
+    la   r3, adj
+    li   r8, 0x00C0FFEE      # LCG state
+    li   r9, 1103515245
+    li   r4, 0               # i
+adj_i:
+    li   r5, 0               # j
+adj_j:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r6, r8, 16
+    andi r6, r6, 0xff
+    addi r6, r6, 1           # 1..256
+    bne  r4, r5, adj_store
+    li   r6, 0               # diagonal
+adj_store:
+    sw   r6, 0(r3)
+    addi r3, r3, 4
+    addi r5, r5, 1
+    li   r7, 48
+    bne  r5, r7, adj_j
+    addi r4, r4, 1
+    li   r7, 48
+    bne  r4, r7, adj_i
+
+    # ---- run from sources 0 and 24 ----
+    li   r12, 0              # source
+src_loop:
+    # init dist = INF, seen = 0; dist[src] = 0
+    la   r3, dist
+    la   r4, seen
+    li   r5, 48
+    li   r6, 0x7fffffff
+init:
+    sw   r6, 0(r3)
+    sw   r0, 0(r4)
+    addi r3, r3, 4
+    addi r4, r4, 4
+    addi r5, r5, -1
+    bnez r5, init
+    la   r3, dist
+    slli r5, r12, 2
+    add  r5, r3, r5
+    sw   r0, 0(r5)           # dist[src] = 0
+
+    li   r10, 48             # rounds
+round:
+    # find unvisited u with min dist
+    la   r3, dist
+    la   r4, seen
+    li   r5, 0x7fffffff      # best
+    li   r6, -1              # best index
+    li   r7, 0               # i
+find:
+    slli r11, r7, 2
+    add  r2, r4, r11
+    lw   r2, 0(r2)
+    bnez r2, find_next       # already seen
+    add  r2, r3, r11
+    lw   r2, 0(r2)
+    bge  r2, r5, find_next
+    mov  r5, r2
+    mov  r6, r7
+find_next:
+    addi r7, r7, 1
+    li   r11, 48
+    bne  r7, r11, find
+    bltz r6, src_done        # no reachable unvisited node
+
+    # mark seen[u]
+    la   r4, seen
+    slli r11, r6, 2
+    add  r4, r4, r11
+    li   r2, 1
+    sw   r2, 0(r4)
+
+    # relax all edges (u, j)
+    la   r3, dist
+    la   r4, adj
+    li   r7, 48
+    mul  r11, r6, r7
+    slli r11, r11, 2
+    add  r4, r4, r11         # &adj[u][0]
+    li   r7, 0               # j
+relax:
+    slli r11, r7, 2
+    add  r2, r4, r11
+    lw   r2, 0(r2)           # w(u, j)
+    beqz r2, relax_next      # no self edge
+    add  r2, r2, r5          # dist[u] + w
+    add  r11, r3, r11
+    lw   r1, 0(r11)
+    bge  r2, r1, relax_next
+    sw   r2, 0(r11)
+relax_next:
+    addi r7, r7, 1
+    li   r11, 48
+    bne  r7, r11, relax
+
+    addi r10, r10, -1
+    bnez r10, round
+src_done:
+    # checksum = sum of distances
+    la   r3, dist
+    li   r5, 48
+    li   r1, 0
+sum:
+    lw   r7, 0(r3)
+    add  r1, r1, r7
+    addi r3, r3, 4
+    addi r5, r5, -1
+    bnez r5, sum
+    sys  3                   # emit checksum for this source
+
+    addi r12, r12, 24
+    li   r7, 48
+    blt  r12, r7, src_loop
+
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * djpeg workload: JPEG-style decompression with a reduced (scaled) 4x4
+ * inverse DCT, the algorithm libjpeg uses for `djpeg -scale 1/2`: only
+ * the low-frequency 4x4 corner of each sparse quantized coefficient block
+ * is dequantized, alpha-scaled and inverse transformed to a 4x4 pixel
+ * tile. Mirrors MiBench consumer/jpeg (djpeg). Output: all pixels of each
+ * tile plus a global checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const djpeg = R"(
+# Dequantize + reduced 4x4 inverse DCT of 5 sparse coefficient blocks.
+.data
+costab: .space 128           # 32 x Q14 cos(k*pi/16)
+gblk:   .space 256           # dequantized coefficients (8x8 layout)
+tblk:   .space 64            # row-pass intermediate (4x4)
+quant:
+    .word 16, 11, 10, 16, 24, 40, 51, 61
+    .word 12, 12, 14, 19, 26, 58, 60, 55
+    .word 14, 13, 16, 24, 40, 57, 69, 56
+    .word 14, 17, 22, 29, 51, 87, 80, 62
+    .word 18, 22, 37, 56, 68, 109, 103, 77
+    .word 24, 35, 55, 64, 81, 104, 113, 92
+    .word 49, 64, 78, 87, 103, 121, 120, 101
+    .word 72, 92, 95, 98, 112, 100, 103, 99
+
+.text
+main:
+    addi sp, sp, -16
+
+    # ---- build costab (same recurrence as cjpeg) ----
+    la   r3, costab
+    li   r4, 16384
+    sw   r4, 0(r3)
+    li   r5, 16069
+    sw   r5, 4(r3)
+    li   r6, 2
+ctab_loop:
+    li   r7, 16069
+    mul  r7, r7, r5
+    slli r7, r7, 1
+    srai r7, r7, 14
+    sub  r7, r7, r4
+    slli r11, r6, 2
+    add  r11, r3, r11
+    sw   r7, 0(r11)
+    mov  r4, r5
+    mov  r5, r7
+    addi r6, r6, 1
+    li   r7, 32
+    bne  r6, r7, ctab_loop
+
+    li   r8, 0xD0DEC0DE      # LCG state
+    li   r9, 1103515245
+    sw   r0, 0(sp)           # block counter
+    sw   r0, 4(sp)           # global pixel checksum
+
+blk_loop:
+    # ---- sparse coefficients: ~1/8 nonzero, dequantized + alpha ----
+    la   r11, gblk
+    la   r12, quant
+    li   r3, 0               # idx
+coef_loop:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r5, r8, 20
+    andi r5, r5, 7
+    li   r6, 0
+    bnez r5, coef_store      # 7/8 of coefficients are zero
+    srli r6, r8, 8
+    andi r6, r6, 31
+    addi r6, r6, -16         # value in [-16, 15]
+    # dequantize
+    slli r7, r3, 2
+    add  r7, r12, r7
+    lw   r7, 0(r7)
+    mul  r6, r6, r7
+    # alpha on row 0 / col 0
+    srli r7, r3, 3
+    bnez r7, coef_no_r0
+    li   r7, 11585
+    mul  r6, r6, r7
+    srai r6, r6, 14
+coef_no_r0:
+    andi r7, r3, 7
+    bnez r7, coef_store
+    li   r7, 11585
+    mul  r6, r6, r7
+    srai r6, r6, 14
+coef_store:
+    slli r7, r3, 2
+    add  r7, r11, r7
+    sw   r6, 0(r7)
+    addi r3, r3, 1
+    li   r7, 64
+    bne  r3, r7, coef_loop
+
+    # ---- reduced row pass over the 4x4 low-frequency corner ----
+    # t[x][v] = sum_{u<4} G[u][v] * cos[(2x+1)u & 31] >> 14, x,v in 0..3
+    la   r10, costab
+    la   r11, gblk
+    la   r12, tblk
+    li   r3, 0               # x
+ip_x:
+    li   r4, 0               # v
+ip_v:
+    li   r5, 0               # acc
+    li   r6, 0               # u
+ip_u:
+    slli r2, r6, 3
+    add  r2, r2, r4
+    slli r2, r2, 2
+    add  r2, r11, r2
+    lw   r2, 0(r2)           # G[u][v]
+    beqz r2, ip_skip         # sparse: skip zero terms
+    slli r7, r3, 1
+    addi r7, r7, 1
+    mul  r7, r7, r6
+    andi r7, r7, 31
+    slli r7, r7, 2
+    add  r7, r10, r7
+    lw   r7, 0(r7)           # cos
+    mul  r7, r7, r2
+    add  r5, r5, r7
+ip_skip:
+    addi r6, r6, 1
+    li   r7, 4
+    bne  r6, r7, ip_u
+    srai r5, r5, 14
+    slli r2, r3, 2
+    add  r2, r2, r4
+    slli r2, r2, 2
+    add  r2, r12, r2
+    sw   r5, 0(r2)
+    addi r4, r4, 1
+    li   r7, 4
+    bne  r4, r7, ip_v
+    addi r3, r3, 1
+    li   r7, 4
+    bne  r3, r7, ip_x
+
+    # ---- reduced col pass + clamp + output ----
+    la   r11, tblk
+    li   r3, 0               # x
+op_x:
+    li   r4, 0               # y
+op_y:
+    li   r5, 0               # acc
+    li   r6, 0               # v
+op_v:
+    slli r7, r4, 1
+    addi r7, r7, 1
+    mul  r7, r7, r6
+    andi r7, r7, 31
+    slli r7, r7, 2
+    add  r7, r10, r7
+    lw   r7, 0(r7)           # cos
+    slli r2, r3, 2
+    add  r2, r2, r6
+    slli r2, r2, 2
+    add  r2, r11, r2
+    lw   r2, 0(r2)           # t[x][v]
+    mul  r7, r7, r2
+    add  r5, r5, r7
+    addi r6, r6, 1
+    li   r7, 4
+    bne  r6, r7, op_v
+    srai r5, r5, 14
+    srai r5, r5, 1           # reduced transform scale
+    addi r5, r5, 128
+    max  r5, r5, r0          # clamp to [0, 255]
+    li   r7, 255
+    min  r5, r5, r7
+    lw   r7, 4(sp)
+    add  r7, r7, r5
+    sw   r7, 4(sp)           # checksum
+    mov  r1, r5
+    sys  3                   # emit pixel
+    addi r4, r4, 1
+    li   r7, 4
+    bne  r4, r7, op_y
+    addi r3, r3, 1
+    li   r7, 4
+    bne  r3, r7, op_x
+
+    lw   r3, 0(sp)
+    addi r3, r3, 1
+    sw   r3, 0(sp)
+    li   r4, 5
+    bne  r3, r4, blk_loop
+
+    lw   r1, 4(sp)           # final checksum
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * FFT workload: 256-point in-place radix-2 complex FFT in Q16.16 fixed
+ * point (our ISA is integer-only; see DESIGN.md). Input is an LCG-filled
+ * real signal. Mirrors MiBench telecomm/FFT. Output: spectrum sum
+ * checksums plus four sample bins.
+ *
+ * The twiddle constants are exp(-2*pi*i/len) per stage in Q16.16; within
+ * a block the running twiddle is advanced by complex multiplication,
+ * exactly like the float reference implementation.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const fft = R"(
+# 256-point radix-2 DIT FFT, Q16.16. im[] lives 1024 bytes after re[].
+.data
+rebuf:  .space 1024
+imbuf:  .space 1024
+# (wr, wi) = exp(-2*pi*i/len) for len = 2, 4, ..., 256
+wtab:   .word -65536, 0
+        .word 0, -65536
+        .word 46341, -46341
+        .word 60547, -25080
+        .word 64277, -12785
+        .word 65220, -6424
+        .word 65457, -3216
+        .word 65516, -1608
+
+.text
+main:
+    addi sp, sp, -32
+
+    # ---- fill input: re = LCG in [-32768, 32767] (Q16.16 ~ +/-0.5) ----
+    la   r3, rebuf
+    li   r6, 256
+    li   r8, 0xCAFE1234        # LCG state
+    li   r9, 1103515245
+fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r7, r8, 16
+    slli r7, r7, 16
+    srai r7, r7, 16            # sign-extend 16-bit sample
+    sw   r7, 0(r3)
+    sw   r0, 1024(r3)           # im = 0
+    addi r3, r3, 4
+    addi r6, r6, -1
+    bnez r6, fill
+
+    # ---- bit-reversal permutation (8 bits) ----
+    li   r3, 0                 # i
+bitrev_loop:
+    mov  r4, r3
+    li   r5, 0                 # j
+    li   r6, 8
+brbits:
+    slli r5, r5, 1
+    andi r7, r4, 1
+    or   r5, r5, r7
+    srli r4, r4, 1
+    addi r6, r6, -1
+    bnez r6, brbits
+    bge  r3, r5, no_swap       # swap once, when i < j
+    la   r8, rebuf
+    slli r9, r3, 2
+    add  r9, r8, r9            # &re[i]
+    slli r11, r5, 2
+    add  r11, r8, r11          # &re[j]
+    lw   r12, 0(r9)
+    lw   r4, 0(r11)
+    sw   r4, 0(r9)
+    sw   r12, 0(r11)
+    lw   r12, 1024(r9)
+    lw   r4, 1024(r11)
+    sw   r4, 1024(r9)
+    sw   r12, 1024(r11)
+no_swap:
+    addi r3, r3, 1
+    li   r7, 256
+    bne  r3, r7, bitrev_loop
+
+    # ---- stages ----
+    la   r10, wtab
+    li   r3, 2                 # len
+stage_loop:
+    lw   r1, 0(r10)
+    sw   r1, 0(sp)             # wr0
+    lw   r1, 4(r10)
+    sw   r1, 4(sp)             # wi0
+    srli r1, r3, 1
+    sw   r1, 24(sp)            # half, in elements
+    slli r4, r1, 2             # half, in bytes
+    la   r9, rebuf             # block pointer
+    la   r1, rebuf
+    addi r1, r1, 1024
+    sw   r1, 28(sp)            # end of re[]
+block_loop:
+    li   r7, 65536             # wr = 1.0
+    li   r8, 0                 # wi = 0
+    mov  r5, r9                # p1 = &re[block]
+    li   r6, 0                 # j
+bfly_loop:
+    # load (re2, im2)
+    add  r2, r5, r4
+    lw   r1, 0(r2)
+    sw   r1, 16(sp)            # re2
+    lw   r1, 1024(r2)
+    sw   r1, 20(sp)            # im2
+    # tr = wr*re2 - wi*im2
+    mov  r1, r7
+    lw   r2, 16(sp)
+    call fmul
+    sw   rv, 8(sp)
+    mov  r1, r8
+    lw   r2, 20(sp)
+    call fmul
+    lw   r2, 8(sp)
+    sub  r2, r2, rv
+    sw   r2, 8(sp)             # tr
+    # ti = wr*im2 + wi*re2
+    mov  r1, r7
+    lw   r2, 20(sp)
+    call fmul
+    sw   rv, 12(sp)
+    mov  r1, r8
+    lw   r2, 16(sp)
+    call fmul
+    lw   r2, 12(sp)
+    add  r2, r2, rv
+    sw   r2, 12(sp)            # ti
+    # re[idx2] = re1 - tr ; re[idx1] = re1 + tr
+    lw   r1, 0(r5)
+    lw   r2, 8(sp)
+    sub  r12, r1, r2
+    add  r11, r1, r2
+    add  r2, r5, r4
+    sw   r12, 0(r2)
+    sw   r11, 0(r5)
+    # im[idx2] = im1 - ti ; im[idx1] = im1 + ti
+    lw   r1, 1024(r5)
+    lw   r2, 12(sp)
+    sub  r12, r1, r2
+    add  r11, r1, r2
+    add  r2, r5, r4
+    sw   r12, 1024(r2)
+    sw   r11, 1024(r5)
+    # w *= wlen (complex)
+    mov  r1, r7
+    lw   r2, 0(sp)
+    call fmul                  # wr*wr0
+    sw   rv, 8(sp)
+    mov  r1, r8
+    lw   r2, 4(sp)
+    call fmul                  # wi*wi0
+    lw   r2, 8(sp)
+    sub  r2, r2, rv
+    sw   r2, 8(sp)             # new wr
+    mov  r1, r7
+    lw   r2, 4(sp)
+    call fmul                  # wr*wi0
+    sw   rv, 12(sp)
+    mov  r1, r8
+    lw   r2, 0(sp)
+    call fmul                  # wi*wr0
+    lw   r2, 12(sp)
+    add  r8, r2, rv            # wi'
+    lw   r7, 8(sp)             # wr'
+    # next butterfly
+    addi r5, r5, 4
+    addi r6, r6, 1
+    lw   r11, 24(sp)
+    blt  r6, r11, bfly_loop
+    # next block
+    slli r11, r3, 2
+    add  r9, r9, r11
+    lw   r11, 28(sp)
+    blt  r9, r11, block_loop
+    # next stage
+    addi r10, r10, 8
+    slli r3, r3, 1
+    li   r11, 512
+    blt  r3, r11, stage_loop
+
+    # ---- magnitude spectrum: sum of isqrt(re^2 + im^2) ----
+    la   r3, rebuf
+    li   r6, 256
+    li   r10, 0                # magnitude sum
+mag_loop:
+    lw   r1, 0(r3)
+    mul  r4, r1, r1
+    lw   r1, 1024(r3)
+    mul  r5, r1, r1
+    add  r4, r4, r5            # |X|^2 (mod 2^32)
+    li   r5, 0                 # isqrt accumulator
+    li   r7, 0x40000000
+msq_shrink:
+    bgeu r4, r7, msq_loop
+    srli r7, r7, 2
+    bnez r7, msq_shrink
+msq_loop:
+    beqz r7, msq_done
+    add  r11, r5, r7
+    srli r5, r5, 1
+    bltu r4, r11, msq_skip
+    sub  r4, r4, r11
+    add  r5, r5, r7
+msq_skip:
+    srli r7, r7, 2
+    j    msq_loop
+msq_done:
+    add  r10, r10, r5
+    addi r3, r3, 4
+    addi r6, r6, -1
+    bnez r6, mag_loop
+    mov  r1, r10
+    sys  3
+
+    # ---- output checksums ----
+    la   r3, rebuf
+    li   r4, 0                 # sum re
+    li   r5, 0                 # sum im
+    li   r6, 256
+sum_loop:
+    lw   r7, 0(r3)
+    add  r4, r4, r7
+    lw   r7, 1024(r3)
+    add  r5, r5, r7
+    addi r3, r3, 4
+    addi r6, r6, -1
+    bnez r6, sum_loop
+    mov  r1, r4
+    sys  3
+    mov  r1, r5
+    sys  3
+    la   r3, rebuf
+    lw   r1, 4(r3)             # re[1]
+    sys  3
+    lw   r1, 1028(r3)          # im[1]
+    sys  3
+    lw   r1, 512(r3)           # re[128]
+    sys  3
+    lw   r1, 1536(r3)          # im[128]
+    sys  3
+    li   r1, 0
+    sys  1
+
+# ---- Q16.16 multiply: rv = (r1 * r2) >> 16 ----
+fmul:
+    mulh r11, r1, r2
+    mul  r12, r1, r2
+    slli r11, r11, 16
+    srli r12, r12, 16
+    or   rv, r11, r12
+    ret
+)";
+
+} // namespace mbusim::workloads::sources

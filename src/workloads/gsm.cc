@@ -1,0 +1,124 @@
+/**
+ * @file
+ * gsm_dec workload: simplified GSM full-rate-style speech decoder — per
+ * frame, long-term prediction (lag + gain from the parameter stream)
+ * reconstructs the residual, then an 8-tap fixed-point short-term
+ * synthesis filter produces samples. Mirrors MiBench telecomm/gsm
+ * (decode). Output: per-frame sample-sum checksum plus a final total.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const gsmDec = R"(
+# 6 frames x 40 samples of LTP + 8-tap synthesis filtering.
+.data
+# Q14 synthesis filter taps (stable, decaying, alternating).
+taps:  .word 9830, -4915, 2458, -1229, 614, -307, 154, -77
+dbuf:  .space 1600           # residual history: 160 zeros + 240 samples
+sbuf:  .space 992            # synthesis history: 8 zeros + 240 samples
+
+.text
+main:
+    li   r8, 0x6A5B1E55      # LCG state
+    li   r9, 1103515245
+    li   r10, 0              # global sample index n
+    li   r12, 0              # total checksum
+    li   r11, 6              # frame counter (use stack? no: r11 reused)
+    addi sp, sp, -16
+    sw   r11, 0(sp)          # frames remaining
+frame:
+    # frame parameters
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    andi r3, r8, 63
+    addi r3, r3, 40          # lag in [40, 103]
+    srli r4, r8, 8
+    andi r4, r4, 63          # gain (Q6)
+    sw   r3, 4(sp)           # lag
+    sw   r4, 8(sp)           # gain
+    li   r5, 0               # frame checksum
+    li   r6, 40              # samples in frame
+sample:
+    # residual input e in [-512, 511]
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r2, r8, 12
+    andi r2, r2, 0x3ff
+    addi r2, r2, -512        # e
+
+    # LTP: d[n] = e + (gain * d[n - lag]) >> 6
+    la   r7, dbuf
+    addi r3, r10, 160
+    lw   r4, 4(sp)           # lag
+    sub  r3, r3, r4          # index n + 160 - lag
+    slli r3, r3, 2
+    add  r3, r7, r3
+    lw   r3, 0(r3)           # d[n - lag]
+    lw   r4, 8(sp)           # gain
+    mul  r3, r3, r4
+    srai r3, r3, 6
+    add  r2, r2, r3          # d[n]
+    # clamp d to 16 bits to keep the filter bounded
+    li   r3, 32767
+    min  r2, r2, r3
+    li   r3, -32768
+    max  r2, r2, r3
+    # store d[n]
+    addi r3, r10, 160
+    slli r3, r3, 2
+    add  r3, r7, r3
+    sw   r2, 0(r3)
+
+    # short-term synthesis: s = d + sum_k taps[k-1] * s[n-k] >> 14
+    la   r7, sbuf
+    la   r4, taps
+    li   r3, 1               # k
+stf:
+    addi r1, r10, 8
+    sub  r1, r1, r3          # index n + 8 - k
+    slli r1, r1, 2
+    add  r1, r7, r1
+    lw   r1, 0(r1)           # s[n-k]
+    addi r11, r3, -1
+    slli r11, r11, 2
+    add  r11, r4, r11
+    lw   r11, 0(r11)         # tap
+    mul  r1, r1, r11
+    srai r1, r1, 14
+    add  r2, r2, r1
+    addi r3, r3, 1
+    li   r11, 9
+    bne  r3, r11, stf
+    # clamp s to 16 bits
+    li   r3, 32767
+    min  r2, r2, r3
+    li   r3, -32768
+    max  r2, r2, r3
+    # store s[n]
+    addi r3, r10, 8
+    slli r3, r3, 2
+    add  r3, r7, r3
+    sw   r2, 0(r3)
+
+    add  r5, r5, r2          # frame checksum
+    addi r10, r10, 1
+    addi r6, r6, -1
+    bnez r6, sample
+
+    mov  r1, r5
+    sys  3                   # per-frame checksum
+    add  r12, r12, r5
+    lw   r11, 0(sp)
+    addi r11, r11, -1
+    sw   r11, 0(sp)
+    bnez r11, frame
+
+    mov  r1, r12             # total
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

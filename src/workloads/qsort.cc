@@ -1,0 +1,127 @@
+/**
+ * @file
+ * qsort workload: iterative quicksort (Lomuto partition, explicit work
+ * stack) of 700 LCG 32-bit keys, followed by a sortedness check. Mirrors
+ * MiBench automotive/qsort. Output: order-violation count (0), extremes
+ * and a position-weighted checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const qsortBench = R"(
+# Quicksort 700 words, then verify and checksum.
+.data
+arr:    .space 2800          # 700 words
+wstack: .space 8192          # (lo, hi) pair stack
+
+.text
+main:
+    # ---- fill array ----
+    la   r3, arr
+    li   r8, 0x9A8B7C6D
+    li   r9, 1103515245
+    li   r4, 700
+fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    sw   r8, 0(r3)
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, fill
+
+    # ---- iterative quicksort ----
+    # r10 = work-stack pointer (grows up), r12 = &arr
+    la   r10, wstack
+    la   r12, arr
+    sw   r0, 0(r10)          # lo = 0
+    li   r2, 699
+    sw   r2, 4(r10)          # hi = 699
+    addi r10, r10, 8
+qs_loop:
+    la   r2, wstack
+    beq  r10, r2, qs_done    # stack empty
+    addi r10, r10, -8
+    lw   r3, 0(r10)          # lo
+    lw   r4, 4(r10)          # hi
+    bge  r3, r4, qs_loop     # segment of size <= 1
+
+    # Lomuto partition: pivot = a[hi]
+    slli r5, r4, 2
+    add  r5, r12, r5
+    lw   r5, 0(r5)           # pivot value
+    addi r6, r3, -1          # i
+    mov  r7, r3              # j
+part:
+    slli r11, r7, 2
+    add  r11, r12, r11
+    lw   r2, 0(r11)          # a[j]
+    blt  r5, r2, part_next   # keep if a[j] <= pivot
+    addi r6, r6, 1
+    slli r1, r6, 2
+    add  r1, r12, r1
+    lw   r9, 0(r1)           # a[i]
+    sw   r2, 0(r1)
+    sw   r9, 0(r11)          # swap a[i], a[j]
+part_next:
+    addi r7, r7, 1
+    bne  r7, r4, part
+    # place pivot: swap a[i+1], a[hi]
+    addi r6, r6, 1
+    slli r1, r6, 2
+    add  r1, r12, r1
+    lw   r9, 0(r1)
+    slli r11, r4, 2
+    add  r11, r12, r11
+    lw   r2, 0(r11)
+    sw   r2, 0(r1)
+    sw   r9, 0(r11)
+    # push (lo, i-1) and (i+1, hi)
+    addi r2, r6, -1
+    sw   r3, 0(r10)
+    sw   r2, 4(r10)
+    addi r10, r10, 8
+    addi r2, r6, 1
+    sw   r2, 0(r10)
+    sw   r4, 4(r10)
+    addi r10, r10, 8
+    j    qs_loop
+qs_done:
+
+    # ---- verify ascending order and checksum ----
+    la   r3, arr
+    li   r4, 699             # pairs to check
+    li   r5, 0               # violations
+    li   r6, 0               # weighted checksum
+    li   r7, 1               # position weight
+    lw   r2, 0(r3)
+    mul  r9, r2, r7
+    add  r6, r6, r9
+verify:
+    lw   r1, 4(r3)           # next
+    lw   r2, 0(r3)           # cur
+    bge  r1, r2, ok          # signed ascending (partition is signed)
+    addi r5, r5, 1
+ok:
+    addi r7, r7, 1
+    mul  r9, r1, r7
+    add  r6, r6, r9
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, verify
+
+    mov  r1, r5              # violations (expect 0)
+    sys  3
+    la   r3, arr
+    lw   r1, 0(r3)           # min
+    sys  3
+    lw   r1, 2796(r3)        # max
+    sys  3
+    mov  r1, r6              # weighted checksum
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * rijndael_dec workload: AES-128 (Rijndael) inverse cipher.
+ * The GF(2^8) exp/log tables, S-box and inverse S-box are generated at
+ * runtime (generator 3, affine transform), the key schedule is the
+ * standard AES-128 expansion, and each round applies InvShiftRows,
+ * InvSubBytes, AddRoundKey and InvMixColumns. Mirrors MiBench
+ * security/rijndael (decode). Output: plaintext state words.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const rijndaelDec = R"(
+# AES-128 decryption of 5 blocks, tables generated at runtime.
+.data
+exptab: .space 256           # exp[i] = 3^i in GF(2^8), i in 0..254
+logtab: .space 256           # log base 3
+sbox:   .space 256
+isbox:  .space 256
+rk:     .space 176           # round keys (bytes)
+cbuf:   .space 80            # ciphertext blocks
+state:  .space 16
+tmpst:  .space 16
+lconst: .space 4             # log[9], log[11], log[13], log[14]
+
+.text
+main:
+    addi sp, sp, -16
+
+    # ---- GF(2^8) exp/log tables, generator 3 ----
+    la   r9, exptab
+    la   r10, logtab
+    li   r3, 0               # i
+    li   r4, 1               # val = 3^i
+exp_loop:
+    add  r11, r9, r3
+    sb   r4, 0(r11)
+    add  r11, r10, r4
+    sb   r3, 0(r11)
+    # val *= 3  (val ^ xtime(val)), inline xtime
+    slli r5, r4, 1
+    andi r6, r5, 0x100
+    beqz r6, exp_nored
+    xori r5, r5, 0x11B
+exp_nored:
+    andi r5, r5, 0xff
+    xor  r4, r4, r5
+    addi r3, r3, 1
+    li   r11, 255
+    bne  r3, r11, exp_loop
+
+    # ---- S-box and inverse S-box ----
+    la   r5, sbox
+    la   r6, isbox
+    li   r3, 0               # a
+sbox_loop:
+    beqz r3, sb_zero
+    add  r11, r10, r3
+    lbu  r11, 0(r11)         # log[a]
+    li   r12, 255
+    sub  r11, r12, r11
+    bne  r11, r12, inv_ok    # log[a]==0 -> inverse is exp[0]
+    li   r11, 0
+inv_ok:
+    add  r11, r9, r11
+    lbu  r4, 0(r11)          # b = a^-1
+    j    affine
+sb_zero:
+    li   r4, 0
+affine:
+    mov  r12, r4             # acc
+    li   r7, 1
+rot_loop:
+    sll  r11, r4, r7
+    li   r2, 8
+    sub  r2, r2, r7
+    srl  r2, r4, r2
+    or   r11, r11, r2
+    andi r11, r11, 0xff
+    xor  r12, r12, r11
+    addi r7, r7, 1
+    li   r2, 5
+    bne  r7, r2, rot_loop
+    xori r12, r12, 0x63
+    add  r11, r5, r3
+    sb   r12, 0(r11)
+    add  r11, r6, r12
+    sb   r3, 0(r11)
+    addi r3, r3, 1
+    li   r11, 256
+    bne  r3, r11, sbox_loop
+
+    # ---- InvMixColumns multiplier logs ----
+    la   r3, lconst
+    li   r4, 9
+    add  r11, r10, r4
+    lbu  r11, 0(r11)
+    sb   r11, 0(r3)
+    li   r4, 11
+    add  r11, r10, r4
+    lbu  r11, 0(r11)
+    sb   r11, 1(r3)
+    li   r4, 13
+    add  r11, r10, r4
+    lbu  r11, 0(r11)
+    sb   r11, 2(r3)
+    li   r4, 14
+    add  r11, r10, r4
+    lbu  r11, 0(r11)
+    sb   r11, 3(r3)
+
+    # ---- key (rk[0..15]) and ciphertext from LCG ----
+    la   r3, rk
+    li   r8, 0xA55A1DEA
+    li   r7, 1103515245
+    li   r4, 16
+key_fill:
+    mul  r8, r8, r7
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    sb   r5, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, key_fill
+    la   r3, cbuf
+    li   r4, 80
+ct_fill:
+    mul  r8, r8, r7
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    sb   r5, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, ct_fill
+
+    # ---- key expansion ----
+    li   r4, 16              # i
+    li   r7, 1               # rcon
+kx_loop:
+    la   r3, rk
+    add  r5, r3, r4
+    lbu  r11, -4(r5)
+    lbu  r12, -3(r5)
+    lbu  r2, -2(r5)
+    lbu  r6, -1(r5)
+    andi r1, r4, 15
+    bnez r1, kx_norot
+    # RotWord
+    mov  r1, r11
+    mov  r11, r12
+    mov  r12, r2
+    mov  r2, r6
+    mov  r6, r1
+    # SubWord
+    la   r1, sbox
+    add  r11, r1, r11
+    lbu  r11, 0(r11)
+    add  r12, r1, r12
+    lbu  r12, 0(r12)
+    add  r2, r1, r2
+    lbu  r2, 0(r2)
+    add  r6, r1, r6
+    lbu  r6, 0(r6)
+    xor  r11, r11, r7        # rcon
+    # rcon = xtime(rcon)
+    slli r7, r7, 1
+    andi r1, r7, 0x100
+    beqz r1, kx_rc_ok
+    xori r7, r7, 0x11B
+kx_rc_ok:
+    andi r7, r7, 0xff
+kx_norot:
+    lbu  r1, -16(r5)
+    xor  r1, r1, r11
+    sb   r1, 0(r5)
+    lbu  r1, -15(r5)
+    xor  r1, r1, r12
+    sb   r1, 1(r5)
+    lbu  r1, -14(r5)
+    xor  r1, r1, r2
+    sb   r1, 2(r5)
+    lbu  r1, -13(r5)
+    xor  r1, r1, r6
+    sb   r1, 3(r5)
+    addi r4, r4, 4
+    li   r1, 176
+    bne  r4, r1, kx_loop
+
+    # ---- decrypt ----
+    sw   r0, 0(sp)           # block index
+blk_loop:
+    # state = cbuf[blk*16 ...]
+    lw   r3, 0(sp)
+    slli r3, r3, 4
+    la   r4, cbuf
+    add  r3, r4, r3
+    la   r4, state
+    li   r5, 16
+ld_state:
+    lbu  r6, 0(r3)
+    sb   r6, 0(r4)
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, -1
+    bnez r5, ld_state
+
+    li   r1, 160
+    call ark
+    li   r3, 9
+    sw   r3, 4(sp)           # round
+round_loop:
+    call isr
+    call isb
+    lw   r1, 4(sp)
+    slli r1, r1, 4
+    call ark
+    call imc
+    lw   r3, 4(sp)
+    addi r3, r3, -1
+    sw   r3, 4(sp)
+    bnez r3, round_loop
+    call isr
+    call isb
+    li   r1, 0
+    call ark
+
+    # emit the four plaintext words
+    la   r3, state
+    lw   r1, 0(r3)
+    sys  3
+    lw   r1, 4(r3)
+    sys  3
+    lw   r1, 8(r3)
+    sys  3
+    lw   r1, 12(r3)
+    sys  3
+
+    lw   r3, 0(sp)
+    addi r3, r3, 1
+    sw   r3, 0(sp)
+    li   r4, 5
+    bne  r3, r4, blk_loop
+
+    li   r1, 0
+    sys  1
+
+# ---- AddRoundKey: r1 = byte offset into rk ----
+ark:
+    la   r2, rk
+    add  r2, r2, r1
+    la   r3, state
+    li   r4, 16
+ark_loop:
+    lbu  r5, 0(r2)
+    lbu  r6, 0(r3)
+    xor  r5, r5, r6
+    sb   r5, 0(r3)
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, ark_loop
+    ret
+
+# ---- InvShiftRows: row r rotates right by r ----
+isr:
+    la   r2, state
+    la   r3, tmpst
+    li   r4, 16
+isr_copy:
+    lbu  r5, 0(r2)
+    sb   r5, 0(r3)
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, isr_copy
+    la   r2, state
+    la   r3, tmpst
+    li   r4, 0               # r
+isr_r:
+    li   r5, 0               # c
+isr_c:
+    # src col = (c + 4 - r) & 3
+    addi r6, r5, 4
+    sub  r6, r6, r4
+    andi r6, r6, 3
+    slli r6, r6, 2
+    add  r6, r6, r4          # r + 4*src_col
+    add  r6, r3, r6
+    lbu  r6, 0(r6)
+    slli r7, r5, 2
+    add  r7, r7, r4          # r + 4*c
+    add  r7, r2, r7
+    sb   r6, 0(r7)
+    addi r5, r5, 1
+    li   r7, 4
+    bne  r5, r7, isr_c
+    addi r4, r4, 1
+    li   r7, 4
+    bne  r4, r7, isr_r
+    ret
+
+# ---- InvSubBytes ----
+isb:
+    la   r2, state
+    la   r3, isbox
+    li   r4, 16
+isb_loop:
+    lbu  r5, 0(r2)
+    add  r5, r3, r5
+    lbu  r5, 0(r5)
+    sb   r5, 0(r2)
+    addi r2, r2, 1
+    addi r4, r4, -1
+    bnez r4, isb_loop
+    ret
+
+# ---- gmul: rv = r1 (*) g where r2 = log[g]; r9/r10 = exp/log bases ----
+gmul:
+    beqz r1, gm_zero
+    add  r11, r10, r1
+    lbu  r11, 0(r11)
+    add  r11, r11, r2
+    li   r12, 255
+    blt  r11, r12, gm_ok
+    sub  r11, r11, r12
+gm_ok:
+    add  r11, r9, r11
+    lbu  rv, 0(r11)
+    ret
+gm_zero:
+    li   rv, 0
+    ret
+
+# ---- InvMixColumns (calls gmul; saves lr) ----
+imc:
+    addi sp, sp, -8
+    sw   lr, 0(sp)
+    li   r8, 0               # column
+imc_col:
+    la   r2, state
+    slli r3, r8, 2
+    add  r2, r2, r3
+    lbu  r3, 0(r2)           # a0
+    lbu  r4, 1(r2)           # a1
+    lbu  r5, 2(r2)           # a2
+    lbu  r6, 3(r2)           # a3
+    # out0 = 14*a0 ^ 11*a1 ^ 13*a2 ^ 9*a3
+    mov  r1, r3
+    la   r2, lconst
+    lbu  r2, 3(r2)
+    call gmul
+    mov  r7, rv
+    mov  r1, r4
+    la   r2, lconst
+    lbu  r2, 1(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r5
+    la   r2, lconst
+    lbu  r2, 2(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r6
+    la   r2, lconst
+    lbu  r2, 0(r2)
+    call gmul
+    xor  r7, r7, rv
+    la   r2, tmpst
+    slli r12, r8, 2
+    add  r2, r2, r12
+    sb   r7, 0(r2)
+    # out1 = 9*a0 ^ 14*a1 ^ 11*a2 ^ 13*a3
+    mov  r1, r3
+    la   r2, lconst
+    lbu  r2, 0(r2)
+    call gmul
+    mov  r7, rv
+    mov  r1, r4
+    la   r2, lconst
+    lbu  r2, 3(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r5
+    la   r2, lconst
+    lbu  r2, 1(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r6
+    la   r2, lconst
+    lbu  r2, 2(r2)
+    call gmul
+    xor  r7, r7, rv
+    la   r2, tmpst
+    slli r12, r8, 2
+    add  r2, r2, r12
+    sb   r7, 1(r2)
+    # out2 = 13*a0 ^ 9*a1 ^ 14*a2 ^ 11*a3
+    mov  r1, r3
+    la   r2, lconst
+    lbu  r2, 2(r2)
+    call gmul
+    mov  r7, rv
+    mov  r1, r4
+    la   r2, lconst
+    lbu  r2, 0(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r5
+    la   r2, lconst
+    lbu  r2, 3(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r6
+    la   r2, lconst
+    lbu  r2, 1(r2)
+    call gmul
+    xor  r7, r7, rv
+    la   r2, tmpst
+    slli r12, r8, 2
+    add  r2, r2, r12
+    sb   r7, 2(r2)
+    # out3 = 11*a0 ^ 13*a1 ^ 9*a2 ^ 14*a3
+    mov  r1, r3
+    la   r2, lconst
+    lbu  r2, 1(r2)
+    call gmul
+    mov  r7, rv
+    mov  r1, r4
+    la   r2, lconst
+    lbu  r2, 2(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r5
+    la   r2, lconst
+    lbu  r2, 0(r2)
+    call gmul
+    xor  r7, r7, rv
+    mov  r1, r6
+    la   r2, lconst
+    lbu  r2, 3(r2)
+    call gmul
+    xor  r7, r7, rv
+    la   r2, tmpst
+    slli r12, r8, 2
+    add  r2, r2, r12
+    sb   r7, 3(r2)
+    addi r8, r8, 1
+    li   r2, 4
+    bne  r8, r2, imc_col
+    # state = tmpst
+    la   r2, state
+    la   r3, tmpst
+    li   r4, 16
+imc_copy:
+    lbu  r5, 0(r3)
+    sb   r5, 0(r2)
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, imc_copy
+    lw   lr, 0(sp)
+    addi sp, sp, 8
+    ret
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * sha workload: SHA-1 compression over 10 LCG-generated 64-byte blocks
+ * (raw blocks, no length padding — the compression function is the
+ * workload). Mirrors MiBench security/sha. Output: the five digest words.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const sha = R"(
+# SHA-1 over 10 message blocks.
+.data
+hbuf: .word 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0
+ktab: .word 0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6
+wbuf: .space 320             # 80-word message schedule
+
+.text
+main:
+    addi sp, sp, -16
+    li   r8, 0x51A0BEEF      # LCG state
+    li   r9, 1103515245
+    sw   r0, 0(sp)           # block counter
+block:
+    # ---- w[0..15] from LCG ----
+    la   r10, wbuf
+    li   r3, 16
+wfill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    sw   r8, 0(r10)
+    addi r10, r10, 4
+    addi r3, r3, -1
+    bnez r3, wfill
+
+    # ---- schedule: w[t] = rotl1(w[t-3]^w[t-8]^w[t-14]^w[t-16]) ----
+    la   r10, wbuf
+    li   r3, 16              # t
+wsched:
+    slli r4, r3, 2
+    add  r4, r10, r4         # &w[t]
+    lw   r5, -12(r4)         # w[t-3]
+    lw   r6, -32(r4)         # w[t-8]
+    xor  r5, r5, r6
+    lw   r6, -56(r4)         # w[t-14]
+    xor  r5, r5, r6
+    lw   r6, -64(r4)         # w[t-16]
+    xor  r5, r5, r6
+    slli r6, r5, 1
+    srli r5, r5, 31
+    or   r5, r5, r6          # rotl1
+    sw   r5, 0(r4)
+    addi r3, r3, 1
+    li   r4, 80
+    bne  r3, r4, wsched
+
+    # ---- load a..e = h0..h4 into r3..r7 ----
+    la   r12, hbuf
+    lw   r3, 0(r12)
+    lw   r4, 4(r12)
+    lw   r5, 8(r12)
+    lw   r6, 12(r12)
+    lw   r7, 16(r12)
+
+    li   r11, 0              # t
+rounds:
+    # f and k by quarter
+    li   r2, 20
+    blt  r11, r2, q0
+    li   r2, 40
+    blt  r11, r2, q1
+    li   r2, 60
+    blt  r11, r2, q2
+    # q3: f = b^c^d, k = ktab[3]
+    xor  r1, r4, r5
+    xor  r1, r1, r6
+    la   r2, ktab
+    lw   r2, 12(r2)
+    j    mix
+q0: # f = (b & c) | (~b & d)
+    and  r1, r4, r5
+    not  r2, r4
+    and  r2, r2, r6
+    or   r1, r1, r2
+    la   r2, ktab
+    lw   r2, 0(r2)
+    j    mix
+q1: # f = b ^ c ^ d
+    xor  r1, r4, r5
+    xor  r1, r1, r6
+    la   r2, ktab
+    lw   r2, 4(r2)
+    j    mix
+q2: # f = (b&c) | (b&d) | (c&d)
+    and  r1, r4, r5
+    and  r12, r4, r6
+    or   r1, r1, r12
+    and  r12, r5, r6
+    or   r1, r1, r12
+    la   r2, ktab
+    lw   r2, 8(r2)
+mix:
+    # temp = rotl5(a) + f + e + k + w[t]
+    slli r12, r3, 5
+    add  r1, r1, r12
+    srli r12, r3, 27
+    add  r1, r1, r12
+    add  r1, r1, r7
+    add  r1, r1, r2
+    la   r2, wbuf
+    slli r12, r11, 2
+    add  r2, r2, r12
+    lw   r2, 0(r2)
+    add  r1, r1, r2
+    # rotate the working registers
+    mov  r7, r6              # e = d
+    mov  r6, r5              # d = c
+    slli r2, r4, 30
+    srli r12, r4, 2
+    or   r5, r2, r12         # c = rotl30(b)
+    mov  r4, r3              # b = a
+    mov  r3, r1              # a = temp
+    addi r11, r11, 1
+    li   r2, 80
+    bne  r11, r2, rounds
+
+    # ---- h += working registers ----
+    la   r12, hbuf
+    lw   r2, 0(r12)
+    add  r2, r2, r3
+    sw   r2, 0(r12)
+    lw   r2, 4(r12)
+    add  r2, r2, r4
+    sw   r2, 4(r12)
+    lw   r2, 8(r12)
+    add  r2, r2, r5
+    sw   r2, 8(r12)
+    lw   r2, 12(r12)
+    add  r2, r2, r6
+    sw   r2, 12(r12)
+    lw   r2, 16(r12)
+    add  r2, r2, r7
+    sw   r2, 16(r12)
+
+    lw   r3, 0(sp)
+    addi r3, r3, 1
+    sw   r3, 0(sp)
+    li   r4, 10
+    bne  r3, r4, block
+
+    # ---- emit digest ----
+    la   r12, hbuf
+    lw   r1, 0(r12)
+    sys  3
+    lw   r1, 4(r12)
+    sys  3
+    lw   r1, 8(r12)
+    sys  3
+    lw   r1, 12(r12)
+    sys  3
+    lw   r1, 16(r12)
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Assembly sources of the 15 MiBench-like workloads.
+ *
+ * Each pointer references a raw-string assembly program defined in its own
+ * translation unit (one file per workload, like MiBench ships one
+ * directory per benchmark). See DESIGN.md for the per-workload
+ * substitution notes and tests/workloads/ for the host-side reference
+ * implementations that pin down each program's expected output.
+ */
+
+#ifndef MBUSIM_WORKLOADS_SOURCES_HH
+#define MBUSIM_WORKLOADS_SOURCES_HH
+
+namespace mbusim::workloads::sources {
+
+extern const char* const crc32;
+extern const char* const fft;
+extern const char* const adpcmDec;
+extern const char* const basicmath;
+extern const char* const cjpeg;
+extern const char* const dijkstra;
+extern const char* const djpeg;
+extern const char* const gsmDec;
+extern const char* const qsortBench;
+extern const char* const rijndaelDec;
+extern const char* const sha;
+extern const char* const stringsearch;
+extern const char* const susanC;
+extern const char* const susanE;
+extern const char* const susanS;
+
+} // namespace mbusim::workloads::sources
+
+#endif // MBUSIM_WORKLOADS_SOURCES_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * stringsearch workload: Boyer-Moore-Horspool search of two patterns in
+ * a text buffer. Mirrors MiBench office/stringsearch (the shortest workload
+ * in Table III). Output: match count and position checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const stringsearch = R"(
+# Horspool search for "upset" and "cluster" in an embedded text.
+.data
+text:
+    .ascii "a single event upset flips one bit but a multi bit upset "
+    .ascii "flips a cluster of adjacent cells; as devices shrink the "
+    .ascii "odds of an upset rise and protecting against every upset "
+    .ascii "costs area power and time."
+text_end:
+pat:    .asciiz "upset"
+pat2:   .asciiz "cluster"
+shift:  .space 256
+
+.text
+main:
+    la   r12, pat
+    li   r9, 5               # pattern length
+next_pattern:
+
+    # ---- shift table: default m, then m-1-i for pattern prefix ----
+    la   r3, shift
+    li   r4, 128             # ASCII-only text
+sh_init:
+    sb   r9, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, sh_init
+    mov  r3, r12
+    la   r4, shift
+    li   r5, 0               # i
+sh_pat:
+    add  r6, r3, r5
+    lbu  r6, 0(r6)           # pat[i]
+    add  r6, r4, r6
+    addi r7, r9, -1          # m - 1
+    sub  r7, r7, r5
+    sb   r7, 0(r6)           # shift[pat[i]] = m-1-i
+    addi r5, r5, 1
+    addi r7, r9, -1
+    bne  r5, r7, sh_pat      # i < m-1
+
+    # ---- search ----
+    la   r3, text
+    la   r4, text_end
+    sub  r4, r4, r3          # n
+    sub  r4, r4, r9          # last valid start = n - m
+    li   r5, 0               # pos
+    li   r10, 0              # match count
+    li   r11, 0              # position checksum
+search:
+    bgt_check:
+    blt  r4, r5, done        # pos > n - m
+    # compare backwards
+    addi r6, r9, -1          # j = m - 1
+cmp:
+    add  r7, r5, r6
+    add  r7, r3, r7
+    lbu  r7, 0(r7)           # text[pos + j]
+    add  r2, r12, r6
+    lbu  r2, 0(r2)           # pat[j]
+    bne  r7, r2, mismatch
+    addi r6, r6, -1
+    bgez r6, cmp
+    # match
+    addi r10, r10, 1
+    add  r11, r11, r5
+mismatch:
+    # pos += shift[text[pos + m - 1]]
+    add  r7, r5, r9
+    addi r7, r7, -1
+    add  r7, r3, r7
+    lbu  r7, 0(r7)
+    la   r2, shift
+    add  r2, r2, r7
+    lbu  r2, 0(r2)
+    add  r5, r5, r2
+    j    search
+done:
+    mov  r1, r10             # match count
+    sys  3
+    mov  r1, r11             # position checksum
+    sys  3
+    # second pattern?
+    la   r2, pat2
+    beq  r12, r2, finished
+    mov  r12, r2
+    li   r9, 7               # strlen("cluster")
+    li   r10, 0
+    li   r11, 0
+    j    next_pattern
+finished:
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * susan_c workload: integer SUSAN corner detection on a 16x16 LCG image.
+ * For every inner pixel, the USAN count (8-neighbourhood pixels whose
+ * brightness is within a threshold of the nucleus) is computed; small
+ * USANs are corners. Mirrors MiBench automotive/susan (corners). Output:
+ * corner count, position checksum, USAN total.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const susanC = R"(
+# USAN corner detection on an inner 5x5 region of a 16x16 image.
+.data
+img:   .space 256            # 16x16 greyscale bytes
+
+.text
+main:
+    # ---- fill image from LCG ----
+    la   r3, img
+    li   r8, 0xCA6E5EED
+    li   r9, 1103515245
+    li   r4, 256
+img_fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    sb   r5, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, img_fill
+
+    # r10 = corner count, r11 = position checksum, r12 = USAN total
+    li   r10, 0
+    li   r11, 0
+    li   r12, 0
+    li   r3, 4               # row 4..8
+row:
+    li   r4, 4               # col 4..8
+col:
+    # nucleus brightness
+    la   r5, img
+    li   r6, 16
+    mul  r6, r3, r6
+    add  r6, r6, r4
+    add  r5, r5, r6
+    lbu  r6, 0(r5)           # I(c)
+    li   r7, 0               # USAN count
+    li   r2, -1              # dr
+nb_r:
+    li   r1, -1              # dc
+nb_c:
+    or   r5, r2, r1
+    beqz r5, nb_skip         # skip the nucleus
+    la   r5, img
+    add  r1, r1, r4          # col + dc (restored below)
+    add  r2, r2, r3          # row + dr
+    li   r9, 16
+    mul  r9, r2, r9
+    add  r9, r9, r1
+    add  r5, r5, r9
+    lbu  r5, 0(r5)           # I(p)
+    sub  r2, r2, r3
+    sub  r1, r1, r4
+    sub  r5, r5, r6
+    bgez r5, abs_ok
+    neg  r5, r5
+abs_ok:
+    li   r9, 27              # brightness threshold
+    blt  r9, r5, nb_skip
+    addi r7, r7, 1
+nb_skip:
+    addi r1, r1, 1
+    li   r5, 2
+    bne  r1, r5, nb_c
+    addi r2, r2, 1
+    li   r5, 2
+    bne  r2, r5, nb_r
+    add  r12, r12, r7
+    li   r5, 3               # geometric threshold
+    bge  r7, r5, not_corner
+    addi r10, r10, 1
+    li   r5, 16
+    mul  r5, r3, r5
+    add  r5, r5, r4
+    add  r11, r11, r5
+not_corner:
+    addi r4, r4, 1
+    li   r5, 9
+    bne  r4, r5, col
+    addi r3, r3, 1
+    li   r5, 9
+    bne  r3, r5, row
+
+    mov  r1, r10
+    sys  3
+    mov  r1, r11
+    sys  3
+    mov  r1, r12
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

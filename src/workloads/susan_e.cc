@@ -1,0 +1,108 @@
+/**
+ * @file
+ * susan_e workload: integer SUSAN edge detection on a 16x16 LCG image.
+ * Like susan_c but over a larger inner region with a tighter brightness
+ * threshold; pixels whose USAN count falls below the geometric threshold
+ * are edge points and contribute their edge strength (g - n). Mirrors
+ * MiBench automotive/susan (edges). Output: edge count, strength sum,
+ * position checksum.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const susanE = R"(
+# USAN edge detection on an inner 6x6 region of a 16x16 image.
+.data
+img:   .space 256
+
+.text
+main:
+    # ---- fill image from LCG (same image as susan_c) ----
+    la   r3, img
+    li   r8, 0xCA6E5EED
+    li   r9, 1103515245
+    li   r4, 256
+img_fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    sb   r5, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, img_fill
+
+    # r10 = edge count, r11 = strength sum, r12 = position checksum
+    li   r10, 0
+    li   r11, 0
+    li   r12, 0
+    li   r3, 3               # row 3..8
+row:
+    li   r4, 3               # col 3..8
+col:
+    la   r5, img
+    li   r6, 16
+    mul  r6, r3, r6
+    add  r6, r6, r4
+    add  r5, r5, r6
+    lbu  r6, 0(r5)           # I(c)
+    li   r7, 0               # USAN count
+    li   r2, -1              # dr
+nb_r:
+    li   r1, -1              # dc
+nb_c:
+    or   r5, r2, r1
+    beqz r5, nb_skip
+    la   r5, img
+    add  r1, r1, r4
+    add  r2, r2, r3
+    li   r9, 16
+    mul  r9, r2, r9
+    add  r9, r9, r1
+    add  r5, r5, r9
+    lbu  r5, 0(r5)
+    sub  r2, r2, r3
+    sub  r1, r1, r4
+    sub  r5, r5, r6
+    bgez r5, abs_ok
+    neg  r5, r5
+abs_ok:
+    li   r9, 20              # tighter brightness threshold
+    blt  r9, r5, nb_skip
+    addi r7, r7, 1
+nb_skip:
+    addi r1, r1, 1
+    li   r5, 2
+    bne  r1, r5, nb_c
+    addi r2, r2, 1
+    li   r5, 2
+    bne  r2, r5, nb_r
+    li   r5, 5               # geometric threshold g
+    bge  r7, r5, not_edge
+    addi r10, r10, 1
+    sub  r9, r5, r7          # edge strength g - n
+    add  r11, r11, r9
+    li   r9, 16
+    mul  r9, r3, r9
+    add  r9, r9, r4
+    add  r12, r12, r9
+not_edge:
+    addi r4, r4, 1
+    li   r5, 9
+    bne  r4, r5, col
+    addi r3, r3, 1
+    li   r5, 9
+    bne  r3, r5, row
+
+    mov  r1, r10
+    sys  3
+    mov  r1, r11
+    sys  3
+    mov  r1, r12
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

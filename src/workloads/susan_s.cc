@@ -1,0 +1,137 @@
+/**
+ * @file
+ * susan_s workload: integer 3x3 Gaussian-like smoothing of a 16x16 LCG
+ * image (kernel 1-2-1 / 2-4-2 / 1-2-1, normalized by 16). Mirrors MiBench
+ * automotive/susan (smoothing) — the heaviest of the three susan modes.
+ * Output: per-pass checksum plus final sample pixels.
+ */
+
+#include "workloads/sources.hh"
+
+namespace mbusim::workloads::sources {
+
+const char* const susanS = R"(
+# 3x3 weighted smoothing on the inner 14x14 region of a 16x16 image.
+.data
+img:   .space 256            # source (ping)
+out:   .space 256            # destination (pong)
+kern:  .word 1, 2, 1, 2, 4, 2, 1, 2, 1
+
+.text
+main:
+    # ---- fill image from LCG ----
+    la   r3, img
+    li   r8, 0xCA6E5EED
+    li   r9, 1103515245
+    li   r4, 256
+img_fill:
+    mul  r8, r8, r9
+    addi r8, r8, 12345
+    srli r5, r8, 16
+    sb   r5, 0(r3)
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, img_fill
+
+    addi sp, sp, -16
+    li   r3, 1
+    sw   r3, 0(sp)           # passes remaining
+    la   r10, img            # hoisted bases
+    la   r11, kern
+    li   r12, 16
+pass:
+    # copy img -> out so the border ring persists
+    la   r3, img
+    la   r4, out
+    li   r5, 256
+cp:
+    lbu  r6, 0(r3)
+    sb   r6, 0(r4)
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, -1
+    bnez r5, cp
+
+    li   r3, 1               # row 1..14
+srow:
+    li   r4, 1               # col 1..14
+scol:
+    li   r7, 0               # acc
+    li   r2, -1              # dr
+kr:
+    li   r1, -1              # dc
+kc:
+    # pixel img[(row+dr)*12 + col+dc]
+    add  r2, r2, r3
+    add  r1, r1, r4
+    mul  r9, r2, r12
+    add  r9, r9, r1
+    add  r5, r10, r9
+    lbu  r5, 0(r5)
+    sub  r2, r2, r3
+    sub  r1, r1, r4
+    # weight kern[3*(dr+1) + dc+1]
+    addi r9, r2, 1
+    slli r6, r9, 1
+    add  r9, r9, r6          # 3*(dr+1)
+    add  r9, r9, r1
+    addi r9, r9, 1
+    slli r9, r9, 2
+    add  r9, r11, r9
+    lw   r9, 0(r9)
+    mul  r5, r5, r9
+    add  r7, r7, r5
+    addi r1, r1, 1
+    li   r5, 2
+    bne  r1, r5, kc
+    addi r2, r2, 1
+    li   r5, 2
+    bne  r2, r5, kr
+    srli r7, r7, 4           # / 16
+    la   r5, out
+    mul  r9, r3, r12
+    add  r9, r9, r4
+    add  r5, r5, r9
+    sb   r7, 0(r5)
+    addi r4, r4, 1
+    li   r5, 15
+    bne  r4, r5, scol
+    addi r3, r3, 1
+    li   r5, 15
+    bne  r3, r5, srow
+
+    # copy out -> img for the next pass, checksum as we go
+    la   r3, out
+    la   r4, img
+    li   r5, 256
+    li   r6, 0
+cp2:
+    lbu  r7, 0(r3)
+    sb   r7, 0(r4)
+    add  r6, r6, r7
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, -1
+    bnez r5, cp2
+    mov  r1, r6              # per-pass checksum
+    sys  3
+
+    lw   r3, 0(sp)
+    addi r3, r3, -1
+    sw   r3, 0(sp)
+    bnez r3, pass
+
+    # emit four sample pixels
+    lbu  r1, 13(r10)
+    sys  3
+    lbu  r1, 60(r10)
+    sys  3
+    lbu  r1, 77(r10)
+    sys  3
+    lbu  r1, 130(r10)
+    sys  3
+    li   r1, 0
+    sys  1
+)";
+
+} // namespace mbusim::workloads::sources

@@ -1,0 +1,69 @@
+#include "workloads/workload.hh"
+
+#include "sim/assembler.hh"
+#include "workloads/sources.hh"
+#include "util/log.hh"
+
+namespace mbusim::workloads {
+
+sim::Program
+Workload::assemble() const
+{
+    try {
+        return sim::assemble(source);
+    } catch (const sim::AsmError& e) {
+        fatal("workload '%s' failed to assemble: %s", name.c_str(),
+              e.what());
+    }
+}
+
+const std::vector<Workload>&
+allWorkloads()
+{
+    // Table III order; paperCycles are the Table III execution times.
+    static const std::vector<Workload> workloads = {
+        {"CRC32", "CRC-32 over a data buffer (table-driven)",
+         sources::crc32, 132195721},
+        {"FFT", "radix-2 in-place FFT, Q16.16 fixed point",
+         sources::fft, 48339852},
+        {"ADPCM_dec", "IMA ADPCM decoder",
+         sources::adpcmDec, 53690367},
+        {"basicmath", "isqrt / icbrt / angle conversion mix",
+         sources::basicmath, 67556250},
+        {"cjpeg", "JPEG-style forward DCT + quantize + zigzag + RLE",
+         sources::cjpeg, 26126843},
+        {"dijkstra", "single-source shortest paths on a dense graph",
+         sources::dijkstra, 41643556},
+        {"djpeg", "JPEG-style decode (inverse pipeline of cjpeg)",
+         sources::djpeg, 10105853},
+        {"gsm_dec", "GSM-like LTP + short-term synthesis decoder",
+         sources::gsmDec, 12862888},
+        {"qsort", "in-place quicksort of 32-bit keys",
+         sources::qsortBench, 31326716},
+        {"rijndael_dec", "AES-128 (Rijndael) ECB decryption",
+         sources::rijndaelDec, 33327494},
+        {"sha", "SHA-1 digest over a data buffer",
+         sources::sha, 12141593},
+        {"stringsearch", "Boyer-Moore-Horspool multi-pattern search",
+         sources::stringsearch, 1082451},
+        {"susan_c", "SUSAN corner detection (integer)",
+         sources::susanC, 2150961},
+        {"susan_e", "SUSAN edge detection (integer)",
+         sources::susanE, 2876202},
+        {"susan_s", "SUSAN smoothing (integer)",
+         sources::susanS, 13750557},
+    };
+    return workloads;
+}
+
+const Workload&
+workloadByName(const std::string& name)
+{
+    for (const auto& w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace mbusim::workloads

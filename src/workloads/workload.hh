@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Workload registry: the 15 MiBench-like benchmarks.
+ *
+ * Each workload is an assembly program (see DESIGN.md for the per-workload
+ * substitution notes) plus metadata: its MiBench counterpart's execution
+ * time from the paper's Table III (used for the Eq. 2 weighting when
+ * reproducing the paper exactly) and a short description. Programs write
+ * their results through the PutChar/PutWord syscalls; that output stream
+ * is the "output file" of the paper's SDC definition.
+ */
+
+#ifndef MBUSIM_WORKLOADS_WORKLOAD_HH
+#define MBUSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace mbusim::workloads {
+
+/** One benchmark: metadata plus its assembly source. */
+struct Workload
+{
+    std::string name;          ///< paper's benchmark name, e.g. "CRC32"
+    std::string description;   ///< what it computes
+    const char* source;        ///< assembly text
+    uint64_t paperCycles;      ///< Table III execution time (clock cycles)
+
+    /** Assemble the source into a loadable Program. */
+    sim::Program assemble() const;
+};
+
+/** All 15 workloads in the paper's Table III order. */
+const std::vector<Workload>& allWorkloads();
+
+/** Look up a workload by name; fatal() if unknown. */
+const Workload& workloadByName(const std::string& name);
+
+} // namespace mbusim::workloads
+
+#endif // MBUSIM_WORKLOADS_WORKLOAD_HH

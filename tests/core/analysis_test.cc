@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for classification, sampling statistics, technology data and the
+ * AVF/FIT equations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/avf.hh"
+#include "core/classification.hh"
+#include "core/sampling.hh"
+#include "core/technology.hh"
+
+namespace mbusim::core {
+namespace {
+
+sim::SimResult
+makeResult(sim::ExitKind kind, std::vector<uint8_t> output = {},
+           uint32_t exit_code = 0)
+{
+    sim::SimResult r;
+    r.status.kind = kind;
+    r.status.exitCode = exit_code;
+    r.output = std::move(output);
+    return r;
+}
+
+TEST(Classification, FiveClasses)
+{
+    sim::SimResult golden =
+        makeResult(sim::ExitKind::Exited, {1, 2, 3});
+
+    EXPECT_EQ(classify(golden,
+                       makeResult(sim::ExitKind::Exited, {1, 2, 3})),
+              Outcome::Masked);
+    EXPECT_EQ(classify(golden,
+                       makeResult(sim::ExitKind::Exited, {1, 2, 4})),
+              Outcome::Sdc);
+    EXPECT_EQ(classify(golden,
+                       makeResult(sim::ExitKind::Exited, {1, 2})),
+              Outcome::Sdc);
+    EXPECT_EQ(classify(golden,
+                       makeResult(sim::ExitKind::ProcessCrash)),
+              Outcome::Crash);
+    EXPECT_EQ(classify(golden, makeResult(sim::ExitKind::KernelPanic)),
+              Outcome::Crash);
+    EXPECT_EQ(classify(golden, makeResult(sim::ExitKind::LimitReached)),
+              Outcome::Timeout);
+    EXPECT_EQ(classify(golden, makeResult(sim::ExitKind::SimAssert)),
+              Outcome::Assert);
+}
+
+TEST(Classification, ExitCodeMismatchIsSdc)
+{
+    sim::SimResult golden = makeResult(sim::ExitKind::Exited, {1}, 0);
+    EXPECT_EQ(classify(golden,
+                       makeResult(sim::ExitKind::Exited, {1}, 9)),
+              Outcome::Sdc);
+}
+
+TEST(OutcomeCountsTest, TallyAndFractions)
+{
+    OutcomeCounts counts;
+    for (int i = 0; i < 70; ++i)
+        counts.add(Outcome::Masked);
+    for (int i = 0; i < 20; ++i)
+        counts.add(Outcome::Sdc);
+    for (int i = 0; i < 10; ++i)
+        counts.add(Outcome::Crash);
+    EXPECT_EQ(counts.total(), 100u);
+    EXPECT_DOUBLE_EQ(counts.fraction(Outcome::Masked), 0.70);
+    EXPECT_DOUBLE_EQ(counts.fraction(Outcome::Sdc), 0.20);
+    EXPECT_DOUBLE_EQ(counts.avf(), 0.30);
+
+    OutcomeCounts more;
+    more.add(Outcome::Timeout);
+    counts += more;
+    EXPECT_EQ(counts.total(), 101u);
+    EXPECT_EQ(counts.count(Outcome::Timeout), 1u);
+}
+
+TEST(OutcomeCountsTest, EmptyIsSafe)
+{
+    OutcomeCounts counts;
+    EXPECT_EQ(counts.total(), 0u);
+    EXPECT_EQ(counts.avf(), 0.0);
+    EXPECT_EQ(counts.fraction(Outcome::Sdc), 0.0);
+}
+
+TEST(Sampling, PaperNumbers)
+{
+    // The paper: 2000 faults <-> 2.88% error at 99% confidence with
+    // p=0.5 over an effectively unbounded population.
+    double e = errorMargin(1e12, 2000);
+    EXPECT_NEAR(e, 0.0288, 0.0002);
+    uint64_t n = sampleSize(1e12, 0.0288);
+    EXPECT_NEAR(static_cast<double>(n), 2000.0, 20.0);
+}
+
+TEST(Sampling, AdjustedMarginShrinksForExtremeAvf)
+{
+    // Re-evaluating at a measured AVF far from 0.5 tightens the margin,
+    // to between 2.4% and 2.88% for the paper's AVF range.
+    double e_mid = adjustedErrorMargin(1e12, 2000, 0.5);
+    double e_low = adjustedErrorMargin(1e12, 2000, 0.1);
+    EXPECT_NEAR(e_mid, 0.0288, 0.0002);
+    EXPECT_LT(e_low, e_mid);
+    EXPECT_GT(e_low, 0.015);
+}
+
+TEST(Sampling, FinitePopulationCorrection)
+{
+    // Sampling most of a small population drives the margin to ~0.
+    EXPECT_LT(errorMargin(2000, 1999), 0.002);
+    EXPECT_EQ(errorMargin(2000, 2000), 0.0);
+    // And the required sample saturates near the population size.
+    EXPECT_LE(sampleSize(100, 0.001), 100u);
+}
+
+TEST(Technology, TableVIRatesSumToOne)
+{
+    for (TechNode node : AllTechNodes) {
+        MbuRates rates = mbuRates(node);
+        EXPECT_NEAR(rates.single + rates.dbl + rates.triple, 1.0, 1e-9)
+            << techName(node);
+        EXPECT_GE(rates.single, 0.0);
+    }
+}
+
+TEST(Technology, MbuFractionGrowsAsNodesShrink)
+{
+    double prev_multi = -1;
+    for (TechNode node : AllTechNodes) {
+        MbuRates rates = mbuRates(node);
+        double multi = rates.dbl + rates.triple;
+        EXPECT_GE(multi, prev_multi) << techName(node);
+        prev_multi = multi;
+    }
+    EXPECT_DOUBLE_EQ(mbuRates(TechNode::Nm250).single, 1.0);
+    EXPECT_NEAR(mbuRates(TechNode::Nm22).triple, 0.103, 1e-9);
+}
+
+TEST(Technology, TableVIIRawFitPeaksAt130nm)
+{
+    EXPECT_DOUBLE_EQ(rawFitPerBit(TechNode::Nm250), 47e-8);
+    EXPECT_DOUBLE_EQ(rawFitPerBit(TechNode::Nm130), 106e-8);
+    EXPECT_DOUBLE_EQ(rawFitPerBit(TechNode::Nm22), 23e-8);
+    double peak = rawFitPerBit(TechNode::Nm130);
+    for (TechNode node : AllTechNodes)
+        EXPECT_LE(rawFitPerBit(node), peak);
+}
+
+TEST(Technology, TableVIIIBitCounts)
+{
+    EXPECT_EQ(componentBits(Component::L1D), 262144u);
+    EXPECT_EQ(componentBits(Component::L1I), 262144u);
+    EXPECT_EQ(componentBits(Component::L2), 4194304u);
+    EXPECT_EQ(componentBits(Component::RegFile), 2112u);
+    EXPECT_EQ(componentBits(Component::ITLB), 1024u);
+    EXPECT_EQ(componentBits(Component::DTLB), 1024u);
+}
+
+TEST(Technology, NamesRoundTrip)
+{
+    for (Component c : AllComponents)
+        EXPECT_EQ(componentFromShortName(componentShortName(c)), c);
+    EXPECT_STREQ(techName(TechNode::Nm22), "22nm");
+    EXPECT_EQ(techNanometres(TechNode::Nm65), 65u);
+}
+
+TEST(AvfMath, WeightedAvfEq2)
+{
+    // Two workloads, AVFs 10% and 50%, weights 3:1.
+    std::vector<WeightedSample> samples = {{0.10, 3000}, {0.50, 1000}};
+    EXPECT_NEAR(weightedAvf(samples), 0.20, 1e-12);
+    // Equal weights degrade to the arithmetic mean.
+    std::vector<WeightedSample> equal = {{0.10, 5}, {0.50, 5}};
+    EXPECT_NEAR(weightedAvf(equal), 0.30, 1e-12);
+}
+
+TEST(AvfMath, NodeAvfEq3)
+{
+    ComponentAvf avf;
+    avf.component = Component::L1D;
+    avf.byCardinality = {0.20, 0.30, 0.36};
+    // 250nm: single-bit only.
+    EXPECT_NEAR(nodeAvf(avf, TechNode::Nm250), 0.20, 1e-12);
+    // 22nm: 0.553*0.20 + 0.344*0.30 + 0.103*0.36.
+    EXPECT_NEAR(nodeAvf(avf, TechNode::Nm22),
+                0.553 * 0.20 + 0.344 * 0.30 + 0.103 * 0.36, 1e-12);
+    // Node AVF grows monotonically toward smaller nodes when multi-bit
+    // AVFs exceed the single-bit AVF.
+    double prev = 0;
+    for (TechNode node : AllTechNodes) {
+        double value = nodeAvf(avf, node);
+        EXPECT_GE(value, prev - 1e-12) << techName(node);
+        prev = value;
+    }
+}
+
+TEST(AvfMath, MultiBitShare)
+{
+    ComponentAvf avf;
+    avf.byCardinality = {0.20, 0.30, 0.36};
+    EXPECT_DOUBLE_EQ(multiBitShare(avf, TechNode::Nm250), 0.0);
+    double share22 = multiBitShare(avf, TechNode::Nm22);
+    EXPECT_GT(share22, 0.3);
+    EXPECT_LT(share22, 0.6);
+}
+
+TEST(AvfMath, StructFitEq4)
+{
+    // FIT = AVF * rawFIT/bit * bits.
+    double fit = structFit(0.5, TechNode::Nm130, 1000);
+    EXPECT_NEAR(fit, 0.5 * 106e-8 * 1000, 1e-15);
+
+    ComponentAvf avf;
+    avf.component = Component::DTLB;
+    avf.byCardinality = {0.5, 0.6, 0.7};
+    double fit250 = structFit(avf, TechNode::Nm250);
+    EXPECT_NEAR(fit250, 0.5 * 47e-8 * 1024, 1e-12);
+}
+
+TEST(AvfMath, CpuFitBreakdown)
+{
+    std::vector<ComponentAvf> components;
+    for (Component c : AllComponents) {
+        ComponentAvf avf;
+        avf.component = c;
+        avf.byCardinality = {0.2, 0.3, 0.4};
+        components.push_back(avf);
+    }
+    // 250nm: all single-bit, multi-bit share 0.
+    CpuFitBreakdown fit250 = cpuFit(components, TechNode::Nm250);
+    EXPECT_NEAR(fit250.multiBitFraction(), 0.0, 1e-12);
+    EXPECT_NEAR(fit250.totalFit, fit250.singleBitOnlyFit, 1e-12);
+
+    // 22nm: the multi-bit share is significant and the single-bit-only
+    // estimate underestimates the total.
+    CpuFitBreakdown fit22 = cpuFit(components, TechNode::Nm22);
+    EXPECT_GT(fit22.multiBitFraction(), 0.15);
+    EXPECT_LT(fit22.singleBitOnlyFit, fit22.totalFit);
+
+    // FIT peaks at 130nm (tracks Table VII for equal AVFs).
+    double fit130 = cpuFit(components, TechNode::Nm130).totalFit;
+    for (TechNode node : AllTechNodes)
+        EXPECT_LE(cpuFit(components, node).totalFit, fit130 + 1e-12);
+}
+
+} // namespace
+} // namespace mbusim::core

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Integration tests for campaigns and the Study sweep layer. These run
+ * real (small) fault-injection campaigns on the timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/study.hh"
+
+namespace mbusim::core {
+namespace {
+
+CampaignConfig
+smallConfig(Component component, uint32_t faults, uint32_t injections)
+{
+    CampaignConfig config;
+    config.component = component;
+    config.faults = faults;
+    config.injections = injections;
+    config.threads = 1;
+    return config;
+}
+
+TEST(CampaignTest, TargetMapping)
+{
+    EXPECT_EQ(targetFor(Component::L1D), sim::FaultTarget::L1DData);
+    EXPECT_EQ(targetFor(Component::ITLB), sim::FaultTarget::ItlbBits);
+    EXPECT_EQ(targetFor(Component::RegFile),
+              sim::FaultTarget::RegFileBits);
+}
+
+TEST(CampaignTest, CountsSumToInjections)
+{
+    Campaign campaign(workloads::workloadByName("stringsearch"),
+                      smallConfig(Component::RegFile, 1, 40));
+    CampaignResult result = campaign.run();
+    EXPECT_EQ(result.counts.total(), 40u);
+    EXPECT_GT(result.goldenCycles, 0u);
+}
+
+TEST(CampaignTest, Reproducible)
+{
+    Campaign campaign(workloads::workloadByName("stringsearch"),
+                      smallConfig(Component::RegFile, 2, 30));
+    CampaignResult a = campaign.run();
+    CampaignResult b = campaign.run();
+    EXPECT_EQ(a.counts.counts, b.counts.counts);
+}
+
+TEST(CampaignTest, SeedChangesSample)
+{
+    CampaignConfig config = smallConfig(Component::RegFile, 2, 60);
+    Campaign a(workloads::workloadByName("susan_c"), config);
+    config.seed = 999;
+    Campaign b(workloads::workloadByName("susan_c"), config);
+    // Different samples (the draw positions differ), same golden run.
+    CampaignResult ra = a.run(true);
+    CampaignResult rb = b.run(true);
+    EXPECT_EQ(ra.goldenCycles, rb.goldenCycles);
+    bool any_difference = false;
+    for (size_t i = 0; i < ra.runs.size(); ++i) {
+        if (ra.runs[i].cycle != rb.runs[i].cycle ||
+            ra.runs[i].mask.flips[0].row != rb.runs[i].mask.flips[0].row)
+            any_difference = true;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(CampaignTest, RunRecordsKept)
+{
+    Campaign campaign(workloads::workloadByName("stringsearch"),
+                      smallConfig(Component::L1D, 3, 25));
+    CampaignResult result = campaign.run(true);
+    ASSERT_EQ(result.runs.size(), 25u);
+    for (const RunRecord& run : result.runs) {
+        EXPECT_EQ(run.mask.cardinality(), 3u);
+        EXPECT_LT(run.cycle, result.goldenCycles);
+        EXPECT_GT(run.cycles, 0u);
+    }
+}
+
+TEST(CampaignTest, RegFileAvfGrowsWithCardinality)
+{
+    // The paper's central observation, on the smallest workload: AVF
+    // must not shrink when going from 1 to 3 faults (statistically, with
+    // a decent sample).
+    const auto& w = workloads::workloadByName("susan_c");
+    CampaignResult r1 =
+        Campaign(w, smallConfig(Component::RegFile, 1, 150)).run();
+    CampaignResult r3 =
+        Campaign(w, smallConfig(Component::RegFile, 3, 150)).run();
+    EXPECT_GE(r3.avf() + 0.02, r1.avf());
+}
+
+TEST(StudyTest, RestrictedWorkloadSet)
+{
+    StudyConfig config;
+    config.injections = 10;
+    config.threads = 1;
+    config.workloads = {"stringsearch", "susan_c"};
+    Study study(config);
+    EXPECT_EQ(study.workloadSet().size(), 2u);
+}
+
+TEST(StudyTest, CampaignMemoized)
+{
+    StudyConfig config;
+    config.injections = 15;
+    config.threads = 1;
+    config.workloads = {"stringsearch"};
+    Study study(config);
+    const CampaignResult& a =
+        study.campaign("stringsearch", Component::RegFile, 1);
+    const CampaignResult& b =
+        study.campaign("stringsearch", Component::RegFile, 1);
+    EXPECT_EQ(&a, &b);   // same object: no re-run
+    EXPECT_EQ(a.counts.total(), 15u);
+}
+
+TEST(StudyTest, DiskCacheRoundTrip)
+{
+    std::string dir = testing::TempDir() + "/mbusim_study_cache";
+    std::filesystem::remove_all(dir);
+
+    StudyConfig config;
+    config.injections = 12;
+    config.threads = 1;
+    config.workloads = {"stringsearch"};
+    config.cacheDir = dir;
+
+    OutcomeCounts first;
+    {
+        Study study(config);
+        first = study.campaign("stringsearch", Component::DTLB, 2).counts;
+    }
+    // A fresh Study must load identical counts from disk.
+    {
+        Study study(config);
+        const CampaignResult& again =
+            study.campaign("stringsearch", Component::DTLB, 2);
+        EXPECT_EQ(again.counts.counts, first.counts);
+    }
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StudyTest, ComponentAvfHasThreeCardinalities)
+{
+    StudyConfig config;
+    config.injections = 10;
+    config.threads = 1;
+    config.workloads = {"stringsearch"};
+    Study study(config);
+    ComponentAvf avf = study.componentAvf(Component::RegFile);
+    EXPECT_EQ(avf.component, Component::RegFile);
+    for (double value : avf.byCardinality) {
+        EXPECT_GE(value, 0.0);
+        EXPECT_LE(value, 1.0);
+    }
+}
+
+TEST(StudyTest, GoldenCyclesMatchTimingModel)
+{
+    StudyConfig config;
+    config.injections = 5;
+    config.threads = 1;
+    config.workloads = {"stringsearch"};
+    Study study(config);
+    uint64_t cycles = study.goldenCycles("stringsearch");
+    EXPECT_GT(cycles, 1000u);
+    EXPECT_LT(cycles, 100000u);
+}
+
+} // namespace
+} // namespace mbusim::core

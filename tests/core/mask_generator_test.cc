@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the spatial multi-bit fault mask generator (paper Sec III.B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mask_generator.hh"
+
+namespace mbusim::core {
+namespace {
+
+TEST(MaskGenerator, SingleFaultInsideArray)
+{
+    MaskGenerator gen(100, 200);
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        FaultMask mask = gen.generate(1, rng);
+        ASSERT_EQ(mask.cardinality(), 1u);
+        EXPECT_LT(mask.flips[0].row, 100u);
+        EXPECT_LT(mask.flips[0].col, 200u);
+    }
+}
+
+TEST(MaskGenerator, FlipsAreDistinct)
+{
+    MaskGenerator gen(50, 50);
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+        FaultMask mask = gen.generate(3, rng);
+        std::set<std::pair<uint32_t, uint32_t>> cells;
+        for (const auto& flip : mask.flips)
+            cells.insert({flip.row, flip.col});
+        EXPECT_EQ(cells.size(), 3u);
+    }
+}
+
+/** Property: all flips of a mask stay inside the placed 3x3 cluster. */
+class MaskCardinality : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(MaskCardinality, FlipsConfinedToCluster)
+{
+    const uint32_t faults = GetParam();
+    MaskGenerator gen(64, 512);
+    Rng rng(faults * 17);
+    for (int i = 0; i < 400; ++i) {
+        FaultMask mask = gen.generate(faults, rng);
+        EXPECT_EQ(mask.cardinality(), faults);
+        EXPECT_LE(mask.clusterRow + 3, 64u + 2);  // anchor in range
+        for (const auto& flip : mask.flips) {
+            EXPECT_GE(flip.row, mask.clusterRow);
+            EXPECT_LT(flip.row, mask.clusterRow + 3);
+            EXPECT_GE(flip.col, mask.clusterCol);
+            EXPECT_LT(flip.col, mask.clusterCol + 3);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, MaskCardinality,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(MaskGenerator, SubClustersIncluded)
+{
+    // The paper's model includes masks that would fit smaller
+    // sub-clusters: double faults landing in a 2x2 (or even 1x2) box
+    // must occur.
+    MaskGenerator gen(32, 32);
+    Rng rng(3);
+    bool saw_adjacent = false, saw_spread = false;
+    for (int i = 0; i < 2000; ++i) {
+        FaultMask mask = gen.generate(2, rng);
+        uint32_t dr = std::max(mask.flips[0].row, mask.flips[1].row) -
+                      std::min(mask.flips[0].row, mask.flips[1].row);
+        uint32_t dc = std::max(mask.flips[0].col, mask.flips[1].col) -
+                      std::min(mask.flips[0].col, mask.flips[1].col);
+        if (dr <= 1 && dc <= 1)
+            saw_adjacent = true;
+        if (dr == 2 || dc == 2)
+            saw_spread = true;
+    }
+    EXPECT_TRUE(saw_adjacent);
+    EXPECT_TRUE(saw_spread);
+}
+
+TEST(MaskGenerator, ClusterPlacementCoversArray)
+{
+    // Anchors must reach both the first and last legal positions.
+    MaskGenerator gen(10, 10);
+    Rng rng(4);
+    bool saw_origin = false, saw_far = false;
+    for (int i = 0; i < 3000; ++i) {
+        FaultMask mask = gen.generate(1, rng);
+        if (mask.clusterRow == 0 && mask.clusterCol == 0)
+            saw_origin = true;
+        if (mask.clusterRow == 7 && mask.clusterCol == 7)
+            saw_far = true;
+    }
+    EXPECT_TRUE(saw_origin);
+    EXPECT_TRUE(saw_far);
+}
+
+TEST(MaskGenerator, PlacementRoughlyUniform)
+{
+    MaskGenerator gen(8, 8);   // anchors 0..5 x 0..5 -> 36 positions
+    Rng rng(5);
+    std::array<int, 36> hits{};
+    const int n = 36000;
+    for (int i = 0; i < n; ++i) {
+        FaultMask mask = gen.generate(1, rng);
+        ++hits[mask.clusterRow * 6 + mask.clusterCol];
+    }
+    for (int h : hits) {
+        EXPECT_GT(h, 700);    // expect ~1000 each
+        EXPECT_LT(h, 1300);
+    }
+}
+
+TEST(MaskGenerator, DeterministicGivenRngState)
+{
+    MaskGenerator gen(128, 512);
+    Rng a(77), b(77);
+    for (int i = 0; i < 100; ++i) {
+        FaultMask ma = gen.generate(3, a);
+        FaultMask mb = gen.generate(3, b);
+        ASSERT_EQ(ma.flips.size(), mb.flips.size());
+        for (size_t k = 0; k < ma.flips.size(); ++k) {
+            EXPECT_EQ(ma.flips[k].row, mb.flips[k].row);
+            EXPECT_EQ(ma.flips[k].col, mb.flips[k].col);
+        }
+    }
+}
+
+TEST(MaskGenerator, CustomClusterShapes)
+{
+    // 1x3 (row-adjacent only) and 2x2 shapes for the ablation bench.
+    MaskGenerator row_gen(16, 64, {1, 3});
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        FaultMask mask = row_gen.generate(2, rng);
+        EXPECT_EQ(mask.flips[0].row, mask.flips[1].row);
+    }
+    MaskGenerator sq_gen(16, 64, {2, 2});
+    for (int i = 0; i < 200; ++i) {
+        FaultMask mask = sq_gen.generate(3, rng);
+        for (const auto& flip : mask.flips) {
+            EXPECT_LT(flip.row - mask.clusterRow, 2u);
+            EXPECT_LT(flip.col - mask.clusterCol, 2u);
+        }
+    }
+}
+
+TEST(MaskGenerator, ClusterLargerThanArrayIsClamped)
+{
+    MaskGenerator gen(2, 2, {3, 3});
+    Rng rng(7);
+    FaultMask mask = gen.generate(4, rng);
+    EXPECT_EQ(mask.cardinality(), 4u);   // whole 2x2 array
+    for (const auto& flip : mask.flips) {
+        EXPECT_LT(flip.row, 2u);
+        EXPECT_LT(flip.col, 2u);
+    }
+}
+
+} // namespace
+} // namespace mbusim::core

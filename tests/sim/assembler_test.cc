@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/isa.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(Assembler, SingleInstruction)
+{
+    Program p = assemble("add r1, r2, r3\n");
+    ASSERT_EQ(p.code.size(), 1u);
+    EXPECT_EQ(p.code[0], encodeR(Opcode::Add, 1, 2, 3));
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble("add sp, lr, rv\nadd zero, r0, r1\n");
+    EXPECT_EQ(p.code[0], encodeR(Opcode::Add, RegSP, RegLR, RegRV));
+    EXPECT_EQ(p.code[1], encodeR(Opcode::Add, 0, 0, 1));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(
+        "# full-line comment\n"
+        "\n"
+        "  add r1, r2, r3   # trailing comment\n"
+        "  sub r4, r5, r6   ; alt comment\n");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, ImmediatesDecHexCharNegative)
+{
+    Program p = assemble(
+        "addi r1, r0, 100\n"
+        "addi r2, r0, 0x40\n"
+        "addi r3, r0, 'A'\n"
+        "addi r4, r0, -7\n");
+    EXPECT_EQ(decode(p.code[0]).imm, 100);
+    EXPECT_EQ(decode(p.code[1]).imm, 0x40);
+    EXPECT_EQ(decode(p.code[2]).imm, 'A');
+    EXPECT_EQ(decode(p.code[3]).imm, -7);
+}
+
+TEST(Assembler, LoadsAndStores)
+{
+    Program p = assemble(
+        "lw r1, 8(r2)\n"
+        "sw r3, -4(sp)\n"
+        "lbu r4, (r5)\n");
+    DecodedInst lw = decode(p.code[0]);
+    EXPECT_EQ(lw.op, Opcode::Lw);
+    EXPECT_EQ(lw.rd, 1);
+    EXPECT_EQ(lw.rs1, 2);
+    EXPECT_EQ(lw.imm, 8);
+    DecodedInst sw = decode(p.code[1]);
+    EXPECT_EQ(sw.op, Opcode::Sw);
+    EXPECT_EQ(sw.imm, -4);
+    EXPECT_EQ(sw.rs1, RegSP);
+    EXPECT_EQ(decode(p.code[2]).imm, 0);
+}
+
+TEST(Assembler, BranchTargetResolution)
+{
+    Program p = assemble(
+        "loop:\n"
+        "  addi r1, r1, 1\n"
+        "  bne r1, r2, loop\n"
+        "  beq r1, r2, done\n"
+        "done:\n"
+        "  sys 1\n");
+    // bne at word 1 -> loop at word 0: offset = (0 - 2) = -2 words.
+    EXPECT_EQ(decode(p.code[1]).imm, -2);
+    // beq at word 2 -> done at word 3: offset = 0 words.
+    EXPECT_EQ(decode(p.code[2]).imm, 0);
+}
+
+TEST(Assembler, ForwardAndBackwardJumps)
+{
+    Program p = assemble(
+        "  j fwd\n"
+        "back:\n"
+        "  sys 1\n"
+        "fwd:\n"
+        "  j back\n");
+    EXPECT_EQ(decode(p.code[0]).imm, 1);  // word 0 -> word 2
+    EXPECT_EQ(decode(p.code[2]).imm, -2); // word 2 -> word 1
+}
+
+TEST(Assembler, PseudoLiSmallExpandsToAddi)
+{
+    Program p = assemble("li r1, 42\n");
+    ASSERT_EQ(p.code.size(), 1u);
+    DecodedInst inst = decode(p.code[0]);
+    EXPECT_EQ(inst.op, Opcode::Addi);
+    EXPECT_EQ(inst.rs1, 0);
+    EXPECT_EQ(inst.imm, 42);
+}
+
+TEST(Assembler, PseudoLiLargeExpandsToLuiOri)
+{
+    Program p = assemble("li r1, 0xdeadbeef\n");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(decode(p.code[0]).op, Opcode::Lui);
+    EXPECT_EQ(decode(p.code[1]).op, Opcode::Ori);
+}
+
+TEST(Assembler, PseudoLaResolvesDataSymbol)
+{
+    Program p = assemble(
+        ".data\n"
+        "buf: .space 16\n"
+        ".text\n"
+        "main: la r1, buf\n"
+        "sys 1\n");
+    ASSERT_EQ(p.code.size(), 3u); // la is always 2 words
+    EXPECT_EQ(p.symbol("buf"), DefaultDataBase);
+}
+
+TEST(Assembler, PseudoControlFlow)
+{
+    Program p = assemble(
+        "main:\n"
+        "  call f\n"
+        "  j end\n"
+        "f:\n"
+        "  ret\n"
+        "end:\n"
+        "  nop\n"
+        "  jr r3\n"
+        "  beqz r1, main\n"
+        "  bnez r2, main\n");
+    EXPECT_EQ(decode(p.code[0]).rd, RegLR);           // call links lr
+    EXPECT_EQ(decode(p.code[2]).op, Opcode::Jalr);    // ret
+    EXPECT_EQ(decode(p.code[2]).rs1, RegLR);
+    EXPECT_EQ(decode(p.code[3]).op, Opcode::Addi);    // nop
+    EXPECT_EQ(decode(p.code[5]).op, Opcode::Beq);     // beqz
+    EXPECT_EQ(decode(p.code[5]).rs2, 0);
+    EXPECT_EQ(decode(p.code[6]).op, Opcode::Bne);     // bnez
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(
+        ".data\n"
+        "w: .word 0x11223344, 5\n"
+        "h: .half 0xaabb\n"
+        "b: .byte 1, 2, 3\n"
+        "s: .asciiz \"hi\"\n"
+        ".align 2\n"
+        "end:\n"
+        ".text\n"
+        "nop\n");
+    EXPECT_EQ(p.symbol("w"), DefaultDataBase + 0);
+    EXPECT_EQ(p.symbol("h"), DefaultDataBase + 8);
+    EXPECT_EQ(p.symbol("b"), DefaultDataBase + 10);
+    EXPECT_EQ(p.symbol("s"), DefaultDataBase + 13);
+    EXPECT_EQ(p.symbol("end"), DefaultDataBase + 16); // aligned up
+    ASSERT_GE(p.data.size(), 16u);
+    EXPECT_EQ(p.data[0], 0x44);
+    EXPECT_EQ(p.data[3], 0x11);
+    EXPECT_EQ(p.data[4], 5);
+    EXPECT_EQ(p.data[8], 0xbb);
+    EXPECT_EQ(p.data[10], 1);
+    EXPECT_EQ(p.data[13], 'h');
+    EXPECT_EQ(p.data[15], '\0');
+}
+
+TEST(Assembler, WordWithSymbolReference)
+{
+    Program p = assemble(
+        ".data\n"
+        "target: .word 7\n"
+        "ptr: .word target\n"
+        ".text\n"
+        "nop\n");
+    uint32_t ptr_off = p.symbol("ptr") - DefaultDataBase;
+    uint32_t stored = 0;
+    for (int i = 3; i >= 0; --i)
+        stored = (stored << 8) | p.data[ptr_off + i];
+    EXPECT_EQ(stored, p.symbol("target"));
+}
+
+TEST(Assembler, EntryDefaultsToMainLabel)
+{
+    Program p = assemble(
+        "nop\n"
+        "main:\n"
+        "  sys 1\n");
+    EXPECT_EQ(p.entry, DefaultCodeBase + 4);
+    Program q = assemble("nop\n");
+    EXPECT_EQ(q.entry, DefaultCodeBase);
+}
+
+TEST(Assembler, SymbolArithmetic)
+{
+    Program p = assemble(
+        ".data\n"
+        "arr: .space 64\n"
+        ".text\n"
+        "main: la r1, arr+16\n"
+        "sys 1\n");
+    // The lui+ori pair must encode arr+16.
+    DecodedInst lui = decode(p.code[0]);
+    DecodedInst ori = decode(p.code[1]);
+    uint32_t value = (static_cast<uint32_t>(lui.imm) << 14) |
+                     static_cast<uint32_t>(ori.imm);
+    EXPECT_EQ(value, p.symbol("arr") + 16);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Assembler, ErrorCases)
+{
+    EXPECT_THROW(assemble("add r1, r2\n"), AsmError);        // arity
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), AsmError);   // bad reg
+    EXPECT_THROW(assemble("addi r1, r0, 0x7ffffff\n"), AsmError); // range
+    EXPECT_THROW(assemble("beq r1, r2, nowhere\n"), AsmError);
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);    // dup label
+    EXPECT_THROW(assemble(".data\n.bogus 1\n"), AsmError);
+    EXPECT_THROW(assemble(".data\n.ascii \"unterminated\n"), AsmError);
+    EXPECT_THROW(assemble("li r1, somelabel\n"), AsmError);  // li w/ sym
+    EXPECT_THROW(assemble(""), AsmError);                    // empty
+}
+
+TEST(Assembler, WordDataInText)
+{
+    // Jump tables live in .text.
+    Program p = assemble(
+        "main: nop\n"
+        "table: .word main, table\n");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[1], DefaultCodeBase);
+    EXPECT_EQ(p.code[2], DefaultCodeBase + 4);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress)
+{
+    Program p = assemble(
+        "a: b:\n"
+        "c: nop\n");
+    EXPECT_EQ(p.symbol("a"), p.symbol("b"));
+    EXPECT_EQ(p.symbol("b"), p.symbol("c"));
+}
+
+} // namespace
+} // namespace mbusim::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the bit-addressable SRAM array model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bitarray.hh"
+#include "util/rng.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(BitArray, StartsZeroed)
+{
+    BitArray a(4, 100);
+    EXPECT_EQ(a.popcount(), 0u);
+    for (uint32_t r = 0; r < 4; ++r)
+        for (uint32_t c = 0; c < 100; ++c)
+            EXPECT_FALSE(a.bit(r, c));
+}
+
+TEST(BitArray, Geometry)
+{
+    BitArray a(7, 33);
+    EXPECT_EQ(a.rows(), 7u);
+    EXPECT_EQ(a.cols(), 33u);
+    EXPECT_EQ(a.sizeBits(), 7u * 33u);
+}
+
+TEST(BitArray, SetAndGetSingleBits)
+{
+    BitArray a(3, 70);
+    a.setBit(1, 0, true);
+    a.setBit(1, 63, true);
+    a.setBit(1, 64, true);   // crosses the word boundary
+    a.setBit(2, 69, true);
+    EXPECT_TRUE(a.bit(1, 0));
+    EXPECT_TRUE(a.bit(1, 63));
+    EXPECT_TRUE(a.bit(1, 64));
+    EXPECT_TRUE(a.bit(2, 69));
+    EXPECT_FALSE(a.bit(0, 0));
+    EXPECT_EQ(a.popcount(), 4u);
+    a.setBit(1, 0, false);
+    EXPECT_FALSE(a.bit(1, 0));
+    EXPECT_EQ(a.popcount(), 3u);
+}
+
+TEST(BitArray, FlipTogglesBothWays)
+{
+    BitArray a(1, 10);
+    a.flipBit(0, 3);
+    EXPECT_TRUE(a.bit(0, 3));
+    a.flipBit(0, 3);
+    EXPECT_FALSE(a.bit(0, 3));
+}
+
+TEST(BitArray, FieldRoundTrip)
+{
+    BitArray a(2, 128);
+    a.write(0, 5, 32, 0xdeadbeef);
+    EXPECT_EQ(a.read(0, 5, 32), 0xdeadbeefu);
+    // Neighbours untouched.
+    EXPECT_FALSE(a.bit(0, 4));
+    EXPECT_FALSE(a.bit(0, 37));
+}
+
+TEST(BitArray, FieldAcrossWordBoundary)
+{
+    BitArray a(1, 128);
+    a.write(0, 60, 16, 0xabcd);
+    EXPECT_EQ(a.read(0, 60, 16), 0xabcdu);
+    a.write(0, 58, 64, 0x0123456789abcdefULL);
+    EXPECT_EQ(a.read(0, 58, 64), 0x0123456789abcdefULL);
+}
+
+TEST(BitArray, Full64BitField)
+{
+    BitArray a(1, 64);
+    a.write(0, 0, 64, ~0ULL);
+    EXPECT_EQ(a.read(0, 0, 64), ~0ULL);
+    EXPECT_EQ(a.popcount(), 64u);
+}
+
+TEST(BitArray, WriteMasksExtraValueBits)
+{
+    BitArray a(1, 64);
+    a.write(0, 0, 8, 0xfff); // only low 8 bits should land
+    EXPECT_EQ(a.read(0, 0, 8), 0xffu);
+    EXPECT_FALSE(a.bit(0, 8));
+}
+
+TEST(BitArray, OverwritePreservesNeighbours)
+{
+    BitArray a(1, 96);
+    a.write(0, 0, 32, 0xffffffff);
+    a.write(0, 32, 32, 0xffffffff);
+    a.write(0, 64, 32, 0xffffffff);
+    a.write(0, 32, 32, 0);
+    EXPECT_EQ(a.read(0, 0, 32), 0xffffffffu);
+    EXPECT_EQ(a.read(0, 32, 32), 0u);
+    EXPECT_EQ(a.read(0, 64, 32), 0xffffffffu);
+}
+
+TEST(BitArray, ClearResets)
+{
+    BitArray a(4, 64);
+    a.write(3, 0, 64, ~0ULL);
+    a.clear();
+    EXPECT_EQ(a.popcount(), 0u);
+}
+
+/** Property sweep: random field round-trips at random positions. */
+class BitArrayFieldSweep : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(BitArrayFieldSweep, RandomRoundTrips)
+{
+    const uint32_t width = GetParam();
+    Rng rng(width * 7919 + 3);
+    BitArray a(16, 200);
+    for (int iter = 0; iter < 200; ++iter) {
+        uint32_t row = static_cast<uint32_t>(rng.below(16));
+        uint32_t col = static_cast<uint32_t>(rng.below(200 - width + 1));
+        uint64_t value = rng.next();
+        a.write(row, col, width, value);
+        uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+        EXPECT_EQ(a.read(row, col, width), value & mask);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitArrayFieldSweep,
+                         ::testing::Values(1u, 3u, 8u, 13u, 16u, 27u, 32u,
+                                           45u, 63u, 64u));
+
+/**
+ * Property: flipping a random set of distinct bits changes exactly those
+ * bits (XOR-difference invariant the fault injector relies on).
+ */
+TEST(BitArray, FlipsChangeExactlyTargetBits)
+{
+    Rng rng(4242);
+    BitArray a(32, 97);
+    // Random background.
+    for (int i = 0; i < 300; ++i)
+        a.setBit(static_cast<uint32_t>(rng.below(32)),
+                 static_cast<uint32_t>(rng.below(97)), rng.chance(0.5));
+    BitArray before = a;
+    uint32_t r1 = 5, c1 = 10, r2 = 6, c2 = 11, r3 = 5, c3 = 96;
+    a.flipBit(r1, c1);
+    a.flipBit(r2, c2);
+    a.flipBit(r3, c3);
+    int diffs = 0;
+    for (uint32_t r = 0; r < 32; ++r) {
+        for (uint32_t c = 0; c < 97; ++c) {
+            bool changed = a.bit(r, c) != before.bit(r, c);
+            bool expected = (r == r1 && c == c1) || (r == r2 && c == c2) ||
+                            (r == r3 && c == c3);
+            EXPECT_EQ(changed, expected) << "r=" << r << " c=" << c;
+            diffs += changed;
+        }
+    }
+    EXPECT_EQ(diffs, 3);
+}
+
+} // namespace
+} // namespace mbusim::sim

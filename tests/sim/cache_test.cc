@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the bit-backed cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/memory.hh"
+#include "util/rng.hh"
+
+namespace mbusim::sim {
+namespace {
+
+struct CacheFixture : public ::testing::Test
+{
+    CacheFixture()
+        : mem(1 << 20), backend(mem, 50),
+          l2("L2", CacheConfig{16 * 1024, 8, 64, 8}, backend),
+          l1("L1", CacheConfig{4 * 1024, 4, 64, 2}, l2)
+    {}
+
+    PhysicalMemory mem;
+    MemoryBackend backend;
+    Cache l2;
+    Cache l1;
+};
+
+TEST_F(CacheFixture, Geometry)
+{
+    EXPECT_EQ(l1.sets(), 16u);
+    EXPECT_EQ(l1.ways(), 4u);
+    EXPECT_EQ(l1.dataArray().rows(), 64u);
+    EXPECT_EQ(l1.dataArray().cols(), 512u);
+    EXPECT_EQ(l1.dataArray().sizeBits(), 4u * 1024 * 8);
+}
+
+TEST_F(CacheFixture, MissThenHitLatency)
+{
+    uint32_t value = 0;
+    uint32_t lat1 = l1.read(0x1000, 4, value);
+    EXPECT_GT(lat1, 50u);   // L1 miss + L2 miss + memory
+    uint32_t lat2 = l1.read(0x1004, 4, value);
+    EXPECT_EQ(lat2, 2u);    // same line, L1 hit
+    EXPECT_EQ(l1.stats().hits, 1u);
+    EXPECT_EQ(l1.stats().misses, 1u);
+}
+
+TEST_F(CacheFixture, ReadsSeeMemoryContents)
+{
+    mem.write(0x2000, 4, 0xdeadbeef);
+    mem.write(0x2004, 2, 0x1234);
+    uint32_t value = 0;
+    l1.read(0x2000, 4, value);
+    EXPECT_EQ(value, 0xdeadbeefu);
+    l1.read(0x2004, 2, value);
+    EXPECT_EQ(value, 0x1234u);
+    l1.read(0x2000, 1, value);
+    EXPECT_EQ(value, 0xefu);
+}
+
+TEST_F(CacheFixture, WriteBackOnEviction)
+{
+    // Fill one set with dirty lines, then evict by touching more tags.
+    // Set index for addr: (addr / 64) % 16. Use set 3.
+    auto addr_for = [](uint32_t i) { return 0x3000u + 3 * 64 + (i << 10); };
+    l1.write(addr_for(0), 4, 0x11111111);
+    for (uint32_t i = 1; i <= 4; ++i) {
+        uint32_t value;
+        l1.read(addr_for(i), 4, value);
+    }
+    EXPECT_GE(l1.stats().writebacks, 1u);
+    // The dirty value must now live in L2 (and be readable again).
+    uint32_t value = 0;
+    l1.read(addr_for(0), 4, value);
+    EXPECT_EQ(value, 0x11111111u);
+}
+
+TEST_F(CacheFixture, LruKeepsHotLine)
+{
+    uint32_t value;
+    // 4-way set; touch A, B, C, D then re-touch A, then load E.
+    auto addr_for = [](uint32_t i) { return (i << 10); }; // set 0
+    for (uint32_t i = 0; i < 4; ++i)
+        l1.read(addr_for(i), 4, value);
+    l1.read(addr_for(0), 4, value);          // A is most recent
+    l1.read(addr_for(4), 4, value);          // evicts B (LRU)
+    uint64_t hits_before = l1.stats().hits;
+    l1.read(addr_for(0), 4, value);          // A still resident
+    EXPECT_EQ(l1.stats().hits, hits_before + 1);
+}
+
+TEST_F(CacheFixture, DataBitFlipCorruptsRead)
+{
+    mem.write(0x4000, 4, 0);
+    uint32_t value = 0;
+    l1.read(0x4000, 4, value);   // line resident, set = 0x100/64...
+    // Find the resident row by scanning for the valid line we just put
+    // in; flip its first data bit.
+    bool flipped = false;
+    for (uint32_t row = 0; row < l1.dataArray().rows() && !flipped;
+         ++row) {
+        if (l1.lineValid(row / l1.ways(), row % l1.ways())) {
+            l1.dataArray().flipBit(row, 0);
+            flipped = true;
+        }
+    }
+    ASSERT_TRUE(flipped);
+    l1.read(0x4000, 4, value);
+    EXPECT_EQ(value, 1u);   // bit 0 of byte 0 flipped
+}
+
+TEST_F(CacheFixture, CleanTagFlipCausesRefetchOfCorrectData)
+{
+    mem.write(0x5000, 4, 0xabcd0123);
+    uint32_t value = 0;
+    l1.read(0x5000, 4, value);
+    // Flip a tag bit of every valid line: clean lines just miss and are
+    // refetched, so the value is still correct (masked fault).
+    for (uint32_t row = 0; row < l1.tagArray().rows(); ++row) {
+        if (l1.tagArray().bit(row, 0))
+            l1.tagArray().flipBit(row, 5);
+    }
+    l1.read(0x5000, 4, value);
+    EXPECT_EQ(value, 0xabcd0123u);
+}
+
+TEST_F(CacheFixture, DirtyTagFlipLosesTheWrite)
+{
+    l1.write(0x6000, 4, 0x77777777);
+    // Corrupt the dirty line's tag: the line now belongs to a different
+    // address, so reading 0x6000 refetches stale memory.
+    for (uint32_t row = 0; row < l1.tagArray().rows(); ++row) {
+        if (l1.tagArray().bit(row, 0) && l1.tagArray().bit(row, 1))
+            l1.tagArray().flipBit(row, 10);
+    }
+    uint32_t value = 0xffffffff;
+    l1.read(0x6000, 4, value);
+    EXPECT_EQ(value, 0u);   // memory was never updated
+}
+
+TEST_F(CacheFixture, LineTransferPreservesData)
+{
+    Rng rng(7);
+    std::vector<uint8_t> line(64);
+    for (auto& b : line)
+        b = static_cast<uint8_t>(rng.next());
+    mem.load(0x7000, line.data(), 64);
+    std::vector<uint8_t> out(64);
+    l1.readLine(0x7000, out.data(), 64);
+    EXPECT_EQ(out, line);
+}
+
+TEST_F(CacheFixture, WriteLineMarksDirtyAndPropagates)
+{
+    std::vector<uint8_t> line(64, 0x5a);
+    l2.writeLine(0x8000, line.data(), 64);
+    // Evict through many conflicting fills.
+    uint32_t value;
+    for (uint32_t i = 1; i <= 16; ++i)
+        l2.read(0x8000 + (i << 14), 4, value);
+    EXPECT_EQ(mem.read(0x8000, 4), 0x5a5a5a5au);
+}
+
+TEST_F(CacheFixture, RandomizedAgainstFlatMemory)
+{
+    // Property: a cache hierarchy is a transparent layer — any sequence
+    // of reads/writes through L1 matches a flat reference memory.
+    Rng rng(99);
+    std::vector<uint8_t> ref(1 << 16, 0);
+    for (int op = 0; op < 20000; ++op) {
+        uint32_t bytes = 1u << rng.below(3);
+        uint32_t addr = static_cast<uint32_t>(
+            rng.below(ref.size() - 4)) & ~(bytes - 1);
+        if (rng.chance(0.5)) {
+            uint32_t value = static_cast<uint32_t>(rng.next());
+            l1.write(addr, bytes, value);
+            for (uint32_t i = 0; i < bytes; ++i)
+                ref[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+        } else {
+            uint32_t value = 0, expect = 0;
+            l1.read(addr, bytes, value);
+            for (uint32_t i = 0; i < bytes; ++i)
+                expect |= static_cast<uint32_t>(ref[addr + i]) << (8 * i);
+            ASSERT_EQ(value, expect) << "addr=" << addr;
+        }
+    }
+}
+
+TEST(CacheConfigTest, TableIGeometries)
+{
+    CpuConfig config;
+    EXPECT_EQ(config.l1d.dataBits(), 262144u);   // Table VIII
+    EXPECT_EQ(config.l1i.dataBits(), 262144u);
+    EXPECT_EQ(config.l2.dataBits(), 4194304u);
+    EXPECT_EQ(config.l1d.sets(), 128u);
+    EXPECT_EQ(config.l2.sets(), 1024u);
+    EXPECT_EQ(uint64_t(config.numPhysRegs) * 32, 2112u);
+    EXPECT_EQ(uint64_t(config.tlbEntries) * 32, 1024u);
+}
+
+} // namespace
+} // namespace mbusim::sim

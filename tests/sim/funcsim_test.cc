@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the functional reference simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/funcsim.hh"
+
+namespace mbusim::sim {
+namespace {
+
+FuncResult
+runAsm(const std::string& src, uint64_t max_insts = 10'000'000)
+{
+    Program p = assemble(src);
+    FuncSim sim(p);
+    return sim.run(max_insts);
+}
+
+TEST(FuncSim, ExitCodePropagates)
+{
+    FuncResult r = runAsm("main: li r1, 17\nsys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::Exited);
+    EXPECT_EQ(r.status.exitCode, 17u);
+}
+
+TEST(FuncSim, R0IsHardwiredZero)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  addi r0, r0, 55\n"   // write to r0 is discarded
+        "  mov r1, r0\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 0u);
+}
+
+TEST(FuncSim, OutputStream)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r1, 'H'\n"
+        "  sys 2\n"
+        "  li r1, 'i'\n"
+        "  sys 2\n"
+        "  li r1, 0x01020304\n"
+        "  sys 3\n"
+        "  li r1, 0\n"
+        "  sys 1\n");
+    ASSERT_EQ(r.output.size(), 6u);
+    EXPECT_EQ(r.output[0], 'H');
+    EXPECT_EQ(r.output[1], 'i');
+    EXPECT_EQ(r.output[2], 0x04); // little-endian putword
+    EXPECT_EQ(r.output[5], 0x01);
+}
+
+TEST(FuncSim, ArithmeticLoop)
+{
+    // Sum 1..100 = 5050.
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r1, 0\n"       // sum
+        "  li r2, 1\n"       // i
+        "  li r3, 101\n"
+        "loop:\n"
+        "  add r1, r1, r2\n"
+        "  addi r2, r2, 1\n"
+        "  bne r2, r3, loop\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 5050u);
+}
+
+TEST(FuncSim, MemoryRoundTrip)
+{
+    FuncResult r = runAsm(
+        ".data\n"
+        "buf: .space 64\n"
+        ".text\n"
+        "main:\n"
+        "  la r2, buf\n"
+        "  li r3, 0x12345678\n"
+        "  sw r3, 8(r2)\n"
+        "  lw r1, 8(r2)\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 0x12345678u);
+}
+
+TEST(FuncSim, ByteAndHalfAccess)
+{
+    FuncResult r = runAsm(
+        ".data\n"
+        "buf: .word 0\n"
+        ".text\n"
+        "main:\n"
+        "  la r2, buf\n"
+        "  li r3, -1\n"
+        "  sb r3, 0(r2)\n"     // buf = 0x000000ff
+        "  lb r4, 0(r2)\n"     // sign-extended -> -1
+        "  lbu r5, 0(r2)\n"    // zero-extended -> 255
+        "  add r1, r4, r5\n"   // -1 + 255 = 254
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 254u);
+}
+
+TEST(FuncSim, StackPushPop)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  addi sp, sp, -8\n"
+        "  li r3, 77\n"
+        "  sw r3, 0(sp)\n"
+        "  lw r1, 0(sp)\n"
+        "  addi sp, sp, 8\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 77u);
+}
+
+TEST(FuncSim, CallAndReturn)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r2, 20\n"
+        "  call dbl\n"
+        "  mov r1, rv\n"
+        "  sys 1\n"
+        "dbl:\n"
+        "  add rv, r2, r2\n"
+        "  ret\n");
+    EXPECT_EQ(r.status.exitCode, 40u);
+}
+
+TEST(FuncSim, DataInitializersVisible)
+{
+    FuncResult r = runAsm(
+        ".data\n"
+        "vals: .word 11, 22, 33\n"
+        ".text\n"
+        "main:\n"
+        "  la r2, vals\n"
+        "  lw r3, 0(r2)\n"
+        "  lw r4, 4(r2)\n"
+        "  lw r5, 8(r2)\n"
+        "  add r1, r3, r4\n"
+        "  add r1, r1, r5\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.exitCode, 66u);
+}
+
+TEST(FuncSim, UnmappedLoadCrashes)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r2, 0x300000\n"  // hole between data and stack
+        "  lw r1, 0(r2)\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::PageFault);
+    EXPECT_EQ(r.status.faultAddr, 0x300000u);
+}
+
+TEST(FuncSim, NullDereferenceCrashes)
+{
+    FuncResult r = runAsm("main: lw r1, 0(r0)\nsys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::PageFault);
+}
+
+TEST(FuncSim, UnalignedAccessCrashes)
+{
+    FuncResult r = runAsm(
+        ".data\n"
+        "buf: .space 8\n"
+        ".text\n"
+        "main:\n"
+        "  la r2, buf\n"
+        "  lw r1, 2(r2)\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::UnalignedAccess);
+}
+
+TEST(FuncSim, StoreToCodeIsPermissionFault)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r2, 0x1000\n"
+        "  sw r2, 0(r2)\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::PermissionFault);
+}
+
+TEST(FuncSim, IllegalInstructionCrashes)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  .word 0xf8000000\n"   // opcode 0x3e: unassigned
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::IllegalInstruction);
+}
+
+TEST(FuncSim, BadSyscallCrashes)
+{
+    FuncResult r = runAsm("main: sys 999\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::BadSyscall);
+}
+
+TEST(FuncSim, JumpOutsideCodeCrashes)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r2, 0x100000\n"
+        "  jr r2\n");
+    EXPECT_EQ(r.status.kind, ExitKind::ProcessCrash);
+    EXPECT_EQ(r.status.exception, ExceptionType::PageFault);
+}
+
+TEST(FuncSim, InfiniteLoopHitsLimit)
+{
+    FuncResult r = runAsm("main: j main\n", 1000);
+    EXPECT_EQ(r.status.kind, ExitKind::LimitReached);
+    EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(FuncSim, BrkGrowsHeap)
+{
+    FuncResult r = runAsm(
+        ".data\n"
+        "end_marker: .word 0\n"
+        ".text\n"
+        "main:\n"
+        "  li r1, 0x180000\n"   // ask for heap up to 1.5 MiB
+        "  sys 4\n"
+        "  li r2, 0x170000\n"
+        "  li r3, 99\n"
+        "  sw r3, 0(r2)\n"      // now mapped
+        "  lw r1, 0(r2)\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::Exited);
+    EXPECT_EQ(r.status.exitCode, 99u);
+}
+
+TEST(FuncSim, InstructionCountMatchesWork)
+{
+    FuncResult r = runAsm(
+        "main:\n"
+        "  li r2, 10\n"
+        "loop:\n"
+        "  addi r2, r2, -1\n"
+        "  bnez r2, loop\n"
+        "  li r1, 0\n"
+        "  sys 1\n");
+    // 1 (li) + 10*2 (loop) + 1 (li) + 1 (sys) = 23
+    EXPECT_EQ(r.instructions, 23u);
+}
+
+TEST(FuncSim, JalrAlignsTarget)
+{
+    // jalr clears the low 2 bits of the target, so an odd function
+    // pointer still lands on an instruction boundary.
+    FuncResult r = runAsm(
+        "main:\n"
+        "  la r2, f+1\n"
+        "  jalr lr, r2, 0\n"
+        "f:\n"
+        "  li r1, 5\n"
+        "  sys 1\n");
+    EXPECT_EQ(r.status.kind, ExitKind::Exited);
+    EXPECT_EQ(r.status.exitCode, 5u);
+}
+
+} // namespace
+} // namespace mbusim::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property tests on the injection machinery itself — invariants the
+ * whole methodology rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classification.hh"
+#include "core/mask_generator.hh"
+#include "sim/simulator.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::sim {
+namespace {
+
+SimResult
+runWith(const Program& program, const CpuConfig& config,
+        const std::vector<Injection>& injections, uint64_t budget)
+{
+    Simulator simulator(program, config);
+    for (const Injection& inj : injections)
+        simulator.scheduleInjection(inj);
+    return simulator.run(budget);
+}
+
+struct PropFixture : public ::testing::Test
+{
+    PropFixture()
+        : program(workloads::workloadByName("susan_e").assemble())
+    {
+        Simulator golden_sim(program, config);
+        golden = golden_sim.run(10'000'000);
+        EXPECT_EQ(golden.status.kind, ExitKind::Exited);
+    }
+
+    CpuConfig config;
+    Program program;
+    SimResult golden;
+};
+
+TEST_F(PropFixture, EmptyInjectionEqualsGolden)
+{
+    Injection inj;
+    inj.target = FaultTarget::L1DData;
+    inj.cycle = golden.cycles / 2;
+    inj.flips = {};
+    SimResult r = runWith(program, config, {inj}, golden.cycles * 4);
+    EXPECT_EQ(r.output, golden.output);
+    EXPECT_EQ(r.cycles, golden.cycles);
+}
+
+TEST_F(PropFixture, InjectionAfterExitIsMasked)
+{
+    Injection inj;
+    inj.target = FaultTarget::RegFileBits;
+    inj.cycle = golden.cycles + 1000;   // never reached
+    inj.flips = {{5, 5}};
+    SimResult r = runWith(program, config, {inj}, golden.cycles * 4);
+    EXPECT_EQ(core::classify(golden, r), core::Outcome::Masked);
+    EXPECT_EQ(r.cycles, golden.cycles);
+}
+
+TEST_F(PropFixture, DoubleFlipSameBitCancelsWhenUnread)
+{
+    // Two flips of the same never-accessed bit at different cycles
+    // restore the original state: masked by construction.
+    Injection a, b;
+    a.target = b.target = FaultTarget::L2Data;
+    a.cycle = 100;
+    b.cycle = 200;
+    a.flips = b.flips = {{8000, 100}};   // far beyond this workload
+    SimResult r = runWith(program, config, {a, b}, golden.cycles * 4);
+    EXPECT_EQ(core::classify(golden, r), core::Outcome::Masked);
+}
+
+TEST_F(PropFixture, SameSeedSameOutcomeAcrossProcessesOfRuns)
+{
+    // Injected runs are pure functions of (program, config, injection):
+    // repeating one gives the identical result object.
+    Rng rng(123);
+    auto [rows, cols] =
+        Simulator::targetGeometry(FaultTarget::RegFileBits, config);
+    core::MaskGenerator gen(rows, cols);
+    for (int i = 0; i < 5; ++i) {
+        Rng run_rng = rng.fork(9, static_cast<uint64_t>(i));
+        core::FaultMask mask = gen.generate(2, run_rng);
+        Injection inj;
+        inj.target = FaultTarget::RegFileBits;
+        inj.cycle = run_rng.below(golden.cycles);
+        inj.flips = mask.flips;
+        SimResult r1 =
+            runWith(program, config, {inj}, golden.cycles * 4);
+        SimResult r2 =
+            runWith(program, config, {inj}, golden.cycles * 4);
+        EXPECT_EQ(r1.output, r2.output);
+        EXPECT_EQ(r1.cycles, r2.cycles);
+        EXPECT_EQ(r1.status.kind, r2.status.kind);
+    }
+}
+
+TEST_F(PropFixture, OutcomeIsAlwaysOneOfTheFiveClasses)
+{
+    // Sweep a batch of random multi-bit injections across all targets;
+    // every run must terminate within budget accounting and classify.
+    Rng rng(321);
+    for (FaultTarget target :
+         {FaultTarget::L1DData, FaultTarget::L1IData,
+          FaultTarget::L2Data, FaultTarget::RegFileBits,
+          FaultTarget::ItlbBits, FaultTarget::DtlbBits}) {
+        auto [rows, cols] = Simulator::targetGeometry(target, config);
+        core::MaskGenerator gen(rows, cols);
+        for (int i = 0; i < 6; ++i) {
+            Rng run_rng = rng.fork(static_cast<uint64_t>(target), i);
+            core::FaultMask mask = gen.generate(3, run_rng);
+            Injection inj;
+            inj.target = target;
+            inj.cycle = run_rng.below(golden.cycles);
+            inj.flips = mask.flips;
+            SimResult r =
+                runWith(program, config, {inj}, golden.cycles * 4);
+            core::Outcome outcome = core::classify(golden, r);
+            // Timeout runs must have consumed the full budget.
+            if (outcome == core::Outcome::Timeout)
+                EXPECT_EQ(r.cycles, golden.cycles * 4);
+            else
+                EXPECT_LE(r.cycles, golden.cycles * 4);
+        }
+    }
+}
+
+} // namespace
+} // namespace mbusim::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the bit-interleaving extension: functional transparency and
+ * the spatial-fault-spreading property it exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/memory.hh"
+#include "util/rng.hh"
+
+namespace mbusim::sim {
+namespace {
+
+CacheConfig
+smallConfig(uint32_t interleave)
+{
+    CacheConfig config{4 * 1024, 4, 64, 2};
+    config.interleave = interleave;
+    return config;
+}
+
+TEST(Interleave, FunctionallyTransparent)
+{
+    // Any interleaving degree must be invisible to reads and writes.
+    for (uint32_t degree : {1u, 2u, 4u, 8u, 16u}) {
+        PhysicalMemory mem(1 << 18);
+        MemoryBackend backend(mem, 50);
+        Cache cache("L1", smallConfig(degree), backend);
+        Rng rng(degree);
+        std::vector<uint8_t> ref(1 << 16, 0);
+        for (int op = 0; op < 4000; ++op) {
+            uint32_t bytes = 1u << rng.below(3);
+            uint32_t addr = static_cast<uint32_t>(
+                rng.below(ref.size() - 4)) & ~(bytes - 1);
+            if (rng.chance(0.5)) {
+                uint32_t value = static_cast<uint32_t>(rng.next());
+                cache.write(addr, bytes, value);
+                for (uint32_t i = 0; i < bytes; ++i)
+                    ref[addr + i] =
+                        static_cast<uint8_t>(value >> (8 * i));
+            } else {
+                uint32_t value = 0, expect = 0;
+                cache.read(addr, bytes, value);
+                for (uint32_t i = 0; i < bytes; ++i)
+                    expect |= static_cast<uint32_t>(ref[addr + i])
+                              << (8 * i);
+                ASSERT_EQ(value, expect)
+                    << "degree=" << degree << " addr=" << addr;
+            }
+        }
+    }
+}
+
+TEST(Interleave, AdjacentPhysicalFlipsLandInDifferentWords)
+{
+    // The protection property: with degree 16, flipping a horizontal
+    // run of adjacent physical columns corrupts each 32-bit word at
+    // most once.
+    PhysicalMemory mem(1 << 18);
+    MemoryBackend backend(mem, 50);
+    Cache cache("L1", smallConfig(16), backend);
+    uint32_t value = 0;
+    cache.read(0, 4, value);   // make line 0 resident (set 0, way 0)
+
+    // Flip three adjacent physical bits in the resident row.
+    for (uint32_t col = 100; col < 103; ++col)
+        cache.dataArray().flipBit(0, col);
+
+    // Count corrupted bits per logical word of the line.
+    int corrupted_words = 0;
+    for (uint32_t w = 0; w < 16; ++w) {
+        uint32_t got = 0;
+        cache.read(w * 4, 4, got);
+        uint32_t expect = mem.read(w * 4, 4);
+        if (got != expect) {
+            ++corrupted_words;
+            // One bit each: xor is a power of two.
+            uint32_t diff = got ^ expect;
+            EXPECT_EQ(diff & (diff - 1), 0u) << "word " << w;
+        }
+    }
+    EXPECT_EQ(corrupted_words, 3);
+}
+
+TEST(Interleave, WithoutInterleavingClusterHitsOneWord)
+{
+    // Contrast case: degree 1 puts the same three flips in one word.
+    PhysicalMemory mem(1 << 18);
+    MemoryBackend backend(mem, 50);
+    Cache cache("L1", smallConfig(1), backend);
+    uint32_t value = 0;
+    cache.read(0, 4, value);
+    for (uint32_t col = 100; col < 103; ++col)
+        cache.dataArray().flipBit(0, col);
+    int corrupted_words = 0;
+    for (uint32_t w = 0; w < 16; ++w) {
+        uint32_t got = 0;
+        cache.read(w * 4, 4, got);
+        if (got != mem.read(w * 4, 4))
+            ++corrupted_words;
+    }
+    EXPECT_EQ(corrupted_words, 1);
+}
+
+TEST(Interleave, BadDegreeIsFatal)
+{
+    PhysicalMemory mem(1 << 18);
+    MemoryBackend backend(mem, 50);
+    CacheConfig bad = smallConfig(7);   // 512 % 7 != 0
+    EXPECT_EXIT(Cache("L1", bad, backend),
+                ::testing::ExitedWithCode(1), "interleave");
+}
+
+} // namespace
+} // namespace mbusim::sim

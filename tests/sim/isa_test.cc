@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for ISA encode/decode, ALU semantics and classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/isa.hh"
+#include "util/rng.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(IsaEncode, RTypeRoundTrip)
+{
+    uint32_t word = encodeR(Opcode::Add, 3, 4, 5);
+    DecodedInst inst = decode(word);
+    EXPECT_EQ(inst.op, Opcode::Add);
+    EXPECT_EQ(inst.cls, InstClass::IntAlu);
+    EXPECT_EQ(inst.rd, 3);
+    EXPECT_EQ(inst.rs1, 4);
+    EXPECT_EQ(inst.rs2, 5);
+}
+
+TEST(IsaEncode, ITypeImmediateSignExtension)
+{
+    DecodedInst pos = decode(encodeI(Opcode::Addi, 1, 2, 1000));
+    EXPECT_EQ(pos.imm, 1000);
+    DecodedInst neg = decode(encodeI(Opcode::Addi, 1, 2, -1000));
+    EXPECT_EQ(neg.imm, -1000);
+    DecodedInst min = decode(encodeI(Opcode::Addi, 1, 2, Imm18Min));
+    EXPECT_EQ(min.imm, Imm18Min);
+    DecodedInst max = decode(encodeI(Opcode::Addi, 1, 2, Imm18Max));
+    EXPECT_EQ(max.imm, Imm18Max);
+}
+
+TEST(IsaEncode, BranchOffsets)
+{
+    DecodedInst b = decode(encodeB(Opcode::Beq, 7, 8, -12));
+    EXPECT_EQ(b.cls, InstClass::Branch);
+    EXPECT_EQ(b.rs1, 7);
+    EXPECT_EQ(b.rs2, 8);
+    EXPECT_EQ(b.imm, -12);
+}
+
+TEST(IsaEncode, JumpOffsets)
+{
+    DecodedInst j = decode(encodeJ(Opcode::Jal, 14, Off22Min));
+    EXPECT_EQ(j.cls, InstClass::Jump);
+    EXPECT_EQ(j.rd, 14);
+    EXPECT_EQ(j.imm, Off22Min);
+    DecodedInst j2 = decode(encodeJ(Opcode::Jal, 0, Off22Max));
+    EXPECT_EQ(j2.imm, Off22Max);
+}
+
+TEST(IsaEncode, SyscallCode)
+{
+    DecodedInst s = decode(encodeS(2));
+    EXPECT_EQ(s.cls, InstClass::Syscall);
+    EXPECT_EQ(s.sysCode, 2u);
+}
+
+TEST(IsaDecode, UndefinedOpcodesAreIllegalNotFatal)
+{
+    // Opcode 0x3e is not assigned.
+    DecodedInst inst = decode(0x3eu << 26);
+    EXPECT_EQ(inst.cls, InstClass::Illegal);
+}
+
+TEST(IsaDecode, NeverThrowsOnAnyWord)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i) {
+        uint32_t word = static_cast<uint32_t>(rng.next());
+        DecodedInst inst = decode(word);
+        EXPECT_EQ(inst.raw, word);
+    }
+}
+
+TEST(IsaDecode, MostSingleBitFlipsOfAddStayDefined)
+{
+    // The encoding is dense: bit flips inside the opcode field of a valid
+    // instruction should usually land on defined neighbours, like real
+    // ISAs. (Exact density is a design property, not a hard spec; assert
+    // a generous lower bound.)
+    uint32_t base = encodeR(Opcode::Add, 1, 2, 3);
+    int defined = 0;
+    for (int bit = 26; bit < 32; ++bit) {
+        DecodedInst inst = decode(base ^ (1u << bit));
+        defined += inst.cls != InstClass::Illegal;
+    }
+    EXPECT_GE(defined, 4);
+}
+
+TEST(IsaAlu, Arithmetic)
+{
+    EXPECT_EQ(aluResult(Opcode::Add, 2, 3), 5u);
+    EXPECT_EQ(aluResult(Opcode::Sub, 2, 3), 0xffffffffu);
+    EXPECT_EQ(aluResult(Opcode::Mul, 100000, 100000),
+              100000u * 100000u); // wraps mod 2^32
+    EXPECT_EQ(aluResult(Opcode::Mulh, 0x80000000u, 2),
+              0xffffffffu); // -2^31 * 2 >> 32 == -1
+}
+
+TEST(IsaAlu, Logic)
+{
+    EXPECT_EQ(aluResult(Opcode::And, 0xff00ff00, 0x0ff00ff0),
+              0x0f000f00u);
+    EXPECT_EQ(aluResult(Opcode::Or, 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(aluResult(Opcode::Xor, 0xff, 0x0f), 0xf0u);
+}
+
+TEST(IsaAlu, Shifts)
+{
+    EXPECT_EQ(aluResult(Opcode::Sll, 1, 31), 0x80000000u);
+    EXPECT_EQ(aluResult(Opcode::Srl, 0x80000000u, 31), 1u);
+    EXPECT_EQ(aluResult(Opcode::Sra, 0x80000000u, 31), 0xffffffffu);
+    // Shift amounts wrap at 32.
+    EXPECT_EQ(aluResult(Opcode::Sll, 1, 32), 1u);
+    EXPECT_EQ(aluResult(Opcode::Sll, 1, 33), 2u);
+}
+
+TEST(IsaAlu, DivisionConventions)
+{
+    EXPECT_EQ(aluResult(Opcode::Div, 7, 2), 3u);
+    EXPECT_EQ(aluResult(Opcode::Div, static_cast<uint32_t>(-7), 2),
+              static_cast<uint32_t>(-3));
+    EXPECT_EQ(aluResult(Opcode::Div, 5, 0), 0xffffffffu); // x/0 = -1
+    EXPECT_EQ(aluResult(Opcode::Rem, 5, 0), 5u);          // x%0 = x
+    EXPECT_EQ(aluResult(Opcode::Div, 0x80000000u, 0xffffffffu),
+              0x80000000u); // INT_MIN / -1 = INT_MIN
+    EXPECT_EQ(aluResult(Opcode::Rem, 0x80000000u, 0xffffffffu), 0u);
+}
+
+TEST(IsaAlu, Comparisons)
+{
+    EXPECT_EQ(aluResult(Opcode::Slt, static_cast<uint32_t>(-1), 0), 1u);
+    EXPECT_EQ(aluResult(Opcode::Sltu, static_cast<uint32_t>(-1), 0), 0u);
+    EXPECT_EQ(aluResult(Opcode::Min, static_cast<uint32_t>(-5), 3),
+              static_cast<uint32_t>(-5));
+    EXPECT_EQ(aluResult(Opcode::Max, static_cast<uint32_t>(-5), 3), 3u);
+}
+
+TEST(IsaAlu, Lui)
+{
+    EXPECT_EQ(aluResult(Opcode::Lui, 0, 1), 1u << 14);
+    EXPECT_EQ(aluResult(Opcode::Lui, 0, 0x3ffff), 0x3ffffu << 14);
+}
+
+TEST(IsaBranch, Conditions)
+{
+    EXPECT_TRUE(branchTaken(Opcode::Beq, 5, 5));
+    EXPECT_FALSE(branchTaken(Opcode::Beq, 5, 6));
+    EXPECT_TRUE(branchTaken(Opcode::Bne, 5, 6));
+    EXPECT_TRUE(branchTaken(Opcode::Blt, static_cast<uint32_t>(-1), 0));
+    EXPECT_FALSE(branchTaken(Opcode::Bltu, static_cast<uint32_t>(-1), 0));
+    EXPECT_TRUE(branchTaken(Opcode::Bge, 0, 0));
+    EXPECT_TRUE(branchTaken(Opcode::Bgeu, static_cast<uint32_t>(-1), 1));
+}
+
+TEST(IsaMeta, OperandUsage)
+{
+    EXPECT_TRUE(decode(encodeR(Opcode::Add, 1, 2, 3)).readsRs2());
+    EXPECT_FALSE(decode(encodeI(Opcode::Addi, 1, 2, 3)).readsRs2());
+    EXPECT_FALSE(decode(encodeI(Opcode::Lui, 1, 0, 3)).readsRs1());
+    EXPECT_TRUE(decode(encodeI(Opcode::Lw, 1, 2, 0)).writesReg());
+    EXPECT_FALSE(decode(encodeI(Opcode::Sw, 1, 2, 0)).writesReg());
+    EXPECT_TRUE(decode(encodeJ(Opcode::Jal, 14, 0)).writesReg());
+}
+
+TEST(IsaMeta, MemAccessWidths)
+{
+    EXPECT_EQ(decode(encodeI(Opcode::Lw, 1, 2, 0)).memBytes(), 4u);
+    EXPECT_EQ(decode(encodeI(Opcode::Lh, 1, 2, 0)).memBytes(), 2u);
+    EXPECT_EQ(decode(encodeI(Opcode::Sb, 1, 2, 0)).memBytes(), 1u);
+    EXPECT_TRUE(decode(encodeI(Opcode::Lb, 1, 2, 0)).memSigned());
+    EXPECT_FALSE(decode(encodeI(Opcode::Lbu, 1, 2, 0)).memSigned());
+}
+
+TEST(IsaMeta, LatenciesSane)
+{
+    EXPECT_EQ(execLatency(InstClass::IntAlu), 1u);
+    EXPECT_GT(execLatency(InstClass::IntMul), 1u);
+    EXPECT_GT(execLatency(InstClass::IntDiv),
+              execLatency(InstClass::IntMul));
+}
+
+TEST(IsaDisasm, Readable)
+{
+    EXPECT_EQ(disassemble(decode(encodeR(Opcode::Add, 1, 2, 3))),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble(decode(encodeI(Opcode::Lw, 4, 13, 8))),
+              "lw r4, 8(r13)");
+    EXPECT_EQ(disassemble(decode(encodeS(1))), "sys 1");
+}
+
+} // namespace
+} // namespace mbusim::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the physical memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "util/log.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(PhysicalMemory, StartsZeroed)
+{
+    PhysicalMemory mem(1024);
+    EXPECT_EQ(mem.size(), 1024u);
+    EXPECT_EQ(mem.read(0, 4), 0u);
+    EXPECT_EQ(mem.read(1020, 4), 0u);
+}
+
+TEST(PhysicalMemory, LittleEndianRoundTrip)
+{
+    PhysicalMemory mem(64);
+    mem.write(0, 4, 0x11223344);
+    EXPECT_EQ(mem.read(0, 4), 0x11223344u);
+    EXPECT_EQ(mem.read(0, 1), 0x44u);  // LSB first
+    EXPECT_EQ(mem.read(1, 1), 0x33u);
+    EXPECT_EQ(mem.read(0, 2), 0x3344u);
+    EXPECT_EQ(mem.read(2, 2), 0x1122u);
+}
+
+TEST(PhysicalMemory, UnalignedAccessWorks)
+{
+    PhysicalMemory mem(64);
+    mem.write(3, 4, 0xaabbccdd);
+    EXPECT_EQ(mem.read(3, 4), 0xaabbccddu);
+}
+
+TEST(PhysicalMemory, BulkLoadDump)
+{
+    PhysicalMemory mem(256);
+    uint8_t src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.load(100, src, 8);
+    uint8_t dst[8] = {};
+    mem.dump(100, dst, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+    EXPECT_EQ(mem.read(100, 4), 0x04030201u);
+}
+
+TEST(PhysicalMemory, OutOfRangeRaisesSimAssert)
+{
+    PhysicalMemory mem(128);
+    EXPECT_THROW(mem.read(128, 1), SimAssert);
+    EXPECT_THROW(mem.read(126, 4), SimAssert);
+    EXPECT_THROW(mem.write(1000, 4, 0), SimAssert);
+    // Wrap-around attack: paddr + len overflows.
+    EXPECT_THROW(mem.read(~0ULL, 4), SimAssert);
+}
+
+TEST(PhysicalMemory, ClearZeroes)
+{
+    PhysicalMemory mem(32);
+    mem.write(8, 4, 0xffffffff);
+    mem.clear();
+    EXPECT_EQ(mem.read(8, 4), 0u);
+}
+
+} // namespace
+} // namespace mbusim::sim

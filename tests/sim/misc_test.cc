@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the branch predictor, register file and System.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/branch_predictor.hh"
+#include "sim/regfile.hh"
+#include "sim/system.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(PhysRegFile, ReadWriteRoundTrip)
+{
+    PhysRegFile rf(66);
+    EXPECT_EQ(rf.numRegs(), 66u);
+    rf.write(0, 0xdeadbeef);
+    rf.write(65, 0x12345678);
+    EXPECT_EQ(rf.read(0), 0xdeadbeefu);
+    EXPECT_EQ(rf.read(65), 0x12345678u);
+    EXPECT_EQ(rf.read(33), 0u);
+    EXPECT_EQ(rf.bits().sizeBits(), 2112u);   // Table VIII
+}
+
+TEST(PhysRegFile, BitFlipChangesValue)
+{
+    PhysRegFile rf(66);
+    rf.write(10, 0);
+    rf.bits().flipBit(10, 31);
+    EXPECT_EQ(rf.read(10), 0x80000000u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(64, 16, 4);
+    uint32_t pc = 0x1000;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, true, true, 0x2000);
+    BranchPrediction pred = bp.predict(pc, true, false, false);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_EQ(pred.target, 0x2000u);
+}
+
+TEST(BranchPredictor, LearnsNotTaken)
+{
+    BranchPredictor bp(64, 16, 4);
+    uint32_t pc = 0x1004;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, true, false, 0);
+    EXPECT_FALSE(bp.predict(pc, true, false, false).taken);
+}
+
+TEST(BranchPredictor, HysteresisNeedsTwoFlips)
+{
+    BranchPredictor bp(64, 16, 4);
+    uint32_t pc = 0x1008;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, true, true, 0x3000);
+    bp.update(pc, true, false, 0);   // single not-taken
+    EXPECT_TRUE(bp.predict(pc, true, false, false).taken);
+    bp.update(pc, true, false, 0);
+    bp.update(pc, true, false, 0);
+    EXPECT_FALSE(bp.predict(pc, true, false, false).taken);
+}
+
+TEST(BranchPredictor, RasPairsCallsWithReturns)
+{
+    BranchPredictor bp(64, 16, 8);
+    // call at 0x100 (pushes 0x104), call at 0x200 (pushes 0x204).
+    bp.predict(0x100, false, true, false);
+    bp.predict(0x200, false, true, false);
+    BranchPrediction r1 = bp.predict(0x300, false, false, true);
+    EXPECT_TRUE(r1.taken);
+    EXPECT_TRUE(r1.fromRas);
+    EXPECT_EQ(r1.target, 0x204u);
+    BranchPrediction r2 = bp.predict(0x304, false, false, true);
+    EXPECT_EQ(r2.target, 0x104u);
+}
+
+TEST(BranchPredictor, EmptyRasFallsBack)
+{
+    BranchPredictor bp(64, 16, 4);
+    BranchPrediction pred = bp.predict(0x400, false, false, true);
+    EXPECT_FALSE(pred.fromRas);
+}
+
+struct SystemFixture : public ::testing::Test
+{
+    SystemFixture()
+        : program(assemble(".data\nbuf: .word 42\n.text\n"
+                           "main: li r1, 0\nsys 1\n")),
+          sys(program, 8 << 20, 20)
+    {}
+
+    Program program;
+    System sys;
+};
+
+TEST_F(SystemFixture, LoaderMapsSections)
+{
+    EXPECT_TRUE(sys.mmu().mapped(DefaultCodeBase >> PageShift));
+    EXPECT_TRUE(sys.mmu().mapped(DefaultDataBase >> PageShift));
+    EXPECT_TRUE(
+        sys.mmu().mapped((DefaultStackTop - 4) >> PageShift));
+    EXPECT_FALSE(sys.mmu().mapped(0));   // null page unmapped
+    EXPECT_EQ(sys.entryPc(), program.entry);
+}
+
+TEST_F(SystemFixture, LoaderCopiesImages)
+{
+    Tlb tlb("T", 8);
+    Translation t = sys.mmu().translate(tlb, DefaultDataBase,
+                                        AccessType::Read);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(sys.memory().read(t.paddr, 4), 42u);
+    Translation tc = sys.mmu().translate(tlb, program.entry,
+                                         AccessType::Execute);
+    ASSERT_TRUE(tc.ok());
+    // First instruction of main: addi r1, r0, 0 (li r1, 0).
+    EXPECT_EQ(sys.memory().read(tc.paddr, 4), program.code.front());
+}
+
+TEST_F(SystemFixture, CodePagesAreNotWritable)
+{
+    Tlb tlb("T", 8);
+    EXPECT_EQ(sys.mmu().translate(tlb, DefaultCodeBase,
+                                  AccessType::Write).status,
+              Translation::Status::PermissionFault);
+}
+
+TEST_F(SystemFixture, DataPagesAreNotExecutable)
+{
+    Tlb tlb("T", 8);
+    EXPECT_EQ(sys.mmu().translate(tlb, DefaultDataBase,
+                                  AccessType::Execute).status,
+              Translation::Status::PermissionFault);
+}
+
+TEST_F(SystemFixture, SyscallsBehave)
+{
+    SyscallResult exit_res = sys.syscall(1, 7, 0);
+    EXPECT_TRUE(exit_res.exits);
+    EXPECT_EQ(exit_res.exitCode, 7u);
+
+    sys.syscall(2, 'x', 0);
+    sys.syscall(3, 0x01020304, 0);
+    ASSERT_EQ(sys.output().size(), 5u);
+    EXPECT_EQ(sys.output()[0], 'x');
+    EXPECT_EQ(sys.output()[1], 0x04);
+
+    SyscallResult cyc = sys.syscall(5, 0, 1234);
+    EXPECT_TRUE(cyc.writesRv);
+    EXPECT_EQ(cyc.rvValue, 1234u);
+
+    EXPECT_TRUE(sys.syscall(999, 0, 0).bad);
+}
+
+TEST_F(SystemFixture, StoreIntoPageTableIsKernelHit)
+{
+    EXPECT_TRUE(sys.storeHitsKernel(PageTableBase, 4));
+    EXPECT_TRUE(sys.storeHitsKernel(PageTableBase + PageTableBytes - 1,
+                                    1));
+    EXPECT_FALSE(sys.storeHitsKernel(PageTableBase + PageTableBytes, 4));
+    EXPECT_FALSE(sys.storeHitsKernel(0, 4));
+}
+
+TEST_F(SystemFixture, ExceptionDeliveryKinds)
+{
+    ExitStatus crash = sys.deliverException(ExceptionType::PageFault,
+                                            0x1000, 0x300000);
+    EXPECT_EQ(crash.kind, ExitKind::ProcessCrash);
+    ExitStatus panic = sys.deliverException(
+        ExceptionType::PermissionFault, 0x1000, PageTableBase + 8);
+    EXPECT_EQ(panic.kind, ExitKind::KernelPanic);
+}
+
+} // namespace
+} // namespace mbusim::sim

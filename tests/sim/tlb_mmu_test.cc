@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the TLB and MMU (page table + walker).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "util/log.hh"
+#include "sim/mmu.hh"
+#include "sim/tlb.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(TlbEntryTest, PackUnpackRoundTrip)
+{
+    TlbEntry e;
+    e.valid = true;
+    e.perms = {true, false, true};
+    e.vpn = 0xabc;
+    e.pfn = 0x123;
+    TlbEntry r = TlbEntry::unpack(e.pack());
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(r.perms.read);
+    EXPECT_FALSE(r.perms.write);
+    EXPECT_TRUE(r.perms.exec);
+    EXPECT_EQ(r.vpn, 0xabcu);
+    EXPECT_EQ(r.pfn, 0x123u);
+}
+
+TEST(TlbTest, MissThenHit)
+{
+    Tlb tlb("T", 4);
+    EXPECT_FALSE(tlb.lookup(5).has_value());
+    TlbEntry e;
+    e.valid = true;
+    e.vpn = 5;
+    e.pfn = 9;
+    e.perms = {true, true, false};
+    tlb.insert(e);
+    auto slot = tlb.lookup(5);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_EQ(tlb.entryAt(*slot).pfn, 9u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TlbTest, FifoReplacementWrapsAround)
+{
+    Tlb tlb("T", 2);
+    for (uint32_t vpn = 0; vpn < 3; ++vpn) {
+        TlbEntry e;
+        e.valid = true;
+        e.vpn = vpn;
+        e.pfn = vpn + 100;
+        tlb.insert(e);
+    }
+    // Entry 0 was overwritten by entry 2.
+    EXPECT_FALSE(tlb.lookup(0).has_value());
+    EXPECT_TRUE(tlb.lookup(1).has_value());
+    EXPECT_TRUE(tlb.lookup(2).has_value());
+}
+
+TEST(TlbTest, CorruptedVpnRetargetsMapping)
+{
+    Tlb tlb("T", 4);
+    TlbEntry e;
+    e.valid = true;
+    e.vpn = 0x10;
+    e.pfn = 0x30;
+    e.perms = {true, true, true};
+    uint32_t slot = tlb.insert(e);
+    tlb.bits().flipBit(slot, 4);   // lowest VPN bit: 0x10 -> 0x11
+    EXPECT_FALSE(tlb.lookup(0x10).has_value());
+    auto hit = tlb.lookup(0x11);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(tlb.entryAt(*hit).pfn, 0x30u);
+}
+
+TEST(TlbTest, CorruptedValidBitHidesEntry)
+{
+    Tlb tlb("T", 4);
+    TlbEntry e;
+    e.valid = true;
+    e.vpn = 7;
+    e.pfn = 8;
+    uint32_t slot = tlb.insert(e);
+    tlb.bits().flipBit(slot, 0);
+    EXPECT_FALSE(tlb.lookup(7).has_value());
+}
+
+TEST(TlbTest, FlushClearsEverything)
+{
+    Tlb tlb("T", 4);
+    TlbEntry e;
+    e.valid = true;
+    e.vpn = 1;
+    tlb.insert(e);
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(1).has_value());
+    EXPECT_EQ(tlb.bits().popcount(), 0u);
+}
+
+struct MmuFixture : public ::testing::Test
+{
+    MmuFixture() : mem(4 << 20), mmu(mem, 20), tlb("T", 8) {}
+
+    PhysicalMemory mem;
+    Mmu mmu;
+    Tlb tlb;
+};
+
+TEST_F(MmuFixture, UnmappedIsPageFault)
+{
+    Translation t = mmu.translate(tlb, 0x5000, AccessType::Read);
+    EXPECT_EQ(t.status, Translation::Status::PageFault);
+}
+
+TEST_F(MmuFixture, MapThenTranslate)
+{
+    uint32_t pfn = mmu.mapPage(0x5, {true, true, false});
+    Translation t = mmu.translate(tlb, (0x5 << PageShift) | 0x123,
+                                  AccessType::Read);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.paddr, (pfn << PageShift) | 0x123u);
+    EXPECT_GT(t.latency, 0u);   // first access walks
+
+    Translation t2 = mmu.translate(tlb, (0x5 << PageShift) | 0x456,
+                                   AccessType::Write);
+    ASSERT_TRUE(t2.ok());
+    EXPECT_EQ(t2.latency, 0u);  // TLB hit
+}
+
+TEST_F(MmuFixture, PermissionEnforcement)
+{
+    mmu.mapPage(0x6, {true, false, false});   // read-only
+    uint32_t va = 0x6 << PageShift;
+    EXPECT_TRUE(mmu.translate(tlb, va, AccessType::Read).ok());
+    EXPECT_EQ(mmu.translate(tlb, va, AccessType::Write).status,
+              Translation::Status::PermissionFault);
+    EXPECT_EQ(mmu.translate(tlb, va, AccessType::Execute).status,
+              Translation::Status::PermissionFault);
+}
+
+TEST_F(MmuFixture, VaBeyondSpaceIsPageFault)
+{
+    Translation t = mmu.translate(tlb, 0x0100'0000, AccessType::Read);
+    EXPECT_EQ(t.status, Translation::Status::PageFault);
+}
+
+TEST_F(MmuFixture, FramesAreDistinct)
+{
+    uint32_t a = mmu.mapPage(1, {true, true, false});
+    uint32_t b = mmu.mapPage(2, {true, true, false});
+    EXPECT_NE(a, b);
+    EXPECT_GE(a, FirstUserFrame);
+    EXPECT_TRUE(mmu.mapped(1));
+    EXPECT_TRUE(mmu.mapped(2));
+    EXPECT_FALSE(mmu.mapped(3));
+}
+
+TEST_F(MmuFixture, CorruptedTlbPfnEscapesToWildAddress)
+{
+    mmu.mapPage(0x8, {true, true, false});
+    uint32_t va = 0x8 << PageShift;
+    mmu.translate(tlb, va, AccessType::Read);   // fill TLB
+    auto slot = tlb.lookup(0x8);
+    ASSERT_TRUE(slot.has_value());
+    tlb.bits().flipBit(*slot, 18 + 13);   // top PFN bit
+    Translation t = mmu.translate(tlb, va, AccessType::Read);
+    ASSERT_TRUE(t.ok());
+    // Translation "succeeds" but the physical address is now beyond the
+    // 4 MiB platform memory: accessing it raises the Assert path.
+    EXPECT_GE(t.paddr, mem.size());
+    EXPECT_THROW(mem.read(t.paddr, 4), mbusim::SimAssert);
+}
+
+} // namespace
+} // namespace mbusim::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace mbusim {
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Csv, EscapePlainFieldUnchanged)
+{
+    EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+    EXPECT_EQ(CsvWriter::escape("1.5"), "1.5");
+}
+
+TEST(Csv, EscapeQuotesSpecials)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRowsToFile)
+{
+    std::string path = testing::TempDir() + "/mbusim_csv_test.csv";
+    {
+        CsvWriter w(path);
+        w.writeRow({"a", "b"});
+        w.writeRow({"1", "x,y"});
+        w.close();
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,\"x,y\"\n");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mbusim

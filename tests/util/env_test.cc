@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for environment-variable configuration parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hh"
+
+namespace mbusim {
+namespace {
+
+TEST(Env, IntFallbackWhenUnset)
+{
+    unsetenv("MBUSIM_TEST_INT");
+    EXPECT_EQ(envInt("MBUSIM_TEST_INT", 42), 42);
+}
+
+TEST(Env, IntParsesDecimalAndHex)
+{
+    setenv("MBUSIM_TEST_INT", "123", 1);
+    EXPECT_EQ(envInt("MBUSIM_TEST_INT", 0), 123);
+    setenv("MBUSIM_TEST_INT", "0x10", 1);
+    EXPECT_EQ(envInt("MBUSIM_TEST_INT", 0), 16);
+    setenv("MBUSIM_TEST_INT", "-5", 1);
+    EXPECT_EQ(envInt("MBUSIM_TEST_INT", 0), -5);
+    unsetenv("MBUSIM_TEST_INT");
+}
+
+TEST(Env, EmptyStringUsesFallback)
+{
+    setenv("MBUSIM_TEST_INT", "", 1);
+    EXPECT_EQ(envInt("MBUSIM_TEST_INT", 7), 7);
+    unsetenv("MBUSIM_TEST_INT");
+}
+
+TEST(Env, StringFallbackAndValue)
+{
+    unsetenv("MBUSIM_TEST_STR");
+    EXPECT_EQ(envString("MBUSIM_TEST_STR", "dflt"), "dflt");
+    setenv("MBUSIM_TEST_STR", "hello", 1);
+    EXPECT_EQ(envString("MBUSIM_TEST_STR", "dflt"), "hello");
+    unsetenv("MBUSIM_TEST_STR");
+}
+
+TEST(Env, ListSplitsOnCommas)
+{
+    setenv("MBUSIM_TEST_LIST", "a,b,c", 1);
+    auto v = envList("MBUSIM_TEST_LIST");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+    unsetenv("MBUSIM_TEST_LIST");
+}
+
+TEST(Env, ListSkipsEmptySegments)
+{
+    setenv("MBUSIM_TEST_LIST", ",a,,b,", 1);
+    auto v = envList("MBUSIM_TEST_LIST");
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    unsetenv("MBUSIM_TEST_LIST");
+}
+
+TEST(Env, ListEmptyWhenUnset)
+{
+    unsetenv("MBUSIM_TEST_LIST");
+    EXPECT_TRUE(envList("MBUSIM_TEST_LIST").empty());
+}
+
+} // namespace
+} // namespace mbusim

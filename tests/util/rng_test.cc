@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** RNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace mbusim {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(123);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng base(99);
+    Rng a = base.fork(1, 0);
+    Rng b = base.fork(1, 1);
+    Rng c = base.fork(2, 0);
+    int same_ab = 0, same_ac = 0;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t va = a.next(), vb = b.next(), vc = c.next();
+        same_ab += va == vb;
+        same_ac += va == vc;
+    }
+    EXPECT_LT(same_ab, 4);
+    EXPECT_LT(same_ac, 4);
+}
+
+TEST(Rng, ForkReproducible)
+{
+    Rng base(99);
+    Rng a1 = base.fork(5, 7);
+    Rng a2 = base.fork(5, 7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a1.next(), a2.next());
+}
+
+TEST(Rng, CoversFullRangeEventually)
+{
+    // All 8 values of below(8) appear within a reasonable draw budget.
+    Rng rng(21);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500 && seen.size() < 8; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+} // namespace
+} // namespace mbusim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the text-table renderer and number formatters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace mbusim {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"x", "y"});
+    t.addRow({"longer", "z"});
+    std::string out = t.render();
+    // Every 'B'-column entry starts at the same offset.
+    size_t header_pos = out.find("B");
+    size_t y_line = out.find("x");
+    size_t y_pos = out.find("y", y_line) - (y_line);
+    size_t z_line = out.find("longer");
+    size_t z_pos = out.find("z", z_line) - (z_line);
+    EXPECT_EQ(y_pos, z_pos);
+    EXPECT_NE(header_pos, std::string::npos);
+}
+
+TEST(TextTable, TitleAppears)
+{
+    TextTable t({"C"});
+    t.title("TABLE X. THINGS");
+    t.addRow({"v"});
+    EXPECT_NE(t.render().find("TABLE X. THINGS"), std::string::npos);
+}
+
+TEST(Formatters, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.5), "50.00%");
+    EXPECT_EQ(fmtPercent(0.123456, 1), "12.3%");
+    EXPECT_EQ(fmtPercent(0.0), "0.00%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Formatters, Double)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 1), "2.0");
+}
+
+TEST(Formatters, Grouped)
+{
+    EXPECT_EQ(fmtGrouped(0), "0");
+    EXPECT_EQ(fmtGrouped(999), "999");
+    EXPECT_EQ(fmtGrouped(1000), "1,000");
+    EXPECT_EQ(fmtGrouped(132195721), "132,195,721");
+    EXPECT_EQ(fmtGrouped(48339852), "48,339,852");   // 8 digits: the
+    EXPECT_EQ(fmtGrouped(53690367), "53,690,367");   // lead-2 case once
+    EXPECT_EQ(fmtGrouped(10), "10");                 // wrapped size_t
+    EXPECT_EQ(fmtGrouped(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(Formatters, Bar)
+{
+    EXPECT_EQ(fmtBar(0.0, 10), "");
+    EXPECT_EQ(fmtBar(1.0, 10), "##########");
+    EXPECT_EQ(fmtBar(0.5, 10), "#####");
+    EXPECT_EQ(fmtBar(2.0, 4), "####");   // clamped
+    EXPECT_EQ(fmtBar(-1.0, 4), "");      // clamped
+}
+
+} // namespace
+} // namespace mbusim

@@ -1,0 +1,884 @@
+/**
+ * @file
+ * Host-side reference implementations of all 15 workloads.
+ *
+ * Each test re-implements the workload's algorithm in C++ (same LCG
+ * stream, same integer arithmetic) and requires the assembly program,
+ * executed on the functional simulator, to produce a byte-identical
+ * output stream. This pins the workloads down end to end: an assembler
+ * bug, an ISA semantics bug or an asm coding bug all surface here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/funcsim.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::workloads {
+namespace {
+
+/** The workloads' shared linear congruential generator. */
+class Lcg
+{
+  public:
+    explicit Lcg(uint32_t seed) : x_(seed) {}
+
+    uint32_t next()
+    {
+        x_ = x_ * 1103515245u + 12345u;
+        return x_;
+    }
+
+    uint32_t state() const { return x_; }
+
+  private:
+    uint32_t x_;
+};
+
+/** Expected-output accumulator mirroring the PutChar/PutWord syscalls. */
+struct OutStream
+{
+    std::vector<uint8_t> bytes;
+
+    void putWord(uint32_t w)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    }
+};
+
+std::vector<uint8_t>
+runWorkload(const std::string& name)
+{
+    const Workload& w = workloadByName(name);
+    sim::FuncSim fs(w.assemble());
+    sim::FuncResult r = fs.run(50'000'000);
+    EXPECT_EQ(r.status.kind, sim::ExitKind::Exited) << name;
+    EXPECT_EQ(r.status.exitCode, 0u) << name;
+    return r.output;
+}
+
+int32_t
+fmul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(
+        (static_cast<int64_t>(a) * static_cast<int64_t>(b)) >> 16);
+}
+
+TEST(WorkloadReference, Crc32)
+{
+    uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (c >> 1) ^ 0xEDB88320u : c >> 1;
+        table[i] = c;
+    }
+    Lcg lcg(0x12345678);
+    std::vector<uint8_t> buf(40960);
+    for (auto& b : buf)
+        b = static_cast<uint8_t>(lcg.next() >> 16);
+    OutStream out;
+    for (int pass = 0; pass < 1; ++pass) {
+        uint32_t crc = 0xFFFFFFFFu;
+        for (uint8_t b : buf)
+            crc = (crc >> 8) ^ table[(crc ^ b) & 0xff];
+        out.putWord(~crc);
+    }
+    EXPECT_EQ(runWorkload("CRC32"), out.bytes);
+}
+
+TEST(WorkloadReference, Fft)
+{
+    constexpr int N = 256;
+    static const int32_t wtab[8][2] = {
+        {-65536, 0}, {0, -65536}, {46341, -46341}, {60547, -25080},
+        {64277, -12785}, {65220, -6424}, {65457, -3216},
+        {65516, -1608},
+    };
+    Lcg lcg(0xCAFE1234);
+    int32_t re[N], im[N];
+    for (int i = 0; i < N; ++i) {
+        uint32_t s = (lcg.next() >> 16) & 0xffff;
+        re[i] = static_cast<int16_t>(s);
+        im[i] = 0;
+    }
+    // Bit reversal (7 bits).
+    for (int i = 0; i < N; ++i) {
+        int j = 0, t = i;
+        for (int b = 0; b < 8; ++b) {
+            j = (j << 1) | (t & 1);
+            t >>= 1;
+        }
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    int stage = 0;
+    for (int len = 2; len < 512; len <<= 1, ++stage) {
+        int32_t wr0 = wtab[stage][0], wi0 = wtab[stage][1];
+        int half = len / 2;
+        for (int i = 0; i < N; i += len) {
+            int32_t wr = 65536, wi = 0;
+            for (int j = 0; j < half; ++j) {
+                int i1 = i + j, i2 = i1 + half;
+                int32_t tr = fmul(wr, re[i2]) - fmul(wi, im[i2]);
+                int32_t ti = fmul(wr, im[i2]) + fmul(wi, re[i2]);
+                re[i2] = re[i1] - tr;
+                im[i2] = im[i1] - ti;
+                re[i1] = re[i1] + tr;
+                im[i1] = im[i1] + ti;
+                int32_t nwr = fmul(wr, wr0) - fmul(wi, wi0);
+                int32_t nwi = fmul(wr, wi0) + fmul(wi, wr0);
+                wr = nwr;
+                wi = nwi;
+            }
+        }
+    }
+    auto isqrt = [](uint32_t x) {
+        uint32_t res = 0, bit = 1u << 30;
+        while (bit > x)
+            bit >>= 2;
+        while (bit) {
+            if (x >= res + bit) {
+                x -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        return res;
+    };
+    uint32_t mag_sum = 0;
+    for (int i = 0; i < N; ++i) {
+        uint32_t m2 = static_cast<uint32_t>(re[i]) *
+                          static_cast<uint32_t>(re[i]) +
+                      static_cast<uint32_t>(im[i]) *
+                          static_cast<uint32_t>(im[i]);
+        mag_sum += isqrt(m2);
+    }
+    uint32_t sum_re = 0, sum_im = 0;
+    for (int i = 0; i < N; ++i) {
+        sum_re += static_cast<uint32_t>(re[i]);
+        sum_im += static_cast<uint32_t>(im[i]);
+    }
+    OutStream out;
+    out.putWord(mag_sum);
+    out.putWord(sum_re);
+    out.putWord(sum_im);
+    out.putWord(static_cast<uint32_t>(re[1]));
+    out.putWord(static_cast<uint32_t>(im[1]));
+    out.putWord(static_cast<uint32_t>(re[128]));
+    out.putWord(static_cast<uint32_t>(im[128]));
+    EXPECT_EQ(runWorkload("FFT"), out.bytes);
+}
+
+TEST(WorkloadReference, AdpcmDec)
+{
+    static const int step[89] = {
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+        34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130,
+        143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+        494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411,
+        1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660,
+        4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+        10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385,
+        24623, 27086, 29794, 32767,
+    };
+    static const int idx_adj[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                    -1, -1, -1, -1, 2, 4, 6, 8};
+    Lcg lcg(0xBEEF0001);
+    int valpred = 0, index = 0;
+    uint32_t sum = 0;
+    int emit = 256;
+    OutStream out;
+    std::vector<int16_t> outbuf(3500);
+    int remaining = 3500;
+    for (int n = 0; n < 3500; ++n) {
+        uint32_t delta = (lcg.next() >> 13) & 15;
+        int s = step[index];
+        int vpdiff = s >> 3;
+        if (delta & 4)
+            vpdiff += s;
+        if (delta & 2)
+            vpdiff += s >> 1;
+        if (delta & 1)
+            vpdiff += s >> 2;
+        valpred = (delta & 8) ? valpred - vpdiff : valpred + vpdiff;
+        valpred = std::clamp(valpred, -32768, 32767);
+        index = std::clamp(index + idx_adj[delta], 0, 88);
+        sum += static_cast<uint32_t>(valpred);
+        // the workload stores samples indexed by its down-counter
+        outbuf[static_cast<size_t>(remaining--) - 1] =
+            static_cast<int16_t>(valpred);
+        if (--emit == 0) {
+            emit = 256;
+            out.putWord(static_cast<uint32_t>(valpred));
+        }
+    }
+    out.putWord(sum);
+    out.putWord(static_cast<uint32_t>(index));
+    uint32_t buf_sum = 0;
+    for (int16_t s : outbuf)
+        buf_sum += static_cast<uint32_t>(static_cast<int32_t>(s));
+    out.putWord(buf_sum);
+    EXPECT_EQ(runWorkload("ADPCM_dec"), out.bytes);
+}
+
+TEST(WorkloadReference, Basicmath)
+{
+    auto isqrt = [](uint32_t x) {
+        uint32_t res = 0, bit = 1u << 30;
+        while (bit > x)
+            bit >>= 2;
+        while (bit) {
+            if (x >= res + bit) {
+                x -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        return res;
+    };
+    auto icbrt = [](uint32_t x) {
+        uint32_t y = 0;
+        for (int s = 30; s >= 0; s -= 3) {
+            y = 2 * y;
+            uint32_t b = 3 * y * (y + 1) + 1;
+            if ((x >> s) >= b) {
+                x -= b << s;
+                ++y;
+            }
+        }
+        return y;
+    };
+    Lcg lcg(0x0BADF00D);
+    uint32_t sq = 0, cb = 0, rad = 0;
+    OutStream out;
+    for (int remaining = 600; remaining >= 1; --remaining) {
+        uint32_t x = lcg.next();
+        sq += isqrt(x);
+        cb += icbrt(x);
+        rad += (x & 0x1ff) * 1144;
+        if ((remaining & 63) == 0)
+            out.putWord(sq);
+    }
+    out.putWord(sq);
+    out.putWord(cb);
+    out.putWord(rad);
+    EXPECT_EQ(runWorkload("basicmath"), out.bytes);
+}
+
+/** Shared cjpeg/djpeg tables. */
+struct JpegTables
+{
+    int32_t costab[32];
+    static constexpr int quant[64] = {
+        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55,
+        14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62,
+        18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+        92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112,
+        100, 103, 99,
+    };
+    static constexpr int zigzag[64] = {
+        0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+        12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+        35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+        58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    };
+
+    JpegTables()
+    {
+        costab[0] = 16384;
+        costab[1] = 16069;
+        for (int k = 2; k < 32; ++k) {
+            costab[k] = ((2 * 16069 * costab[k - 1]) >> 14)
+                        - costab[k - 2];
+        }
+    }
+};
+
+TEST(WorkloadReference, Cjpeg)
+{
+    JpegTables t;
+    Lcg lcg(0x5EED1234);
+    OutStream out;
+    for (int blk = 0; blk < 4; ++blk) {
+        int32_t f[64], tmp[64], o[64];
+        for (int i = 0; i < 64; ++i)
+            f[i] = static_cast<int>((lcg.next() >> 16) & 0xff) - 128;
+        for (int u = 0; u < 8; ++u) {
+            for (int y = 0; y < 8; ++y) {
+                int32_t acc = 0;
+                for (int x = 0; x < 8; ++x)
+                    acc += t.costab[((2 * x + 1) * u) & 31]
+                           * f[x * 8 + y];
+                tmp[u * 8 + y] = acc >> 14;
+            }
+        }
+        for (int u = 0; u < 8; ++u) {
+            for (int v = 0; v < 8; ++v) {
+                int32_t acc = 0;
+                for (int y = 0; y < 8; ++y)
+                    acc += t.costab[((2 * y + 1) * v) & 31]
+                           * tmp[u * 8 + y];
+                o[u * 8 + v] = acc >> 14;
+            }
+        }
+        for (int i = 0; i < 64; ++i) {
+            int32_t val = o[i] >> 2;
+            if (i / 8 == 0)
+                val = (val * 11585) >> 14;
+            if (i % 8 == 0)
+                val = (val * 11585) >> 14;
+            o[i] = val / JpegTables::quant[i];
+        }
+        int run = 0;
+        for (int k = 0; k < 64; ++k) {
+            int32_t z = o[JpegTables::zigzag[k]];
+            if (z == 0) {
+                ++run;
+            } else {
+                out.putWord((static_cast<uint32_t>(run) << 16) |
+                            (static_cast<uint32_t>(z) & 0xffff));
+                run = 0;
+            }
+        }
+        out.putWord(0xFFFF0000u);
+    }
+    EXPECT_EQ(runWorkload("cjpeg"), out.bytes);
+}
+
+TEST(WorkloadReference, Djpeg)
+{
+    JpegTables t;
+    Lcg lcg(0xD0DEC0DE);
+    OutStream out;
+    uint32_t checksum = 0;
+    for (int blk = 0; blk < 5; ++blk) {
+        int32_t g[64];
+        for (int i = 0; i < 64; ++i) {
+            uint32_t x = lcg.next();
+            int32_t v = 0;
+            if (((x >> 20) & 7) == 0) {
+                v = static_cast<int>((x >> 8) & 31) - 16;
+                v *= JpegTables::quant[i];
+                if (i / 8 == 0)
+                    v = (v * 11585) >> 14;
+                if (i % 8 == 0)
+                    v = (v * 11585) >> 14;
+            }
+            g[i] = v;
+        }
+        int32_t tt[16];
+        for (int x = 0; x < 4; ++x) {
+            for (int v = 0; v < 4; ++v) {
+                int32_t acc = 0;
+                for (int u = 0; u < 4; ++u) {
+                    if (g[u * 8 + v])
+                        acc += t.costab[((2 * x + 1) * u) & 31]
+                               * g[u * 8 + v];
+                }
+                tt[x * 4 + v] = acc >> 14;
+            }
+        }
+        for (int x = 0; x < 4; ++x) {
+            for (int y = 0; y < 4; ++y) {
+                int32_t acc = 0;
+                for (int v = 0; v < 4; ++v)
+                    acc += t.costab[((2 * y + 1) * v) & 31]
+                           * tt[x * 4 + v];
+                int32_t p = (acc >> 14) >> 1;
+                p = std::clamp(p + 128, 0, 255);
+                checksum += static_cast<uint32_t>(p);
+                out.putWord(static_cast<uint32_t>(p));
+            }
+        }
+    }
+    out.putWord(checksum);
+    EXPECT_EQ(runWorkload("djpeg"), out.bytes);
+}
+
+TEST(WorkloadReference, Dijkstra)
+{
+    constexpr int N = 48;
+    constexpr int32_t INF = 0x7fffffff;
+    int32_t adj[N][N];
+    Lcg lcg(0x00C0FFEE);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t w = ((lcg.next() >> 16) & 0xff) + 1;
+            adj[i][j] = (i == j) ? 0 : static_cast<int32_t>(w);
+        }
+    }
+    OutStream out;
+    for (int src = 0; src < N; src += 24) {
+        int32_t dist[N];
+        bool seen[N] = {};
+        std::fill(dist, dist + N, INF);
+        dist[src] = 0;
+        for (int round = 0; round < N; ++round) {
+            int32_t best = INF;
+            int u = -1;
+            for (int i = 0; i < N; ++i) {
+                if (!seen[i] && dist[i] < best) {
+                    best = dist[i];
+                    u = i;
+                }
+            }
+            if (u < 0)
+                break;
+            seen[u] = true;
+            for (int j = 0; j < N; ++j) {
+                int32_t w = adj[u][j];
+                if (w && best + w < dist[j])
+                    dist[j] = best + w;
+            }
+        }
+        uint32_t sum = 0;
+        for (int i = 0; i < N; ++i)
+            sum += static_cast<uint32_t>(dist[i]);
+        out.putWord(sum);
+    }
+    EXPECT_EQ(runWorkload("dijkstra"), out.bytes);
+}
+
+TEST(WorkloadReference, GsmDec)
+{
+    static const int32_t taps[8] = {9830, -4915, 2458, -1229,
+                                    614, -307, 154, -77};
+    Lcg lcg(0x6A5B1E55);
+    std::vector<int32_t> d(160 + 240, 0), s(8 + 240, 0);
+    OutStream out;
+    int n = 0;
+    uint32_t total = 0;
+    for (int frame = 0; frame < 6; ++frame) {
+        uint32_t p = lcg.next();
+        int lag = 40 + static_cast<int>(p & 63);
+        int32_t gain = static_cast<int32_t>((p >> 8) & 63);
+        uint32_t fsum = 0;
+        for (int k = 0; k < 40; ++k, ++n) {
+            uint32_t x = lcg.next();
+            int32_t e = static_cast<int>((x >> 12) & 0x3ff) - 512;
+            int32_t dv = e + ((gain * d[160 + n - lag]) >> 6);
+            dv = std::clamp(dv, -32768, 32767);
+            d[160 + n] = dv;
+            int32_t sv = dv;
+            for (int t = 1; t <= 8; ++t)
+                sv += (taps[t - 1] * s[8 + n - t]) >> 14;
+            sv = std::clamp(sv, -32768, 32767);
+            s[8 + n] = sv;
+            fsum += static_cast<uint32_t>(sv);
+        }
+        out.putWord(fsum);
+        total += fsum;
+    }
+    out.putWord(total);
+    EXPECT_EQ(runWorkload("gsm_dec"), out.bytes);
+}
+
+TEST(WorkloadReference, Qsort)
+{
+    Lcg lcg(0x9A8B7C6D);
+    std::vector<int32_t> a(700);
+    for (auto& v : a)
+        v = static_cast<int32_t>(lcg.next());
+    std::sort(a.begin(), a.end());
+    uint32_t weighted = 0;
+    for (int i = 0; i < 700; ++i)
+        weighted += static_cast<uint32_t>(a[i]) *
+                    static_cast<uint32_t>(i + 1);
+    OutStream out;
+    out.putWord(0); // no order violations
+    out.putWord(static_cast<uint32_t>(a.front()));
+    out.putWord(static_cast<uint32_t>(a.back()));
+    out.putWord(weighted);
+    EXPECT_EQ(runWorkload("qsort"), out.bytes);
+}
+
+/** Reference AES-128 with runtime-generated tables (as the asm does). */
+class Aes
+{
+  public:
+    Aes()
+    {
+        // exp/log over GF(2^8), generator 3.
+        uint8_t v = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp_[i] = v;
+            log_[v] = static_cast<uint8_t>(i);
+            v = static_cast<uint8_t>(v ^ xtime(v));
+        }
+        for (int a = 0; a < 256; ++a) {
+            uint8_t b = 0;
+            if (a) {
+                int l = 255 - log_[a];
+                if (l == 255)
+                    l = 0;
+                b = exp_[l];
+            }
+            uint8_t s = static_cast<uint8_t>(
+                b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^
+                rotl8(b, 4) ^ 0x63);
+            sbox_[a] = s;
+            isbox_[s] = static_cast<uint8_t>(a);
+        }
+    }
+
+    /** The generated S-box must be the real AES S-box. */
+    uint8_t sbox(uint8_t a) const { return sbox_[a]; }
+
+    void
+    expandKey(const uint8_t key[16])
+    {
+        std::memcpy(rk_, key, 16);
+        uint8_t rcon = 1;
+        for (int i = 16; i < 176; i += 4) {
+            uint8_t t[4] = {rk_[i - 4], rk_[i - 3], rk_[i - 2],
+                            rk_[i - 1]};
+            if (i % 16 == 0) {
+                uint8_t t0 = t[0];
+                t[0] = static_cast<uint8_t>(sbox_[t[1]] ^ rcon);
+                t[1] = sbox_[t[2]];
+                t[2] = sbox_[t[3]];
+                t[3] = sbox_[t0];
+                rcon = xtime(rcon);
+            }
+            for (int j = 0; j < 4; ++j)
+                rk_[i + j] = static_cast<uint8_t>(rk_[i - 16 + j] ^ t[j]);
+        }
+    }
+
+    void
+    decryptBlock(uint8_t s[16]) const
+    {
+        ark(s, 160);
+        for (int round = 9; round >= 1; --round) {
+            invShiftRows(s);
+            invSubBytes(s);
+            ark(s, round * 16);
+            invMixColumns(s);
+        }
+        invShiftRows(s);
+        invSubBytes(s);
+        ark(s, 0);
+    }
+
+  private:
+    static uint8_t
+    xtime(uint8_t x)
+    {
+        return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1B : 0));
+    }
+
+    static uint8_t
+    rotl8(uint8_t x, int n)
+    {
+        return static_cast<uint8_t>((x << n) | (x >> (8 - n)));
+    }
+
+    uint8_t
+    gmul(uint8_t a, uint8_t b) const
+    {
+        if (!a || !b)
+            return 0;
+        int l = log_[a] + log_[b];
+        if (l >= 255)
+            l -= 255;
+        return exp_[l];
+    }
+
+    void
+    ark(uint8_t s[16], int off) const
+    {
+        for (int i = 0; i < 16; ++i)
+            s[i] ^= rk_[off + i];
+    }
+
+    void
+    invShiftRows(uint8_t s[16]) const
+    {
+        uint8_t t[16];
+        std::memcpy(t, s, 16);
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                s[r + 4 * c] = t[r + 4 * ((c + 4 - r) & 3)];
+    }
+
+    void
+    invSubBytes(uint8_t s[16]) const
+    {
+        for (int i = 0; i < 16; ++i)
+            s[i] = isbox_[s[i]];
+    }
+
+    void
+    invMixColumns(uint8_t s[16]) const
+    {
+        for (int c = 0; c < 4; ++c) {
+            uint8_t a0 = s[4 * c], a1 = s[4 * c + 1];
+            uint8_t a2 = s[4 * c + 2], a3 = s[4 * c + 3];
+            s[4 * c] = static_cast<uint8_t>(
+                gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+            s[4 * c + 1] = static_cast<uint8_t>(
+                gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                gmul(a3, 13));
+            s[4 * c + 2] = static_cast<uint8_t>(
+                gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                gmul(a3, 11));
+            s[4 * c + 3] = static_cast<uint8_t>(
+                gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                gmul(a3, 14));
+        }
+    }
+
+    uint8_t exp_[256] = {};
+    uint8_t log_[256] = {};
+    uint8_t sbox_[256] = {};
+    uint8_t isbox_[256] = {};
+    uint8_t rk_[176] = {};
+};
+
+TEST(WorkloadReference, RijndaelGeneratedSboxIsRealAes)
+{
+    Aes aes;
+    // Known AES S-box values: the workload really is Rijndael.
+    EXPECT_EQ(aes.sbox(0x00), 0x63);
+    EXPECT_EQ(aes.sbox(0x01), 0x7c);
+    EXPECT_EQ(aes.sbox(0x53), 0xed);
+    EXPECT_EQ(aes.sbox(0xff), 0x16);
+}
+
+TEST(WorkloadReference, RijndaelDec)
+{
+    Aes aes;
+    Lcg lcg(0xA55A1DEA);
+    uint8_t key[16];
+    for (auto& b : key)
+        b = static_cast<uint8_t>(lcg.next() >> 16);
+    uint8_t ct[80];
+    for (auto& b : ct)
+        b = static_cast<uint8_t>(lcg.next() >> 16);
+    aes.expandKey(key);
+    OutStream out;
+    for (int blk = 0; blk < 5; ++blk) {
+        uint8_t s[16];
+        std::memcpy(s, ct + blk * 16, 16);
+        aes.decryptBlock(s);
+        for (int wi = 0; wi < 4; ++wi) {
+            uint32_t w = 0;
+            for (int b = 3; b >= 0; --b)
+                w = (w << 8) | s[wi * 4 + b];
+            out.putWord(w);
+        }
+    }
+    EXPECT_EQ(runWorkload("rijndael_dec"), out.bytes);
+}
+
+TEST(WorkloadReference, Sha)
+{
+    auto rotl = [](uint32_t x, int n) {
+        return (x << n) | (x >> (32 - n));
+    };
+    uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                     0xC3D2E1F0};
+    static const uint32_t K[4] = {0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC,
+                                  0xCA62C1D6};
+    Lcg lcg(0x51A0BEEF);
+    for (int blk = 0; blk < 10; ++blk) {
+        uint32_t w[80];
+        for (int i = 0; i < 16; ++i)
+            w[i] = lcg.next();
+        for (int t = 16; t < 80; ++t)
+            w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+        uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (int t = 0; t < 80; ++t) {
+            uint32_t f, k;
+            if (t < 20) {
+                f = (b & c) | (~b & d);
+                k = K[0];
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = K[1];
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = K[2];
+            } else {
+                f = b ^ c ^ d;
+                k = K[3];
+            }
+            uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = temp;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+    OutStream out;
+    for (uint32_t v : h)
+        out.putWord(v);
+    EXPECT_EQ(runWorkload("sha"), out.bytes);
+}
+
+TEST(WorkloadReference, Stringsearch)
+{
+    const std::string text =
+        "a single event upset flips one bit but a multi bit upset "
+        "flips a cluster of adjacent cells; as devices shrink the "
+        "odds of an upset rise and protecting against every upset "
+        "costs area power and time.";
+    OutStream out;
+    for (const std::string pat : {"upset", "cluster"}) {
+        // Horspool with the workload's scan order.
+        int shift[256];
+        for (int i = 0; i < 128; ++i)
+            shift[i] = static_cast<int>(pat.size());
+        for (size_t i = 0; i + 1 < pat.size(); ++i)
+            shift[static_cast<uint8_t>(pat[i])] =
+                static_cast<int>(pat.size() - 1 - i);
+        uint32_t count = 0, possum = 0;
+        int n = static_cast<int>(text.size());
+        int m = static_cast<int>(pat.size());
+        int pos = 0;
+        while (pos <= n - m) {
+            int j = m - 1;
+            while (j >= 0 && text[pos + j] == pat[j])
+                --j;
+            if (j < 0) {
+                ++count;
+                possum += static_cast<uint32_t>(pos);
+            }
+            pos += shift[static_cast<uint8_t>(text[pos + m - 1])];
+        }
+        out.putWord(count);
+        out.putWord(possum);
+    }
+    EXPECT_EQ(runWorkload("stringsearch"), out.bytes);
+}
+
+/** Shared 12x12 LCG image for the susan family. */
+std::vector<uint8_t>
+susanImage()
+{
+    Lcg lcg(0xCA6E5EED);
+    std::vector<uint8_t> img(256);   // 16x16
+    for (auto& p : img)
+        p = static_cast<uint8_t>(lcg.next() >> 16);
+    return img;
+}
+
+TEST(WorkloadReference, SusanC)
+{
+    auto img = susanImage();
+    uint32_t corners = 0, poschk = 0, usan_total = 0;
+    for (int r = 4; r < 9; ++r) {
+        for (int c = 4; c < 9; ++c) {
+            int nucleus = img[r * 16 + c];
+            int n = 0;
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    if (dr == 0 && dc == 0)
+                        continue;
+                    int d = img[(r + dr) * 16 + (c + dc)] - nucleus;
+                    if (d < 0)
+                        d = -d;
+                    if (d <= 27)
+                        ++n;
+                }
+            }
+            usan_total += static_cast<uint32_t>(n);
+            if (n < 3) {
+                ++corners;
+                poschk += static_cast<uint32_t>(r * 16 + c);
+            }
+        }
+    }
+    OutStream out;
+    out.putWord(corners);
+    out.putWord(poschk);
+    out.putWord(usan_total);
+    EXPECT_EQ(runWorkload("susan_c"), out.bytes);
+}
+
+TEST(WorkloadReference, SusanE)
+{
+    auto img = susanImage();
+    uint32_t edges = 0, strength = 0, poschk = 0;
+    for (int r = 3; r < 9; ++r) {
+        for (int c = 3; c < 9; ++c) {
+            int nucleus = img[r * 16 + c];
+            int n = 0;
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    if (dr == 0 && dc == 0)
+                        continue;
+                    int d = img[(r + dr) * 16 + (c + dc)] - nucleus;
+                    if (d < 0)
+                        d = -d;
+                    if (d <= 20)
+                        ++n;
+                }
+            }
+            if (n < 5) {
+                ++edges;
+                strength += static_cast<uint32_t>(5 - n);
+                poschk += static_cast<uint32_t>(r * 16 + c);
+            }
+        }
+    }
+    OutStream out;
+    out.putWord(edges);
+    out.putWord(strength);
+    out.putWord(poschk);
+    EXPECT_EQ(runWorkload("susan_e"), out.bytes);
+}
+
+TEST(WorkloadReference, SusanS)
+{
+    static const int kern[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+    auto img = susanImage();
+    OutStream out;
+    for (int pass = 0; pass < 1; ++pass) {
+        std::vector<uint8_t> dst = img;
+        for (int r = 1; r < 15; ++r) {
+            for (int c = 1; c < 15; ++c) {
+                uint32_t acc = 0;
+                for (int dr = -1; dr <= 1; ++dr)
+                    for (int dc = -1; dc <= 1; ++dc)
+                        acc += static_cast<uint32_t>(
+                                   img[(r + dr) * 16 + c + dc]) *
+                               kern[(dr + 1) * 3 + dc + 1];
+                dst[r * 16 + c] = static_cast<uint8_t>(acc >> 4);
+            }
+        }
+        img = dst;
+        uint32_t checksum = 0;
+        for (uint8_t p : img)
+            checksum += p;
+        out.putWord(checksum);
+    }
+    out.putWord(img[13]);
+    out.putWord(img[60]);
+    out.putWord(img[77]);
+    out.putWord(img[130]);
+    EXPECT_EQ(runWorkload("susan_s"), out.bytes);
+}
+
+} // namespace
+} // namespace mbusim::workloads

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * mbusim — the command-line driver.
+ *
+ * Subcommands:
+ *   list                                  registered workloads
+ *   asm <file.s>                          assemble, print a hex dump
+ *   disasm <file.s|workload>              assemble + disassembly listing
+ *   run <file.s|workload> [opts]          run on the timing model
+ *   trace <file.s|workload> [opts]        run with a commit trace
+ *   campaign <file.s|workload> [opts]     fault-injection campaign
+ *
+ * Common options:
+ *   --func                 use the functional reference model (run)
+ *   --in-order             in-order issue core
+ *   --max-cycles N         cycle budget (default 500M)
+ *   --limit N              trace at most N instructions (trace)
+ *   --component NAME       l1d l1i l2 regfile itlb dtlb (campaign)
+ *   --faults N             fault cardinality 1..3 (campaign)
+ *   --injections N         sample size (campaign)
+ *   --cluster RxC          cluster shape (campaign, default 3x3)
+ *   --seed N               campaign seed
+ *
+ * Program arguments may name a registered workload ("CRC32") or a path
+ * to an assembly file.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/sampling.hh"
+#include "sim/assembler.hh"
+#include "sim/funcsim.hh"
+#include "sim/simulator.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace mbusim;
+
+namespace {
+
+struct Options
+{
+    std::string program;            ///< workload name or file path
+    bool functional = false;
+    bool inOrder = false;
+    uint64_t maxCycles = 500'000'000;
+    uint64_t limit = 200;
+    core::Component component = core::Component::L1D;
+    uint32_t faults = 1;
+    uint32_t injections = 200;
+    uint64_t seed = 0x5eed;
+    core::ClusterShape cluster;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mbusim <list|asm|disasm|run|trace|campaign> "
+                 "[program] [options]\n"
+                 "run 'head -40 tools/mbusim_cli.cc' for the option "
+                 "list\n");
+    std::exit(2);
+}
+
+Options
+parseOptions(int argc, char** argv, int first)
+{
+    Options opts;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--func") {
+            opts.functional = true;
+        } else if (arg == "--in-order") {
+            opts.inOrder = true;
+        } else if (arg == "--max-cycles") {
+            opts.maxCycles = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--limit") {
+            opts.limit = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--component") {
+            opts.component = core::componentFromShortName(next());
+        } else if (arg == "--faults") {
+            opts.faults = static_cast<uint32_t>(std::atoi(next()));
+        } else if (arg == "--injections") {
+            opts.injections = static_cast<uint32_t>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--cluster") {
+            const char* v = next();
+            unsigned r = 0, c = 0;
+            if (std::sscanf(v, "%ux%u", &r, &c) != 2 || !r || !c)
+                fatal("bad --cluster '%s' (expected e.g. 3x3)", v);
+            opts.cluster = {r, c};
+        } else if (!arg.empty() && arg[0] != '-' &&
+                   opts.program.empty()) {
+            opts.program = arg;
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opts;
+}
+
+/** Load a program: registered workload name first, then file path. */
+sim::Program
+loadProgram(const std::string& name)
+{
+    for (const auto& w : workloads::allWorkloads()) {
+        if (w.name == name)
+            return w.assemble();
+    }
+    std::ifstream in(name);
+    if (!in)
+        fatal("'%s' is neither a workload nor a readable file",
+              name.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    try {
+        return sim::assemble(ss.str());
+    } catch (const sim::AsmError& e) {
+        fatal("%s: %s", name.c_str(), e.what());
+    }
+}
+
+int
+cmdList()
+{
+    TextTable table({"Workload", "Description", "Paper cycles"});
+    for (const auto& w : workloads::allWorkloads())
+        table.addRow({w.name, w.description, fmtGrouped(w.paperCycles)});
+    table.print();
+    return 0;
+}
+
+int
+cmdAsm(const Options& opts)
+{
+    sim::Program p = loadProgram(opts.program);
+    std::printf("code base 0x%08x, %zu instructions; data base 0x%08x, "
+                "%zu bytes; entry 0x%08x\n",
+                p.codeBase, p.code.size(), p.dataBase, p.data.size(),
+                p.entry);
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        if (i % 4 == 0)
+            std::printf("%08x:", p.codeBase +
+                                 static_cast<uint32_t>(i) * 4);
+        std::printf(" %08x", p.code[i]);
+        if (i % 4 == 3 || i + 1 == p.code.size())
+            std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdDisasm(const Options& opts)
+{
+    sim::Program p = loadProgram(opts.program);
+    // Reverse symbol map for labels.
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        uint32_t addr = p.codeBase + static_cast<uint32_t>(i) * 4;
+        for (const auto& [name, value] : p.symbols) {
+            if (value == addr)
+                std::printf("%s:\n", name.c_str());
+        }
+        std::printf("  %08x:  %08x  %s\n", addr, p.code[i],
+                    sim::disassemble(sim::decode(p.code[i])).c_str());
+    }
+    return 0;
+}
+
+void
+printOutput(const std::vector<uint8_t>& output)
+{
+    std::printf("output (%zu bytes):", output.size());
+    for (size_t i = 0; i < output.size(); ++i) {
+        if (i % 16 == 0)
+            std::printf("\n  ");
+        std::printf("%02x ", output[i]);
+    }
+    std::printf("\n");
+}
+
+int
+cmdRun(const Options& opts)
+{
+    sim::Program p = loadProgram(opts.program);
+    if (opts.functional) {
+        sim::FuncSim fs(p);
+        sim::FuncResult r = fs.run(opts.maxCycles);
+        std::printf("functional: %s after %llu instructions\n",
+                    r.status.describe().c_str(),
+                    static_cast<unsigned long long>(r.instructions));
+        printOutput(r.output);
+        return r.status.exitedCleanly() ? 0 : 1;
+    }
+    sim::CpuConfig config;
+    config.inOrderIssue = opts.inOrder;
+    sim::Simulator simulator(p, config);
+    sim::SimResult r = simulator.run(opts.maxCycles);
+    std::printf("%s core: %s\n", opts.inOrder ? "in-order" : "OoO",
+                r.status.describe().c_str());
+    std::printf("cycles %llu, instructions %llu (IPC %.2f), branches "
+                "%llu (%llu mispredicted), loads %llu, stores %llu\n",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                r.cycles ? static_cast<double>(r.instructions) /
+                               static_cast<double>(r.cycles)
+                         : 0.0,
+                static_cast<unsigned long long>(r.cpuStats.branches),
+                static_cast<unsigned long long>(r.cpuStats.mispredicts),
+                static_cast<unsigned long long>(r.cpuStats.loads),
+                static_cast<unsigned long long>(r.cpuStats.stores));
+    printOutput(r.output);
+    return r.status.exitedCleanly() ? 0 : 1;
+}
+
+int
+cmdTrace(const Options& opts)
+{
+    sim::Program p = loadProgram(opts.program);
+    sim::CpuConfig config;
+    config.inOrderIssue = opts.inOrder;
+    sim::Simulator simulator(p, config);
+    uint64_t printed = 0;
+    simulator.cpu().setCommitHook(
+        [&](uint64_t cycle, uint32_t pc, const sim::DecodedInst& di) {
+            if (printed++ < opts.limit) {
+                std::printf("%8llu  %08x  %s\n",
+                            static_cast<unsigned long long>(cycle), pc,
+                            sim::disassemble(di).c_str());
+            }
+        });
+    sim::SimResult r = simulator.run(opts.maxCycles);
+    if (printed > opts.limit)
+        std::printf("... (%llu more instructions)\n",
+                    static_cast<unsigned long long>(printed -
+                                                    opts.limit));
+    std::printf("%s\n", r.status.describe().c_str());
+    return 0;
+}
+
+int
+cmdCampaign(const Options& opts)
+{
+    // Campaigns need a Workload; wrap ad-hoc files on the fly.
+    static std::string file_source;
+    const workloads::Workload* workload = nullptr;
+    for (const auto& w : workloads::allWorkloads()) {
+        if (w.name == opts.program)
+            workload = &w;
+    }
+    static workloads::Workload adhoc;
+    if (!workload) {
+        std::ifstream in(opts.program);
+        if (!in)
+            fatal("'%s' is neither a workload nor a readable file",
+                  opts.program.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        file_source = ss.str();
+        adhoc = {opts.program, "ad-hoc program", file_source.c_str(), 0};
+        workload = &adhoc;
+    }
+
+    core::CampaignConfig config;
+    config.component = opts.component;
+    config.faults = opts.faults;
+    config.injections = opts.injections;
+    config.seed = opts.seed;
+    config.cluster = opts.cluster;
+    config.cpu.inOrderIssue = opts.inOrder;
+
+    core::Campaign campaign(*workload, config);
+    core::CampaignResult result = campaign.run();
+
+    std::printf("campaign: %s, %s, %u-bit faults, %u injections "
+                "(+/-%.1f%% @99%%)\n",
+                workload->name.c_str(),
+                core::componentName(opts.component), opts.faults,
+                opts.injections,
+                core::errorMargin(1e12, opts.injections) * 100.0);
+    std::printf("golden: %llu cycles\n",
+                static_cast<unsigned long long>(result.goldenCycles));
+    for (core::Outcome o : core::AllOutcomes) {
+        std::printf("  %-8s %6.2f%%  (%llu)\n", core::outcomeName(o),
+                    result.counts.fraction(o) * 100.0,
+                    static_cast<unsigned long long>(
+                        result.counts.count(o)));
+    }
+    std::printf("  AVF     %6.2f%%\n", result.avf() * 100.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    Options opts = parseOptions(argc, argv, 2);
+    if (cmd != "list" && opts.program.empty())
+        usage();
+    if (cmd == "asm")
+        return cmdAsm(opts);
+    if (cmd == "disasm")
+        return cmdDisasm(opts);
+    if (cmd == "run")
+        return cmdRun(opts);
+    if (cmd == "trace")
+        return cmdTrace(opts);
+    if (cmd == "campaign")
+        return cmdCampaign(opts);
+    usage();
+}
