@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Checkpoint fast-forward speedup bench.
+ *
+ * Runs the same injection campaign twice — checkpointing disabled and
+ * enabled — and reports cycles simulated, wall time and the resulting
+ * speedup, after verifying that both arms classify every run
+ * identically (the optimization must be invisible in the results).
+ *
+ * Knobs: MBUSIM_WORKLOAD (default qsort), MBUSIM_INJECTIONS (default
+ * 120), MBUSIM_CHECKPOINTS (default 8), MBUSIM_THREADS.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+using namespace mbusim;
+
+namespace {
+
+struct ArmResult
+{
+    core::CampaignResult campaign;
+    uint64_t simulatedCycles = 0;   ///< golden + all faulty suffixes
+    double seconds = 0.0;
+};
+
+ArmResult
+runArm(const workloads::Workload& workload,
+       core::CampaignConfig config, uint32_t checkpoints)
+{
+    config.checkpoints = checkpoints;
+    core::Campaign campaign(workload, config);
+
+    auto start = std::chrono::steady_clock::now();
+    ArmResult arm;
+    arm.campaign = campaign.run(true);
+    arm.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    arm.simulatedCycles = arm.campaign.goldenCycles;
+    for (const core::RunRecord& run : arm.campaign.runs)
+        arm.simulatedCycles += run.cycles - run.restoredFrom;
+    return arm;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string workload_name = envString("MBUSIM_WORKLOAD", "qsort");
+    uint32_t injections =
+        static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 120));
+    uint32_t checkpoints =
+        static_cast<uint32_t>(envInt("MBUSIM_CHECKPOINTS", 8));
+    // The two arms set the checkpoint count explicitly; keep the
+    // environment override from clobbering the disabled arm.
+    unsetenv("MBUSIM_CHECKPOINTS");
+
+    const auto& workload = workloads::workloadByName(workload_name);
+    core::CampaignConfig config;
+    config.component = core::Component::L1D;
+    config.faults = 2;
+    config.injections = injections;
+
+    std::printf("mbusim checkpoint fast-forward speedup\n");
+    std::printf("workload %s, %u injections, L1D 2-bit campaign, "
+                "%u checkpoints\n\n",
+                workload_name.c_str(), injections, checkpoints);
+
+    ArmResult off = runArm(workload, config, 0);
+    ArmResult on = runArm(workload, config, checkpoints);
+
+    if (on.campaign.counts.counts != off.campaign.counts.counts)
+        fatal("checkpointing changed campaign outcomes");
+
+    TextTable table({"Checkpoints", "Cycles simulated", "Wall time",
+                     "Speedup"});
+    table.title("Campaign cost, checkpointing off vs on");
+    table.addRow({"0", fmtGrouped(off.simulatedCycles),
+                  strprintf("%.3f s", off.seconds), "1.00x"});
+    table.addRow({strprintf("%u", checkpoints),
+                  fmtGrouped(on.simulatedCycles),
+                  strprintf("%.3f s", on.seconds),
+                  strprintf("%.2fx", off.seconds / on.seconds)});
+    table.print();
+
+    std::printf("\noutcome counts identical across arms; "
+                "cycles saved: %s (%.1f%%)\n",
+                fmtGrouped(off.simulatedCycles - on.simulatedCycles)
+                    .c_str(),
+                100.0 *
+                    static_cast<double>(off.simulatedCycles -
+                                        on.simulatedCycles) /
+                    static_cast<double>(off.simulatedCycles));
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -7,6 +8,22 @@
 #include "util/log.hh"
 
 namespace mbusim::core {
+
+namespace {
+
+/** Cycle budget for golden executions. */
+constexpr uint64_t GoldenBudget = 500'000'000;
+
+/**
+ * Initial checkpoint spacing in cycles. The golden run's length is not
+ * known up front, so recording starts fine-grained and doubles the
+ * interval (dropping every other snapshot) whenever twice the target
+ * count accumulates — ending with between K and 2K evenly spaced
+ * checkpoints for any run length, in a single golden simulation.
+ */
+constexpr uint64_t InitialCheckpointInterval = 512;
+
+} // namespace
 
 sim::FaultTarget
 targetFor(Component component)
@@ -25,7 +42,9 @@ targetFor(Component component)
 Campaign::Campaign(const workloads::Workload& workload,
                    const CampaignConfig& config)
     : workload_(workload), config_(config),
-      program_(workload.assemble())
+      program_(workload.assemble()),
+      checkpointTarget_(static_cast<uint32_t>(
+          envInt("MBUSIM_CHECKPOINTS", config.checkpoints)))
 {
     if (config_.faults < 1 || config_.faults > 3)
         fatal("campaigns support 1..3 faults, got %u", config_.faults);
@@ -33,23 +52,55 @@ Campaign::Campaign(const workloads::Workload& workload,
         fatal("timeout factor must be at least 2");
 }
 
-sim::SimResult
+void
 Campaign::runGolden() const
 {
     sim::Simulator simulator(program_, config_.cpu);
-    sim::SimResult golden = simulator.run(500'000'000);
-    if (golden.status.kind != sim::ExitKind::Exited) {
+
+    if (checkpointTarget_ == 0) {
+        golden_ = simulator.run(GoldenBudget);
+    } else {
+        // Segmented golden run: snapshot at every interval boundary,
+        // thinning to double the interval whenever 2x the target count
+        // accumulates (see InitialCheckpointInterval).
+        uint64_t interval = InitialCheckpointInterval;
+        for (;;) {
+            uint64_t cut = (checkpoints_.size() + 1) * interval;
+            golden_ = simulator.run(std::min(cut, GoldenBudget));
+            if (golden_.status.kind != sim::ExitKind::LimitReached ||
+                cut >= GoldenBudget) {
+                break;
+            }
+            checkpoints_.push_back(simulator.checkpoint());
+            if (checkpoints_.size() >= 2 * checkpointTarget_) {
+                std::vector<sim::Snapshot> kept;
+                kept.reserve(checkpoints_.size() / 2);
+                for (size_t i = 1; i < checkpoints_.size(); i += 2)
+                    kept.push_back(std::move(checkpoints_[i]));
+                checkpoints_ = std::move(kept);
+                interval *= 2;
+            }
+        }
+    }
+
+    if (golden_.status.kind != sim::ExitKind::Exited) {
         fatal("golden run of '%s' did not exit cleanly: %s",
               workload_.name.c_str(),
-              golden.status.describe().c_str());
+              golden_.status.describe().c_str());
     }
-    return golden;
+}
+
+const sim::SimResult&
+Campaign::golden() const
+{
+    std::call_once(goldenOnce_, [this] { runGolden(); });
+    return golden_;
 }
 
 uint64_t
 Campaign::goldenCycles() const
 {
-    return runGolden().cycles;
+    return golden().cycles;
 }
 
 RunRecord
@@ -67,7 +118,21 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
     record.mask = generator.generate(config_.faults, rng);
     record.cycle = rng.below(golden.cycles);
 
-    sim::Simulator simulator(program_, config_.cpu);
+    // Fast-forward from the latest checkpoint at or before the
+    // injection cycle: the golden prefix is bit-identical anyway, so
+    // only the suffix needs simulating. Checkpoints are shared
+    // read-only across the worker pool.
+    const sim::Snapshot* nearest = nullptr;
+    for (const sim::Snapshot& snapshot : checkpoints_) {
+        if (snapshot.cycle > record.cycle)
+            break;
+        nearest = &snapshot;
+    }
+
+    sim::Simulator simulator =
+        nearest ? sim::Simulator(program_, config_.cpu, *nearest)
+                : sim::Simulator(program_, config_.cpu);
+    record.restoredFrom = nearest ? nearest->cycle : 0;
     sim::Injection injection;
     injection.target = config_.targetOverride
                            ? *config_.targetOverride
@@ -86,7 +151,7 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
 CampaignResult
 Campaign::run(bool keep_runs) const
 {
-    sim::SimResult golden = runGolden();
+    const sim::SimResult& golden = this->golden();
 
     sim::FaultTarget target = config_.targetOverride
                                   ? *config_.targetOverride

@@ -14,6 +14,7 @@
 #define MBUSIM_CORE_CAMPAIGN_HH
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/mask_generator.hh"
 #include "core/technology.hh"
 #include "sim/config.hh"
+#include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
 namespace mbusim::core {
@@ -39,6 +41,16 @@ struct CampaignConfig
     ClusterShape cluster;          ///< paper: 3x3
     uint32_t timeoutFactor = 4;    ///< faulty budget = factor x golden
     uint32_t threads = 0;          ///< 0 = hardware concurrency
+    /**
+     * Target number of whole-machine checkpoints recorded during the
+     * golden run (0 = disabled). Each injected run then fast-forwards
+     * from the nearest checkpoint at or before its injection cycle
+     * instead of re-simulating the golden prefix from cycle 0; restored
+     * runs are bit-identical to straight runs, so campaign outcomes are
+     * unaffected. Overridable via MBUSIM_CHECKPOINTS. Recording keeps
+     * between this many and twice this many snapshots alive.
+     */
+    uint32_t checkpoints = 8;
     sim::CpuConfig cpu;            ///< microarchitecture under test
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
@@ -53,6 +65,7 @@ struct RunRecord
     FaultMask mask;
     Outcome outcome = Outcome::Masked;
     uint64_t cycles = 0;           ///< faulty run length
+    uint64_t restoredFrom = 0;     ///< checkpoint cycle resumed from
 };
 
 /** Aggregated campaign results. */
@@ -83,17 +96,33 @@ class Campaign
      */
     CampaignResult run(bool keep_runs = false) const;
 
-    /** Golden-run cycle count (runs the golden execution once). */
+    /**
+     * Golden-run cycle count. The golden execution is simulated at most
+     * once per Campaign: this and run() share the cached result.
+     */
     uint64_t goldenCycles() const;
 
   private:
-    sim::SimResult runGolden() const;
+    /**
+     * The cached golden run (simulated on first use, with checkpoints
+     * recorded when enabled). Thread-safe on first call.
+     */
+    const sim::SimResult& golden() const;
+    void runGolden() const;
     RunRecord runOne(const sim::SimResult& golden, uint32_t index,
                      const MaskGenerator& generator) const;
 
     const workloads::Workload& workload_;
     CampaignConfig config_;
     sim::Program program_;
+    uint32_t checkpointTarget_;    ///< resolved checkpoint count
+
+    // Golden-run cache, filled once on first use (goldenCycles() or
+    // run(), whichever comes first). Checkpoints are read-only after
+    // that and shared across the worker pool.
+    mutable std::once_flag goldenOnce_;
+    mutable sim::SimResult golden_;
+    mutable std::vector<sim::Snapshot> checkpoints_;
 };
 
 } // namespace mbusim::core

@@ -38,6 +38,21 @@ BitArray::flipBit(uint32_t row, uint32_t col)
 }
 
 void
+BitArray::save(Snapshot& snapshot) const
+{
+    snapshot.words = words_;
+}
+
+void
+BitArray::restore(const Snapshot& snapshot)
+{
+    if (snapshot.words.size() != words_.size())
+        panic("BitArray restore size mismatch (%zu words into %zu)",
+              snapshot.words.size(), words_.size());
+    words_ = snapshot.words;
+}
+
+void
 BitArray::clear()
 {
     std::fill(words_.begin(), words_.end(), 0);

@@ -32,8 +32,20 @@ namespace mbusim::sim {
 class BitArray
 {
   public:
+    /** Copyable image of the array contents (geometry excluded). */
+    struct Snapshot
+    {
+        std::vector<uint64_t> words;
+    };
+
     /** Construct a zero-initialized array of rows x cols bits. */
     BitArray(uint32_t rows, uint32_t cols);
+
+    /** Capture the current contents into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore contents saved from an identically-sized array. */
+    void restore(const Snapshot& snapshot);
 
     uint32_t rows() const { return rows_; }
     uint32_t cols() const { return cols_; }

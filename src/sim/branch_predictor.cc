@@ -26,6 +26,33 @@ BranchPredictor::BranchPredictor(uint32_t bimodal_entries,
         fatal("RAS needs at least one entry");
 }
 
+void
+BranchPredictor::save(Snapshot& snapshot) const
+{
+    snapshot.counters = counters_;
+    snapshot.btb = btb_;
+    snapshot.ras = ras_;
+    snapshot.rasTop = rasTop_;
+    snapshot.rasCount = rasCount_;
+    snapshot.lookups = lookups_;
+}
+
+void
+BranchPredictor::restore(const Snapshot& snapshot)
+{
+    if (snapshot.counters.size() != counters_.size() ||
+        snapshot.btb.size() != btb_.size() ||
+        snapshot.ras.size() != ras_.size()) {
+        fatal("BranchPredictor restore geometry mismatch");
+    }
+    counters_ = snapshot.counters;
+    btb_ = snapshot.btb;
+    ras_ = snapshot.ras;
+    rasTop_ = snapshot.rasTop;
+    rasCount_ = snapshot.rasCount;
+    lookups_ = snapshot.lookups;
+}
+
 uint32_t
 BranchPredictor::counterIndex(uint32_t pc) const
 {

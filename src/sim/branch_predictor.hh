@@ -28,8 +28,33 @@ struct BranchPrediction
 class BranchPredictor
 {
   public:
+    /** One BTB entry. */
+    struct BtbEntry
+    {
+        bool valid = false;
+        uint32_t pc = 0;
+        uint32_t target = 0;
+    };
+
+    /** Copyable image of all predictor state. */
+    struct Snapshot
+    {
+        std::vector<uint8_t> counters;
+        std::vector<BtbEntry> btb;
+        std::vector<uint32_t> ras;
+        uint32_t rasTop = 0;
+        uint32_t rasCount = 0;
+        uint64_t lookups = 0;
+    };
+
     BranchPredictor(uint32_t bimodal_entries, uint32_t btb_entries,
                     uint32_t ras_entries);
+
+    /** Capture all predictor state into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore state saved from an identically-sized predictor. */
+    void restore(const Snapshot& snapshot);
 
     /**
      * Predict a control instruction at @p pc.
@@ -52,12 +77,6 @@ class BranchPredictor
     uint32_t btbIndex(uint32_t pc) const;
 
     std::vector<uint8_t> counters_;   ///< 2-bit saturating
-    struct BtbEntry
-    {
-        bool valid = false;
-        uint32_t pc = 0;
-        uint32_t target = 0;
-    };
     std::vector<BtbEntry> btb_;
     std::vector<uint32_t> ras_;
     uint32_t rasTop_ = 0;    ///< index of next push slot

@@ -55,6 +55,32 @@ Cache::Cache(std::string name, const CacheConfig& config, MemLevel& next)
               name_.c_str(), interleave_, lineBytes_ / 4);
 }
 
+void
+Cache::save(Snapshot& snapshot) const
+{
+    data_.save(snapshot.data);
+    tags_.save(snapshot.tags);
+    snapshot.lastUse = lastUse_;
+    snapshot.mru = mru_;
+    snapshot.useCounter = useCounter_;
+    snapshot.stats = stats_;
+}
+
+void
+Cache::restore(const Snapshot& snapshot)
+{
+    if (snapshot.lastUse.size() != lastUse_.size() ||
+        snapshot.mru.size() != mru_.size()) {
+        fatal("%s: restore geometry mismatch", name_.c_str());
+    }
+    data_.restore(snapshot.data);
+    tags_.restore(snapshot.tags);
+    lastUse_ = snapshot.lastUse;
+    mru_ = snapshot.mru;
+    useCounter_ = snapshot.useCounter;
+    stats_ = snapshot.stats;
+}
+
 uint64_t
 Cache::readData(uint32_t row, uint32_t bit_off, uint32_t width) const
 {

@@ -75,12 +75,29 @@ struct CacheStats
 class Cache : public MemLevel
 {
   public:
+    /** Copyable image of all cache state (geometry excluded). */
+    struct Snapshot
+    {
+        BitArray::Snapshot data;
+        BitArray::Snapshot tags;
+        std::vector<uint64_t> lastUse;
+        std::vector<uint32_t> mru;
+        uint64_t useCounter = 0;
+        CacheStats stats;
+    };
+
     /**
      * @param name debug name ("L1D", ...)
      * @param config geometry and hit latency
      * @param next the next level (L2 or memory backend)
      */
     Cache(std::string name, const CacheConfig& config, MemLevel& next);
+
+    /** Capture all cache state into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore state saved from an identically-configured cache. */
+    void restore(const Snapshot& snapshot);
 
     /**
      * Sub-line read of 1/2/4 naturally-aligned bytes.

@@ -35,6 +35,86 @@ Cpu::Cpu(const CpuConfig& config, System& system)
 }
 
 void
+Cpu::save(Snapshot& snapshot) const
+{
+    l2_.save(snapshot.l2);
+    l1i_.save(snapshot.l1i);
+    l1d_.save(snapshot.l1d);
+    itlb_.save(snapshot.itlb);
+    dtlb_.save(snapshot.dtlb);
+    regFile_.save(snapshot.regFile);
+    predictor_.save(snapshot.predictor);
+
+    snapshot.rob = rob_;
+    snapshot.robHead = robHead_;
+    snapshot.robTail = robTail_;
+    snapshot.robCount = robCount_;
+
+    snapshot.frontMap = frontMap_;
+    snapshot.retireMap = retireMap_;
+    snapshot.freeList = freeList_;
+    snapshot.regReady = regReady_;
+
+    snapshot.iq = iq_;
+    snapshot.lsq = lsq_;
+
+    snapshot.fetchQueue = fetchQueue_;
+    snapshot.fetchPc = fetchPc_;
+    snapshot.fetchReadyCycle = fetchReadyCycle_;
+    snapshot.fetchBlocked = fetchBlocked_;
+
+    snapshot.completions = completions_;
+
+    snapshot.cycle = cycle_;
+    snapshot.nextSeq = nextSeq_;
+    snapshot.halted = halted_;
+    snapshot.exitStatus = exitStatus_;
+    snapshot.stats = stats_;
+}
+
+void
+Cpu::restore(const Snapshot& snapshot)
+{
+    if (snapshot.rob.size() != rob_.size() ||
+        snapshot.regReady.size() != regReady_.size()) {
+        fatal("Cpu restore geometry mismatch");
+    }
+    l2_.restore(snapshot.l2);
+    l1i_.restore(snapshot.l1i);
+    l1d_.restore(snapshot.l1d);
+    itlb_.restore(snapshot.itlb);
+    dtlb_.restore(snapshot.dtlb);
+    regFile_.restore(snapshot.regFile);
+    predictor_.restore(snapshot.predictor);
+
+    rob_ = snapshot.rob;
+    robHead_ = snapshot.robHead;
+    robTail_ = snapshot.robTail;
+    robCount_ = snapshot.robCount;
+
+    frontMap_ = snapshot.frontMap;
+    retireMap_ = snapshot.retireMap;
+    freeList_ = snapshot.freeList;
+    regReady_ = snapshot.regReady;
+
+    iq_ = snapshot.iq;
+    lsq_ = snapshot.lsq;
+
+    fetchQueue_ = snapshot.fetchQueue;
+    fetchPc_ = snapshot.fetchPc;
+    fetchReadyCycle_ = snapshot.fetchReadyCycle;
+    fetchBlocked_ = snapshot.fetchBlocked;
+
+    completions_ = snapshot.completions;
+
+    cycle_ = snapshot.cycle;
+    nextSeq_ = snapshot.nextSeq;
+    halted_ = snapshot.halted;
+    exitStatus_ = snapshot.exitStatus;
+    stats_ = snapshot.stats;
+}
+
+void
 Cpu::tick()
 {
     if (halted_)

@@ -217,6 +217,54 @@ class Cpu
     bool halted_ = false;
     ExitStatus exitStatus_;
     CpuStats stats_;
+
+  public:
+    /**
+     * Copyable image of the entire core: memory hierarchy, predictor
+     * and every piece of pipeline bookkeeping. The commit hook is not
+     * state and is not captured. Declared after the pipeline structures
+     * because it embeds their (private) types; external code only moves
+     * whole snapshots around.
+     */
+    struct Snapshot
+    {
+        Cache::Snapshot l2, l1i, l1d;
+        Tlb::Snapshot itlb, dtlb;
+        PhysRegFile::Snapshot regFile;
+        BranchPredictor::Snapshot predictor;
+
+        std::vector<Inst> rob;
+        uint32_t robHead = 0;
+        uint32_t robTail = 0;
+        uint32_t robCount = 0;
+
+        std::array<uint8_t, NumArchRegs> frontMap{};
+        std::array<uint8_t, NumArchRegs> retireMap{};
+        std::vector<uint8_t> freeList;
+        std::vector<bool> regReady;
+
+        std::vector<uint32_t> iq;
+        std::vector<uint32_t> lsq;
+
+        std::deque<FetchedInst> fetchQueue;
+        uint32_t fetchPc = 0;
+        uint64_t fetchReadyCycle = 0;
+        bool fetchBlocked = false;
+
+        std::vector<Completion> completions;
+
+        uint64_t cycle = 0;
+        uint64_t nextSeq = 1;
+        bool halted = false;
+        ExitStatus exitStatus;
+        CpuStats stats;
+    };
+
+    /** Capture the entire core state into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore state saved from an identically-configured core. */
+    void restore(const Snapshot& snapshot);
 };
 
 } // namespace mbusim::sim

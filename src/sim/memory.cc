@@ -40,6 +40,7 @@ void
 PhysicalMemory::write(uint64_t paddr, uint32_t bytes, uint32_t value)
 {
     check(paddr, bytes);
+    touchHighWater(paddr + bytes);
     for (uint32_t i = 0; i < bytes; ++i)
         data_[paddr + i] = static_cast<uint8_t>(value >> (8 * i));
 }
@@ -48,6 +49,7 @@ void
 PhysicalMemory::load(uint64_t paddr, const uint8_t* src, uint64_t len)
 {
     check(paddr, len);
+    touchHighWater(paddr + len);
     std::memcpy(data_.data() + paddr, src, len);
 }
 
@@ -61,7 +63,36 @@ PhysicalMemory::dump(uint64_t paddr, uint8_t* dst, uint64_t len) const
 void
 PhysicalMemory::clear()
 {
-    std::fill(data_.begin(), data_.end(), 0);
+    std::fill(data_.begin(), data_.begin() +
+              static_cast<std::ptrdiff_t>(highWater_), 0);
+    highWater_ = 0;
+}
+
+void
+PhysicalMemory::save(Snapshot& snapshot) const
+{
+    snapshot.data.assign(data_.begin(), data_.begin() +
+                         static_cast<std::ptrdiff_t>(highWater_));
+}
+
+void
+PhysicalMemory::restore(const Snapshot& snapshot)
+{
+    if (snapshot.data.size() > data_.size())
+        panic("PhysicalMemory restore: snapshot larger than memory");
+    if (!snapshot.data.empty())
+        std::memcpy(data_.data(), snapshot.data.data(),
+                    snapshot.data.size());
+    // Bytes between the snapshot's high-water mark and ours were
+    // written after the snapshot was taken: zero them again.
+    if (highWater_ > snapshot.data.size()) {
+        std::fill(data_.begin() +
+                      static_cast<std::ptrdiff_t>(snapshot.data.size()),
+                  data_.begin() +
+                      static_cast<std::ptrdiff_t>(highWater_),
+                  0);
+    }
+    highWater_ = snapshot.data.size();
 }
 
 } // namespace mbusim::sim

@@ -22,8 +22,25 @@ namespace mbusim::sim {
 class PhysicalMemory
 {
   public:
+    /**
+     * Copyable image of memory contents. Only the written prefix (up to
+     * the high-water mark) is stored: everything beyond it is zero by
+     * construction, which keeps snapshots of a mostly-idle 8 MiB
+     * platform at the size of the workload's actual footprint.
+     */
+    struct Snapshot
+    {
+        std::vector<uint8_t> data;   ///< bytes [0, highWater)
+    };
+
     /** Construct @p size_bytes of zeroed memory. */
     explicit PhysicalMemory(uint64_t size_bytes);
+
+    /** Capture the written prefix of memory into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore contents saved from an identically-sized memory. */
+    void restore(const Snapshot& snapshot);
 
     uint64_t size() const { return data_.size(); }
 
@@ -45,7 +62,15 @@ class PhysicalMemory
   private:
     void check(uint64_t paddr, uint64_t len) const;
 
+    void
+    touchHighWater(uint64_t end)
+    {
+        if (end > highWater_)
+            highWater_ = end;
+    }
+
     std::vector<uint8_t> data_;
+    uint64_t highWater_ = 0;   ///< end of the ever-written prefix
 };
 
 } // namespace mbusim::sim

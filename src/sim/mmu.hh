@@ -55,10 +55,36 @@ class Mmu
 {
   public:
     /**
+     * Copyable image of the walker's state. The page table itself lives
+     * in physical memory and travels with the memory snapshot.
+     */
+    struct Snapshot
+    {
+        uint32_t nextFrame = 0;
+        uint64_t walks = 0;
+    };
+
+    /**
      * @param mem physical memory holding the page table
      * @param walk_latency page walk cost in cycles
      */
     Mmu(PhysicalMemory& mem, uint32_t walk_latency);
+
+    /** Capture walker state into @p snapshot. */
+    void
+    save(Snapshot& snapshot) const
+    {
+        snapshot.nextFrame = nextFrame_;
+        snapshot.walks = walks_;
+    }
+
+    /** Restore walker state. */
+    void
+    restore(const Snapshot& snapshot)
+    {
+        nextFrame_ = snapshot.nextFrame;
+        walks_ = snapshot.walks;
+    }
 
     /** @name OS-side interface */
     /// @{

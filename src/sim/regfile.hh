@@ -19,8 +19,23 @@ namespace mbusim::sim {
 class PhysRegFile
 {
   public:
+    /** Copyable image of the register values. */
+    struct Snapshot
+    {
+        BitArray::Snapshot bits;
+    };
+
     /** Create @p regs zero-initialized 32-bit physical registers. */
     explicit PhysRegFile(uint32_t regs);
+
+    /** Capture register values into @p snapshot. */
+    void save(Snapshot& snapshot) const { bits_.save(snapshot.bits); }
+
+    /** Restore values saved from an identically-sized file. */
+    void restore(const Snapshot& snapshot)
+    {
+        bits_.restore(snapshot.bits);
+    }
 
     uint32_t numRegs() const { return bits_.rows(); }
 

@@ -13,14 +13,40 @@ Simulator::Simulator(const Program& program, const CpuConfig& config)
       cpu_(std::make_unique<Cpu>(config, *system_))
 {}
 
+Simulator::Simulator(const Program& program, const CpuConfig& config,
+                     const Snapshot& snapshot)
+    : Simulator(program, config)
+{
+    restore(snapshot);
+}
+
 void
 Simulator::scheduleInjection(const Injection& injection)
 {
+    // Sorting is deferred to run(): scheduling N injections is O(N)
+    // instead of the O(N^2 log N) of re-sorting on every call.
+    if (started_)
+        panic("scheduleInjection after run() started");
     injections_.push_back(injection);
-    std::sort(injections_.begin(), injections_.end(),
-              [](const Injection& a, const Injection& b) {
-                  return a.cycle < b.cycle;
-              });
+    if (injections_.size() > 1)
+        injectionsSorted_ = false;
+}
+
+Snapshot
+Simulator::checkpoint() const
+{
+    Snapshot snapshot;
+    snapshot.cycle = cpu_->cycle();
+    system_->save(snapshot.system);
+    cpu_->save(snapshot.cpu);
+    return snapshot;
+}
+
+void
+Simulator::restore(const Snapshot& snapshot)
+{
+    system_->restore(snapshot.system);
+    cpu_->restore(snapshot.cpu);
 }
 
 std::pair<uint32_t, uint32_t>
@@ -72,19 +98,29 @@ Simulator::targetBits(FaultTarget target)
 SimResult
 Simulator::run(uint64_t max_cycles)
 {
+    if (!started_) {
+        started_ = true;
+        if (!injectionsSorted_) {
+            std::stable_sort(injections_.begin(), injections_.end(),
+                             [](const Injection& a, const Injection& b) {
+                                 return a.cycle < b.cycle;
+                             });
+            injectionsSorted_ = true;
+        }
+    }
+
     SimResult result;
-    size_t next_injection = 0;
 
     try {
         while (!cpu_->halted() &&
                (max_cycles == 0 || cpu_->cycle() < max_cycles)) {
-            while (next_injection < injections_.size() &&
-                   injections_[next_injection].cycle <= cpu_->cycle()) {
-                const Injection& inj = injections_[next_injection];
+            while (nextInjection_ < injections_.size() &&
+                   injections_[nextInjection_].cycle <= cpu_->cycle()) {
+                const Injection& inj = injections_[nextInjection_];
                 BitArray& bits = targetBits(inj.target);
                 for (const BitFlip& flip : inj.flips)
                     bits.flipBit(flip.row, flip.col);
-                ++next_injection;
+                ++nextInjection_;
             }
             cpu_->tick();
         }

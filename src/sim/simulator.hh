@@ -60,18 +60,51 @@ struct SimResult
     uint64_t pageWalks = 0;
 };
 
+/**
+ * Whole-machine snapshot: platform + core, everything a simulation's
+ * future depends on. Snapshots are value objects — cheap memcpy-style
+ * copies of POD-ish arrays — and are independent of the Simulator they
+ * were taken from, so one snapshot can seed many simulators (the
+ * campaign checkpointing path shares them read-only across workers).
+ * Scheduled injections are NOT part of a snapshot.
+ */
+struct Snapshot
+{
+    uint64_t cycle = 0;   ///< cycle the snapshot was taken at
+    System::Snapshot system;
+    Cpu::Snapshot cpu;
+};
+
 /** One program execution on the full timing model. */
 class Simulator
 {
   public:
     Simulator(const Program& program, const CpuConfig& config);
 
-    /** Schedule an injection (before run()). */
+    /**
+     * Construct and immediately fast-forward to @p snapshot, which must
+     * have been taken from a simulator with the same program and
+     * config. Continuing from here is bit-identical to a straight run.
+     */
+    Simulator(const Program& program, const CpuConfig& config,
+              const Snapshot& snapshot);
+
+    /** Schedule an injection. Must precede the first run() call. */
     void scheduleInjection(const Injection& injection);
 
+    /** Capture the whole machine state (callable between run() calls). */
+    Snapshot checkpoint() const;
+
+    /** Rewind the machine to @p snapshot (same program and config). */
+    void restore(const Snapshot& snapshot);
+
     /**
-     * Run to completion or @p max_cycles (0 = unlimited). A hit budget
-     * yields ExitKind::LimitReached — the Timeout outcome class.
+     * Run to completion or @p max_cycles (0 = unlimited; the budget is
+     * an absolute cycle count, not a delta). A hit budget yields
+     * ExitKind::LimitReached — the Timeout outcome class. run() may be
+     * called again to continue past a budget (segmented execution, used
+     * for checkpoint recording); the returned stats are always
+     * whole-run totals.
      */
     SimResult run(uint64_t max_cycles);
 
@@ -90,6 +123,9 @@ class Simulator
     std::unique_ptr<System> system_;
     std::unique_ptr<Cpu> cpu_;
     std::vector<Injection> injections_;
+    size_t nextInjection_ = 0;     ///< first not-yet-applied injection
+    bool injectionsSorted_ = true;
+    bool started_ = false;         ///< has run() been called?
 };
 
 } // namespace mbusim::sim

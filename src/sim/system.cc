@@ -63,6 +63,24 @@ System::loadProgram(const Program& program)
                 static_cast<uint32_t>(program.data.size()));
 }
 
+void
+System::save(Snapshot& snapshot) const
+{
+    mem_.save(snapshot.mem);
+    mmu_.save(snapshot.mmu);
+    snapshot.heapTopVpn = heapTopVpn_;
+    snapshot.output = output_;
+}
+
+void
+System::restore(const Snapshot& snapshot)
+{
+    mem_.restore(snapshot.mem);
+    mmu_.restore(snapshot.mmu);
+    heapTopVpn_ = snapshot.heapTopVpn;
+    output_ = snapshot.output;
+}
+
 SyscallResult
 System::syscall(uint32_t code, uint32_t arg, uint64_t cycle)
 {

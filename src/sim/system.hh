@@ -37,6 +37,15 @@ struct SyscallResult
 class System
 {
   public:
+    /** Copyable image of all platform state. */
+    struct Snapshot
+    {
+        PhysicalMemory::Snapshot mem;
+        Mmu::Snapshot mmu;
+        uint32_t heapTopVpn = 0;
+        std::vector<uint8_t> output;
+    };
+
     /**
      * Create the platform and load @p program.
      * @param phys_mem_bytes physical memory size
@@ -44,6 +53,12 @@ class System
      */
     System(const Program& program, uint64_t phys_mem_bytes,
            uint32_t page_walk_latency);
+
+    /** Capture all platform state into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore state saved from an identically-configured platform. */
+    void restore(const Snapshot& snapshot);
 
     PhysicalMemory& memory() { return mem_; }
     Mmu& mmu() { return mmu_; }

@@ -81,6 +81,24 @@ Tlb::insert(const TlbEntry& entry)
 }
 
 void
+Tlb::save(Snapshot& snapshot) const
+{
+    bits_.save(snapshot.bits);
+    snapshot.fifo = fifo_;
+    snapshot.lastHit = lastHit_;
+    snapshot.stats = stats_;
+}
+
+void
+Tlb::restore(const Snapshot& snapshot)
+{
+    bits_.restore(snapshot.bits);
+    fifo_ = snapshot.fifo;
+    lastHit_ = snapshot.lastHit;
+    stats_ = snapshot.stats;
+}
+
+void
 Tlb::flush()
 {
     bits_.clear();

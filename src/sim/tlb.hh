@@ -72,7 +72,22 @@ struct TlbStats
 class Tlb
 {
   public:
+    /** Copyable image of the TLB's state. */
+    struct Snapshot
+    {
+        BitArray::Snapshot bits;
+        uint32_t fifo = 0;
+        uint32_t lastHit = 0;
+        TlbStats stats;
+    };
+
     Tlb(std::string name, uint32_t entries);
+
+    /** Capture the TLB state into @p snapshot. */
+    void save(Snapshot& snapshot) const;
+
+    /** Restore state saved from an identically-sized TLB. */
+    void restore(const Snapshot& snapshot);
 
     uint32_t numEntries() const { return bits_.rows(); }
 

@@ -83,6 +83,45 @@ TEST(CampaignTest, RunRecordsKept)
     }
 }
 
+TEST(CampaignTest, CheckpointingDoesNotChangeOutcomes)
+{
+    // Checkpoint fast-forward is a pure host-side optimization: every
+    // injected run must classify identically with it on and off.
+    unsetenv("MBUSIM_CHECKPOINTS");
+    CampaignConfig with = smallConfig(Component::L1D, 2, 40);
+    with.checkpoints = 8;
+    CampaignConfig without = with;
+    without.checkpoints = 0;
+
+    const auto& w = workloads::workloadByName("stringsearch");
+    CampaignResult ra = Campaign(w, with).run(true);
+    CampaignResult rb = Campaign(w, without).run(true);
+
+    EXPECT_EQ(ra.counts.counts, rb.counts.counts);
+    EXPECT_EQ(ra.goldenCycles, rb.goldenCycles);
+    ASSERT_EQ(ra.runs.size(), rb.runs.size());
+    for (size_t i = 0; i < ra.runs.size(); ++i) {
+        EXPECT_EQ(ra.runs[i].cycle, rb.runs[i].cycle);
+        EXPECT_EQ(ra.runs[i].outcome, rb.runs[i].outcome);
+        EXPECT_EQ(ra.runs[i].cycles, rb.runs[i].cycles);
+        // The optimized run never resumes past its injection cycle.
+        EXPECT_LE(ra.runs[i].restoredFrom, ra.runs[i].cycle);
+        EXPECT_EQ(rb.runs[i].restoredFrom, 0u);
+    }
+}
+
+TEST(CampaignTest, GoldenSimulatedOnce)
+{
+    // goldenCycles() + run() must share one cached golden execution,
+    // and repeated calls must agree.
+    Campaign campaign(workloads::workloadByName("susan_c"),
+                      smallConfig(Component::RegFile, 1, 10));
+    uint64_t cycles = campaign.goldenCycles();
+    EXPECT_EQ(campaign.goldenCycles(), cycles);
+    CampaignResult result = campaign.run();
+    EXPECT_EQ(result.goldenCycles, cycles);
+}
+
 TEST(CampaignTest, RegFileAvfGrowsWithCardinality)
 {
     // The paper's central observation, on the smallest workload: AVF
