@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <filesystem>
+#include <sstream>
 #include <thread>
 
 #include "util/env.hh"
+#include "util/interrupt.hh"
+#include "util/journal.hh"
 #include "util/log.hh"
 
 namespace mbusim::core {
@@ -23,6 +30,58 @@ constexpr uint64_t GoldenBudget = 500'000'000;
  */
 constexpr uint64_t InitialCheckpointInterval = 512;
 
+/** Journal format tag; bump when the record layout changes. */
+constexpr const char* JournalVersion = "mbusim-journal v1";
+
+/**
+ * Render a completed run as one journal payload line. Everything a
+ * RunRecord holds goes in, so a replayed record is bit-identical to the
+ * simulated one.
+ */
+std::string
+serializeRun(const RunRecord& record)
+{
+    std::string line = strprintf(
+        "run %" PRIu32 " %" PRIu64 " %u %" PRIu64 " %" PRIu64
+        " %" PRIu32 " %" PRIu32 " %zu",
+        record.index, record.cycle,
+        static_cast<unsigned>(record.outcome), record.cycles,
+        record.restoredFrom, record.mask.clusterRow,
+        record.mask.clusterCol, record.mask.flips.size());
+    for (const sim::BitFlip& flip : record.mask.flips)
+        line += strprintf(" %" PRIu32 ":%" PRIu32, flip.row, flip.col);
+    return line;
+}
+
+/** Parse a journal payload line; strict — any deviation rejects it. */
+bool
+parseRun(const std::string& payload, RunRecord& record)
+{
+    std::istringstream in(payload);
+    std::string tag;
+    unsigned outcome = 0;
+    size_t flips = 0;
+    in >> tag >> record.index >> record.cycle >> outcome >>
+        record.cycles >> record.restoredFrom >> record.mask.clusterRow >>
+        record.mask.clusterCol >> flips;
+    if (!in || tag != "run" || outcome >= AllOutcomes.size() ||
+        flips > 64) {
+        return false;
+    }
+    record.outcome = static_cast<Outcome>(outcome);
+    record.mask.flips.resize(flips);
+    for (sim::BitFlip& flip : record.mask.flips) {
+        char sep = 0;
+        in >> flip.row >> sep >> flip.col;
+        if (!in || sep != ':')
+            return false;
+    }
+    // Trailing garbage means a mangled line: reject it entirely.
+    std::string rest;
+    in >> rest;
+    return rest.empty();
+}
+
 } // namespace
 
 sim::FaultTarget
@@ -39,17 +98,86 @@ targetFor(Component component)
     panic("bad Component");
 }
 
+uint64_t
+outcomeDigest(const sim::CpuConfig& c, const char* source)
+{
+    uint64_t digest = 14695981039346656037ULL;
+    auto mix = [&digest](uint64_t v) {
+        digest = (digest ^ v) * 1099511628211ULL;
+    };
+    mix(c.fetchWidth); mix(c.issueWidth); mix(c.wbWidth);
+    mix(c.commitWidth); mix(c.robEntries); mix(c.iqEntries);
+    mix(c.lsqEntries); mix(c.numPhysRegs); mix(c.bimodalEntries);
+    mix(c.btbEntries); mix(c.rasEntries); mix(c.l1i.sizeBytes);
+    mix(c.l1i.ways); mix(c.l1i.hitLatency); mix(c.l1d.sizeBytes);
+    mix(c.l1d.ways); mix(c.l1d.hitLatency); mix(c.l2.sizeBytes);
+    mix(c.l2.ways); mix(c.l2.hitLatency); mix(c.tlbEntries);
+    mix(c.memoryLatency); mix(c.pageWalkLatency); mix(c.physMemBytes);
+    if (c.inOrderIssue)
+        mix(0x10DE);   // only when set: existing cache keys stay valid
+    if (c.l1d.interleave != 1 || c.l1i.interleave != 1 ||
+        c.l2.interleave != 1) {
+        mix(c.l1d.interleave); mix(c.l1i.interleave);
+        mix(c.l2.interleave);
+    }
+    // The workload's assembly source: a recalibrated workload must not
+    // reuse stale cached results.
+    for (const char* p = source; *p; ++p)
+        mix(static_cast<unsigned char>(*p));
+    return digest;
+}
+
 Campaign::Campaign(const workloads::Workload& workload,
                    const CampaignConfig& config)
     : workload_(workload), config_(config),
       program_(workload.assemble()),
       checkpointTarget_(static_cast<uint32_t>(
-          envInt("MBUSIM_CHECKPOINTS", config.checkpoints)))
+          envUInt("MBUSIM_CHECKPOINTS", config.checkpoints, UINT32_MAX)))
 {
     if (config_.faults < 1 || config_.faults > 3)
         fatal("campaigns support 1..3 faults, got %u", config_.faults);
     if (config_.timeoutFactor < 2)
         fatal("timeout factor must be at least 2");
+
+    // Resolve the environment knobs once: CampaignConfig documents what
+    // each field means, and repeated run() calls must not diverge if
+    // the environment changes mid-process.
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envUInt("MBUSIM_THREADS",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    UINT32_MAX));
+    }
+    threads_ = std::max(1u, std::min(threads, config_.injections));
+    journalDir_ = config_.journalDir.empty()
+                      ? envString("MBUSIM_JOURNAL_DIR", "")
+                      : config_.journalDir;
+    deadlineSeconds_ = config_.deadlineSeconds != 0
+                           ? config_.deadlineSeconds
+                           : static_cast<uint32_t>(envUInt(
+                                 "MBUSIM_DEADLINE_S", 0, UINT32_MAX));
+    heartbeatSeconds_ = static_cast<uint32_t>(
+        envUInt("MBUSIM_HEARTBEAT_S", 30, UINT32_MAX));
+}
+
+std::string
+Campaign::cacheKey() const
+{
+    uint64_t digest = outcomeDigest(config_.cpu, workload_.source);
+    if (config_.targetOverride) {
+        digest = (digest ^ (0x7A6 + static_cast<uint64_t>(
+                                        *config_.targetOverride))) *
+                 1099511628211ULL;
+    }
+    return strprintf("%s_%s_f%u_n%u_s%llx_c%ux%u_t%u_%016llx",
+                     workload_.name.c_str(),
+                     componentShortName(config_.component),
+                     config_.faults, config_.injections,
+                     static_cast<unsigned long long>(config_.seed),
+                     config_.cluster.rows, config_.cluster.cols,
+                     config_.timeoutFactor,
+                     static_cast<unsigned long long>(digest));
 }
 
 void
@@ -105,9 +233,13 @@ Campaign::goldenCycles() const
 
 RunRecord
 Campaign::runOne(const sim::SimResult& golden, uint32_t index,
-                 const MaskGenerator& generator) const
+                 const MaskGenerator& generator, uint32_t attempt) const
 {
-    // Independent stream per run: reproducible regardless of threading.
+    if (config_.hostFaultHook)
+        config_.hostFaultHook(index, attempt);
+
+    // Independent stream per run: reproducible regardless of threading
+    // (and across retries — a retry replays the identical injection).
     Rng rng = Rng(config_.seed)
                   .fork(static_cast<uint64_t>(config_.component) * 4 +
                             config_.faults,
@@ -148,9 +280,42 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
     return record;
 }
 
+RunRecord
+Campaign::runOneIsolated(const sim::SimResult& golden, uint32_t index,
+                         const MaskGenerator& generator) const
+{
+    // The workload under fault is expected to reach broken states; the
+    // simulator classifies those itself. Anything that still escapes —
+    // a SimAssert leak, std::bad_alloc, a host bug — is confined to
+    // this run: one deterministic retry (same seed and index stream),
+    // then the Error bucket. Never std::terminate, never take the
+    // campaign down.
+    for (uint32_t attempt = 0; attempt < 2; ++attempt) {
+        try {
+            return runOne(golden, index, generator, attempt);
+        } catch (const std::exception& e) {
+            warn("run %u of '%s' escaped the simulator (%s)%s", index,
+                 workload_.name.c_str(), e.what(),
+                 attempt == 0 ? "; retrying" : "");
+        } catch (...) {
+            warn("run %u of '%s' escaped the simulator (non-standard "
+                 "exception)%s",
+                 index, workload_.name.c_str(),
+                 attempt == 0 ? "; retrying" : "");
+        }
+    }
+    RunRecord record;
+    record.index = index;
+    record.outcome = Outcome::Error;
+    return record;
+}
+
 CampaignResult
 Campaign::run(bool keep_runs) const
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point started = Clock::now();
+
     const sim::SimResult& golden = this->golden();
 
     sim::FaultTarget target = config_.targetOverride
@@ -164,39 +329,151 @@ Campaign::run(bool keep_runs) const
     result.goldenCycles = golden.cycles;
     result.goldenInstructions = golden.instructions;
 
-    uint32_t threads = config_.threads;
-    if (threads == 0) {
-        threads = static_cast<uint32_t>(
-            envInt("MBUSIM_THREADS",
-                   std::max(1u, std::thread::hardware_concurrency())));
-    }
-    threads = std::max(1u, std::min(threads, config_.injections));
-
     std::vector<RunRecord> records(config_.injections);
+    std::vector<char> done(config_.injections, 0);
+
+    // Replay the journal of an earlier, interrupted invocation: runs it
+    // recorded are taken as-is (they are bit-identical to what a fresh
+    // simulation would produce), the rest are simulated below.
+    std::optional<Journal> journal;
+    if (!journalDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(journalDir_, ec);
+        std::string key = cacheKey();
+        std::string header = strprintf("%s %s", JournalVersion,
+                                       key.c_str());
+        std::string path = journalDir_ + "/" + key + ".journal";
+        for (const std::string& line : Journal::replay(path, header)) {
+            RunRecord record;
+            if (parseRun(line, record) &&
+                record.index < config_.injections &&
+                !done[record.index]) {
+                done[record.index] = 1;
+                records[record.index] = std::move(record);
+                ++result.resumed;
+            }
+        }
+        journal.emplace(path, header);
+        if (!journal->open()) {
+            warn("cannot write campaign journal '%s'; continuing "
+                 "without one", path.c_str());
+            journal.reset();
+        }
+    }
+
     std::atomic<uint32_t> next{0};
+    std::atomic<uint32_t> completed{result.resumed};
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> finished{false};
+    std::mutex journalMutex;
+
+    const Clock::time_point deadline =
+        started + std::chrono::seconds(deadlineSeconds_);
+    auto shouldStop = [&]() {
+        if (cancel.load(std::memory_order_relaxed))
+            return true;
+        const char* why = nullptr;
+        if (interruptRequested())
+            why = "interrupted";
+        else if (deadlineSeconds_ != 0 && Clock::now() >= deadline)
+            why = "deadline expired";
+        if (!why)
+            return false;
+        if (!cancel.exchange(true)) {
+            warn("campaign %s %s: finishing in-flight runs "
+                 "(%u/%u done%s)",
+                 cacheKey().c_str(), why, completed.load(),
+                 config_.injections,
+                 journal ? ", journalled for resume" : "");
+        }
+        return true;
+    };
+
     auto worker = [&]() {
         for (;;) {
+            if (shouldStop())
+                return;
             uint32_t i = next.fetch_add(1);
             if (i >= config_.injections)
                 return;
-            records[i] = runOne(golden, i, generator);
+            if (done[i])
+                continue;   // replayed from the journal
+            RunRecord record = runOneIsolated(golden, i, generator);
+            records[i] = std::move(record);
+            done[i] = 1;
+            if (journal) {
+                std::lock_guard<std::mutex> lock(journalMutex);
+                journal->append(serializeRun(records[i]));
+            }
+            completed.fetch_add(1);
         }
     };
-    if (threads == 1) {
+
+    // Watchdog: wall-clock heartbeat so an unattended sweep shows it is
+    // alive, and the deadline fires even while every worker is stuck
+    // inside a long faulty run (the stop itself stays cooperative).
+    std::mutex monitorMutex;
+    std::condition_variable monitorCv;
+    std::thread monitor;
+    if (heartbeatSeconds_ != 0 || deadlineSeconds_ != 0) {
+        monitor = std::thread([&]() {
+            auto last_beat = started;
+            std::unique_lock<std::mutex> lock(monitorMutex);
+            while (!finished.load(std::memory_order_relaxed)) {
+                monitorCv.wait_for(lock,
+                                   std::chrono::milliseconds(100));
+                shouldStop();
+                auto now = Clock::now();
+                if (heartbeatSeconds_ != 0 &&
+                    now - last_beat >=
+                        std::chrono::seconds(heartbeatSeconds_)) {
+                    last_beat = now;
+                    inform("campaign %s: %u/%u runs done",
+                           cacheKey().c_str(), completed.load(),
+                           config_.injections);
+                }
+            }
+        });
+    }
+
+    if (threads_ == 1) {
         worker();
     } else {
         std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (uint32_t t = 0; t < threads; ++t)
+        pool.reserve(threads_);
+        for (uint32_t t = 0; t < threads_; ++t)
             pool.emplace_back(worker);
         for (auto& t : pool)
             t.join();
     }
+    if (monitor.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(monitorMutex);
+            finished.store(true, std::memory_order_relaxed);
+        }
+        monitorCv.notify_all();
+        monitor.join();
+    } else {
+        finished.store(true, std::memory_order_relaxed);
+    }
 
-    for (const RunRecord& record : records)
-        result.counts.add(record.outcome);
-    if (keep_runs)
-        result.runs = std::move(records);
+    result.cancelled = cancel.load();
+    for (uint32_t i = 0; i < config_.injections; ++i) {
+        if (!done[i])
+            continue;
+        result.counts.add(records[i].outcome);
+        ++result.completed;
+    }
+    if (keep_runs) {
+        if (result.cancelled) {
+            for (uint32_t i = 0; i < config_.injections; ++i) {
+                if (done[i])
+                    result.runs.push_back(std::move(records[i]));
+            }
+        } else {
+            result.runs = std::move(records);
+        }
+    }
     return result;
 }
 

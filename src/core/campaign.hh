@@ -14,6 +14,7 @@
 #define MBUSIM_CORE_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -30,6 +31,13 @@ namespace mbusim::core {
 
 /** Map a studied component to its simulator fault target. */
 sim::FaultTarget targetFor(Component component);
+
+/**
+ * FNV-1a digest of every CPU parameter and workload-source byte that
+ * can change campaign outcomes. Shared by the Study disk cache and the
+ * campaign journal so both invalidate on exactly the same changes.
+ */
+uint64_t outcomeDigest(const sim::CpuConfig& cpu, const char* source);
 
 /** Parameters of one campaign. */
 struct CampaignConfig
@@ -55,6 +63,26 @@ struct CampaignConfig
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
     std::optional<sim::FaultTarget> targetOverride;
+    /**
+     * Directory for the per-campaign run journal (empty = take
+     * MBUSIM_JOURNAL_DIR, unset = no journal). With a journal, every
+     * completed run is recorded durably and an interrupted campaign
+     * resumes where it stopped, bit-identical to an uninterrupted one.
+     */
+    std::string journalDir;
+    /**
+     * Wall-clock budget for one run() call in seconds (0 = take
+     * MBUSIM_DEADLINE_S, unset/0 = none). On expiry in-flight runs
+     * finish, the journal is flushed and the result comes back with
+     * cancelled set.
+     */
+    uint32_t deadlineSeconds = 0;
+    /**
+     * Test-only host-fault injection: called at the start of every
+     * simulation attempt with (run index, attempt). Tests throw from
+     * here to exercise the worker isolation and retry path.
+     */
+    std::function<void(uint32_t, uint32_t)> hostFaultHook;
 };
 
 /** Details of one injected run (for drill-down and CSV export). */
@@ -75,6 +103,9 @@ struct CampaignResult
     uint64_t goldenCycles = 0;
     uint64_t goldenInstructions = 0;
     std::vector<RunRecord> runs;   ///< filled when keepRuns was set
+    uint32_t completed = 0;        ///< runs finished (simulated + resumed)
+    uint32_t resumed = 0;          ///< of those, replayed from the journal
+    bool cancelled = false;        ///< stopped early (deadline/interrupt)
 
     double avf() const { return counts.avf(); }
 };
@@ -91,7 +122,14 @@ class Campaign
              const CampaignConfig& config);
 
     /**
-     * Run the golden execution plus all injections.
+     * Run the golden execution plus all injections. With a journal
+     * configured, completed runs recorded by a previous (interrupted)
+     * invocation are replayed instead of re-simulated; the result is
+     * bit-identical either way. Any exception escaping an injected
+     * run is confined to that run: it is retried once (runs are
+     * deterministic in (seed, index), so the retry sees the same
+     * fault) and on a second failure recorded as Outcome::Error — a
+     * faulty simulated machine can never take the campaign down.
      * @param keep_runs record per-run details in the result
      */
     CampaignResult run(bool keep_runs = false) const;
@@ -102,6 +140,15 @@ class Campaign
      */
     uint64_t goldenCycles() const;
 
+    /**
+     * Stable identity of everything that can change this campaign's
+     * outcomes (workload source, component, cardinality, sample size,
+     * seed, cluster, timeout factor, CPU parameters, target override).
+     * Names the journal file; also embedded in its header so a stale
+     * journal can never leak runs into a different campaign.
+     */
+    std::string cacheKey() const;
+
   private:
     /**
      * The cached golden run (simulated on first use, with checkpoints
@@ -110,12 +157,19 @@ class Campaign
     const sim::SimResult& golden() const;
     void runGolden() const;
     RunRecord runOne(const sim::SimResult& golden, uint32_t index,
-                     const MaskGenerator& generator) const;
+                     const MaskGenerator& generator,
+                     uint32_t attempt) const;
+    RunRecord runOneIsolated(const sim::SimResult& golden, uint32_t index,
+                             const MaskGenerator& generator) const;
 
     const workloads::Workload& workload_;
     CampaignConfig config_;
     sim::Program program_;
     uint32_t checkpointTarget_;    ///< resolved checkpoint count
+    uint32_t threads_;             ///< resolved worker count (>= 1)
+    std::string journalDir_;       ///< resolved journal dir ("" = off)
+    uint32_t deadlineSeconds_;     ///< resolved deadline (0 = none)
+    uint32_t heartbeatSeconds_;    ///< progress heartbeat (0 = off)
 
     // Golden-run cache, filled once on first use (goldenCycles() or
     // run(), whichever comes first). Checkpoints are read-only after

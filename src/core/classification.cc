@@ -13,6 +13,7 @@ outcomeName(Outcome outcome)
       case Outcome::Crash: return "Crash";
       case Outcome::Timeout: return "Timeout";
       case Outcome::Assert: return "Assert";
+      case Outcome::Error: return "Error";
     }
     return "<?>";
 }
@@ -56,13 +57,20 @@ OutcomeCounts::fraction(Outcome outcome) const
     return static_cast<double>(count(outcome)) / static_cast<double>(n);
 }
 
+uint64_t
+OutcomeCounts::classified() const
+{
+    return total() - count(Outcome::Error);
+}
+
 double
 OutcomeCounts::avf() const
 {
-    uint64_t n = total();
+    uint64_t n = classified();
     if (n == 0)
         return 0.0;
-    return 1.0 - fraction(Outcome::Masked);
+    return 1.0 - static_cast<double>(count(Outcome::Masked)) /
+                     static_cast<double>(n);
 }
 
 OutcomeCounts&

@@ -7,6 +7,14 @@
  * output stream differs), Crash (process crash or kernel panic), Timeout
  * (did not finish within 4x the golden cycles — deadlock or livelock),
  * Assert (the simulator hit an unrepresentable state).
+ *
+ * A sixth, host-side bucket exists beyond the paper's taxonomy: Error
+ * marks a run whose *simulation* failed (an exception escaped the
+ * simulator twice in a row — a host bug or resource exhaustion, never a
+ * property of the injected fault). classify() never produces it; only
+ * the campaign executor records it, and AVF is computed over the
+ * classified runs so an infrastructure failure cannot masquerade as
+ * vulnerability. See DESIGN.md §9.
  */
 
 #ifndef MBUSIM_CORE_CLASSIFICATION_HH
@@ -19,15 +27,15 @@
 
 namespace mbusim::core {
 
-/** The five fault-effect classes. */
+/** The five fault-effect classes, plus the host-side Error bucket. */
 enum class Outcome : uint8_t
 {
-    Masked, Sdc, Crash, Timeout, Assert,
+    Masked, Sdc, Crash, Timeout, Assert, Error,
 };
 
-constexpr std::array<Outcome, 5> AllOutcomes = {
+constexpr std::array<Outcome, 6> AllOutcomes = {
     Outcome::Masked, Outcome::Sdc, Outcome::Crash, Outcome::Timeout,
-    Outcome::Assert,
+    Outcome::Assert, Outcome::Error,
 };
 
 /** Display name, e.g. "Masked". */
@@ -40,7 +48,7 @@ Outcome classify(const sim::SimResult& golden,
 /** Tally of outcomes for one campaign. */
 struct OutcomeCounts
 {
-    std::array<uint64_t, 5> counts{};
+    std::array<uint64_t, 6> counts{};
 
     void add(Outcome outcome)
     {
@@ -54,12 +62,17 @@ struct OutcomeCounts
 
     uint64_t total() const;
 
+    /** Runs that got one of the paper's five classes (total - Error). */
+    uint64_t classified() const;
+
     /** Fraction of runs with this outcome (0 if no runs). */
     double fraction(Outcome outcome) const;
 
     /**
      * Architectural vulnerability factor: the probability that a fault
-     * affects correct execution, i.e. 1 - masked fraction.
+     * affects correct execution, i.e. 1 - masked fraction. Computed
+     * over the classified runs only: Error runs say nothing about the
+     * fault, so they drop out of the denominator.
      */
     double avf() const;
 

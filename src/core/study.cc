@@ -1,23 +1,37 @@
 #include "core/study.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "util/env.hh"
+#include "util/journal.hh"
 #include "util/log.hh"
 
 namespace mbusim::core {
+
+namespace {
+
+/** Cache format tag; bump when the entry layout changes. */
+constexpr const char* CacheVersion = "mbusim-cache v2";
+
+} // namespace
 
 StudyConfig
 defaultStudyConfig()
 {
     StudyConfig config;
-    config.injections =
-        static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 200));
+    config.injections = static_cast<uint32_t>(
+        envUInt("MBUSIM_INJECTIONS", 200, UINT32_MAX));
     config.seed = static_cast<uint64_t>(envInt("MBUSIM_SEED", 0x5eed));
-    config.threads = static_cast<uint32_t>(envInt("MBUSIM_THREADS", 0));
+    config.threads = static_cast<uint32_t>(
+        envUInt("MBUSIM_THREADS", 0, UINT32_MAX));
     config.cacheDir = envString("MBUSIM_CACHE_DIR", "");
+    config.journalDir = envString("MBUSIM_JOURNAL_DIR", "");
     config.workloads = envList("MBUSIM_WORKLOADS");
     return config;
 }
@@ -40,33 +54,11 @@ std::string
 Study::cacheKey(const std::string& workload, Component component,
                 uint32_t faults) const
 {
-    // Digest of every CPU parameter that can change outcomes.
-    const sim::CpuConfig& c = config_.cpu;
-    uint64_t digest = 1469598103934665603ULL;
-    auto mix = [&digest](uint64_t v) {
-        digest = (digest ^ v) * 1099511628211ULL;
-    };
-    mix(c.fetchWidth); mix(c.issueWidth); mix(c.wbWidth);
-    mix(c.commitWidth); mix(c.robEntries); mix(c.iqEntries);
-    mix(c.lsqEntries); mix(c.numPhysRegs); mix(c.bimodalEntries);
-    mix(c.btbEntries); mix(c.rasEntries); mix(c.l1i.sizeBytes);
-    mix(c.l1i.ways); mix(c.l1i.hitLatency); mix(c.l1d.sizeBytes);
-    mix(c.l1d.ways); mix(c.l1d.hitLatency); mix(c.l2.sizeBytes);
-    mix(c.l2.ways); mix(c.l2.hitLatency); mix(c.tlbEntries);
-    mix(c.memoryLatency); mix(c.pageWalkLatency); mix(c.physMemBytes);
-    if (c.inOrderIssue)
-        mix(0x10DE);   // only when set: existing cache keys stay valid
-    if (c.l1d.interleave != 1 || c.l1i.interleave != 1 ||
-        c.l2.interleave != 1) {
-        mix(c.l1d.interleave); mix(c.l1i.interleave);
-        mix(c.l2.interleave);
-    }
-    // The workload's assembly source: a recalibrated workload must not
-    // reuse stale cached results.
-    for (const char* p = workloads::workloadByName(workload).source;
-         *p; ++p) {
-        mix(static_cast<unsigned char>(*p));
-    }
+    // Digest of every CPU parameter and workload-source byte that can
+    // change outcomes; shared with the campaign journal key.
+    uint64_t digest =
+        outcomeDigest(config_.cpu,
+                      workloads::workloadByName(workload).source);
 
     return strprintf("%s_%s_f%u_n%u_s%llx_c%ux%u_t%u_%016llx",
                      workload.c_str(), componentShortName(component),
@@ -85,17 +77,45 @@ Study::loadCached(const std::string& key, CampaignResult& result) const
     std::ifstream in(config_.cacheDir + "/" + key + ".txt");
     if (!in)
         return false;
-    uint64_t golden_cycles = 0, golden_insts = 0;
-    std::array<uint64_t, 5> counts{};
-    in >> golden_cycles >> golden_insts;
-    for (auto& c : counts)
-        in >> c;
-    if (!in)
+
+    // Anything short of a fully intact entry is a miss: the campaign is
+    // regenerated and the entry rewritten. A cache must never be able
+    // to crash the sweep or feed it silent garbage.
+    auto miss = [&](const char* why) {
+        warn("study cache entry '%s' %s; regenerating", key.c_str(),
+             why);
         return false;
+    };
+    std::string header, payload, seal;
+    if (!std::getline(in, header) || !std::getline(in, payload) ||
+        !std::getline(in, seal)) {
+        return miss("is truncated");
+    }
+    if (header != strprintf("%s %s", CacheVersion, key.c_str()))
+        return miss("has a stale or foreign header");
+    unsigned long long sum = 0;
+    if (std::sscanf(seal.c_str(), "#%16llx", &sum) != 1 ||
+        sum != fnv1a64(payload)) {
+        return miss("fails its checksum");
+    }
+
+    uint64_t golden_cycles = 0, golden_insts = 0;
+    std::array<uint64_t, 6> counts{};
+    std::istringstream fields(payload);
+    fields >> golden_cycles >> golden_insts;
+    for (auto& c : counts)
+        fields >> c;
+    std::string rest;
+    if (!fields || (fields >> rest, !rest.empty()))
+        return miss("has a malformed payload");
+
     result = CampaignResult{};
     result.goldenCycles = golden_cycles;
     result.goldenInstructions = golden_insts;
     result.counts.counts = counts;
+    result.completed = static_cast<uint32_t>(result.counts.total());
+    if (result.completed != config_.injections)
+        return miss("does not match the configured sample size");
     return true;
 }
 
@@ -107,15 +127,45 @@ Study::storeCached(const std::string& key,
         return;
     std::error_code ec;
     std::filesystem::create_directories(config_.cacheDir, ec);
-    std::ofstream out(config_.cacheDir + "/" + key + ".txt");
-    if (!out) {
-        warn("cannot write study cache entry '%s'", key.c_str());
-        return;
-    }
-    out << result.goldenCycles << ' ' << result.goldenInstructions;
+
+    std::string payload =
+        strprintf("%llu %llu",
+                  static_cast<unsigned long long>(result.goldenCycles),
+                  static_cast<unsigned long long>(
+                      result.goldenInstructions));
     for (uint64_t c : result.counts.counts)
-        out << ' ' << c;
-    out << '\n';
+        payload += strprintf(" %llu", static_cast<unsigned long long>(c));
+
+    // Write-temp-then-rename: a concurrent reader (or a crash mid-way)
+    // sees either the old entry or the new one, never a torn file.
+    std::string path = config_.cacheDir + "/" + key + ".txt";
+    std::string tmp = strprintf("%s.tmp.%d", path.c_str(),
+                                static_cast<int>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("cannot write study cache entry '%s'", key.c_str());
+            return;
+        }
+        out << CacheVersion << ' ' << key << '\n'
+            << payload << '\n'
+            << strprintf("#%016llx",
+                         static_cast<unsigned long long>(
+                             fnv1a64(payload)))
+            << '\n';
+        out.flush();
+        if (!out) {
+            warn("short write on study cache entry '%s'", key.c_str());
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot install study cache entry '%s': %s", key.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+    }
 }
 
 const CampaignResult&
@@ -138,8 +188,20 @@ Study::campaign(const std::string& workload, Component component,
         cc.timeoutFactor = config_.timeoutFactor;
         cc.threads = config_.threads;
         cc.cpu = config_.cpu;
+        cc.journalDir = config_.journalDir;
         Campaign campaign(workloads::workloadByName(workload), cc);
         result = campaign.run();
+        if (result.cancelled) {
+            // Partial counts must not poison the sweep or its disk
+            // cache; the journal (if enabled) holds the finished runs.
+            fatal("campaign %s cancelled after %u/%u runs; rerun to "
+                  "resume%s",
+                  key.c_str(), result.completed, config_.injections,
+                  config_.journalDir.empty()
+                      ? " (set MBUSIM_JOURNAL_DIR to make progress "
+                        "durable)"
+                      : " from its journal");
+        }
         storeCached(key, result);
     }
     golden_[workload] = result.goldenCycles;

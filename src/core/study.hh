@@ -14,7 +14,12 @@
  *   MBUSIM_SEED        campaign seed              (default 0x5eed)
  *   MBUSIM_THREADS     worker threads             (default: hw)
  *   MBUSIM_CACHE_DIR   on-disk result cache       (default: off)
+ *   MBUSIM_JOURNAL_DIR per-campaign run journals  (default: off)
  *   MBUSIM_WORKLOADS   comma list to restrict the sweep (default: all)
+ *
+ * Cache entries are versioned and checksummed; a truncated, corrupted
+ * or foreign entry is a miss that gets regenerated and atomically
+ * rewritten, never a crash or silent garbage.
  */
 
 #ifndef MBUSIM_CORE_STUDY_HH
@@ -39,6 +44,7 @@ struct StudyConfig
     uint32_t threads = 0;
     sim::CpuConfig cpu;
     std::string cacheDir;               ///< empty = no disk cache
+    std::string journalDir;             ///< per-campaign run journals
     std::vector<std::string> workloads; ///< empty = all 15
 };
 

@@ -708,8 +708,19 @@ Cpu::commitStage()
 
         if (inst.di.cls == InstClass::Syscall) {
             uint32_t arg = regFile_.read(retireMap_[1]);
-            SyscallResult res =
-                sys_.syscall(inst.di.sysCode, arg, cycle_);
+            SyscallResult res;
+            try {
+                res = sys_.syscall(inst.di.sysCode, arg, cycle_);
+            } catch (const SimAssert&) {
+                // E.g. a Brk with a fault-corrupted argument exhausting
+                // physical frames: halt precisely, like the store path.
+                ExitStatus status;
+                status.kind = ExitKind::SimAssert;
+                status.faultPc = inst.pc;
+                status.faultAddr = arg;
+                haltWith(status);
+                return;
+            }
             if (res.bad) {
                 haltWith(sys_.deliverException(
                     ExceptionType::BadSyscall, inst.pc,

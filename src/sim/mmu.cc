@@ -18,7 +18,12 @@ Mmu::mapPage(uint32_t vpn, PagePerms perms)
     uint32_t pfn = nextFrame_++;
     if ((static_cast<uint64_t>(pfn) << PageShift) + PageBytes >
         mem_.size()) {
-        fatal("out of physical frames mapping vpn 0x%x", vpn);
+        // Reachable from a Brk syscall whose argument register was
+        // fault-corrupted (the virtual space is larger than physical
+        // memory): a faulty-machine state, not a host error. Program
+        // load pre-checks its frame budget (see System::loadProgram),
+        // so a clean machine never gets here.
+        simAssertFail("out of physical frames mapping vpn 0x%x", vpn);
     }
     mapPageAt(vpn, pfn, perms);
     return pfn;
@@ -35,6 +40,13 @@ Mmu::mapPageAt(uint32_t vpn, uint32_t pfn, PagePerms perms)
     e.vpn = vpn;
     e.pfn = pfn;
     mem_.write(pteAddr(vpn), 4, e.pack());
+}
+
+uint32_t
+Mmu::framesFree() const
+{
+    uint32_t total = static_cast<uint32_t>(mem_.size() >> PageShift);
+    return nextFrame_ < total ? total - nextFrame_ : 0;
 }
 
 bool

@@ -99,6 +99,9 @@ class Mmu
 
     /** Number of frames handed out so far. */
     uint32_t framesAllocated() const { return nextFrame_ - FirstUserFrame; }
+
+    /** Frames still available for mapPage(). */
+    uint32_t framesFree() const;
     /// @}
 
     /**

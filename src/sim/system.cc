@@ -27,6 +27,27 @@ System::loadProgram(const Program& program)
     if (program.code.empty())
         fatal("empty program");
     uint32_t code_bytes = program.codeBytes();
+
+    // Pre-check the frame budget so an oversized program is a clear
+    // user error here; past load, running out of frames can only
+    // happen on a fault-corrupted machine (Mmu::mapPage raises
+    // SimAssert for that).
+    auto pages = [](uint32_t base, uint32_t bytes) {
+        return ((base + bytes - 1) >> PageShift) - (base >> PageShift) +
+               1;
+    };
+    uint32_t needed =
+        pages(program.codeBase, code_bytes) +
+        pages(program.dataBase,
+              std::max<uint32_t>(
+                  static_cast<uint32_t>(program.data.size()), 1)) +
+        pages(DefaultStackTop - DefaultStackBytes, DefaultStackBytes);
+    if (needed > mmu_.framesFree()) {
+        fatal("program needs %u pages but only %u physical frames are "
+              "free",
+              needed, mmu_.framesFree());
+    }
+
     mapRegion(program.codeBase, code_bytes, {true, false, true});
     // Data (+ heap growth happens via Brk): read + write.
     uint32_t data_bytes =

@@ -19,6 +19,24 @@ envInt(const char* name, int64_t fallback)
     return parsed;
 }
 
+uint64_t
+envUInt(const char* name, uint64_t fallback, uint64_t max)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    int64_t parsed = envInt(name, 0);
+    if (parsed < 0) {
+        fatal("environment variable %s='%s' must be a non-negative "
+              "integer", name, v);
+    }
+    if (static_cast<uint64_t>(parsed) > max) {
+        fatal("environment variable %s='%s' is out of range (max %llu)",
+              name, v, static_cast<unsigned long long>(max));
+    }
+    return static_cast<uint64_t>(parsed);
+}
+
 std::string
 envString(const char* name, const std::string& fallback)
 {

@@ -19,6 +19,15 @@ namespace mbusim {
 /** Read an integer environment variable, or fall back to a default. */
 int64_t envInt(const char* name, int64_t fallback);
 
+/**
+ * Read a non-negative integer environment variable, or fall back to a
+ * default. A negative value would silently wrap into a huge unsigned
+ * count at the use sites (thread pools, sample sizes), so it is a
+ * fatal() with a clear message instead, as is a value above @p max.
+ */
+uint64_t envUInt(const char* name, uint64_t fallback,
+                 uint64_t max = UINT64_MAX);
+
 /** Read a string environment variable, or fall back to a default. */
 std::string envString(const char* name, const std::string& fallback);
 

@@ -1,0 +1,50 @@
+#include "util/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace mbusim {
+
+namespace {
+
+std::atomic<bool> interrupted{false};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the SIGINT handler requires a lock-free flag");
+
+extern "C" void
+sigintHandler(int)
+{
+    // Second ^C with the flag already raised: give up on graceful
+    // shutdown and let the next SIGINT kill the process.
+    if (interrupted.exchange(true, std::memory_order_relaxed))
+        std::signal(SIGINT, SIG_DFL);
+}
+
+} // namespace
+
+void
+installSigintHandler()
+{
+    std::signal(SIGINT, sigintHandler);
+}
+
+void
+requestInterrupt()
+{
+    interrupted.store(true, std::memory_order_relaxed);
+}
+
+bool
+interruptRequested()
+{
+    return interrupted.load(std::memory_order_relaxed);
+}
+
+void
+clearInterrupt()
+{
+    interrupted.store(false, std::memory_order_relaxed);
+}
+
+} // namespace mbusim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Cooperative interruption for long-running campaigns.
+ *
+ * A single process-wide flag connects SIGINT (and tests) to the campaign
+ * worker pools: workers finish the run they are simulating, flush the
+ * journal and stop claiming new work, so ^C on a paper-scale sweep loses
+ * nothing. The flag is a lock-free atomic — the only thing the signal
+ * handler touches.
+ */
+
+#ifndef MBUSIM_UTIL_INTERRUPT_HH
+#define MBUSIM_UTIL_INTERRUPT_HH
+
+namespace mbusim {
+
+/**
+ * Install a SIGINT handler that raises the interrupt flag. Idempotent.
+ * A second SIGINT while the flag is already raised restores the default
+ * disposition, so a stuck process can still be killed with another ^C.
+ */
+void installSigintHandler();
+
+/** Ask running campaigns to stop after their in-flight runs. */
+void requestInterrupt();
+
+/** Has an interrupt been requested (and not yet cleared)? */
+bool interruptRequested();
+
+/** Lower the flag again (tests; drivers that survive a cancellation). */
+void clearInterrupt();
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_INTERRUPT_HH

@@ -1,0 +1,102 @@
+#include "util/journal.hh"
+
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+namespace {
+
+/** Render `<payload> #<checksum>`. */
+std::string
+sealLine(const std::string& payload)
+{
+    return strprintf("%s #%016llx", payload.c_str(),
+                     static_cast<unsigned long long>(fnv1a64(payload)));
+}
+
+/**
+ * Split a journal line back into its payload, verifying the checksum.
+ * @return true only if the line is intact.
+ */
+bool
+unsealLine(const std::string& line, std::string& payload)
+{
+    // " #" + 16 hex digits.
+    if (line.size() < 18)
+        return false;
+    size_t mark = line.size() - 18;
+    if (line[mark] != ' ' || line[mark + 1] != '#')
+        return false;
+    unsigned long long sum = 0;
+    if (std::sscanf(line.c_str() + mark + 2, "%16llx", &sum) != 1)
+        return false;
+    std::string body = line.substr(0, mark);
+    if (fnv1a64(body) != sum)
+        return false;
+    payload = std::move(body);
+    return true;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(std::string_view data)
+{
+    uint64_t hash = 14695981039346656037ULL;
+    for (char c : data)
+        hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return hash;
+}
+
+std::vector<std::string>
+Journal::replay(const std::string& path, const std::string& header)
+{
+    std::vector<std::string> payloads;
+    std::ifstream in(path);
+    if (!in)
+        return payloads;
+    std::string line, payload;
+    if (!std::getline(in, line) || !unsealLine(line, payload) ||
+        payload != header) {
+        return payloads;
+    }
+    while (std::getline(in, line)) {
+        if (unsealLine(line, payload))
+            payloads.push_back(payload);
+        // else: torn or corrupted record — drop it, keep the rest.
+    }
+    return payloads;
+}
+
+Journal::Journal(const std::string& path, const std::string& header)
+{
+    // Decide between continuing and starting over: only a journal whose
+    // header matches exactly may be appended to.
+    bool fresh = true;
+    {
+        std::ifstream in(path);
+        std::string line, payload;
+        if (in && std::getline(in, line) && unsealLine(line, payload) &&
+            payload == header) {
+            fresh = false;
+        }
+    }
+    out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+    if (out_ && fresh) {
+        out_ << sealLine(header) << '\n';
+        out_.flush();
+    }
+}
+
+void
+Journal::append(const std::string& payload)
+{
+    if (!out_)
+        return;
+    out_ << sealLine(payload) << '\n';
+    out_.flush();
+}
+
+} // namespace mbusim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Append-only, checksummed run journal.
+ *
+ * Campaigns at paper scale run unattended for hours; a SIGINT, OOM kill
+ * or preemption must not lose the injections already classified. The
+ * journal is the crash-safe record: one header line naming the exact
+ * parameter set (so stale journals are never mixed into a different
+ * campaign) followed by one line per completed run, each carrying an
+ * FNV-1a checksum so a torn write — the normal result of killing a
+ * process mid-append — is skipped on replay instead of poisoning the
+ * resumed campaign.
+ */
+
+#ifndef MBUSIM_UTIL_JOURNAL_HH
+#define MBUSIM_UTIL_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbusim {
+
+/** FNV-1a 64-bit hash; stable across platforms and builds. */
+uint64_t fnv1a64(std::string_view data);
+
+/**
+ * One append-only journal file. Lines are `<payload> #<checksum>`; the
+ * first line's payload is the caller-supplied header.
+ */
+class Journal
+{
+  public:
+    /**
+     * Read the surviving payload lines of the journal at @p path.
+     * A missing file, a header that fails its checksum or does not
+     * equal @p header, all yield an empty vector (a stale or foreign
+     * journal restarts the campaign rather than corrupting it). Body
+     * lines that are truncated or fail their checksum are skipped
+     * individually.
+     */
+    static std::vector<std::string> replay(const std::string& path,
+                                           const std::string& header);
+
+    Journal() = default;
+
+    /**
+     * Open @p path for appending. A missing, empty or header-mismatched
+     * file is truncated and started fresh with @p header; otherwise
+     * records are appended after the existing ones.
+     */
+    Journal(const std::string& path, const std::string& header);
+
+    /** False if the journal file could not be opened for writing. */
+    bool open() const { return out_.is_open(); }
+
+    /**
+     * Append one payload line (checksummed) and flush it to the OS, so
+     * a subsequent crash cannot lose it. Payloads must not contain
+     * newlines.
+     */
+    void append(const std::string& payload);
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_JOURNAL_HH

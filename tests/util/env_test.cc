@@ -36,6 +36,35 @@ TEST(Env, EmptyStringUsesFallback)
     unsetenv("MBUSIM_TEST_INT");
 }
 
+TEST(Env, UIntFallbackAndParse)
+{
+    unsetenv("MBUSIM_TEST_UINT");
+    EXPECT_EQ(envUInt("MBUSIM_TEST_UINT", 9), 9u);
+    setenv("MBUSIM_TEST_UINT", "123", 1);
+    EXPECT_EQ(envUInt("MBUSIM_TEST_UINT", 0), 123u);
+    setenv("MBUSIM_TEST_UINT", "0", 1);
+    EXPECT_EQ(envUInt("MBUSIM_TEST_UINT", 9), 0u);
+    unsetenv("MBUSIM_TEST_UINT");
+}
+
+TEST(EnvDeathTest, UIntRejectsNegative)
+{
+    // A negative count must die loudly, not wrap into ~4 billion
+    // threads/injections at the use site.
+    setenv("MBUSIM_TEST_UINT", "-3", 1);
+    EXPECT_EXIT(envUInt("MBUSIM_TEST_UINT", 0),
+                testing::ExitedWithCode(1), "must be a non-negative");
+    unsetenv("MBUSIM_TEST_UINT");
+}
+
+TEST(EnvDeathTest, UIntRejectsOutOfRange)
+{
+    setenv("MBUSIM_TEST_UINT", "70000", 1);
+    EXPECT_EXIT(envUInt("MBUSIM_TEST_UINT", 0, 65535),
+                testing::ExitedWithCode(1), "out of range");
+    unsetenv("MBUSIM_TEST_UINT");
+}
+
 TEST(Env, StringFallbackAndValue)
 {
     unsetenv("MBUSIM_TEST_STR");

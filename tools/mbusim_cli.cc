@@ -20,9 +20,16 @@
  *   --injections N         sample size (campaign)
  *   --cluster RxC          cluster shape (campaign, default 3x3)
  *   --seed N               campaign seed
+ *   --journal-dir DIR      durable run journal; an interrupted
+ *                          campaign resumes from it (campaign)
+ *   --deadline N           wall-clock budget in seconds (campaign)
  *
  * Program arguments may name a registered workload ("CRC32") or a path
  * to an assembly file.
+ *
+ * Exit codes: 0 success, 1 failure, 2 usage error, 124 campaign
+ * deadline expired, 130 interrupted by SIGINT (in-flight runs finish
+ * and the journal is flushed first in both cases).
  */
 
 #include <cstdio>
@@ -38,6 +45,7 @@
 #include "sim/assembler.hh"
 #include "sim/funcsim.hh"
 #include "sim/simulator.hh"
+#include "util/interrupt.hh"
 #include "util/log.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -45,6 +53,10 @@
 using namespace mbusim;
 
 namespace {
+
+/** Distinct exit codes for the two graceful-cancellation paths. */
+constexpr int ExitDeadline = 124;     // cf. coreutils timeout(1)
+constexpr int ExitInterrupted = 130;  // 128 + SIGINT
 
 struct Options
 {
@@ -58,6 +70,8 @@ struct Options
     uint32_t injections = 200;
     uint64_t seed = 0x5eed;
     core::ClusterShape cluster;
+    std::string journalDir;
+    uint32_t deadlineSeconds = 0;
 };
 
 [[noreturn]] void
@@ -66,7 +80,7 @@ usage()
     std::fprintf(stderr,
                  "usage: mbusim <list|asm|disasm|run|trace|campaign> "
                  "[program] [options]\n"
-                 "run 'head -40 tools/mbusim_cli.cc' for the option "
+                 "run 'head -45 tools/mbusim_cli.cc' for the option "
                  "list\n");
     std::exit(2);
 }
@@ -98,6 +112,11 @@ parseOptions(int argc, char** argv, int first)
             opts.injections = static_cast<uint32_t>(std::atoi(next()));
         } else if (arg == "--seed") {
             opts.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--journal-dir") {
+            opts.journalDir = next();
+        } else if (arg == "--deadline") {
+            opts.deadlineSeconds =
+                static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
         } else if (arg == "--cluster") {
             const char* v = next();
             unsigned r = 0, c = 0;
@@ -282,6 +301,12 @@ cmdCampaign(const Options& opts)
     config.seed = opts.seed;
     config.cluster = opts.cluster;
     config.cpu.inOrderIssue = opts.inOrder;
+    config.journalDir = opts.journalDir;
+    config.deadlineSeconds = opts.deadlineSeconds;
+
+    // ^C finishes in-flight runs, flushes the journal and reports the
+    // partial tally instead of dropping completed work on the floor.
+    installSigintHandler();
 
     core::Campaign campaign(*workload, config);
     core::CampaignResult result = campaign.run();
@@ -294,6 +319,15 @@ cmdCampaign(const Options& opts)
                 core::errorMargin(1e12, opts.injections) * 100.0);
     std::printf("golden: %llu cycles\n",
                 static_cast<unsigned long long>(result.goldenCycles));
+    if (result.resumed > 0)
+        std::printf("resumed: %u runs from the journal\n",
+                    result.resumed);
+    if (result.cancelled) {
+        std::printf("cancelled: %u/%u runs completed%s\n",
+                    result.completed, opts.injections,
+                    opts.journalDir.empty()
+                        ? "" : " (journalled; rerun to resume)");
+    }
     for (core::Outcome o : core::AllOutcomes) {
         std::printf("  %-8s %6.2f%%  (%llu)\n", core::outcomeName(o),
                     result.counts.fraction(o) * 100.0,
@@ -301,6 +335,8 @@ cmdCampaign(const Options& opts)
                         result.counts.count(o)));
     }
     std::printf("  AVF     %6.2f%%\n", result.avf() * 100.0);
+    if (result.cancelled)
+        return interruptRequested() ? ExitInterrupted : ExitDeadline;
     return 0;
 }
 
