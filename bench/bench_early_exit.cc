@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Early-termination speedup bench (DESIGN.md §10).
+ *
+ * Runs the same L1D 2-bit injection campaign three times — early exit
+ * off, dead-fault pruning only, and pruning + golden-digest
+ * convergence — as google-benchmark cases, then verifies that all
+ * measured arms classified every injection identically and prints an
+ * A/B/C table of cycles simulated, wall time, speedup and per-exit-
+ * reason counts. Checkpoint fast-forward stays on (its default) in
+ * every arm, so the table shows the early-exit gain composing with it.
+ *
+ * Knobs: MBUSIM_WORKLOAD (default qsort), MBUSIM_INJECTIONS (default
+ * 120), MBUSIM_THREADS; plus the usual --benchmark_* flags.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+
+#include "core/campaign.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+using namespace mbusim;
+
+namespace {
+
+struct Arm
+{
+    const char* name;
+    bool earlyExit;
+    uint32_t digestPoints;
+};
+
+constexpr Arm Arms[] = {
+    {"off", false, 0},
+    {"dead-fault only", true, 0},
+    {"dead-fault + convergence", true, 64},
+};
+constexpr int ArmCount = static_cast<int>(std::size(Arms));
+
+/** Last campaign result and wall time per arm (by Arms index). */
+struct ArmOutcome
+{
+    bool measured = false;
+    core::CampaignResult result;
+    double seconds = 0.0;
+};
+ArmOutcome outcomes[ArmCount];
+
+core::CampaignConfig
+benchConfig(const Arm& arm)
+{
+    core::CampaignConfig config;
+    config.component = core::Component::L1D;
+    config.faults = 2;
+    config.injections =
+        static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 120));
+    config.earlyExit = arm.earlyExit;
+    config.digestPoints = arm.digestPoints;
+    return config;
+}
+
+/** Cycles actually simulated: golden plus every faulty segment, net of
+ *  checkpoint fast-forward and early-exit savings. */
+uint64_t
+simulatedCycles(const core::CampaignResult& result)
+{
+    uint64_t cycles = result.goldenCycles;
+    for (const core::RunRecord& run : result.runs)
+        cycles += run.cycles - run.restoredFrom - run.cyclesSaved;
+    return cycles;
+}
+
+void
+BM_Campaign(benchmark::State& state, int arm_index)
+{
+    const Arm& arm = Arms[arm_index];
+    const auto& workload = workloads::workloadByName(
+        envString("MBUSIM_WORKLOAD", "qsort"));
+    core::CampaignConfig config = benchConfig(arm);
+    ArmOutcome& out = outcomes[arm_index];
+    for (auto _ : state) {
+        core::Campaign campaign(workload, config);
+        auto start = std::chrono::steady_clock::now();
+        out.result = campaign.run(true);
+        out.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        out.measured = true;
+    }
+    state.counters["sim_cycles"] =
+        static_cast<double>(simulatedCycles(out.result));
+    state.counters["dead_exits"] =
+        static_cast<double>(out.result.deadFaultExits);
+    state.counters["conv_exits"] =
+        static_cast<double>(out.result.convergedExits);
+}
+
+void
+report()
+{
+    const ArmOutcome& off = outcomes[0];
+    if (!off.measured)
+        return;   // filtered out: no baseline to compare against
+
+    TextTable table({"Early exit", "Cycles simulated", "Wall time",
+                     "Speedup", "Dead", "Converged"});
+    table.title("Campaign cost by early-exit configuration");
+    for (int i = 0; i < ArmCount; ++i) {
+        const ArmOutcome& arm = outcomes[i];
+        if (!arm.measured)
+            continue;
+        if (arm.result.counts.counts != off.result.counts.counts)
+            fatal("early exit changed campaign outcomes (arm '%s')",
+                  Arms[i].name);
+        table.addRow({Arms[i].name,
+                      fmtGrouped(simulatedCycles(arm.result)),
+                      strprintf("%.3f s", arm.seconds),
+                      strprintf("%.2fx", off.seconds / arm.seconds),
+                      strprintf("%u", arm.result.deadFaultExits),
+                      strprintf("%u", arm.result.convergedExits)});
+    }
+    std::printf("\n");
+    table.print();
+    std::printf("\noutcome counts identical across measured arms\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // The arms own these knobs; keep the environment from skewing them.
+    unsetenv("MBUSIM_EARLY_EXIT");
+    unsetenv("MBUSIM_DIGEST_POINTS");
+    unsetenv("MBUSIM_CHECKPOINTS");
+
+    std::printf("mbusim early-termination speedup (workload %s, "
+                "%lld injections, L1D 2-bit campaign)\n",
+                envString("MBUSIM_WORKLOAD", "qsort").c_str(),
+                static_cast<long long>(envInt("MBUSIM_INJECTIONS",
+                                              120)));
+
+    for (int i = 0; i < ArmCount; ++i) {
+        benchmark::RegisterBenchmark(
+            strprintf("BM_Campaign/%s", Arms[i].name).c_str(),
+            BM_Campaign, i)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    report();
+    return 0;
+}

@@ -1,14 +1,55 @@
 #!/bin/bash
-# Regenerate every table and figure of the paper plus the ablations and
-# substrate microbenchmarks. Campaign results are shared through
-# MBUSIM_CACHE_DIR (defaults to .mbusim-cache/ next to the binaries), so
-# the expensive sweep is paid once.
+# Regenerate the paper's tables and figures plus the ablations and
+# substrate microbenchmarks, writing each bench's stdout to
+# bench_results/<name>.txt. Campaign results are shared through
+# MBUSIM_CACHE_DIR (defaults to .mbusim-cache/ next to the binaries),
+# so the expensive sweep is paid once.
+#
+# Benchmark numbers are only meaningful from an optimized build, so
+# this script stamps the build type into the tree it uses and refuses
+# to run from a Debug one. Note google-benchmark's context block (and
+# Debian's spurious "built as DEBUG" warning — their libbenchmark is
+# compiled without NDEBUG) goes to stderr, so result files hold only
+# the measurements.
+#
+# Usage: run_all_benches.sh [egrep-filter]
+#   MBUSIM_BENCH_BUILD_DIR   build tree to use        (default: build)
+#   MBUSIM_BENCH_BUILD_TYPE  Release | RelWithDebInfo (default: RelWithDebInfo)
 set -u
 cd "$(dirname "$0")"
-for b in build/bench/*; do
+
+FILTER=${1:-.}
+BUILD_DIR=${MBUSIM_BENCH_BUILD_DIR:-build}
+BUILD_TYPE=${MBUSIM_BENCH_BUILD_TYPE:-RelWithDebInfo}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" >/dev/null ||
+    exit 1
+effective=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt")
+case "$effective" in
+Release | RelWithDebInfo) ;;
+*)
+    echo "error: '$BUILD_DIR' is configured as '${effective:-unset}':" >&2
+    echo "benchmark results from unoptimized builds are meaningless." >&2
+    echo "Set MBUSIM_BENCH_BUILD_TYPE=Release or RelWithDebInfo." >&2
+    exit 1
+    ;;
+esac
+cmake --build "$BUILD_DIR" -j"$(nproc)" || exit 1
+
+mkdir -p bench_results
+for b in "$BUILD_DIR"/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "$name" | grep -Eq "$FILTER" || continue
     echo "===================================================================="
-    echo "== $b"
+    echo "== $name ($effective build)"
     echo "===================================================================="
-    "$b" || echo "** $b failed with rc=$? **"
+    "$b" | tee "bench_results/$name.txt"
+    rc=${PIPESTATUS[0]}
+    if [ "$rc" -ne 0 ]; then
+        echo "** $name failed with rc=$rc **"
+        rm -f "bench_results/$name.txt"
+    fi
     echo
 done

@@ -31,7 +31,7 @@ constexpr uint64_t GoldenBudget = 500'000'000;
 constexpr uint64_t InitialCheckpointInterval = 512;
 
 /** Journal format tag; bump when the record layout changes. */
-constexpr const char* JournalVersion = "mbusim-journal v1";
+constexpr const char* JournalVersion = "mbusim-journal v2";
 
 /**
  * Render a completed run as one journal payload line. Everything a
@@ -43,10 +43,12 @@ serializeRun(const RunRecord& record)
 {
     std::string line = strprintf(
         "run %" PRIu32 " %" PRIu64 " %u %" PRIu64 " %" PRIu64
-        " %" PRIu32 " %" PRIu32 " %zu",
+        " %u %" PRIu64 " %" PRIu32 " %" PRIu32 " %zu",
         record.index, record.cycle,
         static_cast<unsigned>(record.outcome), record.cycles,
-        record.restoredFrom, record.mask.clusterRow,
+        record.restoredFrom,
+        static_cast<unsigned>(record.exitReason), record.cyclesSaved,
+        record.mask.clusterRow,
         record.mask.clusterCol, record.mask.flips.size());
     for (const sim::BitFlip& flip : record.mask.flips)
         line += strprintf(" %" PRIu32 ":%" PRIu32, flip.row, flip.col);
@@ -60,15 +62,20 @@ parseRun(const std::string& payload, RunRecord& record)
     std::istringstream in(payload);
     std::string tag;
     unsigned outcome = 0;
+    unsigned exit_reason = 0;
     size_t flips = 0;
     in >> tag >> record.index >> record.cycle >> outcome >>
-        record.cycles >> record.restoredFrom >> record.mask.clusterRow >>
+        record.cycles >> record.restoredFrom >> exit_reason >>
+        record.cyclesSaved >> record.mask.clusterRow >>
         record.mask.clusterCol >> flips;
     if (!in || tag != "run" || outcome >= AllOutcomes.size() ||
+        exit_reason >
+            static_cast<unsigned>(sim::EarlyExit::Converged) ||
         flips > 64) {
         return false;
     }
     record.outcome = static_cast<Outcome>(outcome);
+    record.exitReason = static_cast<sim::EarlyExit>(exit_reason);
     record.mask.flips.resize(flips);
     for (sim::BitFlip& flip : record.mask.flips) {
         char sep = 0;
@@ -105,6 +112,10 @@ outcomeDigest(const sim::CpuConfig& c, const char* source)
     auto mix = [&digest](uint64_t v) {
         digest = (digest ^ v) * 1099511628211ULL;
     };
+    // Schema epoch: bump to orphan every cache and journal key when
+    // record layouts or run bookkeeping change (3 = early-termination
+    // fields in RunRecord).
+    mix(3);
     mix(c.fetchWidth); mix(c.issueWidth); mix(c.wbWidth);
     mix(c.commitWidth); mix(c.robEntries); mix(c.iqEntries);
     mix(c.lsqEntries); mix(c.numPhysRegs); mix(c.bimodalEntries);
@@ -132,7 +143,12 @@ Campaign::Campaign(const workloads::Workload& workload,
     : workload_(workload), config_(config),
       program_(workload.assemble()),
       checkpointTarget_(static_cast<uint32_t>(
-          envUInt("MBUSIM_CHECKPOINTS", config.checkpoints, UINT32_MAX)))
+          envUInt("MBUSIM_CHECKPOINTS", config.checkpoints, UINT32_MAX))),
+      earlyExit_(envUInt("MBUSIM_EARLY_EXIT",
+                         config.earlyExit ? 1 : 0, 1) != 0),
+      digestTarget_(static_cast<uint32_t>(
+          envUInt("MBUSIM_DIGEST_POINTS", config.digestPoints,
+                  UINT32_MAX)))
 {
     if (config_.faults < 1 || config_.faults > 3)
         fatal("campaigns support 1..3 faults, got %u", config_.faults);
@@ -185,28 +201,56 @@ Campaign::runGolden() const
 {
     sim::Simulator simulator(program_, config_.cpu);
 
-    if (checkpointTarget_ == 0) {
+    const uint32_t digest_target = earlyExit_ ? digestTarget_ : 0;
+    if (checkpointTarget_ == 0 && digest_target == 0) {
         golden_ = simulator.run(GoldenBudget);
     } else {
-        // Segmented golden run: snapshot at every interval boundary,
-        // thinning to double the interval whenever 2x the target count
-        // accumulates (see InitialCheckpointInterval).
-        uint64_t interval = InitialCheckpointInterval;
+        // Segmented golden run with two independent interval-doubling
+        // ladders sharing one simulation: whole-machine checkpoints
+        // (coarse, for fast-forward) and state digests (dense, for
+        // convergence detection). Each ladder snapshots at its own
+        // boundaries, thinning to double its interval whenever 2x its
+        // target accumulates (see InitialCheckpointInterval); every
+        // segment runs to the nearest boundary of either ladder.
+        uint64_t ckpt_interval = InitialCheckpointInterval;
+        uint64_t digest_interval = InitialCheckpointInterval;
         for (;;) {
-            uint64_t cut = (checkpoints_.size() + 1) * interval;
-            golden_ = simulator.run(std::min(cut, GoldenBudget));
+            uint64_t next_ckpt =
+                checkpointTarget_ != 0
+                    ? (checkpoints_.size() + 1) * ckpt_interval
+                    : GoldenBudget;
+            uint64_t next_digest =
+                digest_target != 0
+                    ? (digests_.size() + 1) * digest_interval
+                    : GoldenBudget;
+            uint64_t cut =
+                std::min({next_ckpt, next_digest, GoldenBudget});
+            golden_ = simulator.run(cut);
             if (golden_.status.kind != sim::ExitKind::LimitReached ||
                 cut >= GoldenBudget) {
                 break;
             }
-            checkpoints_.push_back(simulator.checkpoint());
-            if (checkpoints_.size() >= 2 * checkpointTarget_) {
-                std::vector<sim::Snapshot> kept;
-                kept.reserve(checkpoints_.size() / 2);
-                for (size_t i = 1; i < checkpoints_.size(); i += 2)
-                    kept.push_back(std::move(checkpoints_[i]));
-                checkpoints_ = std::move(kept);
-                interval *= 2;
+            if (cut == next_ckpt) {
+                checkpoints_.push_back(simulator.checkpoint());
+                if (checkpoints_.size() >= 2 * checkpointTarget_) {
+                    std::vector<sim::Snapshot> kept;
+                    kept.reserve(checkpoints_.size() / 2);
+                    for (size_t i = 1; i < checkpoints_.size(); i += 2)
+                        kept.push_back(std::move(checkpoints_[i]));
+                    checkpoints_ = std::move(kept);
+                    ckpt_interval *= 2;
+                }
+            }
+            if (cut == next_digest) {
+                digests_.push_back({cut, simulator.stateDigest()});
+                if (digests_.size() >= 2 * digest_target) {
+                    std::vector<sim::DigestPoint> kept;
+                    kept.reserve(digests_.size() / 2);
+                    for (size_t i = 1; i < digests_.size(); i += 2)
+                        kept.push_back(digests_[i]);
+                    digests_ = std::move(kept);
+                    digest_interval *= 2;
+                }
             }
         }
     }
@@ -273,10 +317,28 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
     injection.flips = record.mask.flips;
     simulator.scheduleInjection(injection);
 
+    if (earlyExit_) {
+        simulator.enableDeadFaultPruning();
+        if (!digests_.empty())
+            simulator.setGoldenDigests(&digests_);
+    }
+
     sim::SimResult faulty =
         simulator.run(golden.cycles * config_.timeoutFactor);
-    record.outcome = classify(golden, faulty);
-    record.cycles = faulty.cycles;
+    if (faulty.earlyExit != sim::EarlyExit::None) {
+        // The engine proved the remaining execution bit-identical to
+        // golden: Masked, with golden's terminal cycle count instead
+        // of the never-simulated tail.
+        record.outcome = Outcome::Masked;
+        record.cycles = golden.cycles;
+        record.exitReason = faulty.earlyExit;
+        record.cyclesSaved = golden.cycles > faulty.earlyExitCycle
+                                 ? golden.cycles - faulty.earlyExitCycle
+                                 : 0;
+    } else {
+        record.outcome = classify(golden, faulty);
+        record.cycles = faulty.cycles;
+    }
     return record;
 }
 
@@ -340,8 +402,14 @@ Campaign::run(bool keep_runs) const
         std::error_code ec;
         std::filesystem::create_directories(journalDir_, ec);
         std::string key = cacheKey();
-        std::string header = strprintf("%s %s", JournalVersion,
-                                       key.c_str());
+        // Early-exit settings ride in the header: they cannot change
+        // outcomes, but they do change RunRecord fields (exit reason,
+        // cycles saved), so journals written under different settings
+        // must not mix.
+        std::string header =
+            strprintf("%s %s ee%u dp%u", JournalVersion, key.c_str(),
+                      earlyExit_ ? 1u : 0u,
+                      earlyExit_ ? digestTarget_ : 0u);
         std::string path = journalDir_ + "/" + key + ".journal";
         for (const std::string& line : Journal::replay(path, header)) {
             RunRecord record;
@@ -463,6 +531,11 @@ Campaign::run(bool keep_runs) const
             continue;
         result.counts.add(records[i].outcome);
         ++result.completed;
+        if (records[i].exitReason == sim::EarlyExit::DeadFault)
+            ++result.deadFaultExits;
+        else if (records[i].exitReason == sim::EarlyExit::Converged)
+            ++result.convergedExits;
+        result.cyclesSaved += records[i].cyclesSaved;
     }
     if (keep_runs) {
         if (result.cancelled) {

@@ -59,6 +59,24 @@ struct CampaignConfig
      * between this many and twice this many snapshots alive.
      */
     uint32_t checkpoints = 8;
+    /**
+     * Early-termination engine (DESIGN.md §10): stop an injected run
+     * the moment its outcome is provably Masked — either every
+     * injected bit was overwritten before being read (dead-fault
+     * pruning) or the machine's state digest matched golden's at the
+     * same cycle (convergence). Outcome counts are bit-identical with
+     * the engine on or off; only wall time and the RunRecord
+     * exit-reason fields change. Overridable via MBUSIM_EARLY_EXIT
+     * (0 disables).
+     */
+    bool earlyExit = true;
+    /**
+     * Target number of golden state digests recorded for convergence
+     * detection (0 = dead-fault pruning only). Like checkpoints, the
+     * ladder keeps between this many and twice this many points.
+     * Overridable via MBUSIM_DIGEST_POINTS.
+     */
+    uint32_t digestPoints = 64;
     sim::CpuConfig cpu;            ///< microarchitecture under test
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
@@ -94,6 +112,10 @@ struct RunRecord
     Outcome outcome = Outcome::Masked;
     uint64_t cycles = 0;           ///< faulty run length
     uint64_t restoredFrom = 0;     ///< checkpoint cycle resumed from
+    /** Why the run stopped early, if it did (outcome then Masked). */
+    sim::EarlyExit exitReason = sim::EarlyExit::None;
+    /** Golden-tail cycles not simulated thanks to the early exit. */
+    uint64_t cyclesSaved = 0;
 };
 
 /** Aggregated campaign results. */
@@ -106,6 +128,9 @@ struct CampaignResult
     uint32_t completed = 0;        ///< runs finished (simulated + resumed)
     uint32_t resumed = 0;          ///< of those, replayed from the journal
     bool cancelled = false;        ///< stopped early (deadline/interrupt)
+    uint32_t deadFaultExits = 0;   ///< runs ended by dead-fault pruning
+    uint32_t convergedExits = 0;   ///< runs ended by digest convergence
+    uint64_t cyclesSaved = 0;      ///< total cycles not simulated
 
     double avf() const { return counts.avf(); }
 };
@@ -166,6 +191,8 @@ class Campaign
     CampaignConfig config_;
     sim::Program program_;
     uint32_t checkpointTarget_;    ///< resolved checkpoint count
+    bool earlyExit_;               ///< resolved early-exit switch
+    uint32_t digestTarget_;        ///< resolved digest-point count
     uint32_t threads_;             ///< resolved worker count (>= 1)
     std::string journalDir_;       ///< resolved journal dir ("" = off)
     uint32_t deadlineSeconds_;     ///< resolved deadline (0 = none)
@@ -177,6 +204,7 @@ class Campaign
     mutable std::once_flag goldenOnce_;
     mutable sim::SimResult golden_;
     mutable std::vector<sim::Snapshot> checkpoints_;
+    mutable std::vector<sim::DigestPoint> digests_;
 };
 
 } // namespace mbusim::core

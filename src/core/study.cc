@@ -17,7 +17,7 @@ namespace mbusim::core {
 namespace {
 
 /** Cache format tag; bump when the entry layout changes. */
-constexpr const char* CacheVersion = "mbusim-cache v2";
+constexpr const char* CacheVersion = "mbusim-cache v3";
 
 } // namespace
 

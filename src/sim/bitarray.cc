@@ -25,6 +25,8 @@ void
 BitArray::setBit(uint32_t row, uint32_t col, bool value)
 {
     checkField(row, col, 1);
+    if (!live_.empty()) [[unlikely]]
+        noteWrite(row, col, 1);
     uint64_t& w = words_[wordIndex(row, col)];
     uint64_t mask = 1ULL << (col % 64);
     w = value ? (w | mask) : (w & ~mask);
@@ -50,11 +52,65 @@ BitArray::restore(const Snapshot& snapshot)
         panic("BitArray restore size mismatch (%zu words into %zu)",
               snapshot.words.size(), words_.size());
     words_ = snapshot.words;
+    // The restored image replaces every bit, so no tracked flip is
+    // live in it; propagated_ stays latched (the flip already escaped).
+    live_.clear();
+}
+
+void
+BitArray::digestInto(Fnv& fnv) const
+{
+    fnv.add(words_.size());
+    for (uint64_t word : words_)
+        fnv.add(word);
+}
+
+void
+BitArray::trackFlip(uint32_t row, uint32_t col)
+{
+    checkField(row, col, 1);
+    live_.push_back({row, col});
+}
+
+void
+BitArray::resetFlipTracking()
+{
+    live_.clear();
+    propagated_ = false;
+}
+
+void
+BitArray::noteRead(uint32_t row, uint32_t col, uint32_t width) const
+{
+    for (const TrackedBit& b : live_) {
+        if (b.row == row && b.col >= col && b.col < col + width) {
+            propagated_ = true;
+            live_.clear();
+            return;
+        }
+    }
+}
+
+void
+BitArray::noteWrite(uint32_t row, uint32_t col, uint32_t width)
+{
+    for (size_t i = 0; i < live_.size();) {
+        const TrackedBit& b = live_[i];
+        if (b.row == row && b.col >= col && b.col < col + width) {
+            live_[i] = live_.back();
+            live_.pop_back();
+        } else {
+            ++i;
+        }
+    }
 }
 
 void
 BitArray::clear()
 {
+    // An architectural clear overwrites every bit: tracked flips die.
+    if (!live_.empty()) [[unlikely]]
+        live_.clear();
     std::fill(words_.begin(), words_.end(), 0);
 }
 

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/fnv.hh"
+
 namespace mbusim::sim {
 
 /**
@@ -47,6 +49,9 @@ class BitArray
     /** Restore contents saved from an identically-sized array. */
     void restore(const Snapshot& snapshot);
 
+    /** Mix the array contents into @p fnv (state-digest support). */
+    void digestInto(Fnv& fnv) const;
+
     uint32_t rows() const { return rows_; }
     uint32_t cols() const { return cols_; }
 
@@ -56,11 +61,69 @@ class BitArray
         return static_cast<uint64_t>(rows_) * cols_;
     }
 
+    /** @name Fault-liveness tracking (dead-fault pruning)
+     *
+     * The early-termination engine (DESIGN.md §10) needs to know when
+     * an injected flip can no longer affect the simulation: a corrupted
+     * bit that is overwritten before ever being read is dead, and one
+     * that is read has propagated into the machine. trackFlip()
+     * registers an injected bit; every functional accessor then updates
+     * the tracked set. When no flips were tracked (golden runs, engine
+     * off) the cost on the hot accessors is one empty-vector test.
+     *
+     * A flip itself is the particle strike, not an architectural write:
+     * flipBit() never clears a tracked bit.
+     */
+    /// @{
+    /** Register an injected flip at (row, col) as live. */
+    void trackFlip(uint32_t row, uint32_t col);
+
+    /** Injected flips neither read nor overwritten yet. */
+    uint32_t liveFlips() const
+    {
+        return static_cast<uint32_t>(live_.size());
+    }
+
+    /** Has any tracked flip been read (escaped into the machine)? */
+    bool flipPropagated() const { return propagated_; }
+
+    /** Forget all tracking state (live set and propagated flag). */
+    void resetFlipTracking();
+
+    /**
+     * Declare a field dead: the owning model guarantees these bits
+     * cannot be architecturally read before being overwritten (the
+     * data of an invalid cache line, a free physical register), so
+     * tracked flips inside are dropped exactly as an overwrite would.
+     */
+    void
+    discardFlips(uint32_t row, uint32_t col, uint32_t width)
+    {
+        checkField(row, col, width);
+        if (!live_.empty()) [[unlikely]]
+            noteWrite(row, col, width);
+    }
+
+    /**
+     * Read one bit without liveness tracking. For model-layer
+     * inspection (e.g. the pruning engine checking a valid bit), not
+     * for architectural reads — those must go through bit()/read().
+     */
+    bool
+    peekBit(uint32_t row, uint32_t col) const
+    {
+        checkField(row, col, 1);
+        return (words_[wordIndex(row, col)] >> (col % 64)) & 1;
+    }
+    /// @}
+
     /** Read one bit. */
     bool
     bit(uint32_t row, uint32_t col) const
     {
         checkField(row, col, 1);
+        if (!live_.empty()) [[unlikely]]
+            noteRead(row, col, 1);
         return (words_[wordIndex(row, col)] >> (col % 64)) & 1;
     }
 
@@ -78,6 +141,8 @@ class BitArray
     read(uint32_t row, uint32_t col, uint32_t width) const
     {
         checkField(row, col, width);
+        if (!live_.empty()) [[unlikely]]
+            noteRead(row, col, width);
         uint64_t idx = wordIndex(row, col);
         uint32_t shift = col % 64;
         uint64_t value = words_[idx] >> shift;
@@ -94,6 +159,8 @@ class BitArray
     write(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
     {
         checkField(row, col, width);
+        if (!live_.empty()) [[unlikely]]
+            noteWrite(row, col, width);
         if (width < 64)
             value &= (1ULL << width) - 1;
         uint64_t idx = wordIndex(row, col);
@@ -135,10 +202,30 @@ class BitArray
     [[noreturn]] void fieldViolation(uint32_t row, uint32_t col,
                                      uint32_t width) const;
 
+    /** A still-live injected flip. */
+    struct TrackedBit
+    {
+        uint32_t row;
+        uint32_t col;
+    };
+
+    /**
+     * A tracked bit inside the read field has propagated: latch the
+     * flag and drop the live set, restoring the zero-cost hot path.
+     * Mutates only the mutable tracking state, hence const.
+     */
+    void noteRead(uint32_t row, uint32_t col, uint32_t width) const;
+
+    /** Tracked bits covered by an overwrite are dead: drop them. */
+    void noteWrite(uint32_t row, uint32_t col, uint32_t width);
+
     uint32_t rows_;
     uint32_t cols_;
     uint32_t wordsPerRow_;
     std::vector<uint64_t> words_;
+
+    mutable std::vector<TrackedBit> live_;
+    mutable bool propagated_ = false;
 };
 
 } // namespace mbusim::sim

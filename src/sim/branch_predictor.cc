@@ -53,6 +53,21 @@ BranchPredictor::restore(const Snapshot& snapshot)
     lookups_ = snapshot.lookups;
 }
 
+void
+BranchPredictor::digestInto(Fnv& fnv) const
+{
+    fnv.addBytes(counters_.data(), counters_.size());
+    for (const BtbEntry& entry : btb_) {
+        fnv.add(entry.valid);
+        fnv.add(entry.pc);
+        fnv.add(entry.target);
+    }
+    for (uint32_t addr : ras_)
+        fnv.add(addr);
+    fnv.add(rasTop_);
+    fnv.add(rasCount_);
+}
+
 uint32_t
 BranchPredictor::counterIndex(uint32_t pc) const
 {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/fnv.hh"
+
 namespace mbusim::sim {
 
 /** Fetch-time prediction for one instruction. */
@@ -55,6 +57,9 @@ class BranchPredictor
 
     /** Restore state saved from an identically-sized predictor. */
     void restore(const Snapshot& snapshot);
+
+    /** Mix all prediction-affecting state into @p fnv (not stats). */
+    void digestInto(Fnv& fnv) const;
 
     /**
      * Predict a control instruction at @p pc.

@@ -81,6 +81,20 @@ Cache::restore(const Snapshot& snapshot)
     stats_ = snapshot.stats;
 }
 
+void
+Cache::digestInto(Fnv& fnv) const
+{
+    // lastUse_/useCounter_ drive victim selection and mru_ orders the
+    // lookup scan: all behavioural, all digested.
+    data_.digestInto(fnv);
+    tags_.digestInto(fnv);
+    for (uint64_t use : lastUse_)
+        fnv.add(use);
+    for (uint32_t way : mru_)
+        fnv.add(way);
+    fnv.add(useCounter_);
+}
+
 uint64_t
 Cache::readData(uint32_t row, uint32_t bit_off, uint32_t width) const
 {
@@ -128,6 +142,23 @@ bool
 Cache::lineDirty(uint32_t set, uint32_t way) const
 {
     return tags_.bit(rowOf(set, way), 1);
+}
+
+void
+Cache::noteInjectedDataFlip(uint32_t row, uint32_t col)
+{
+    // peekBit keeps this inspection liveness-neutral: it is the
+    // pruning engine asking about the line, not the machine reading
+    // the valid bit.
+    if (!tags_.peekBit(row, 0))
+        data_.discardFlips(row, col, 1);
+}
+
+void
+Cache::noteInjectedTagFlip(uint32_t row, uint32_t col)
+{
+    if (col != 0 && !tags_.peekBit(row, 0))
+        tags_.discardFlips(row, col, 1);
 }
 
 int

@@ -99,6 +99,9 @@ class Cache : public MemLevel
     /** Restore state saved from an identically-configured cache. */
     void restore(const Snapshot& snapshot);
 
+    /** Mix all behaviour-affecting cache state into @p fnv (not stats). */
+    void digestInto(Fnv& fnv) const;
+
     /**
      * Sub-line read of 1/2/4 naturally-aligned bytes.
      * @return access latency in cycles
@@ -131,6 +134,26 @@ class Cache : public MemLevel
     bool lineValid(uint32_t set, uint32_t way) const;
     /** Is (set, way) dirty? (test inspection) */
     bool lineDirty(uint32_t set, uint32_t way) const;
+
+    /** @name Fault-liveness hooks (dead-fault pruning, DESIGN.md §10) */
+    /// @{
+    /**
+     * An injected flip landed at (row, col) of the data array. The
+     * data bits of an invalid line cannot be read before the next
+     * refill overwrites the whole line (every data reader goes through
+     * fill(), which guarantees a valid resident line), so such a flip
+     * is dead on arrival.
+     */
+    void noteInjectedDataFlip(uint32_t row, uint32_t col);
+
+    /**
+     * Same for the tag array: the dirty and tag bits of an invalid
+     * line are unreachable — every reader short-circuits on the valid
+     * bit — while the valid bit itself is read by every lookup of the
+     * set and so always stays live.
+     */
+    void noteInjectedTagFlip(uint32_t row, uint32_t col);
+    /// @}
 
   private:
     uint32_t rowOf(uint32_t set, uint32_t way) const

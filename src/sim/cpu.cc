@@ -115,6 +115,122 @@ Cpu::restore(const Snapshot& snapshot)
 }
 
 void
+Cpu::digestInto(Fnv& fnv) const
+{
+    l2_.digestInto(fnv);
+    l1i_.digestInto(fnv);
+    l1d_.digestInto(fnv);
+    itlb_.digestInto(fnv);
+    dtlb_.digestInto(fnv);
+    regFile_.digestInto(fnv);
+    predictor_.digestInto(fnv);
+
+    auto mixDi = [&fnv](const DecodedInst& di) {
+        fnv.add(static_cast<uint64_t>(di.op));
+        fnv.add(static_cast<uint64_t>(di.cls));
+        fnv.add(di.rd);
+        fnv.add(di.rs1);
+        fnv.add(di.rs2);
+        fnv.add(static_cast<uint32_t>(di.imm));
+        fnv.add(di.sysCode);
+        fnv.add(di.raw);
+    };
+
+    // The whole ROB vector is digested, occupied or not, mirroring
+    // save(): a dead slot's leftovers are read again when the slot is
+    // reused, so they are state, not noise.
+    fnv.add(rob_.size());
+    for (const Inst& inst : rob_) {
+        fnv.add(inst.seq);
+        fnv.add(inst.pc);
+        mixDi(inst.di);
+        fnv.add(inst.valid);
+        fnv.add(inst.physDest);
+        fnv.add(inst.oldPhysDest);
+        fnv.add(inst.physSrc1);
+        fnv.add(inst.physSrc2);
+        fnv.add(inst.physStoreData);
+        fnv.add(inst.inIq);
+        fnv.add(inst.issued);
+        fnv.add(inst.executed);
+        fnv.add(inst.predictedTaken);
+        fnv.add(inst.predictedTarget);
+        fnv.add(inst.actualTaken);
+        fnv.add(inst.actualTarget);
+        fnv.add(inst.hasCheckpoint);
+        fnv.addBytes(inst.checkpoint.data(), inst.checkpoint.size());
+        fnv.add(inst.addrReady);
+        fnv.add(inst.effAddr);
+        fnv.add(inst.paddr);
+        fnv.add(inst.storeValue);
+        fnv.add(static_cast<uint64_t>(inst.exception));
+        fnv.add(inst.simAssert);
+        fnv.add(inst.faultAddr);
+    }
+    fnv.add(robHead_);
+    fnv.add(robTail_);
+    fnv.add(robCount_);
+
+    fnv.addBytes(frontMap_.data(), frontMap_.size());
+    fnv.addBytes(retireMap_.data(), retireMap_.size());
+    fnv.add(freeList_.size());
+    fnv.addBytes(freeList_.data(), freeList_.size());
+    fnv.add(regReady_.size());
+    for (bool ready : regReady_)
+        fnv.add(ready);
+
+    fnv.add(iq_.size());
+    for (uint32_t idx : iq_)
+        fnv.add(idx);
+    fnv.add(lsq_.size());
+    for (uint32_t idx : lsq_)
+        fnv.add(idx);
+
+    fnv.add(fetchQueue_.size());
+    for (const FetchedInst& fetched : fetchQueue_) {
+        fnv.add(fetched.pc);
+        mixDi(fetched.di);
+        fnv.add(fetched.predictedTaken);
+        fnv.add(fetched.predictedTarget);
+        fnv.add(static_cast<uint64_t>(fetched.exception));
+        fnv.add(fetched.simAssert);
+        fnv.add(fetched.faultAddr);
+    }
+    fnv.add(fetchPc_);
+    fnv.add(fetchReadyCycle_);
+    fnv.add(fetchBlocked_);
+
+    fnv.add(completions_.size());
+    for (const Completion& comp : completions_) {
+        fnv.add(comp.cycle);
+        fnv.add(comp.robIdx);
+        fnv.add(comp.seq);
+    }
+
+    fnv.add(cycle_);
+    fnv.add(nextSeq_);
+    fnv.add(halted_);
+    fnv.add(static_cast<uint64_t>(exitStatus_.kind));
+    fnv.add(exitStatus_.exitCode);
+    fnv.add(static_cast<uint64_t>(exitStatus_.exception));
+    fnv.add(exitStatus_.faultPc);
+    fnv.add(exitStatus_.faultAddr);
+}
+
+void
+Cpu::noteInjectedRegFlip(uint32_t row, uint32_t col)
+{
+    // Only free-list membership is a sound deadness proof. A clear
+    // scoreboard bit is NOT: an exception-faulting producer never
+    // writes its destination, yet its completion still sets regReady_,
+    // so dependents can legitimately read the stale (flipped) bits.
+    bool free = std::find(freeList_.begin(), freeList_.end(),
+                          static_cast<uint8_t>(row)) != freeList_.end();
+    if (free)
+        regFile_.bits().discardFlips(row, col, 1);
+}
+
+void
 Cpu::tick()
 {
     if (halted_)

@@ -265,6 +265,27 @@ class Cpu
 
     /** Restore state saved from an identically-configured core. */
     void restore(const Snapshot& snapshot);
+
+    /**
+     * Mix every behaviour-affecting field into @p fnv. Two cores with
+     * equal digests execute (up to FNV collision) bit-identically from
+     * here on — the basis of convergence detection. Statistics
+     * counters are deliberately excluded: they never feed back into
+     * execution, and including them would keep a run whose timing
+     * perturbation has fully healed from ever matching golden.
+     */
+    void digestInto(Fnv& fnv) const;
+
+    /**
+     * Fault-liveness hook (dead-fault pruning, DESIGN.md §10): an
+     * injected flip landed at (row, col) of the physical register
+     * file. A register on the free list is necessarily written before
+     * it can be read again — operand reads are gated on regReady_
+     * (cleared when the register is re-allocated), retired mappings
+     * are never free, and commit is in-order — so such a flip is dead
+     * on arrival.
+     */
+    void noteInjectedRegFlip(uint32_t row, uint32_t col);
 };
 
 } // namespace mbusim::sim

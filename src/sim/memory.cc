@@ -95,4 +95,11 @@ PhysicalMemory::restore(const Snapshot& snapshot)
     highWater_ = snapshot.data.size();
 }
 
+void
+PhysicalMemory::digestInto(Fnv& fnv) const
+{
+    fnv.add(highWater_);
+    fnv.addBytes(data_.data(), highWater_);
+}
+
 } // namespace mbusim::sim

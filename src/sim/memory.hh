@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/fnv.hh"
+
 namespace mbusim::sim {
 
 /** Flat little-endian physical memory. */
@@ -41,6 +43,12 @@ class PhysicalMemory
 
     /** Restore contents saved from an identically-sized memory. */
     void restore(const Snapshot& snapshot);
+
+    /**
+     * Mix the memory contents into @p fnv. Like save(), only the
+     * written prefix is visited: the rest is zero by construction.
+     */
+    void digestInto(Fnv& fnv) const;
 
     uint64_t size() const { return data_.size(); }
 

@@ -86,6 +86,17 @@ class Mmu
         walks_ = snapshot.walks;
     }
 
+    /**
+     * Mix the behaviour-affecting walker state into @p fnv. The walk
+     * counter is telemetry and excluded, like all stats (see
+     * Cpu::digestInto).
+     */
+    void
+    digestInto(Fnv& fnv) const
+    {
+        fnv.add(nextFrame_);
+    }
+
     /** @name OS-side interface */
     /// @{
     /** Map a virtual page to a fresh physical frame. */

@@ -37,6 +37,9 @@ class PhysRegFile
         bits_.restore(snapshot.bits);
     }
 
+    /** Mix the register values into @p fnv. */
+    void digestInto(Fnv& fnv) const { bits_.digestInto(fnv); }
+
     uint32_t numRegs() const { return bits_.rows(); }
 
     /** Read a physical register. */

@@ -95,6 +95,54 @@ Simulator::targetBits(FaultTarget target)
     panic("bad FaultTarget");
 }
 
+void
+Simulator::pruneDeadOnArrival(const Injection& inj)
+{
+    // Dead-on-arrival pruning: the owning model drops flips its
+    // invariants prove unreachable-before-overwrite (DESIGN.md §10) —
+    // data bits of an invalid cache line, dirty/tag bits behind a
+    // clear valid bit, a free or not-yet-written physical register.
+    for (const BitFlip& flip : inj.flips) {
+        switch (inj.target) {
+          case FaultTarget::L1DData:
+            cpu_->l1d().noteInjectedDataFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::L1IData:
+            cpu_->l1i().noteInjectedDataFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::L2Data:
+            cpu_->l2().noteInjectedDataFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::L1DTags:
+            cpu_->l1d().noteInjectedTagFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::L1ITags:
+            cpu_->l1i().noteInjectedTagFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::L2Tags:
+            cpu_->l2().noteInjectedTagFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::RegFileBits:
+            cpu_->noteInjectedRegFlip(flip.row, flip.col);
+            break;
+          case FaultTarget::ItlbBits:
+          case FaultTarget::DtlbBits:
+            // TLB lookups scan whole entries, valid bit and payload
+            // alike, so no entry bit is unreachable: nothing to prune.
+            break;
+        }
+    }
+}
+
+uint64_t
+Simulator::stateDigest() const
+{
+    Fnv fnv;
+    system_->digestInto(fnv);
+    cpu_->digestInto(fnv);
+    return fnv.value();
+}
+
 SimResult
 Simulator::run(uint64_t max_cycles)
 {
@@ -118,13 +166,80 @@ Simulator::run(uint64_t max_cycles)
                    injections_[nextInjection_].cycle <= cpu_->cycle()) {
                 const Injection& inj = injections_[nextInjection_];
                 BitArray& bits = targetBits(inj.target);
+                if (deadFaultPruning_) {
+                    for (const BitFlip& flip : inj.flips)
+                        bits.trackFlip(flip.row, flip.col);
+                    if (std::find(trackedArrays_.begin(),
+                                  trackedArrays_.end(),
+                                  &bits) == trackedArrays_.end()) {
+                        trackedArrays_.push_back(&bits);
+                    }
+                }
                 for (const BitFlip& flip : inj.flips)
                     bits.flipBit(flip.row, flip.col);
+                if (deadFaultPruning_)
+                    pruneDeadOnArrival(inj);
+                lastInjectionCycle_ = cpu_->cycle();
                 ++nextInjection_;
             }
+
+            // Early-termination checks, active once every injection is
+            // in the machine (an untracked pending flip could still
+            // change the outcome).
+            if (nextInjection_ == injections_.size() &&
+                !injections_.empty()) {
+                uint32_t live = 0;
+                bool propagated = false;
+                if (deadFaultPruning_ && !deadCheckDisabled_) {
+                    for (const BitArray* bits : trackedArrays_) {
+                        propagated |= bits->flipPropagated();
+                        live += bits->liveFlips();
+                    }
+                    if (propagated) {
+                        // The fault escaped into uncorrupted state;
+                        // liveness of the remaining bits proves
+                        // nothing anymore.
+                        deadCheckDisabled_ = true;
+                    } else if (live == 0) {
+                        result.earlyExit = EarlyExit::DeadFault;
+                        break;
+                    }
+                }
+                if (goldenDigests_ &&
+                    cpu_->cycle() > lastInjectionCycle_) {
+                    while (nextDigest_ < goldenDigests_->size() &&
+                           (*goldenDigests_)[nextDigest_].cycle <
+                               cpu_->cycle()) {
+                        ++nextDigest_;
+                    }
+                    if (nextDigest_ < goldenDigests_->size() &&
+                        (*goldenDigests_)[nextDigest_].cycle ==
+                            cpu_->cycle()) {
+                        // While unpropagated flips sit live in an
+                        // array, the state provably differs from
+                        // golden: skip the digest, it cannot match.
+                        bool surely_differs = deadFaultPruning_ &&
+                                              !deadCheckDisabled_ &&
+                                              live > 0;
+                        if (!surely_differs &&
+                            stateDigest() ==
+                                (*goldenDigests_)[nextDigest_].digest) {
+                            result.earlyExit = EarlyExit::Converged;
+                            break;
+                        }
+                        ++nextDigest_;
+                    }
+                }
+            }
+
             cpu_->tick();
         }
-        if (cpu_->halted()) {
+        if (result.earlyExit != EarlyExit::None) {
+            // The caller substitutes golden's outcome and terminal
+            // counts; status here describes only the truncated run.
+            result.earlyExitCycle = cpu_->cycle();
+            result.status.kind = ExitKind::LimitReached;
+        } else if (cpu_->halted()) {
             result.status = cpu_->exitStatus();
         } else {
             result.status.kind = ExitKind::LimitReached;

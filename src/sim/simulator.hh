@@ -45,6 +45,27 @@ struct Injection
     std::vector<BitFlip> flips;
 };
 
+/**
+ * Why a run stopped before the program finished (early-termination
+ * engine, DESIGN.md §10). Either reason proves the run Masked: the
+ * machine state is — or is provably about to become — bit-identical
+ * to the golden run's, so the campaign substitutes golden's terminal
+ * cycle/instruction counts rather than simulating the identical tail.
+ */
+enum class EarlyExit : uint8_t
+{
+    None,        ///< ran to completion (or budget)
+    DeadFault,   ///< every injected bit overwritten before being read
+    Converged,   ///< state digest matched golden at the same cycle
+};
+
+/** One golden-run state-digest sample (convergence ladder rung). */
+struct DigestPoint
+{
+    uint64_t cycle = 0;
+    uint64_t digest = 0;
+};
+
 /** Result of one complete simulation. */
 struct SimResult
 {
@@ -58,6 +79,15 @@ struct SimResult
     CacheStats l1iStats, l1dStats, l2Stats;
     TlbStats itlbStats, dtlbStats;
     uint64_t pageWalks = 0;
+
+    /**
+     * Early-termination verdict. When not None, `status` and the
+     * stats above describe the truncated run, not the program's real
+     * end: the caller (Campaign::runOne) classifies the run Masked
+     * and reports golden's terminal counts.
+     */
+    EarlyExit earlyExit = EarlyExit::None;
+    uint64_t earlyExitCycle = 0;   ///< cycle the engine fired at
 };
 
 /**
@@ -92,6 +122,35 @@ class Simulator
     /** Schedule an injection. Must precede the first run() call. */
     void scheduleInjection(const Injection& injection);
 
+    /** @name Early-termination engine (DESIGN.md §10) */
+    /// @{
+    /**
+     * Track scheduled flips for dead-fault pruning: run() exits with
+     * EarlyExit::DeadFault the moment every injected bit has been
+     * overwritten without ever being read. Call before run().
+     */
+    void enableDeadFaultPruning() { deadFaultPruning_ = true; }
+
+    /**
+     * Arm convergence detection with the golden run's digest ladder
+     * (sorted by cycle; must outlive this simulator). run() exits
+     * with EarlyExit::Converged when the machine's digest equals
+     * golden's at the same cycle, past the last injection.
+     */
+    void
+    setGoldenDigests(const std::vector<DigestPoint>* digests)
+    {
+        goldenDigests_ = digests;
+    }
+
+    /**
+     * FNV-1a digest of all behaviour-affecting machine state
+     * (Cpu::digestInto + System::digestInto). Callable between run()
+     * segments, like checkpoint().
+     */
+    uint64_t stateDigest() const;
+    /// @}
+
     /** Capture the whole machine state (callable between run() calls). */
     Snapshot checkpoint() const;
 
@@ -119,6 +178,9 @@ class Simulator
     BitArray& targetBits(FaultTarget target);
 
   private:
+    /** Drop injected flips the model layer proves dead on arrival. */
+    void pruneDeadOnArrival(const Injection& inj);
+
     CpuConfig config_;
     std::unique_ptr<System> system_;
     std::unique_ptr<Cpu> cpu_;
@@ -126,6 +188,14 @@ class Simulator
     size_t nextInjection_ = 0;     ///< first not-yet-applied injection
     bool injectionsSorted_ = true;
     bool started_ = false;         ///< has run() been called?
+
+    // Early-termination state.
+    bool deadFaultPruning_ = false;
+    bool deadCheckDisabled_ = false;   ///< a flip propagated: no pruning
+    const std::vector<DigestPoint>* goldenDigests_ = nullptr;
+    size_t nextDigest_ = 0;            ///< first unchecked ladder rung
+    std::vector<BitArray*> trackedArrays_;   ///< arrays holding flips
+    uint64_t lastInjectionCycle_ = 0;
 };
 
 } // namespace mbusim::sim

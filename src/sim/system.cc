@@ -102,6 +102,16 @@ System::restore(const Snapshot& snapshot)
     output_ = snapshot.output;
 }
 
+void
+System::digestInto(Fnv& fnv) const
+{
+    mem_.digestInto(fnv);
+    mmu_.digestInto(fnv);
+    fnv.add(heapTopVpn_);
+    fnv.add(output_.size());
+    fnv.addBytes(output_.data(), output_.size());
+}
+
 SyscallResult
 System::syscall(uint32_t code, uint32_t arg, uint64_t cycle)
 {

@@ -60,6 +60,9 @@ class System
     /** Restore state saved from an identically-configured platform. */
     void restore(const Snapshot& snapshot);
 
+    /** Mix all behaviour-affecting platform state into @p fnv. */
+    void digestInto(Fnv& fnv) const;
+
     PhysicalMemory& memory() { return mem_; }
     Mmu& mmu() { return mmu_; }
 

@@ -99,6 +99,15 @@ Tlb::restore(const Snapshot& snapshot)
 }
 
 void
+Tlb::digestInto(Fnv& fnv) const
+{
+    // lastHit_ orders the lookup scan, so it is behavioural state.
+    bits_.digestInto(fnv);
+    fnv.add(fifo_);
+    fnv.add(lastHit_);
+}
+
+void
 Tlb::flush()
 {
     bits_.clear();

@@ -89,6 +89,9 @@ class Tlb
     /** Restore state saved from an identically-sized TLB. */
     void restore(const Snapshot& snapshot);
 
+    /** Mix all behaviour-affecting TLB state into @p fnv (not stats). */
+    void digestInto(Fnv& fnv) const;
+
     uint32_t numEntries() const { return bits_.rows(); }
 
     /**

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Streaming FNV-1a 64-bit digest.
+ *
+ * Used by the state-digest machinery behind golden-state convergence
+ * detection (DESIGN.md §10): every model class exposes a
+ * `digestInto(Fnv&)` beside its `save()`, and two machines whose
+ * digests agree are (up to a 2^-64 collision) snapshot-identical.
+ * Digests are only ever compared against digests produced by the same
+ * build, so the exact mixing scheme — 64-bit words rather than the
+ * byte-at-a-time `fnv1a64()` used for journal checksums — is free to
+ * favour speed.
+ */
+
+#ifndef MBUSIM_UTIL_FNV_HH
+#define MBUSIM_UTIL_FNV_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace mbusim {
+
+/** Incremental FNV-1a over 64-bit lanes. */
+class Fnv
+{
+  public:
+    /** Mix one 64-bit value. */
+    void
+    add(uint64_t value)
+    {
+        digest_ = (digest_ ^ value) * Prime;
+    }
+
+    /** Mix a raw byte range, eight bytes per mixing step. */
+    void
+    addBytes(const void* data, size_t len)
+    {
+        const auto* p = static_cast<const uint8_t*>(data);
+        while (len >= 8) {
+            uint64_t word;
+            std::memcpy(&word, p, 8);
+            add(word);
+            p += 8;
+            len -= 8;
+        }
+        if (len > 0) {
+            uint64_t tail = 0;
+            std::memcpy(&tail, p, len);
+            // Length-tag the tail so "abc" + "" != "ab" + "c".
+            add(tail ^ (uint64_t(len) << 56));
+        }
+    }
+
+    uint64_t value() const { return digest_; }
+
+  private:
+    static constexpr uint64_t Prime = 1099511628211ULL;
+    uint64_t digest_ = 14695981039346656037ULL;
+};
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_FNV_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Early-termination equivalence sweep (DESIGN.md §10). The engine is a
+ * pure host-side optimization built on two provably-sound exit
+ * conditions, so the acceptance bar is strict: with it on and off,
+ * every campaign across all six components and fault cardinalities 1-3
+ * must produce identical outcome counts, and the individual runs must
+ * classify identically. The sweep also asserts that the engine
+ * demonstrably fires — an equivalence proof over an engine that never
+ * triggers would be vacuous.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/campaign.hh"
+#include "util/log.hh"
+
+namespace mbusim::core {
+namespace {
+
+class EarlyExitTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The sweep controls both arms through CampaignConfig alone.
+        unsetenv("MBUSIM_EARLY_EXIT");
+        unsetenv("MBUSIM_DIGEST_POINTS");
+        unsetenv("MBUSIM_CHECKPOINTS");
+    }
+};
+
+CampaignConfig
+sweepConfig(Component component, uint32_t faults, bool early_exit)
+{
+    CampaignConfig config;
+    config.component = component;
+    config.faults = faults;
+    config.injections = 6;
+    config.threads = 1;
+    config.earlyExit = early_exit;
+    return config;
+}
+
+TEST_F(EarlyExitTest, EquivalenceSweepAllComponentsAndCardinalities)
+{
+    uint64_t early_exits = 0;
+    for (const char* workload : {"stringsearch", "susan_c"}) {
+        const auto& w = workloads::workloadByName(workload);
+        for (Component component : AllComponents) {
+            for (uint32_t faults = 1; faults <= 3; ++faults) {
+                SCOPED_TRACE(strprintf("%s %s f%u", workload,
+                                       componentShortName(component),
+                                       faults));
+                CampaignResult on =
+                    Campaign(w, sweepConfig(component, faults, true))
+                        .run(true);
+                CampaignResult off =
+                    Campaign(w, sweepConfig(component, faults, false))
+                        .run(true);
+
+                EXPECT_EQ(on.counts.counts, off.counts.counts);
+                EXPECT_EQ(on.goldenCycles, off.goldenCycles);
+                EXPECT_EQ(off.deadFaultExits, 0u);
+                EXPECT_EQ(off.convergedExits, 0u);
+                EXPECT_EQ(off.cyclesSaved, 0u);
+
+                ASSERT_EQ(on.runs.size(), off.runs.size());
+                for (size_t i = 0; i < on.runs.size(); ++i) {
+                    EXPECT_EQ(on.runs[i].outcome, off.runs[i].outcome);
+                    EXPECT_EQ(on.runs[i].cycle, off.runs[i].cycle);
+                    // An early-exited run reports golden's terminal
+                    // cycle count (the soundness argument says the
+                    // tail is bit-identical), so `cycles` must agree
+                    // between the arms in every case.
+                    EXPECT_EQ(on.runs[i].cycles, off.runs[i].cycles);
+                    if (on.runs[i].exitReason != sim::EarlyExit::None) {
+                        EXPECT_EQ(on.runs[i].outcome, Outcome::Masked);
+                        EXPECT_EQ(on.runs[i].cycles, on.goldenCycles);
+                    }
+                }
+                early_exits += on.deadFaultExits + on.convergedExits;
+            }
+        }
+    }
+    // The engine must actually fire somewhere in the sweep; Masked
+    // outcomes dominate these campaigns, so a silent engine would
+    // indicate a wiring bug rather than an unlucky sample.
+    EXPECT_GT(early_exits, 0u);
+}
+
+TEST_F(EarlyExitTest, SavedCyclesAreAccounted)
+{
+    // L2 single-bit faults on a short workload are overwhelmingly
+    // masked: the engine should fire often and report savings.
+    const auto& w = workloads::workloadByName("stringsearch");
+    CampaignResult result =
+        Campaign(w, sweepConfig(Component::L2, 1, true)).run(true);
+    uint64_t from_runs = 0;
+    uint32_t dead = 0, converged = 0;
+    for (const RunRecord& run : result.runs) {
+        from_runs += run.cyclesSaved;
+        dead += run.exitReason == sim::EarlyExit::DeadFault;
+        converged += run.exitReason == sim::EarlyExit::Converged;
+        if (run.exitReason == sim::EarlyExit::None) {
+            EXPECT_EQ(run.cyclesSaved, 0u);
+        }
+    }
+    EXPECT_EQ(result.cyclesSaved, from_runs);
+    EXPECT_EQ(result.deadFaultExits, dead);
+    EXPECT_EQ(result.convergedExits, converged);
+}
+
+TEST_F(EarlyExitTest, EnvKnobDisablesEngine)
+{
+    const auto& w = workloads::workloadByName("stringsearch");
+    setenv("MBUSIM_EARLY_EXIT", "0", 1);
+    CampaignResult result =
+        Campaign(w, sweepConfig(Component::L2, 1, true)).run(true);
+    unsetenv("MBUSIM_EARLY_EXIT");
+    EXPECT_EQ(result.deadFaultExits, 0u);
+    EXPECT_EQ(result.convergedExits, 0u);
+    for (const RunRecord& run : result.runs)
+        EXPECT_EQ(run.exitReason, sim::EarlyExit::None);
+}
+
+TEST_F(EarlyExitTest, ComposesWithCheckpointFastForward)
+{
+    // Both optimizations on at once must still match the plain run.
+    const auto& w = workloads::workloadByName("susan_c");
+    CampaignConfig both = sweepConfig(Component::L1D, 2, true);
+    both.checkpoints = 8;
+    CampaignConfig neither = sweepConfig(Component::L1D, 2, false);
+    neither.checkpoints = 0;
+
+    CampaignResult ra = Campaign(w, both).run(true);
+    CampaignResult rb = Campaign(w, neither).run(true);
+    EXPECT_EQ(ra.counts.counts, rb.counts.counts);
+    ASSERT_EQ(ra.runs.size(), rb.runs.size());
+    for (size_t i = 0; i < ra.runs.size(); ++i) {
+        EXPECT_EQ(ra.runs[i].outcome, rb.runs[i].outcome);
+        EXPECT_EQ(ra.runs[i].cycles, rb.runs[i].cycles);
+    }
+}
+
+} // namespace
+} // namespace mbusim::core

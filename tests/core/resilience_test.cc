@@ -286,17 +286,18 @@ TEST(ResilienceTest, StaleCacheVersionRegenerates)
         for (const auto& e : std::filesystem::directory_iterator(dir))
             path = e.path().string();
     }
-    // Rewrite the entry under an old format tag: the versioned header
-    // check must reject it even though the checksum line is intact.
+    // Rewrite the entry under the v2-era format tag (pre early-exit):
+    // the versioned header check must reject it even though the
+    // checksum line is intact.
     std::string contents;
     {
         std::ifstream in(path);
         contents.assign(std::istreambuf_iterator<char>(in),
                         std::istreambuf_iterator<char>());
     }
-    size_t v = contents.find("v2");
+    size_t v = contents.find("v3");
     ASSERT_NE(v, std::string::npos);
-    contents[v + 1] = '1';
+    contents[v + 1] = '2';
     {
         std::ofstream out(path, std::ios::trunc);
         out << contents;

@@ -163,5 +163,179 @@ TEST(BitArray, FlipsChangeExactlyTargetBits)
     EXPECT_EQ(diffs, 3);
 }
 
+// Fault-liveness tracking (dead-fault pruning, DESIGN.md §10): the
+// early-termination engine's whole soundness argument rests on these
+// transitions, so each is pinned down individually.
+
+TEST(BitArrayLiveness, UntrackedArrayHasNoState)
+{
+    BitArray a(4, 64);
+    a.write(0, 0, 32, 0x1234);
+    EXPECT_EQ(a.read(0, 0, 32), 0x1234u);
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, OverwriteBeforeReadKillsFlip)
+{
+    BitArray a(4, 64);
+    a.write(1, 0, 32, 0xcafe);
+    a.trackFlip(1, 3);
+    a.flipBit(1, 3);
+    EXPECT_EQ(a.liveFlips(), 1u);
+    a.write(1, 0, 32, 0xbeef);   // covers the corrupted bit, unread
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, ReadThenOverwriteStaysPropagated)
+{
+    BitArray a(4, 64);
+    a.trackFlip(2, 10);
+    a.flipBit(2, 10);
+    (void)a.read(2, 0, 32);      // the corrupted value escapes
+    EXPECT_TRUE(a.flipPropagated());
+    EXPECT_EQ(a.liveFlips(), 0u);
+    a.write(2, 0, 32, 0);        // too late: propagation is sticky
+    EXPECT_TRUE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, PartialOverwriteKeepsFaultLive)
+{
+    BitArray a(2, 128);
+    a.trackFlip(0, 5);
+    a.trackFlip(0, 70);
+    a.flipBit(0, 5);
+    a.flipBit(0, 70);
+    EXPECT_EQ(a.liveFlips(), 2u);
+    a.write(0, 0, 32, 0);        // covers col 5 only
+    EXPECT_EQ(a.liveFlips(), 1u);
+    EXPECT_FALSE(a.flipPropagated());
+    a.write(0, 64, 32, 0);       // covers col 70
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, DisjointAccessesDoNotTouchTheFlip)
+{
+    BitArray a(4, 64);
+    a.trackFlip(1, 40);
+    a.flipBit(1, 40);
+    (void)a.read(0, 32, 16);     // other row
+    (void)a.read(1, 0, 32);      // same row, cols 0..31
+    a.write(1, 0, 32, 0x77);     // same row, below the flip
+    a.write(2, 32, 16, 0x1);     // other row, overlapping columns
+    EXPECT_EQ(a.liveFlips(), 1u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, SingleBitAccessors)
+{
+    BitArray a(4, 64);
+    a.trackFlip(0, 7);
+    a.flipBit(0, 7);
+    a.setBit(0, 6, true);        // neighbour write: still live
+    EXPECT_EQ(a.liveFlips(), 1u);
+    a.setBit(0, 7, false);       // exact overwrite, never read
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+
+    a.trackFlip(1, 9);
+    a.flipBit(1, 9);
+    EXPECT_TRUE(a.bit(1, 9));    // single-bit read propagates too
+    EXPECT_TRUE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, FlipItselfIsNotAnOverwrite)
+{
+    // flipBit models the particle strike, not an architectural write:
+    // a second fault on the same bit must not mark the first one dead.
+    BitArray a(2, 64);
+    a.trackFlip(0, 12);
+    a.flipBit(0, 12);
+    a.flipBit(0, 12);
+    EXPECT_EQ(a.liveFlips(), 1u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, ClearKillsAllFlips)
+{
+    // A whole-array clear (e.g. a TLB flush) overwrites every bit.
+    BitArray a(4, 32);
+    a.trackFlip(0, 1);
+    a.trackFlip(3, 31);
+    a.flipBit(0, 1);
+    a.flipBit(3, 31);
+    a.clear();
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, ResetForgetsEverything)
+{
+    BitArray a(2, 32);
+    a.trackFlip(0, 3);
+    a.flipBit(0, 3);
+    (void)a.read(0, 0, 8);
+    EXPECT_TRUE(a.flipPropagated());
+    a.resetFlipTracking();
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+TEST(BitArrayLiveness, RestoreDropsLiveFlipsKeepsPropagation)
+{
+    BitArray a(2, 64);
+    BitArray::Snapshot clean;
+    a.save(clean);
+    a.trackFlip(0, 8);
+    a.flipBit(0, 8);
+    a.restore(clean);            // every bit overwritten by the image
+    EXPECT_EQ(a.liveFlips(), 0u);
+    EXPECT_FALSE(a.flipPropagated());
+
+    a.trackFlip(1, 8);
+    a.flipBit(1, 8);
+    (void)a.read(1, 0, 32);
+    a.restore(clean);
+    EXPECT_TRUE(a.flipPropagated());   // sticky across restore
+}
+
+TEST(BitArrayDigest, MatchesContentNotHistory)
+{
+    BitArray a(4, 64), b(4, 64);
+    Fnv fa, fb;
+    a.write(1, 0, 32, 0x1111);
+    b.write(1, 0, 16, 0x1111);   // different path, same final bits
+    b.write(1, 16, 16, 0x0000);
+    a.digestInto(fa);
+    b.digestInto(fb);
+    EXPECT_EQ(fa.value(), fb.value());
+}
+
+TEST(BitArrayDigest, SensitiveToEveryBit)
+{
+    BitArray a(8, 70);
+    Rng rng(99);
+    for (int i = 0; i < 100; ++i)
+        a.setBit(static_cast<uint32_t>(rng.below(8)),
+                 static_cast<uint32_t>(rng.below(70)), rng.chance(0.5));
+    Fnv base;
+    a.digestInto(base);
+    for (int i = 0; i < 50; ++i) {
+        uint32_t row = static_cast<uint32_t>(rng.below(8));
+        uint32_t col = static_cast<uint32_t>(rng.below(70));
+        a.flipBit(row, col);
+        Fnv flipped;
+        a.digestInto(flipped);
+        EXPECT_NE(flipped.value(), base.value())
+            << "r=" << row << " c=" << col;
+        a.flipBit(row, col);
+        Fnv restored;
+        a.digestInto(restored);
+        EXPECT_EQ(restored.value(), base.value());
+    }
+}
+
 } // namespace
 } // namespace mbusim::sim

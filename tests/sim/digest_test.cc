@@ -1,0 +1,100 @@
+/**
+ * @file
+ * State-digest tests: the golden-convergence exit (DESIGN.md §10)
+ * declares a faulty run Masked when its digest equals golden's at the
+ * same cycle, so the digest must be (a) deterministic — identical runs
+ * produce identical digests at every cut, (b) invariant across a
+ * save/restore round-trip, which is how the campaign replays runs from
+ * checkpoints, and (c) sensitive to any single flipped bit in any of
+ * the modelled structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::sim {
+namespace {
+
+Program
+programFor(const char* workload)
+{
+    return workloads::workloadByName(workload).assemble();
+}
+
+TEST(DigestTest, DeterministicAcrossIdenticalRuns)
+{
+    Program p = programFor("stringsearch");
+    CpuConfig config;
+    Simulator a(p, config);
+    Simulator b(p, config);
+    EXPECT_EQ(a.stateDigest(), b.stateDigest());
+
+    for (uint64_t cut : {500u, 2000u, 10000u}) {
+        SCOPED_TRACE(cut);
+        a.run(cut);
+        b.run(cut);
+        EXPECT_EQ(a.stateDigest(), b.stateDigest());
+    }
+}
+
+TEST(DigestTest, AdvancesWithExecution)
+{
+    Program p = programFor("stringsearch");
+    CpuConfig config;
+    Simulator sim(p, config);
+    uint64_t before = sim.stateDigest();
+    sim.run(1000);
+    EXPECT_NE(sim.stateDigest(), before);
+}
+
+TEST(DigestTest, SaveRestoreRoundTripPreservesDigest)
+{
+    Program p = programFor("susan_c");
+    CpuConfig config;
+    Simulator sim(p, config);
+    sim.run(3000);
+    uint64_t digest = sim.stateDigest();
+    Snapshot snapshot = sim.checkpoint();
+
+    // Same simulator, rewound after running further.
+    sim.run(6000);
+    EXPECT_NE(sim.stateDigest(), digest);
+    sim.restore(snapshot);
+    EXPECT_EQ(sim.stateDigest(), digest);
+
+    // Fresh simulator fast-forwarded from the snapshot.
+    Simulator resumed(p, config, snapshot);
+    EXPECT_EQ(resumed.stateDigest(), digest);
+}
+
+TEST(DigestTest, SensitiveToSingleBitFlipInEachTarget)
+{
+    Program p = programFor("stringsearch");
+    CpuConfig config;
+    Simulator sim(p, config);
+    sim.run(2000);
+    uint64_t base = sim.stateDigest();
+
+    const FaultTarget targets[] = {
+        FaultTarget::L1DData,  FaultTarget::L1IData,
+        FaultTarget::L2Data,   FaultTarget::RegFileBits,
+        FaultTarget::ItlbBits, FaultTarget::DtlbBits,
+        FaultTarget::L1DTags,  FaultTarget::L1ITags,
+        FaultTarget::L2Tags,
+    };
+    for (FaultTarget target : targets) {
+        SCOPED_TRACE(static_cast<int>(target));
+        auto [rows, cols] = Simulator::targetGeometry(target, config);
+        BitArray& bits = sim.targetBits(target);
+        uint32_t row = rows / 2, col = cols / 2;
+        bits.flipBit(row, col);
+        EXPECT_NE(sim.stateDigest(), base);
+        bits.flipBit(row, col);
+        EXPECT_EQ(sim.stateDigest(), base);
+    }
+}
+
+} // namespace
+} // namespace mbusim::sim
