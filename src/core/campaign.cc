@@ -18,20 +18,20 @@ namespace mbusim::core {
 
 namespace {
 
-/** Cycle budget for golden executions. */
-constexpr uint64_t GoldenBudget = 500'000'000;
-
-/**
- * Initial checkpoint spacing in cycles. The golden run's length is not
- * known up front, so recording starts fine-grained and doubles the
- * interval (dropping every other snapshot) whenever twice the target
- * count accumulates — ending with between K and 2K evenly spaced
- * checkpoints for any run length, in a single golden simulation.
- */
-constexpr uint64_t InitialCheckpointInterval = 512;
-
 /** Journal format tag; bump when the record layout changes. */
 constexpr const char* JournalVersion = "mbusim-journal v2";
+
+/** Mask generator over the campaign's target structure geometry. */
+MaskGenerator
+makeGenerator(const CampaignConfig& config)
+{
+    sim::FaultTarget target = config.targetOverride
+                                  ? *config.targetOverride
+                                  : targetFor(config.component);
+    auto [rows, cols] =
+        sim::Simulator::targetGeometry(target, config.cpu);
+    return MaskGenerator(rows, cols, config.cluster);
+}
 
 /**
  * Render a completed run as one journal payload line. Everything a
@@ -138,12 +138,29 @@ outcomeDigest(const sim::CpuConfig& c, const char* source)
     return digest;
 }
 
+uint32_t
+resolvedCheckpointTarget(const CampaignConfig& config)
+{
+    return static_cast<uint32_t>(
+        envUInt("MBUSIM_CHECKPOINTS", config.checkpoints, UINT32_MAX));
+}
+
+uint32_t
+resolvedDigestTarget(const CampaignConfig& config)
+{
+    bool early_exit =
+        envUInt("MBUSIM_EARLY_EXIT", config.earlyExit ? 1 : 0, 1) != 0;
+    if (!early_exit)
+        return 0;
+    return static_cast<uint32_t>(envUInt(
+        "MBUSIM_DIGEST_POINTS", config.digestPoints, UINT32_MAX));
+}
+
 Campaign::Campaign(const workloads::Workload& workload,
                    const CampaignConfig& config)
     : workload_(workload), config_(config),
       program_(workload.assemble()),
-      checkpointTarget_(static_cast<uint32_t>(
-          envUInt("MBUSIM_CHECKPOINTS", config.checkpoints, UINT32_MAX))),
+      checkpointTarget_(resolvedCheckpointTarget(config)),
       earlyExit_(envUInt("MBUSIM_EARLY_EXIT",
                          config.earlyExit ? 1 : 0, 1) != 0),
       digestTarget_(static_cast<uint32_t>(
@@ -177,6 +194,13 @@ Campaign::Campaign(const workloads::Workload& workload,
         envUInt("MBUSIM_HEARTBEAT_S", 30, UINT32_MAX));
 }
 
+Campaign::Campaign(const workloads::Workload& workload,
+                   const CampaignConfig& config, GoldenStore& store)
+    : Campaign(workload, config)
+{
+    store_ = &store;
+}
+
 std::string
 Campaign::cacheKey() const
 {
@@ -196,87 +220,31 @@ Campaign::cacheKey() const
                      static_cast<unsigned long long>(digest));
 }
 
-void
-Campaign::runGolden() const
-{
-    sim::Simulator simulator(program_, config_.cpu);
-
-    const uint32_t digest_target = earlyExit_ ? digestTarget_ : 0;
-    if (checkpointTarget_ == 0 && digest_target == 0) {
-        golden_ = simulator.run(GoldenBudget);
-    } else {
-        // Segmented golden run with two independent interval-doubling
-        // ladders sharing one simulation: whole-machine checkpoints
-        // (coarse, for fast-forward) and state digests (dense, for
-        // convergence detection). Each ladder snapshots at its own
-        // boundaries, thinning to double its interval whenever 2x its
-        // target accumulates (see InitialCheckpointInterval); every
-        // segment runs to the nearest boundary of either ladder.
-        uint64_t ckpt_interval = InitialCheckpointInterval;
-        uint64_t digest_interval = InitialCheckpointInterval;
-        for (;;) {
-            uint64_t next_ckpt =
-                checkpointTarget_ != 0
-                    ? (checkpoints_.size() + 1) * ckpt_interval
-                    : GoldenBudget;
-            uint64_t next_digest =
-                digest_target != 0
-                    ? (digests_.size() + 1) * digest_interval
-                    : GoldenBudget;
-            uint64_t cut =
-                std::min({next_ckpt, next_digest, GoldenBudget});
-            golden_ = simulator.run(cut);
-            if (golden_.status.kind != sim::ExitKind::LimitReached ||
-                cut >= GoldenBudget) {
-                break;
-            }
-            if (cut == next_ckpt) {
-                checkpoints_.push_back(simulator.checkpoint());
-                if (checkpoints_.size() >= 2 * checkpointTarget_) {
-                    std::vector<sim::Snapshot> kept;
-                    kept.reserve(checkpoints_.size() / 2);
-                    for (size_t i = 1; i < checkpoints_.size(); i += 2)
-                        kept.push_back(std::move(checkpoints_[i]));
-                    checkpoints_ = std::move(kept);
-                    ckpt_interval *= 2;
-                }
-            }
-            if (cut == next_digest) {
-                digests_.push_back({cut, simulator.stateDigest()});
-                if (digests_.size() >= 2 * digest_target) {
-                    std::vector<sim::DigestPoint> kept;
-                    kept.reserve(digests_.size() / 2);
-                    for (size_t i = 1; i < digests_.size(); i += 2)
-                        kept.push_back(digests_[i]);
-                    digests_ = std::move(kept);
-                    digest_interval *= 2;
-                }
-            }
-        }
-    }
-
-    if (golden_.status.kind != sim::ExitKind::Exited) {
-        fatal("golden run of '%s' did not exit cleanly: %s",
-              workload_.name.c_str(),
-              golden_.status.describe().c_str());
-    }
-}
-
-const sim::SimResult&
+const GoldenArtifacts&
 Campaign::golden() const
 {
-    std::call_once(goldenOnce_, [this] { runGolden(); });
-    return golden_;
+    std::call_once(goldenOnce_, [this] {
+        const uint32_t digest_target = earlyExit_ ? digestTarget_ : 0;
+        if (store_) {
+            golden_ = store_->get(workload_, config_.cpu,
+                                  checkpointTarget_, digest_target);
+        } else {
+            golden_ = std::make_shared<const GoldenArtifacts>(
+                simulateGolden(workload_, program_, config_.cpu,
+                               checkpointTarget_, digest_target));
+        }
+    });
+    return *golden_;
 }
 
 uint64_t
 Campaign::goldenCycles() const
 {
-    return golden().cycles;
+    return golden().result.cycles;
 }
 
 RunRecord
-Campaign::runOne(const sim::SimResult& golden, uint32_t index,
+Campaign::runOne(const GoldenArtifacts& golden, uint32_t index,
                  const MaskGenerator& generator, uint32_t attempt) const
 {
     if (config_.hostFaultHook)
@@ -292,14 +260,14 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
     RunRecord record;
     record.index = index;
     record.mask = generator.generate(config_.faults, rng);
-    record.cycle = rng.below(golden.cycles);
+    record.cycle = rng.below(golden.result.cycles);
 
     // Fast-forward from the latest checkpoint at or before the
     // injection cycle: the golden prefix is bit-identical anyway, so
     // only the suffix needs simulating. Checkpoints are shared
     // read-only across the worker pool.
     const sim::Snapshot* nearest = nullptr;
-    for (const sim::Snapshot& snapshot : checkpoints_) {
+    for (const sim::Snapshot& snapshot : golden.checkpoints) {
         if (snapshot.cycle > record.cycle)
             break;
         nearest = &snapshot;
@@ -319,31 +287,32 @@ Campaign::runOne(const sim::SimResult& golden, uint32_t index,
 
     if (earlyExit_) {
         simulator.enableDeadFaultPruning();
-        if (!digests_.empty())
-            simulator.setGoldenDigests(&digests_);
+        if (!golden.digests.empty())
+            simulator.setGoldenDigests(&golden.digests);
     }
 
     sim::SimResult faulty =
-        simulator.run(golden.cycles * config_.timeoutFactor);
+        simulator.run(golden.result.cycles * config_.timeoutFactor);
     if (faulty.earlyExit != sim::EarlyExit::None) {
         // The engine proved the remaining execution bit-identical to
         // golden: Masked, with golden's terminal cycle count instead
         // of the never-simulated tail.
         record.outcome = Outcome::Masked;
-        record.cycles = golden.cycles;
+        record.cycles = golden.result.cycles;
         record.exitReason = faulty.earlyExit;
-        record.cyclesSaved = golden.cycles > faulty.earlyExitCycle
-                                 ? golden.cycles - faulty.earlyExitCycle
-                                 : 0;
+        record.cyclesSaved =
+            golden.result.cycles > faulty.earlyExitCycle
+                ? golden.result.cycles - faulty.earlyExitCycle
+                : 0;
     } else {
-        record.outcome = classify(golden, faulty);
+        record.outcome = classify(golden.result, faulty);
         record.cycles = faulty.cycles;
     }
     return record;
 }
 
 RunRecord
-Campaign::runOneIsolated(const sim::SimResult& golden, uint32_t index,
+Campaign::runOneIsolated(const GoldenArtifacts& golden, uint32_t index,
                          const MaskGenerator& generator) const
 {
     // The workload under fault is expected to reach broken states; the
@@ -372,68 +341,136 @@ Campaign::runOneIsolated(const sim::SimResult& golden, uint32_t index,
     return record;
 }
 
+Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
+    : campaign_(campaign), generator_(makeGenerator(campaign.config_)),
+      keepRuns_(keep_runs), records_(campaign.config_.injections),
+      done_(campaign.config_.injections, 0)
+{
+    const uint32_t injections = campaign_.config_.injections;
+
+    // Replay the journal of an earlier, interrupted invocation: runs it
+    // recorded are taken as-is (they are bit-identical to what a fresh
+    // simulation would produce), the rest stay pending.
+    if (!campaign_.journalDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(campaign_.journalDir_, ec);
+        std::string key = campaign_.cacheKey();
+        // Early-exit settings ride in the header: they cannot change
+        // outcomes, but they do change RunRecord fields (exit reason,
+        // cycles saved), so journals written under different settings
+        // must not mix.
+        std::string header = strprintf(
+            "%s %s ee%u dp%u", JournalVersion, key.c_str(),
+            campaign_.earlyExit_ ? 1u : 0u,
+            campaign_.earlyExit_ ? campaign_.digestTarget_ : 0u);
+        std::string path =
+            campaign_.journalDir_ + "/" + key + ".journal";
+        for (const std::string& line : Journal::replay(path, header)) {
+            RunRecord record;
+            if (parseRun(line, record) && record.index < injections &&
+                !done_[record.index]) {
+                done_[record.index] = 1;
+                records_[record.index] = std::move(record);
+                ++resumed_;
+            }
+        }
+        journal_.emplace(path, header);
+        if (!journal_->open()) {
+            warn("cannot write campaign journal '%s'; continuing "
+                 "without one", path.c_str());
+            journal_.reset();
+        }
+    }
+
+    completed_.store(resumed_);
+    pending_.store(injections - resumed_);
+}
+
+uint32_t
+Campaign::Execution::injections() const
+{
+    return campaign_.config_.injections;
+}
+
+bool
+Campaign::Execution::pending(uint32_t index) const
+{
+    return !done_[index];
+}
+
+uint32_t
+Campaign::Execution::completedRuns() const
+{
+    return completed_.load();
+}
+
+uint32_t
+Campaign::Execution::runIndex(uint32_t index)
+{
+    RunRecord record = campaign_.runOneIsolated(campaign_.golden(),
+                                                index, generator_);
+    records_[index] = std::move(record);
+    done_[index] = 1;
+    if (journal_) {
+        std::lock_guard<std::mutex> lock(journalMutex_);
+        journal_->append(serializeRun(records_[index]));
+    }
+    completed_.fetch_add(1);
+    return pending_.fetch_sub(1) - 1;
+}
+
+CampaignResult
+Campaign::Execution::finalize(bool cancelled)
+{
+    const uint32_t injections = campaign_.config_.injections;
+    const GoldenArtifacts& golden = campaign_.golden();
+
+    CampaignResult result;
+    result.goldenCycles = golden.result.cycles;
+    result.goldenInstructions = golden.result.instructions;
+    result.resumed = resumed_;
+    result.cancelled = cancelled;
+    for (uint32_t i = 0; i < injections; ++i) {
+        if (!done_[i])
+            continue;
+        result.counts.add(records_[i].outcome);
+        ++result.completed;
+        if (records_[i].exitReason == sim::EarlyExit::DeadFault)
+            ++result.deadFaultExits;
+        else if (records_[i].exitReason == sim::EarlyExit::Converged)
+            ++result.convergedExits;
+        result.cyclesSaved += records_[i].cyclesSaved;
+    }
+    if (keepRuns_) {
+        if (result.cancelled) {
+            for (uint32_t i = 0; i < injections; ++i) {
+                if (done_[i])
+                    result.runs.push_back(std::move(records_[i]));
+            }
+        } else {
+            result.runs = std::move(records_);
+        }
+    }
+    return result;
+}
+
+std::unique_ptr<Campaign::Execution>
+Campaign::prepare(bool keep_runs) const
+{
+    return std::unique_ptr<Execution>(new Execution(*this, keep_runs));
+}
+
 CampaignResult
 Campaign::run(bool keep_runs) const
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point started = Clock::now();
 
-    const sim::SimResult& golden = this->golden();
-
-    sim::FaultTarget target = config_.targetOverride
-                                  ? *config_.targetOverride
-                                  : targetFor(config_.component);
-    auto [rows, cols] =
-        sim::Simulator::targetGeometry(target, config_.cpu);
-    MaskGenerator generator(rows, cols, config_.cluster);
-
-    CampaignResult result;
-    result.goldenCycles = golden.cycles;
-    result.goldenInstructions = golden.instructions;
-
-    std::vector<RunRecord> records(config_.injections);
-    std::vector<char> done(config_.injections, 0);
-
-    // Replay the journal of an earlier, interrupted invocation: runs it
-    // recorded are taken as-is (they are bit-identical to what a fresh
-    // simulation would produce), the rest are simulated below.
-    std::optional<Journal> journal;
-    if (!journalDir_.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(journalDir_, ec);
-        std::string key = cacheKey();
-        // Early-exit settings ride in the header: they cannot change
-        // outcomes, but they do change RunRecord fields (exit reason,
-        // cycles saved), so journals written under different settings
-        // must not mix.
-        std::string header =
-            strprintf("%s %s ee%u dp%u", JournalVersion, key.c_str(),
-                      earlyExit_ ? 1u : 0u,
-                      earlyExit_ ? digestTarget_ : 0u);
-        std::string path = journalDir_ + "/" + key + ".journal";
-        for (const std::string& line : Journal::replay(path, header)) {
-            RunRecord record;
-            if (parseRun(line, record) &&
-                record.index < config_.injections &&
-                !done[record.index]) {
-                done[record.index] = 1;
-                records[record.index] = std::move(record);
-                ++result.resumed;
-            }
-        }
-        journal.emplace(path, header);
-        if (!journal->open()) {
-            warn("cannot write campaign journal '%s'; continuing "
-                 "without one", path.c_str());
-            journal.reset();
-        }
-    }
+    std::unique_ptr<Execution> exec = prepare(keep_runs);
 
     std::atomic<uint32_t> next{0};
-    std::atomic<uint32_t> completed{result.resumed};
     std::atomic<bool> cancel{false};
     std::atomic<bool> finished{false};
-    std::mutex journalMutex;
 
     const Clock::time_point deadline =
         started + std::chrono::seconds(deadlineSeconds_);
@@ -450,9 +487,9 @@ Campaign::run(bool keep_runs) const
         if (!cancel.exchange(true)) {
             warn("campaign %s %s: finishing in-flight runs "
                  "(%u/%u done%s)",
-                 cacheKey().c_str(), why, completed.load(),
+                 cacheKey().c_str(), why, exec->completedRuns(),
                  config_.injections,
-                 journal ? ", journalled for resume" : "");
+                 journalDir_.empty() ? "" : ", journalled for resume");
         }
         return true;
     };
@@ -464,16 +501,9 @@ Campaign::run(bool keep_runs) const
             uint32_t i = next.fetch_add(1);
             if (i >= config_.injections)
                 return;
-            if (done[i])
+            if (!exec->pending(i))
                 continue;   // replayed from the journal
-            RunRecord record = runOneIsolated(golden, i, generator);
-            records[i] = std::move(record);
-            done[i] = 1;
-            if (journal) {
-                std::lock_guard<std::mutex> lock(journalMutex);
-                journal->append(serializeRun(records[i]));
-            }
-            completed.fetch_add(1);
+            exec->runIndex(i);
         }
     };
 
@@ -497,7 +527,7 @@ Campaign::run(bool keep_runs) const
                         std::chrono::seconds(heartbeatSeconds_)) {
                     last_beat = now;
                     inform("campaign %s: %u/%u runs done",
-                           cacheKey().c_str(), completed.load(),
+                           cacheKey().c_str(), exec->completedRuns(),
                            config_.injections);
                 }
             }
@@ -525,29 +555,7 @@ Campaign::run(bool keep_runs) const
         finished.store(true, std::memory_order_relaxed);
     }
 
-    result.cancelled = cancel.load();
-    for (uint32_t i = 0; i < config_.injections; ++i) {
-        if (!done[i])
-            continue;
-        result.counts.add(records[i].outcome);
-        ++result.completed;
-        if (records[i].exitReason == sim::EarlyExit::DeadFault)
-            ++result.deadFaultExits;
-        else if (records[i].exitReason == sim::EarlyExit::Converged)
-            ++result.convergedExits;
-        result.cyclesSaved += records[i].cyclesSaved;
-    }
-    if (keep_runs) {
-        if (result.cancelled) {
-            for (uint32_t i = 0; i < config_.injections; ++i) {
-                if (done[i])
-                    result.runs.push_back(std::move(records[i]));
-            }
-        } else {
-            result.runs = std::move(records);
-        }
-    }
-    return result;
+    return exec->finalize(cancel.load());
 }
 
 } // namespace mbusim::core

@@ -13,18 +13,22 @@
 #ifndef MBUSIM_CORE_CAMPAIGN_HH
 #define MBUSIM_CORE_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/classification.hh"
+#include "core/golden_store.hh"
 #include "core/mask_generator.hh"
 #include "core/technology.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
+#include "util/journal.hh"
 #include "workloads/workload.hh"
 
 namespace mbusim::core {
@@ -38,6 +42,19 @@ sim::FaultTarget targetFor(Component component);
  * campaign journal so both invalidate on exactly the same changes.
  */
 uint64_t outcomeDigest(const sim::CpuConfig& cpu, const char* source);
+
+struct CampaignConfig;
+
+/**
+ * The golden-ladder knobs as a Campaign constructor resolves them
+ * (environment overrides folded over the config defaults). Study uses
+ * the same resolution so its GoldenStore keys line up exactly with the
+ * artifacts a Campaign would build for itself.
+ */
+uint32_t resolvedCheckpointTarget(const CampaignConfig& config);
+/** Effective digest-ladder target: zero when the early-exit engine is
+ *  off (the ladder exists only for convergence detection). */
+uint32_t resolvedDigestTarget(const CampaignConfig& config);
 
 /** Parameters of one campaign. */
 struct CampaignConfig
@@ -147,6 +164,16 @@ class Campaign
              const CampaignConfig& config);
 
     /**
+     * Like the two-argument constructor, but golden artifacts come
+     * from @p store (simulated on first use, shared read-only with
+     * every other campaign of the same workload and CPU parameters).
+     * The store must outlive the campaign. Outcomes are bit-identical
+     * to a campaign that simulates its own golden run.
+     */
+    Campaign(const workloads::Workload& workload,
+             const CampaignConfig& config, GoldenStore& store);
+
+    /**
      * Run the golden execution plus all injections. With a journal
      * configured, completed runs recorded by a previous (interrupted)
      * invocation are replayed instead of re-simulated; the result is
@@ -174,17 +201,68 @@ class Campaign
      */
     std::string cacheKey() const;
 
+    /**
+     * One in-flight invocation of this campaign: the per-run state
+     * (journal, replay table, tallies) that used to live inside run(),
+     * factored out so an external scheduler (Study::runSweep) can
+     * interleave many campaigns' runs on one shared worker pool.
+     *
+     * The journal is replayed at construction; the golden simulation
+     * is deferred to the first runIndex()/finalize() call. Distinct
+     * indices may run concurrently; each pending index must be run
+     * exactly once. Results assembled by finalize() are bit-identical
+     * to Campaign::run()'s — runs are deterministic in (seed, index),
+     * so it does not matter which thread simulates which run, or when.
+     */
+    class Execution
+    {
+      public:
+        uint32_t injections() const;
+        /** Does run @p index still need simulating (not replayed)? */
+        bool pending(uint32_t index) const;
+        /**
+         * Simulate run @p index (fault-isolated, journalled) and
+         * return how many runs are still pending afterwards — zero
+         * means the campaign is complete and finalize() may be called.
+         */
+        uint32_t runIndex(uint32_t index);
+        /** Runs finished so far (replayed + simulated). */
+        uint32_t completedRuns() const;
+        /** Runs replayed from the journal at construction. */
+        uint32_t resumedRuns() const { return resumed_; }
+        /** Assemble the CampaignResult (exactly run()'s semantics). */
+        CampaignResult finalize(bool cancelled);
+
+      private:
+        friend class Campaign;
+        Execution(const Campaign& campaign, bool keep_runs);
+
+        const Campaign& campaign_;
+        MaskGenerator generator_;
+        bool keepRuns_;
+        std::vector<RunRecord> records_;
+        std::vector<char> done_;
+        std::optional<Journal> journal_;
+        std::mutex journalMutex_;
+        uint32_t resumed_ = 0;
+        std::atomic<uint32_t> completed_{0};
+        std::atomic<uint32_t> pending_{0};
+    };
+
+    /** Start an invocation: replay the journal, simulate nothing yet. */
+    std::unique_ptr<Execution> prepare(bool keep_runs = false) const;
+
   private:
     /**
-     * The cached golden run (simulated on first use, with checkpoints
-     * recorded when enabled). Thread-safe on first call.
+     * The golden artifacts (simulated on first use — or fetched from
+     * the shared store when one was given). Thread-safe on first call.
      */
-    const sim::SimResult& golden() const;
-    void runGolden() const;
-    RunRecord runOne(const sim::SimResult& golden, uint32_t index,
+    const GoldenArtifacts& golden() const;
+    RunRecord runOne(const GoldenArtifacts& golden, uint32_t index,
                      const MaskGenerator& generator,
                      uint32_t attempt) const;
-    RunRecord runOneIsolated(const sim::SimResult& golden, uint32_t index,
+    RunRecord runOneIsolated(const GoldenArtifacts& golden,
+                             uint32_t index,
                              const MaskGenerator& generator) const;
 
     const workloads::Workload& workload_;
@@ -197,14 +275,13 @@ class Campaign
     std::string journalDir_;       ///< resolved journal dir ("" = off)
     uint32_t deadlineSeconds_;     ///< resolved deadline (0 = none)
     uint32_t heartbeatSeconds_;    ///< progress heartbeat (0 = off)
+    GoldenStore* store_ = nullptr; ///< shared golden artifacts, if any
 
-    // Golden-run cache, filled once on first use (goldenCycles() or
-    // run(), whichever comes first). Checkpoints are read-only after
-    // that and shared across the worker pool.
+    // Golden-artifact cache, filled once on first use (goldenCycles()
+    // or the first injected run, whichever comes first). Immutable and
+    // shared read-only across the worker pool after that.
     mutable std::once_flag goldenOnce_;
-    mutable sim::SimResult golden_;
-    mutable std::vector<sim::Snapshot> checkpoints_;
-    mutable std::vector<sim::DigestPoint> digests_;
+    mutable std::shared_ptr<const GoldenArtifacts> golden_;
 };
 
 } // namespace mbusim::core

@@ -1,0 +1,145 @@
+#include "core/golden_store.hh"
+
+#include <atomic>
+
+#include "core/campaign.hh"
+#include "util/log.hh"
+
+namespace mbusim::core {
+
+namespace {
+
+/** Cycle budget for golden executions. */
+constexpr uint64_t GoldenBudget = 500'000'000;
+
+/**
+ * Initial ladder spacing in cycles. The golden run's length is not
+ * known up front, so recording starts fine-grained and doubles the
+ * interval (dropping every other sample) whenever twice the target
+ * count accumulates — ending with between K and 2K evenly spaced
+ * samples for any run length, in a single golden simulation.
+ */
+constexpr uint64_t InitialCheckpointInterval = 512;
+
+std::atomic<uint64_t> goldenSims{0};
+
+} // namespace
+
+uint64_t
+goldenSimulationCount()
+{
+    return goldenSims.load(std::memory_order_relaxed);
+}
+
+GoldenArtifacts
+simulateGolden(const workloads::Workload& workload,
+               const sim::Program& program, const sim::CpuConfig& cpu,
+               uint32_t checkpoint_target, uint32_t digest_target)
+{
+    goldenSims.fetch_add(1, std::memory_order_relaxed);
+
+    GoldenArtifacts artifacts;
+    sim::Simulator simulator(program, cpu);
+
+    if (checkpoint_target == 0 && digest_target == 0) {
+        artifacts.result = simulator.run(GoldenBudget);
+    } else {
+        // Segmented golden run with two independent interval-doubling
+        // ladders sharing one simulation: whole-machine checkpoints
+        // (coarse, for fast-forward) and state digests (dense, for
+        // convergence detection). Each ladder snapshots at its own
+        // boundaries, thinning to double its interval whenever 2x its
+        // target accumulates (see InitialCheckpointInterval); every
+        // segment runs to the nearest boundary of either ladder.
+        uint64_t ckpt_interval = InitialCheckpointInterval;
+        uint64_t digest_interval = InitialCheckpointInterval;
+        for (;;) {
+            uint64_t next_ckpt =
+                checkpoint_target != 0
+                    ? (artifacts.checkpoints.size() + 1) * ckpt_interval
+                    : GoldenBudget;
+            uint64_t next_digest =
+                digest_target != 0
+                    ? (artifacts.digests.size() + 1) * digest_interval
+                    : GoldenBudget;
+            uint64_t cut =
+                std::min({next_ckpt, next_digest, GoldenBudget});
+            artifacts.result = simulator.run(cut);
+            if (artifacts.result.status.kind !=
+                    sim::ExitKind::LimitReached ||
+                cut >= GoldenBudget) {
+                break;
+            }
+            if (cut == next_ckpt) {
+                artifacts.checkpoints.push_back(simulator.checkpoint());
+                if (artifacts.checkpoints.size() >=
+                    2 * checkpoint_target) {
+                    std::vector<sim::Snapshot> kept;
+                    kept.reserve(artifacts.checkpoints.size() / 2);
+                    for (size_t i = 1; i < artifacts.checkpoints.size();
+                         i += 2) {
+                        kept.push_back(
+                            std::move(artifacts.checkpoints[i]));
+                    }
+                    artifacts.checkpoints = std::move(kept);
+                    ckpt_interval *= 2;
+                }
+            }
+            if (cut == next_digest) {
+                artifacts.digests.push_back(
+                    {cut, simulator.stateDigest()});
+                if (artifacts.digests.size() >= 2 * digest_target) {
+                    std::vector<sim::DigestPoint> kept;
+                    kept.reserve(artifacts.digests.size() / 2);
+                    for (size_t i = 1; i < artifacts.digests.size();
+                         i += 2) {
+                        kept.push_back(artifacts.digests[i]);
+                    }
+                    artifacts.digests = std::move(kept);
+                    digest_interval *= 2;
+                }
+            }
+        }
+    }
+
+    if (artifacts.result.status.kind != sim::ExitKind::Exited) {
+        fatal("golden run of '%s' did not exit cleanly: %s",
+              workload.name.c_str(),
+              artifacts.result.status.describe().c_str());
+    }
+    return artifacts;
+}
+
+std::shared_ptr<const GoldenArtifacts>
+GoldenStore::get(const workloads::Workload& workload,
+                 const sim::CpuConfig& cpu, uint32_t checkpoint_target,
+                 uint32_t digest_target)
+{
+    // The outcome digest already covers every CPU parameter and
+    // workload-source byte; the ladder targets ride alongside because
+    // they change the artifacts (not the outcomes).
+    std::string key = strprintf(
+        "%s_k%u_d%u_%016llx", workload.name.c_str(), checkpoint_target,
+        digest_target,
+        static_cast<unsigned long long>(
+            outcomeDigest(cpu, workload.source)));
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::shared_ptr<Entry>& slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // Simulate outside the map lock: one workload's golden run must not
+    // serialize another's.
+    std::call_once(entry->once, [&] {
+        entry->artifacts = std::make_shared<const GoldenArtifacts>(
+            simulateGolden(workload, workload.assemble(), cpu,
+                           checkpoint_target, digest_target));
+    });
+    return entry->artifacts;
+}
+
+} // namespace mbusim::core

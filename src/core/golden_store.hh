@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared golden-run artifacts (DESIGN.md §11).
+ *
+ * Every campaign of a workload needs the same three golden artifacts:
+ * the terminal SimResult, the checkpoint ladder (fast-forward, §8) and
+ * the state-digest ladder (convergence detection, §10). A full sweep
+ * runs 18 campaigns per workload (6 components x 3 cardinalities), and
+ * before this store each one re-simulated the identical golden run.
+ * The store simulates it once per (workload, CPU parameters, ladder
+ * targets) key and hands out immutable shared_ptrs, so all cells of a
+ * workload — and Study::goldenCycles() — share a single simulation.
+ */
+
+#ifndef MBUSIM_CORE_GOLDEN_STORE_HH
+#define MBUSIM_CORE_GOLDEN_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::core {
+
+/**
+ * Everything a campaign needs from the golden run, built together in
+ * one simulation. Immutable once published; campaigns hold a
+ * shared_ptr and read the ladders concurrently without locking.
+ */
+struct GoldenArtifacts
+{
+    sim::SimResult result;
+    std::vector<sim::Snapshot> checkpoints;
+    std::vector<sim::DigestPoint> digests;
+};
+
+/**
+ * Simulate a workload's golden run, recording both interval-doubling
+ * ladders in the same simulation (pass 0 to disable either). Fatal if
+ * the golden run does not exit cleanly. Each call increments
+ * goldenSimulationCount().
+ */
+GoldenArtifacts simulateGolden(const workloads::Workload& workload,
+                               const sim::Program& program,
+                               const sim::CpuConfig& cpu,
+                               uint32_t checkpoint_target,
+                               uint32_t digest_target);
+
+/**
+ * Process-wide count of golden simulations performed so far. Benches
+ * and tests diff this around a sweep to prove the sharing works (a
+ * full sweep must add exactly one per workload).
+ */
+uint64_t goldenSimulationCount();
+
+/**
+ * Thread-safe memo of golden artifacts, one entry per (workload, CPU
+ * parameters, ladder targets) key.
+ */
+class GoldenStore
+{
+  public:
+    /**
+     * The artifacts for one key, simulated on first use. Distinct keys
+     * simulate concurrently; the same key simulates exactly once, with
+     * latecomers blocking until it is published.
+     */
+    std::shared_ptr<const GoldenArtifacts>
+    get(const workloads::Workload& workload, const sim::CpuConfig& cpu,
+        uint32_t checkpoint_target, uint32_t digest_target);
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const GoldenArtifacts> artifacts;
+    };
+
+    std::mutex mutex_;   ///< guards entries_; never held while simulating
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_GOLDEN_STORE_HH

@@ -1,14 +1,19 @@
 #include "core/study.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
 #include "util/env.hh"
+#include "util/interrupt.hh"
 #include "util/journal.hh"
 #include "util/log.hh"
 
@@ -39,6 +44,11 @@ defaultStudyConfig()
 Study::Study(StudyConfig config)
     : config_(std::move(config))
 {
+    // The escape hatch overrides the config default, matching how the
+    // campaign-level knobs resolve.
+    config_.sweepScheduler =
+        envUInt("MBUSIM_SWEEP_SCHEDULER",
+                config_.sweepScheduler ? 1 : 0, 1) != 0;
     for (const auto& w : workloads::allWorkloads()) {
         if (config_.workloads.empty() ||
             std::find(config_.workloads.begin(), config_.workloads.end(),
@@ -67,6 +77,23 @@ Study::cacheKey(const std::string& workload, Component component,
                      config_.cluster.rows, config_.cluster.cols,
                      config_.timeoutFactor,
                      static_cast<unsigned long long>(digest));
+}
+
+CampaignConfig
+Study::campaignConfig(Component component, uint32_t faults) const
+{
+    CampaignConfig cc;
+    cc.component = component;
+    cc.faults = faults;
+    cc.injections = config_.injections;
+    cc.seed = config_.seed;
+    cc.cluster = config_.cluster;
+    cc.timeoutFactor = config_.timeoutFactor;
+    cc.threads = config_.threads;
+    cc.cpu = config_.cpu;
+    cc.journalDir = config_.journalDir;
+    cc.hostFaultHook = config_.hostFaultHook;
+    return cc;
 }
 
 bool
@@ -168,29 +195,33 @@ Study::storeCached(const std::string& key,
     }
 }
 
+bool
+Study::lookupCell(const std::string& workload, const std::string& key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (results_.count(key) != 0)
+            return true;
+    }
+    CampaignResult cached;
+    if (!loadCached(key, cached))
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    golden_[workload] = cached.goldenCycles;
+    results_.emplace(key, std::move(cached));
+    return true;
+}
+
 const CampaignResult&
 Study::campaign(const std::string& workload, Component component,
                 uint32_t faults)
 {
     std::string key = cacheKey(workload, component, faults);
-    auto it = results_.find(key);
-    if (it != results_.end())
-        return it->second;
-
-    CampaignResult result;
-    if (!loadCached(key, result)) {
-        CampaignConfig cc;
-        cc.component = component;
-        cc.faults = faults;
-        cc.injections = config_.injections;
-        cc.seed = config_.seed;
-        cc.cluster = config_.cluster;
-        cc.timeoutFactor = config_.timeoutFactor;
-        cc.threads = config_.threads;
-        cc.cpu = config_.cpu;
-        cc.journalDir = config_.journalDir;
-        Campaign campaign(workloads::workloadByName(workload), cc);
-        result = campaign.run();
+    if (!lookupCell(workload, key)) {
+        CampaignConfig cc = campaignConfig(component, faults);
+        Campaign campaign(workloads::workloadByName(workload), cc,
+                          goldenStore_);
+        CampaignResult result = campaign.run();
         if (result.cancelled) {
             // Partial counts must not poison the sweep or its disk
             // cache; the journal (if enabled) holds the finished runs.
@@ -203,25 +234,294 @@ Study::campaign(const std::string& workload, Component component,
                       : " from its journal");
         }
         storeCached(key, result);
+        std::lock_guard<std::mutex> lock(mutex_);
+        golden_[workload] = result.goldenCycles;
+        return results_.emplace(key, std::move(result)).first->second;
     }
-    golden_[workload] = result.goldenCycles;
-    return results_.emplace(key, std::move(result)).first->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.find(key)->second;
 }
 
 uint64_t
 Study::goldenCycles(const std::string& workload)
 {
-    auto it = golden_.find(workload);
-    if (it != golden_.end())
-        return it->second;
-    // Cheapest way to learn it: the 1-bit L1D campaign caches it; but a
-    // plain golden run avoids triggering injections.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = golden_.find(workload);
+        if (it != golden_.end())
+            return it->second;
+    }
+    // Served from the shared store: at most one golden simulation per
+    // workload, and the artifacts are reused by every later campaign
+    // of it (this used to be a throwaway full simulation whenever the
+    // cell cache was hit first).
     CampaignConfig cc;
     cc.cpu = config_.cpu;
-    Campaign campaign(workloads::workloadByName(workload), cc);
-    uint64_t cycles = campaign.goldenCycles();
+    std::shared_ptr<const GoldenArtifacts> artifacts =
+        goldenStore_.get(workloads::workloadByName(workload),
+                         config_.cpu, resolvedCheckpointTarget(cc),
+                         resolvedDigestTarget(cc));
+    uint64_t cycles = artifacts->result.cycles;
+    std::lock_guard<std::mutex> lock(mutex_);
     golden_[workload] = cycles;
     return cycles;
+}
+
+SweepReport
+Study::runSweep(const ProgressFn& progress)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point started = Clock::now();
+    const uint64_t golden_before = goldenSimulationCount();
+
+    SweepReport report;
+    report.cells = static_cast<uint32_t>(workloads_.size()) *
+                   static_cast<uint32_t>(AllComponents.size()) * 3;
+
+    if (!config_.sweepScheduler) {
+        // Escape hatch (MBUSIM_SWEEP_SCHEDULER=0): the pre-scheduler
+        // serial loop — one campaign at a time, each with its own
+        // worker pool. Goldens are still shared through the store.
+        uint32_t done = 0;
+        for (const auto* w : workloads_) {
+            for (Component component : AllComponents) {
+                for (uint32_t faults = 1; faults <= 3; ++faults) {
+                    std::string key =
+                        cacheKey(w->name, component, faults);
+                    bool cached = lookupCell(w->name, key);
+                    const CampaignResult& result =
+                        campaign(w->name, component, faults);
+                    if (cached) {
+                        ++report.cachedCells;
+                    } else {
+                        ++report.simulatedCells;
+                        report.runsSimulated +=
+                            result.completed - result.resumed;
+                        report.runsResumed += result.resumed;
+                    }
+                    if (progress) {
+                        SweepProgress p;
+                        p.cell = key;
+                        p.fromCache = cached;
+                        p.cellsDone = ++done;
+                        p.cellsTotal = report.cells;
+                        p.runsDone = report.runsSimulated;
+                        progress(p);
+                    }
+                }
+            }
+        }
+        report.goldenSimulations =
+            goldenSimulationCount() - golden_before;
+        return report;
+    }
+
+    // --- Pass 1: enumerate the grid (workload-major, so consecutive
+    // cells share a golden) and split cached cells from pending ones.
+    struct Cell
+    {
+        const workloads::Workload* workload = nullptr;
+        std::string key;
+        std::unique_ptr<Campaign> campaign;
+        std::unique_ptr<Campaign::Execution> exec;
+    };
+    std::vector<std::unique_ptr<Cell>> cells;
+    std::vector<std::string> cached_keys;
+    for (const auto* w : workloads_) {
+        for (Component component : AllComponents) {
+            for (uint32_t faults = 1; faults <= 3; ++faults) {
+                std::string key = cacheKey(w->name, component, faults);
+                if (lookupCell(w->name, key)) {
+                    ++report.cachedCells;
+                    cached_keys.push_back(std::move(key));
+                    continue;
+                }
+                auto cell = std::make_unique<Cell>();
+                cell->workload = w;
+                cell->key = std::move(key);
+                cell->campaign = std::make_unique<Campaign>(
+                    *w, campaignConfig(component, faults),
+                    goldenStore_);
+                cell->exec = cell->campaign->prepare();
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    // --- Pass 2: one global queue of (cell, run) tasks in cell order.
+    // Workers claim tasks with a single atomic cursor, so a cell's
+    // Masked-heavy straggler tail overlaps the next cell's work and
+    // the pool is spawned once per sweep, not once per campaign.
+    std::vector<std::pair<Cell*, uint32_t>> tasks;
+    for (auto& cell : cells) {
+        report.runsResumed += cell->exec->resumedRuns();
+        for (uint32_t i = 0; i < config_.injections; ++i) {
+            if (cell->exec->pending(i))
+                tasks.push_back({cell.get(), i});
+        }
+    }
+    const uint64_t runs_total = tasks.size();
+
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> runs_done{0};
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> finished{false};
+    std::mutex progressMutex;   // serializes tallies + callbacks
+    uint32_t cells_done = 0;    // guarded by progressMutex
+
+    auto notify = [&](const std::string& key, bool from_cache) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        ++cells_done;
+        if (!from_cache)
+            ++report.simulatedCells;
+        if (progress) {
+            SweepProgress p;
+            p.cell = key;
+            p.fromCache = from_cache;
+            p.cellsDone = cells_done;
+            p.cellsTotal = report.cells;
+            p.runsDone = runs_done.load();
+            p.runsTotal = runs_total;
+            progress(p);
+        }
+    };
+    for (const std::string& key : cached_keys)
+        notify(key, true);
+
+    // A cell fully replayed from its journal completes without ever
+    // entering the queue.
+    auto finalizeCell = [&](Cell& cell) {
+        CampaignResult result = cell.exec->finalize(false);
+        storeCached(cell.key, result);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            golden_[cell.workload->name] = result.goldenCycles;
+            results_.emplace(cell.key, std::move(result));
+        }
+        notify(cell.key, false);
+    };
+    for (auto& cell : cells) {
+        if (cell->exec->completedRuns() == config_.injections)
+            finalizeCell(*cell);
+    }
+
+    const uint32_t deadline_s =
+        config_.deadlineSeconds != 0
+            ? config_.deadlineSeconds
+            : static_cast<uint32_t>(
+                  envUInt("MBUSIM_DEADLINE_S", 0, UINT32_MAX));
+    const uint32_t heartbeat_s = static_cast<uint32_t>(
+        envUInt("MBUSIM_HEARTBEAT_S", 30, UINT32_MAX));
+    const Clock::time_point deadline =
+        started + std::chrono::seconds(deadline_s);
+
+    auto shouldStop = [&]() {
+        if (cancel.load(std::memory_order_relaxed))
+            return true;
+        const char* why = nullptr;
+        if (interruptRequested())
+            why = "interrupted";
+        else if (deadline_s != 0 && Clock::now() >= deadline)
+            why = "deadline expired";
+        if (!why)
+            return false;
+        if (!cancel.exchange(true)) {
+            warn("sweep %s: finishing in-flight runs (%llu/%llu runs "
+                 "done%s)",
+                 why,
+                 static_cast<unsigned long long>(runs_done.load()),
+                 static_cast<unsigned long long>(runs_total),
+                 config_.journalDir.empty()
+                     ? "" : ", journalled for resume");
+        }
+        return true;
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            if (shouldStop())
+                return;
+            size_t t = next.fetch_add(1);
+            if (t >= tasks.size())
+                return;
+            Cell* cell = tasks[t].first;
+            uint32_t remaining = cell->exec->runIndex(tasks[t].second);
+            runs_done.fetch_add(1);
+            // The worker that retires a cell's last run finalizes it:
+            // the cell is complete, so caching it is safe even if a
+            // cancellation raced in meanwhile.
+            if (remaining == 0)
+                finalizeCell(*cell);
+        }
+    };
+
+    // Sweep-level watchdog: one heartbeat/deadline monitor for the
+    // whole grid instead of one per campaign.
+    std::mutex monitorMutex;
+    std::condition_variable monitorCv;
+    std::thread monitor;
+    if (heartbeat_s != 0 || deadline_s != 0) {
+        monitor = std::thread([&]() {
+            auto last_beat = started;
+            std::unique_lock<std::mutex> lock(monitorMutex);
+            while (!finished.load(std::memory_order_relaxed)) {
+                monitorCv.wait_for(lock,
+                                   std::chrono::milliseconds(100));
+                shouldStop();
+                auto now = Clock::now();
+                if (heartbeat_s != 0 &&
+                    now - last_beat >=
+                        std::chrono::seconds(heartbeat_s)) {
+                    last_beat = now;
+                    std::lock_guard<std::mutex> plock(progressMutex);
+                    inform("sweep: %llu/%llu runs, %u/%u cells done",
+                           static_cast<unsigned long long>(
+                               runs_done.load()),
+                           static_cast<unsigned long long>(runs_total),
+                           cells_done, report.cells);
+                }
+            }
+        });
+    }
+
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envUInt("MBUSIM_THREADS",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    UINT32_MAX));
+    }
+    threads = std::max<uint64_t>(
+        1, std::min<uint64_t>(threads, tasks.size()));
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
+    }
+    if (monitor.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(monitorMutex);
+            finished.store(true, std::memory_order_relaxed);
+        }
+        monitorCv.notify_all();
+        monitor.join();
+    } else {
+        finished.store(true, std::memory_order_relaxed);
+    }
+
+    report.cancelled = cancel.load();
+    report.runsSimulated = runs_done.load();
+    report.goldenSimulations = goldenSimulationCount() - golden_before;
+    // Cells still holding pending runs are neither memoized nor
+    // disk-cached; their journals (if enabled) already hold every
+    // finished run, so the next sweep resumes them bit-identically.
+    return report;
 }
 
 ComponentAvf
@@ -245,6 +545,10 @@ Study::componentAvf(Component component)
 std::vector<ComponentAvf>
 Study::allComponentAvfs()
 {
+    // One scheduler pass fills the whole grid (shared goldens, one
+    // persistent pool); the per-cell reads below are then memo hits.
+    if (config_.sweepScheduler)
+        runSweep();
     std::vector<ComponentAvf> all;
     for (Component c : AllComponents)
         all.push_back(componentAvf(c));

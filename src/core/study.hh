@@ -1,13 +1,21 @@
 /**
  * @file
  * Study orchestration: the full (workload x component x cardinality)
- * sweep of the paper, with result caching.
+ * sweep of the paper, with result caching and a sweep-level scheduler.
  *
  * The paper's headline results (Tables IV/V, Figs. 7/8) need campaigns
  * for all 15 workloads x 6 components x 3 cardinalities. A Study runs
  * campaigns on demand and memoizes them in-process and, optionally, in a
  * small on-disk cache keyed by every parameter that affects the result,
  * so the bench binaries can share one sweep (set MBUSIM_CACHE_DIR).
+ *
+ * runSweep() flattens the whole grid into one scheduler (DESIGN.md
+ * §11): golden runs are simulated once per workload and shared across
+ * all 18 of its cells through a GoldenStore, and a single persistent
+ * worker pool drains a global (cell, run) queue, so one cell's
+ * straggler tail overlaps the next cell's work. Per-cell results stay
+ * bit-identical to the serial path. MBUSIM_SWEEP_SCHEDULER=0 falls
+ * back to the strictly serial per-campaign loop.
  *
  * Environment knobs honoured by defaultStudyConfig():
  *   MBUSIM_INJECTIONS  sample size per campaign   (default 200)
@@ -16,6 +24,7 @@
  *   MBUSIM_CACHE_DIR   on-disk result cache       (default: off)
  *   MBUSIM_JOURNAL_DIR per-campaign run journals  (default: off)
  *   MBUSIM_WORKLOADS   comma list to restrict the sweep (default: all)
+ *   MBUSIM_SWEEP_SCHEDULER  global-queue sweep scheduler (default: on)
  *
  * Cache entries are versioned and checksummed; a truncated, corrupted
  * or foreign entry is a miss that gets regenerated and atomically
@@ -25,12 +34,15 @@
 #ifndef MBUSIM_CORE_STUDY_HH
 #define MBUSIM_CORE_STUDY_HH
 
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/avf.hh"
 #include "core/campaign.hh"
+#include "core/golden_store.hh"
 
 namespace mbusim::core {
 
@@ -46,15 +58,50 @@ struct StudyConfig
     std::string cacheDir;               ///< empty = no disk cache
     std::string journalDir;             ///< per-campaign run journals
     std::vector<std::string> workloads; ///< empty = all 15
+    /** Wall-clock budget for one runSweep() call in seconds (0 = take
+     *  MBUSIM_DEADLINE_S, unset/0 = none). */
+    uint32_t deadlineSeconds = 0;
+    /** Global-queue sweep scheduler (MBUSIM_SWEEP_SCHEDULER); off =
+     *  runSweep() degrades to the serial per-campaign loop. */
+    bool sweepScheduler = true;
+    /** Test-only host-fault injection, forwarded to every campaign
+     *  (see CampaignConfig::hostFaultHook). */
+    std::function<void(uint32_t, uint32_t)> hostFaultHook;
 };
 
 /** Build a StudyConfig from the MBUSIM_* environment knobs. */
 StudyConfig defaultStudyConfig();
 
+/** Live progress of a runSweep() call, delivered once per finished
+ *  cell (possibly from a worker thread; delivery is serialized). */
+struct SweepProgress
+{
+    std::string cell;        ///< cache key of the cell just finished
+    bool fromCache = false;  ///< served from the memo or disk cache
+    uint32_t cellsDone = 0;
+    uint32_t cellsTotal = 0;
+    uint64_t runsDone = 0;   ///< runs simulated so far by this call
+    uint64_t runsTotal = 0;  ///< runs this call had left to simulate
+};
+
+/** What one runSweep() call did. */
+struct SweepReport
+{
+    uint32_t cells = 0;           ///< cells in the sweep grid
+    uint32_t cachedCells = 0;     ///< satisfied from memo/disk cache
+    uint32_t simulatedCells = 0;  ///< completed by this call
+    uint64_t runsSimulated = 0;
+    uint64_t runsResumed = 0;     ///< replayed from journals
+    uint64_t goldenSimulations = 0;
+    bool cancelled = false;       ///< SIGINT/deadline stopped the sweep
+};
+
 /** On-demand, memoized campaign sweep. */
 class Study
 {
   public:
+    using ProgressFn = std::function<void(const SweepProgress&)>;
+
     explicit Study(StudyConfig config = defaultStudyConfig());
 
     const StudyConfig& config() const { return config_; }
@@ -65,12 +112,31 @@ class Study
         return workloads_;
     }
 
-    /** Campaign result for one (workload, component, faults) triple. */
+    /**
+     * Campaign result for one (workload, component, faults) triple.
+     * Thread-safe; concurrent callers may duplicate work on a shared
+     * miss, but the memoized result is stable either way.
+     */
     const CampaignResult& campaign(const std::string& workload,
                                    Component component, uint32_t faults);
 
-    /** Golden cycles of a workload (Eq. 2 weights). */
+    /**
+     * Golden cycles of a workload (Eq. 2 weights). Served from the
+     * shared GoldenStore (or the memoized campaign results) — never a
+     * throwaway extra simulation.
+     */
     uint64_t goldenCycles(const std::string& workload);
+
+    /**
+     * Run every cell of the grid (|workloads| x 6 components x 3
+     * cardinalities) through the sweep scheduler: one golden
+     * simulation per workload, one persistent worker pool over a
+     * global (cell, run) queue. Completed cells are memoized and
+     * disk-cached exactly as campaign() would; a cancelled sweep
+     * (SIGINT / deadline) finishes in-flight runs, leaves journals
+     * resumable and never caches a partially finished cell.
+     */
+    SweepReport runSweep(const ProgressFn& progress = {});
 
     /**
      * Eq. 2 weighted AVF of a component for all three cardinalities
@@ -78,18 +144,29 @@ class Study
      */
     ComponentAvf componentAvf(Component component);
 
-    /** componentAvf for all six components. */
+    /** componentAvf for all six components (scheduled as one sweep). */
     std::vector<ComponentAvf> allComponentAvfs();
 
   private:
     std::string cacheKey(const std::string& workload,
                          Component component, uint32_t faults) const;
+    CampaignConfig campaignConfig(Component component,
+                                  uint32_t faults) const;
     bool loadCached(const std::string& key, CampaignResult& result) const;
     void storeCached(const std::string& key,
                      const CampaignResult& result) const;
+    /** Memo probe; fills golden_ from a disk hit. Returns true if the
+     *  cell is now memoized. Takes mutex_. */
+    bool lookupCell(const std::string& workload, const std::string& key);
 
     StudyConfig config_;
     std::vector<const workloads::Workload*> workloads_;
+    GoldenStore goldenStore_;
+
+    /** Guards results_ and golden_ (campaign() and the sweep workers
+     *  mutate them concurrently). References into results_ stay valid
+     *  under mutation (std::map), so callers may hold them unlocked. */
+    mutable std::mutex mutex_;
     std::map<std::string, CampaignResult> results_;
     std::map<std::string, uint64_t> golden_;
 };

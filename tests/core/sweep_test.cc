@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Sweep-scheduler equivalence and safety tests (DESIGN.md §11).
+ *
+ * The scheduler is a pure host-side reorganization — shared golden
+ * artifacts plus a global (cell, run) queue — so the acceptance bar is
+ * the same as for the other engines: per-cell outcome counts must be
+ * bit-identical to campaigns run the pre-scheduler way, at any thread
+ * count; golden runs must be simulated exactly once per workload; and
+ * a cancelled sweep must never cache a partially finished cell while
+ * still resuming bit-identically from its journals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/golden_store.hh"
+#include "core/study.hh"
+#include "util/interrupt.hh"
+#include "util/log.hh"
+
+namespace mbusim::core {
+namespace {
+
+class SweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The tests control everything through StudyConfig alone.
+        for (const char* knob :
+             {"MBUSIM_INJECTIONS", "MBUSIM_SEED", "MBUSIM_THREADS",
+              "MBUSIM_CACHE_DIR", "MBUSIM_JOURNAL_DIR",
+              "MBUSIM_WORKLOADS", "MBUSIM_SWEEP_SCHEDULER",
+              "MBUSIM_DEADLINE_S", "MBUSIM_HEARTBEAT_S",
+              "MBUSIM_EARLY_EXIT", "MBUSIM_DIGEST_POINTS",
+              "MBUSIM_CHECKPOINTS"}) {
+            unsetenv(knob);
+        }
+        clearInterrupt();
+    }
+
+    void TearDown() override { clearInterrupt(); }
+};
+
+std::string
+freshDir(const std::string& name)
+{
+    std::string dir = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+size_t
+fileCount(const std::string& dir)
+{
+    if (!std::filesystem::exists(dir))
+        return 0;
+    size_t n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator(dir)) {
+        ++n;
+    }
+    return n;
+}
+
+StudyConfig
+sweepConfig(uint32_t threads)
+{
+    StudyConfig config;
+    config.workloads = {"stringsearch", "susan_s"};
+    config.injections = 5;
+    config.threads = threads;
+    return config;
+}
+
+TEST_F(SweepTest, SchedulerMatchesSerialPath)
+{
+    // Reference: each cell as its own pre-scheduler campaign — private
+    // golden run, private worker pool.
+    std::map<std::string, std::array<uint64_t, 6>> reference;
+    {
+        Study ref(sweepConfig(1));
+        for (const auto* w : ref.workloadSet()) {
+            for (Component component : AllComponents) {
+                for (uint32_t faults = 1; faults <= 3; ++faults) {
+                    CampaignConfig cc;
+                    cc.component = component;
+                    cc.faults = faults;
+                    cc.injections = 5;
+                    cc.threads = 1;
+                    CampaignResult r = Campaign(*w, cc).run();
+                    reference[strprintf("%s_%s_f%u", w->name.c_str(),
+                                        componentShortName(component),
+                                        faults)] = r.counts.counts;
+                }
+            }
+        }
+    }
+
+    for (uint32_t threads : {1u, 4u}) {
+        SCOPED_TRACE(strprintf("threads=%u", threads));
+        Study study(sweepConfig(threads));
+        SweepReport report = study.runSweep();
+        EXPECT_EQ(report.cells, 36u);
+        EXPECT_EQ(report.simulatedCells, 36u);
+        EXPECT_EQ(report.cachedCells, 0u);
+        EXPECT_FALSE(report.cancelled);
+        for (const auto* w : study.workloadSet()) {
+            for (Component component : AllComponents) {
+                for (uint32_t faults = 1; faults <= 3; ++faults) {
+                    const CampaignResult& r =
+                        study.campaign(w->name, component, faults);
+                    EXPECT_EQ(r.counts.counts,
+                              reference[strprintf(
+                                  "%s_%s_f%u", w->name.c_str(),
+                                  componentShortName(component),
+                                  faults)])
+                        << w->name << " "
+                        << componentShortName(component) << " f"
+                        << faults;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SweepTest, GoldenSimulatedOncePerWorkload)
+{
+    Study study(sweepConfig(4));
+    uint64_t before = goldenSimulationCount();
+    SweepReport report = study.runSweep();
+    // 36 cells, 2 workloads: the shared store collapses what used to be
+    // 36 golden simulations into exactly 2.
+    EXPECT_EQ(report.goldenSimulations, 2u);
+    EXPECT_EQ(goldenSimulationCount() - before, 2u);
+}
+
+TEST_F(SweepTest, GoldenCyclesDoesNotResimulate)
+{
+    StudyConfig config = sweepConfig(1);
+    config.workloads = {"stringsearch"};
+    Study study(config);
+
+    uint64_t before = goldenSimulationCount();
+    uint64_t cycles = study.goldenCycles("stringsearch");
+    EXPECT_GT(cycles, 0u);
+    EXPECT_EQ(goldenSimulationCount() - before, 1u);
+
+    // A later campaign of the same workload reuses the store entry,
+    // and a later goldenCycles() is a memo hit: still one simulation.
+    const CampaignResult& r =
+        study.campaign("stringsearch", Component::L1D, 1);
+    EXPECT_EQ(r.goldenCycles, cycles);
+    EXPECT_EQ(study.goldenCycles("stringsearch"), cycles);
+    EXPECT_EQ(goldenSimulationCount() - before, 1u);
+}
+
+TEST_F(SweepTest, ConcurrentStudyAccessIsRaceFree)
+{
+    // campaign() and goldenCycles() are documented thread-safe; hammer
+    // them from four threads over the same grid so TSan (the CI tsan
+    // job runs test_core) can see any unguarded access to the memo
+    // maps. Duplicated work on a shared miss is allowed; torn state is
+    // not.
+    StudyConfig config = sweepConfig(1);
+    config.workloads = {"stringsearch"};
+    config.injections = 3;
+    Study study(config);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&study] {
+            for (Component component : AllComponents) {
+                for (uint32_t faults = 1; faults <= 3; ++faults) {
+                    const CampaignResult& r = study.campaign(
+                        "stringsearch", component, faults);
+                    EXPECT_EQ(r.completed, 3u);
+                    EXPECT_EQ(study.goldenCycles("stringsearch"),
+                              r.goldenCycles);
+                }
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+}
+
+TEST_F(SweepTest, CancelledSweepCachesNoPartialCellAndResumes)
+{
+    std::string cache_dir = freshDir("mbusim_sweep_cache");
+    std::string journal_dir = freshDir("mbusim_sweep_journal");
+
+    StudyConfig config = sweepConfig(2);
+    config.cacheDir = cache_dir;
+    config.journalDir = journal_dir;
+    // As if ^C arrived mid-sweep: the 13th simulation attempt raises
+    // the interrupt flag. 13 is not a multiple of the 5-run cell size,
+    // so at least one cell is always left partially finished.
+    std::atomic<uint32_t> attempts{0};
+    config.hostFaultHook = [&attempts](uint32_t, uint32_t) {
+        if (attempts.fetch_add(1) + 1 == 13)
+            requestInterrupt();
+    };
+
+    SweepReport report;
+    {
+        Study study(config);
+        report = study.runSweep();
+    }
+    clearInterrupt();
+    EXPECT_TRUE(report.cancelled);
+    EXPECT_LT(report.simulatedCells, report.cells);
+    // Only fully finished cells may reach the disk cache.
+    EXPECT_EQ(fileCount(cache_dir), report.simulatedCells);
+
+    // Rerun with the interrupt gone: cached cells are reused, the
+    // partial cell's journal is replayed, and the final grid matches a
+    // pristine uninterrupted sweep bit for bit.
+    config.hostFaultHook = nullptr;
+    Study resumed(config);
+    SweepReport second = resumed.runSweep();
+    EXPECT_FALSE(second.cancelled);
+    EXPECT_EQ(second.cachedCells, report.simulatedCells);
+    EXPECT_EQ(second.cachedCells + second.simulatedCells, second.cells);
+    EXPECT_GT(second.runsResumed, 0u);
+
+    Study pristine(sweepConfig(2));
+    pristine.runSweep();
+    for (const auto* w : pristine.workloadSet()) {
+        for (Component component : AllComponents) {
+            for (uint32_t faults = 1; faults <= 3; ++faults) {
+                SCOPED_TRACE(strprintf(
+                    "%s %s f%u", w->name.c_str(),
+                    componentShortName(component), faults));
+                const CampaignResult& a =
+                    resumed.campaign(w->name, component, faults);
+                const CampaignResult& b =
+                    pristine.campaign(w->name, component, faults);
+                EXPECT_EQ(a.counts.counts, b.counts.counts);
+                EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+            }
+        }
+    }
+
+    std::filesystem::remove_all(cache_dir);
+    std::filesystem::remove_all(journal_dir);
+}
+
+TEST_F(SweepTest, SerialFallbackMatchesScheduler)
+{
+    StudyConfig config = sweepConfig(2);
+    config.workloads = {"stringsearch"};
+    config.sweepScheduler = false;
+    Study serial(config);
+    SweepReport report = serial.runSweep();
+    EXPECT_EQ(report.cells, 18u);
+    EXPECT_EQ(report.simulatedCells, 18u);
+    EXPECT_EQ(report.goldenSimulations, 1u);
+
+    config.sweepScheduler = true;
+    Study scheduled(config);
+    scheduled.runSweep();
+    for (Component component : AllComponents) {
+        for (uint32_t faults = 1; faults <= 3; ++faults) {
+            EXPECT_EQ(serial.campaign("stringsearch", component, faults)
+                          .counts.counts,
+                      scheduled
+                          .campaign("stringsearch", component, faults)
+                          .counts.counts);
+        }
+    }
+}
+
+TEST_F(SweepTest, EnvKnobDisablesScheduler)
+{
+    StudyConfig config = sweepConfig(1);
+    config.workloads = {"stringsearch"};
+    setenv("MBUSIM_SWEEP_SCHEDULER", "0", 1);
+    Study study(config);
+    unsetenv("MBUSIM_SWEEP_SCHEDULER");
+    // The escape hatch must fold into the resolved config so the
+    // serial loop runs, and still produce a complete grid.
+    EXPECT_FALSE(study.config().sweepScheduler);
+    SweepReport report = study.runSweep();
+    EXPECT_EQ(report.simulatedCells, 18u);
+}
+
+} // namespace
+} // namespace mbusim::core

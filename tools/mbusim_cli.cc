@@ -9,6 +9,8 @@
  *   run <file.s|workload> [opts]          run on the timing model
  *   trace <file.s|workload> [opts]        run with a commit trace
  *   campaign <file.s|workload> [opts]     fault-injection campaign
+ *   sweep [opts]                          full (workload x component x
+ *                                         cardinality) study sweep
  *
  * Common options:
  *   --func                 use the functional reference model (run)
@@ -21,8 +23,15 @@
  *   --cluster RxC          cluster shape (campaign, default 3x3)
  *   --seed N               campaign seed
  *   --journal-dir DIR      durable run journal; an interrupted
- *                          campaign resumes from it (campaign)
- *   --deadline N           wall-clock budget in seconds (campaign)
+ *                          campaign resumes from it (campaign, sweep)
+ *   --deadline N           wall-clock budget in seconds (campaign, sweep)
+ *   --cache-dir DIR        on-disk result cache (sweep)
+ *   --serial               disable the sweep scheduler: run one
+ *                          campaign at a time (sweep)
+ *
+ * sweep honours the MBUSIM_* environment knobs (MBUSIM_WORKLOADS
+ * restricts the grid, MBUSIM_SWEEP_SCHEDULER=0 is --serial, ...);
+ * explicit flags win over the environment.
  *
  * Program arguments may name a registered workload ("CRC32") or a path
  * to an assembly file.
@@ -42,6 +51,7 @@
 
 #include "core/campaign.hh"
 #include "core/sampling.hh"
+#include "core/study.hh"
 #include "sim/assembler.hh"
 #include "sim/funcsim.hh"
 #include "sim/simulator.hh"
@@ -72,15 +82,17 @@ struct Options
     core::ClusterShape cluster;
     std::string journalDir;
     uint32_t deadlineSeconds = 0;
+    std::string cacheDir;
+    bool serial = false;
 };
 
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mbusim <list|asm|disasm|run|trace|campaign> "
-                 "[program] [options]\n"
-                 "run 'head -45 tools/mbusim_cli.cc' for the option "
+                 "usage: mbusim <list|asm|disasm|run|trace|campaign|"
+                 "sweep> [program] [options]\n"
+                 "run 'head -55 tools/mbusim_cli.cc' for the option "
                  "list\n");
     std::exit(2);
 }
@@ -114,6 +126,10 @@ parseOptions(int argc, char** argv, int first)
             opts.seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--journal-dir") {
             opts.journalDir = next();
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next();
+        } else if (arg == "--serial") {
+            opts.serial = true;
         } else if (arg == "--deadline") {
             opts.deadlineSeconds =
                 static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
@@ -340,6 +356,73 @@ cmdCampaign(const Options& opts)
     return 0;
 }
 
+int
+cmdSweep(const Options& opts)
+{
+    // Environment knobs form the baseline; explicit flags win. A flag
+    // left at its built-in default is indistinguishable from "absent"
+    // and so lets the MBUSIM_* value through.
+    const Options defaults;
+    core::StudyConfig config = core::defaultStudyConfig();
+    if (opts.injections != defaults.injections)
+        config.injections = opts.injections;
+    if (opts.seed != defaults.seed)
+        config.seed = opts.seed;
+    config.cluster = opts.cluster;
+    config.cpu.inOrderIssue = opts.inOrder;
+    if (!opts.journalDir.empty())
+        config.journalDir = opts.journalDir;
+    if (!opts.cacheDir.empty())
+        config.cacheDir = opts.cacheDir;
+    config.deadlineSeconds = opts.deadlineSeconds;
+    if (opts.serial)
+        config.sweepScheduler = false;
+
+    installSigintHandler();
+
+    core::Study study(config);
+    core::SweepReport report = study.runSweep(
+        [](const core::SweepProgress& p) {
+            std::fprintf(stderr, "[%u/%u] %s%s\n", p.cellsDone,
+                         p.cellsTotal, p.cell.c_str(),
+                         p.fromCache ? " (cached)" : "");
+        });
+
+    std::printf("sweep: %u cells (%zu workloads x %zu components x 3 "
+                "cardinalities), %u injections each\n",
+                report.cells, study.workloadSet().size(),
+                core::AllComponents.size(), config.injections);
+    std::printf("  cached %u, simulated %u cells; %llu runs simulated, "
+                "%llu resumed from journals\n",
+                report.cachedCells, report.simulatedCells,
+                static_cast<unsigned long long>(report.runsSimulated),
+                static_cast<unsigned long long>(report.runsResumed));
+    std::printf("  golden simulations: %llu (shared store: at most one "
+                "per workload)\n",
+                static_cast<unsigned long long>(
+                    report.goldenSimulations));
+    if (report.cancelled) {
+        std::printf("cancelled: %u/%u cells completed%s\n",
+                    report.cachedCells + report.simulatedCells,
+                    report.cells,
+                    config.journalDir.empty()
+                        ? "" : " (journalled; rerun to resume)");
+        return interruptRequested() ? ExitInterrupted : ExitDeadline;
+    }
+
+    // Every cell is now memoized, so this table costs no simulation.
+    TextTable table({"Component", "AVF 1-bit", "AVF 2-bit", "AVF 3-bit"});
+    for (core::Component c : core::AllComponents) {
+        core::ComponentAvf avf = study.componentAvf(c);
+        table.addRow({core::componentName(c),
+                      strprintf("%.2f%%", avf.byCardinality[0] * 100.0),
+                      strprintf("%.2f%%", avf.byCardinality[1] * 100.0),
+                      strprintf("%.2f%%", avf.byCardinality[2] * 100.0)});
+    }
+    table.print();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -351,7 +434,9 @@ main(int argc, char** argv)
     if (cmd == "list")
         return cmdList();
     Options opts = parseOptions(argc, argv, 2);
-    if (cmd != "list" && opts.program.empty())
+    if (cmd == "sweep")
+        return cmdSweep(opts);
+    if (opts.program.empty())
         usage();
     if (cmd == "asm")
         return cmdAsm(opts);
