@@ -13,6 +13,7 @@
 #include "sim/cache.hh"
 #include "sim/funcsim.hh"
 #include "sim/simulator.hh"
+#include "util/metrics.hh"
 #include "workloads/workload.hh"
 
 using namespace mbusim;
@@ -121,6 +122,52 @@ BM_BitArrayField(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BitArrayField);
+
+void
+BM_MetricsCounter(benchmark::State& state)
+{
+    // The campaign hot path resolves instruments once and then does one
+    // relaxed atomic add per event; this measures the per-event cost.
+    Metrics m;
+    Counter& c = m.counter("bench.counter");
+    for (auto _ : state)
+        c.add();
+    benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_MetricsCounter);
+
+void
+BM_MetricsHistogram(benchmark::State& state)
+{
+    Metrics m;
+    Histogram& h = m.histogram("bench.hist",
+                               Histogram::exponentialBounds(64, 2, 21));
+    uint64_t v = 1;
+    for (auto _ : state) {
+        h.record(v);
+        v = v * 2654435761u % 1048576;   // spread across the buckets
+    }
+}
+BENCHMARK(BM_MetricsHistogram);
+
+void
+BM_MetricsSnapshot(benchmark::State& state)
+{
+    // Snapshot cost bounds the heartbeat (one per beat, off the sim
+    // threads) with an instrument population like a live sweep's.
+    Metrics m;
+    for (int i = 0; i < 12; ++i)
+        m.counter("bench.counter." + std::to_string(i)).add(i);
+    for (int i = 0; i < 4; ++i)
+        m.gauge("bench.gauge." + std::to_string(i)).set(i);
+    Histogram& h = m.histogram("bench.hist",
+                               Histogram::exponentialBounds(64, 2, 21));
+    for (uint64_t v = 1; v < 1'000'000; v *= 3)
+        h.record(v);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.snapshot().brief());
+}
+BENCHMARK(BM_MetricsSnapshot);
 
 } // namespace
 

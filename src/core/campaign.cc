@@ -55,6 +55,52 @@ serializeRun(const RunRecord& record)
     return line;
 }
 
+/** Machine-friendly name of an early-exit reason (trace records). */
+const char*
+earlyExitName(sim::EarlyExit reason)
+{
+    switch (reason) {
+      case sim::EarlyExit::None: return "none";
+      case sim::EarlyExit::DeadFault: return "dead_fault";
+      case sim::EarlyExit::Converged: return "converged";
+    }
+    return "unknown";
+}
+
+/**
+ * One --trace-out JSONL record for a completed run. Every field except
+ * wall_us is deterministic in (campaign config, run index); wall_us is
+ * deliberately last so scripts can strip it for equivalence checks.
+ */
+std::string
+traceLine(const workloads::Workload& workload,
+          const CampaignConfig& config, const RunRecord& record,
+          bool replayed)
+{
+    std::string flips;
+    for (const sim::BitFlip& flip : record.mask.flips) {
+        flips += strprintf("%s[%" PRIu32 ",%" PRIu32 "]",
+                           flips.empty() ? "" : ",", flip.row, flip.col);
+    }
+    return strprintf(
+        "{\"run\":%" PRIu32 ",\"workload\":%s,\"component\":\"%s\","
+        "\"faults\":%" PRIu32 ",\"seed\":%" PRIu64
+        ",\"cluster\":[%" PRIu32 ",%" PRIu32 "],"
+        "\"mask\":{\"row\":%" PRIu32 ",\"col\":%" PRIu32
+        ",\"flips\":[%s]},\"cycle\":%" PRIu64 ",\"outcome\":\"%s\","
+        "\"exit\":\"%s\",\"cycles\":%" PRIu64
+        ",\"cycles_saved\":%" PRIu64 ",\"restored_from\":%" PRIu64
+        ",\"replayed\":%s,\"wall_us\":%" PRIu64 "}",
+        record.index, jsonQuote(workload.name).c_str(),
+        componentShortName(config.component), config.faults,
+        config.seed, config.cluster.rows, config.cluster.cols,
+        record.mask.clusterRow, record.mask.clusterCol, flips.c_str(),
+        record.cycle, outcomeName(record.outcome),
+        earlyExitName(record.exitReason), record.cycles,
+        record.cyclesSaved, record.restoredFrom,
+        replayed ? "true" : "false", record.wallMicros);
+}
+
 /** Parse a journal payload line; strict — any deviation rejects it. */
 bool
 parseRun(const std::string& payload, RunRecord& record)
@@ -348,6 +394,21 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
 {
     const uint32_t injections = campaign_.config_.injections;
 
+    // Resolve the process-wide instruments once per invocation; the
+    // per-run cost is then a handful of relaxed atomic adds.
+    Metrics& m = metrics();
+    runsSimulated_ = &m.counter("campaign.runs_simulated");
+    cyclesSimulated_ = &m.counter("campaign.cycles_simulated");
+    cyclesSaved_ = &m.counter("campaign.cycles_saved");
+    ffCycles_ = &m.counter("campaign.ff_cycles");
+    exitCounters_ = {&m.counter("campaign.exit.none"),
+                     &m.counter("campaign.exit.dead_fault"),
+                     &m.counter("campaign.exit.converged")};
+    // Run wall times from 64 us to ~2 minutes, then the overflow
+    // bucket; p99/max expose the straggler tail in heartbeats.
+    runWall_ = &m.histogram("campaign.run_wall_us",
+                            Histogram::exponentialBounds(64, 2, 21));
+
     // Replay the journal of an earlier, interrupted invocation: runs it
     // recorded are taken as-is (they are bit-identical to what a fresh
     // simulation would produce), the rest stay pending.
@@ -369,7 +430,7 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
             RunRecord record;
             if (parseRun(line, record) && record.index < injections &&
                 !done_[record.index]) {
-                done_[record.index] = 1;
+                done_[record.index] = 2;   // 2 = replayed (1 = simulated)
                 records_[record.index] = std::move(record);
                 ++resumed_;
             }
@@ -381,6 +442,8 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
             journal_.reset();
         }
     }
+    if (resumed_ > 0)
+        m.counter("campaign.runs_replayed").add(resumed_);
 
     completed_.store(resumed_);
     pending_.store(injections - resumed_);
@@ -407,8 +470,29 @@ Campaign::Execution::completedRuns() const
 uint32_t
 Campaign::Execution::runIndex(uint32_t index)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
     RunRecord record = campaign_.runOneIsolated(campaign_.golden(),
                                                 index, generator_);
+    record.wallMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+
+    runWall_->record(record.wallMicros);
+    runsSimulated_->add(1);
+    // The cycles actually simulated: the faulty run minus the
+    // checkpoint prefix it fast-forwarded over and the golden tail the
+    // early-exit engine proved it never needed (record.cycles reports
+    // golden's terminal count for early exits).
+    uint64_t skipped = record.restoredFrom + record.cyclesSaved;
+    cyclesSimulated_->add(record.cycles > skipped
+                              ? record.cycles - skipped
+                              : 0);
+    cyclesSaved_->add(record.cyclesSaved);
+    ffCycles_->add(record.restoredFrom);
+    exitCounters_[static_cast<size_t>(record.exitReason)]->add(1);
+
     records_[index] = std::move(record);
     done_[index] = 1;
     if (journal_) {
@@ -424,6 +508,19 @@ Campaign::Execution::finalize(bool cancelled)
 {
     const uint32_t injections = campaign_.config_.injections;
     const GoldenArtifacts& golden = campaign_.golden();
+
+    // The run trace: one JSONL record per completed run, in run-index
+    // order — deterministic modulo wall_us whatever the worker
+    // interleaving was. Replayed runs are flagged as such.
+    if (campaign_.config_.trace) {
+        for (uint32_t i = 0; i < injections; ++i) {
+            if (!done_[i])
+                continue;
+            campaign_.config_.trace->append(
+                traceLine(campaign_.workload_, campaign_.config_,
+                          records_[i], done_[i] == 2));
+        }
+    }
 
     CampaignResult result;
     result.goldenCycles = golden.result.cycles;
@@ -526,9 +623,13 @@ Campaign::run(bool keep_runs) const
                     now - last_beat >=
                         std::chrono::seconds(heartbeatSeconds_)) {
                     last_beat = now;
-                    inform("campaign %s: %u/%u runs done",
+                    // One-line metrics snapshot per beat (process-wide
+                    // campaign.* totals; histograms as p50/p99/max).
+                    inform("campaign %s: %u/%u runs done | %s",
                            cacheKey().c_str(), exec->completedRuns(),
-                           config_.injections);
+                           config_.injections,
+                           metrics().snapshot().brief("campaign.")
+                               .c_str());
                 }
             }
         });

@@ -13,6 +13,7 @@
 #ifndef MBUSIM_CORE_CAMPAIGN_HH
 #define MBUSIM_CORE_CAMPAIGN_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -29,6 +30,7 @@
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 #include "util/journal.hh"
+#include "util/metrics.hh"
 #include "workloads/workload.hh"
 
 namespace mbusim::core {
@@ -113,6 +115,16 @@ struct CampaignConfig
      */
     uint32_t deadlineSeconds = 0;
     /**
+     * Run-trace sink (the CLI's --trace-out). When set, finalize()
+     * appends one JSONL record per completed run, in run-index order,
+     * so two identical campaigns emit identical traces modulo the
+     * wall-time field. Runs replayed from a journal are traced with
+     * `"replayed":true` and a zero wall time (the journal records
+     * outcomes, not timings). May be shared across campaigns (a sweep
+     * shares one sink; writes interleave at line granularity).
+     */
+    std::shared_ptr<JsonlWriter> trace;
+    /**
      * Test-only host-fault injection: called at the start of every
      * simulation attempt with (run index, attempt). Tests throw from
      * here to exercise the worker isolation and retry path.
@@ -133,6 +145,12 @@ struct RunRecord
     sim::EarlyExit exitReason = sim::EarlyExit::None;
     /** Golden-tail cycles not simulated thanks to the early exit. */
     uint64_t cyclesSaved = 0;
+    /**
+     * Wall time of the simulation in microseconds. Host-side
+     * bookkeeping only: never journalled (replayed runs report 0) and
+     * excluded from determinism comparisons.
+     */
+    uint64_t wallMicros = 0;
 };
 
 /** Aggregated campaign results. */
@@ -247,6 +265,15 @@ class Campaign
         uint32_t resumed_ = 0;
         std::atomic<uint32_t> completed_{0};
         std::atomic<uint32_t> pending_{0};
+
+        // Process-wide instruments (DESIGN.md §12), resolved once here
+        // so runIndex() pays one atomic add per event, no map lookups.
+        Counter* runsSimulated_;
+        Counter* cyclesSimulated_;
+        Counter* cyclesSaved_;
+        Counter* ffCycles_;
+        std::array<Counter*, 3> exitCounters_;  ///< by sim::EarlyExit
+        Histogram* runWall_;
     };
 
     /** Start an invocation: replay the journal, simulate nothing yet. */

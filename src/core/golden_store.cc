@@ -1,9 +1,11 @@
 #include "core/golden_store.hh"
 
 #include <atomic>
+#include <chrono>
 
 #include "core/campaign.hh"
 #include "util/log.hh"
+#include "util/metrics.hh"
 
 namespace mbusim::core {
 
@@ -37,6 +39,7 @@ simulateGolden(const workloads::Workload& workload,
                uint32_t checkpoint_target, uint32_t digest_target)
 {
     goldenSims.fetch_add(1, std::memory_order_relaxed);
+    metrics().counter("golden.simulations").add(1);
 
     GoldenArtifacts artifacts;
     sim::Simulator simulator(program, cpu);
@@ -133,12 +136,21 @@ GoldenStore::get(const workloads::Workload& workload,
         entry = slot;
     }
     // Simulate outside the map lock: one workload's golden run must not
-    // serialize another's.
+    // serialize another's. golden.wait_us totals the time callers spend
+    // here — the simulating thread's own simulation plus every
+    // latecomer blocked on the same once_flag.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
     std::call_once(entry->once, [&] {
         entry->artifacts = std::make_shared<const GoldenArtifacts>(
             simulateGolden(workload, workload.assemble(), cpu,
                            checkpoint_target, digest_target));
     });
+    metrics().counter("golden.wait_us")
+        .add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
     return entry->artifacts;
 }
 

@@ -1,0 +1,260 @@
+#include "core/report.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/csv.hh"
+#include "util/log.hh"
+#include "util/metrics.hh"
+
+namespace mbusim::core {
+
+namespace {
+
+/** Shortest round-trippable rendering of a double. */
+std::string
+fmtDouble(double v)
+{
+    return strprintf("%.17g", v);
+}
+
+using Row = std::vector<std::string>;
+
+/** The tidy-CSV header shared by every report shape. */
+Row
+tidyHeader()
+{
+    return {"table", "node", "component", "field", "value"};
+}
+
+} // namespace
+
+StudyReport
+buildStudyReport(Study& study)
+{
+    StudyReport report;
+    report.avfs = study.allComponentAvfs();
+    return report;
+}
+
+std::vector<Row>
+studyReportRows(const StudyReport& report)
+{
+    std::vector<Row> rows;
+    rows.push_back(tidyHeader());
+
+    // Eq. 2: execution-time-weighted AVF per component x cardinality.
+    for (const ComponentAvf& avf : report.avfs) {
+        const char* comp = componentShortName(avf.component);
+        for (uint32_t faults = 1; faults <= 3; ++faults) {
+            rows.push_back({"weighted_avf", "", comp,
+                            strprintf("avf_%ubit", faults),
+                            fmtDouble(avf.forCardinality(faults))});
+        }
+    }
+
+    for (TechNode node : AllTechNodes) {
+        const char* nn = techName(node);
+        // Table VI: upset-cardinality mix at the node.
+        MbuRates rates = mbuRates(node);
+        rows.push_back(
+            {"mbu_rates", nn, "", "single", fmtDouble(rates.single)});
+        rows.push_back(
+            {"mbu_rates", nn, "", "double", fmtDouble(rates.dbl)});
+        rows.push_back(
+            {"mbu_rates", nn, "", "triple", fmtDouble(rates.triple)});
+        // Table VII: raw FIT per storage bit.
+        rows.push_back({"raw_fit_per_bit", nn, "", "fit_per_bit",
+                        fmtDouble(rawFitPerBit(node))});
+        // Eq. 3 / Eq. 4 per component.
+        for (const ComponentAvf& avf : report.avfs) {
+            const char* comp = componentShortName(avf.component);
+            rows.push_back({"node_avf", nn, comp, "avf",
+                            fmtDouble(nodeAvf(avf, node))});
+            rows.push_back({"struct_fit", nn, comp, "fit",
+                            fmtDouble(structFit(avf, node))});
+        }
+        // Fig. 8: CPU totals and the single-bit-only assessment gap.
+        CpuFitBreakdown cpu = cpuFit(report.avfs, node);
+        rows.push_back({"cpu_fit", nn, "", "total_fit",
+                        fmtDouble(cpu.totalFit)});
+        rows.push_back({"cpu_fit", nn, "", "multi_bit_fit",
+                        fmtDouble(cpu.multiBitFit)});
+        rows.push_back({"cpu_fit", nn, "", "single_bit_only_fit",
+                        fmtDouble(cpu.singleBitOnlyFit)});
+        rows.push_back({"cpu_fit", nn, "", "multi_bit_fraction",
+                        fmtDouble(cpu.multiBitFraction())});
+        rows.push_back({"cpu_fit", nn, "", "assessment_gap",
+                        fmtDouble(cpu.assessmentGap())});
+    }
+
+    // Table VIII: storage bits per structure.
+    for (Component c : AllComponents) {
+        rows.push_back({"structure_bits", "", componentShortName(c),
+                        "bits",
+                        strprintf("%" PRIu64, componentBits(c))});
+    }
+    return rows;
+}
+
+std::string
+studyReportJson(const StudyReport& report)
+{
+    std::string out = "{\"weighted_avf\":[";
+    bool first = true;
+    for (const ComponentAvf& avf : report.avfs) {
+        out += strprintf(
+            "%s{\"component\":\"%s\",\"avf_by_cardinality\":[%s,%s,%s]}",
+            first ? "" : ",", componentShortName(avf.component),
+            fmtDouble(avf.forCardinality(1)).c_str(),
+            fmtDouble(avf.forCardinality(2)).c_str(),
+            fmtDouble(avf.forCardinality(3)).c_str());
+        first = false;
+    }
+    out += "],\"nodes\":[";
+    first = true;
+    for (TechNode node : AllTechNodes) {
+        MbuRates rates = mbuRates(node);
+        CpuFitBreakdown cpu = cpuFit(report.avfs, node);
+        out += strprintf(
+            "%s{\"node\":\"%s\",\"raw_fit_per_bit\":%s,"
+            "\"mbu_rates\":{\"single\":%s,\"double\":%s,\"triple\":%s},"
+            "\"components\":[",
+            first ? "" : ",", techName(node),
+            fmtDouble(rawFitPerBit(node)).c_str(),
+            fmtDouble(rates.single).c_str(), fmtDouble(rates.dbl).c_str(),
+            fmtDouble(rates.triple).c_str());
+        bool cfirst = true;
+        for (const ComponentAvf& avf : report.avfs) {
+            out += strprintf(
+                "%s{\"component\":\"%s\",\"node_avf\":%s,\"fit\":%s}",
+                cfirst ? "" : ",", componentShortName(avf.component),
+                fmtDouble(nodeAvf(avf, node)).c_str(),
+                fmtDouble(structFit(avf, node)).c_str());
+            cfirst = false;
+        }
+        out += strprintf(
+            "],\"cpu_fit\":{\"total_fit\":%s,\"multi_bit_fit\":%s,"
+            "\"single_bit_only_fit\":%s,\"multi_bit_fraction\":%s,"
+            "\"assessment_gap\":%s}}",
+            fmtDouble(cpu.totalFit).c_str(),
+            fmtDouble(cpu.multiBitFit).c_str(),
+            fmtDouble(cpu.singleBitOnlyFit).c_str(),
+            fmtDouble(cpu.multiBitFraction()).c_str(),
+            fmtDouble(cpu.assessmentGap()).c_str());
+        first = false;
+    }
+    out += "],\"structure_bits\":[";
+    first = true;
+    for (Component c : AllComponents) {
+        out += strprintf("%s{\"component\":\"%s\",\"bits\":%" PRIu64 "}",
+                         first ? "" : ",", componentShortName(c),
+                         componentBits(c));
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+std::vector<Row>
+campaignReportRows(const CampaignResult& result,
+                   const CampaignConfig& config,
+                   const std::string& workload)
+{
+    std::vector<Row> rows;
+    rows.push_back(tidyHeader());
+    const char* comp = componentShortName(config.component);
+    auto cfg = [&](const char* field, std::string value) {
+        rows.push_back({"campaign", "", comp, field, std::move(value)});
+    };
+    cfg("workload", workload);
+    cfg("faults", strprintf("%" PRIu32, config.faults));
+    cfg("injections", strprintf("%" PRIu32, config.injections));
+    cfg("seed", strprintf("%" PRIu64, config.seed));
+    cfg("cluster", strprintf("%" PRIu32 "x%" PRIu32,
+                             config.cluster.rows, config.cluster.cols));
+    cfg("golden_cycles", strprintf("%" PRIu64, result.goldenCycles));
+    cfg("completed", strprintf("%" PRIu32, result.completed));
+    cfg("resumed", strprintf("%" PRIu32, result.resumed));
+    cfg("cancelled", result.cancelled ? "1" : "0");
+    cfg("dead_fault_exits",
+        strprintf("%" PRIu32, result.deadFaultExits));
+    cfg("converged_exits", strprintf("%" PRIu32, result.convergedExits));
+    cfg("cycles_saved", strprintf("%" PRIu64, result.cyclesSaved));
+    for (Outcome o : AllOutcomes) {
+        rows.push_back({"outcomes", "", comp, outcomeName(o),
+                        strprintf("%" PRIu64, result.counts.count(o))});
+    }
+    cfg("avf", fmtDouble(result.avf()));
+    return rows;
+}
+
+std::string
+campaignReportJson(const CampaignResult& result,
+                   const CampaignConfig& config,
+                   const std::string& workload)
+{
+    std::string outcomes;
+    for (Outcome o : AllOutcomes) {
+        outcomes += strprintf("%s\"%s\":%" PRIu64,
+                              outcomes.empty() ? "" : ",",
+                              outcomeName(o), result.counts.count(o));
+    }
+    return strprintf(
+        "{\"workload\":%s,\"component\":\"%s\",\"faults\":%" PRIu32
+        ",\"injections\":%" PRIu32 ",\"seed\":%" PRIu64
+        ",\"cluster\":[%" PRIu32 ",%" PRIu32 "],\"golden_cycles\":%"
+        PRIu64 ",\"completed\":%" PRIu32 ",\"resumed\":%" PRIu32
+        ",\"cancelled\":%s,\"dead_fault_exits\":%" PRIu32
+        ",\"converged_exits\":%" PRIu32 ",\"cycles_saved\":%" PRIu64
+        ",\"outcomes\":{%s},\"avf\":%s}",
+        jsonQuote(workload).c_str(),
+        componentShortName(config.component), config.faults,
+        config.injections, config.seed, config.cluster.rows,
+        config.cluster.cols, result.goldenCycles, result.completed,
+        result.resumed, result.cancelled ? "true" : "false",
+        result.deadFaultExits, result.convergedExits,
+        result.cyclesSaved, outcomes.c_str(),
+        fmtDouble(result.avf()).c_str());
+}
+
+bool
+reportPathIsJson(const std::string& path)
+{
+    return path.size() >= 5 &&
+           path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+void
+writeReport(const std::vector<Row>& rows, const std::string& json,
+            const std::string& path)
+{
+    if (reportPathIsJson(path)) {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot open report file '%s'", path.c_str());
+        out << json << '\n';
+        out.flush();
+        if (!out)
+            fatal("short write on report file '%s'", path.c_str());
+        return;
+    }
+    if (path == "-") {
+        for (const Row& row : rows) {
+            std::string line;
+            for (size_t i = 0; i < row.size(); ++i) {
+                if (i)
+                    line += ',';
+                line += CsvWriter::escape(row[i]);
+            }
+            std::printf("%s\n", line.c_str());
+        }
+        return;
+    }
+    CsvWriter writer(path);
+    for (const Row& row : rows)
+        writer.writeRow(row);
+    writer.close();
+}
+
+} // namespace mbusim::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine-readable result export (DESIGN.md §12): the paper's
+ * quantitative tables as CSV or JSON, so every deliverable is
+ * reproducible by script instead of scraped from terminal text.
+ *
+ * Two report shapes:
+ *  - a study report: the Eq. 2 weighted AVFs of all six components,
+ *    the Eq. 3 node AVFs and Eq. 4 FIT breakdowns at every technology
+ *    node, and the technology inputs themselves (Tables VI, VII, VIII),
+ *  - a campaign report: one campaign's configuration, outcome tally and
+ *    AVF.
+ *
+ * CSV uses a tidy five-column layout (table,node,component,field,value)
+ * so a single header covers every table and any CSV reader can pivot
+ * it; JSON mirrors the same data as one structured object. Files are
+ * written through util/csv's RFC-4180 writer; a path of "-" streams
+ * CSV to stdout, and a path ending in ".json" selects JSON.
+ */
+
+#ifndef MBUSIM_CORE_REPORT_HH
+#define MBUSIM_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/avf.hh"
+#include "core/campaign.hh"
+#include "core/study.hh"
+
+namespace mbusim::core {
+
+/** Everything the study-level tables derive from. */
+struct StudyReport
+{
+    std::vector<ComponentAvf> avfs;   ///< all six components, Eq. 2
+};
+
+/**
+ * Weighted AVFs for the whole grid. Runs the sweep scheduler for any
+ * cell not already memoized or disk-cached; with a warm cache this is
+ * pure table math.
+ */
+StudyReport buildStudyReport(Study& study);
+
+/** Tidy CSV rows (header first) for a study report. */
+std::vector<std::vector<std::string>>
+studyReportRows(const StudyReport& report);
+
+/** The same study report as one JSON object. */
+std::string studyReportJson(const StudyReport& report);
+
+/** Tidy CSV rows (header first) for one campaign's results. */
+std::vector<std::vector<std::string>>
+campaignReportRows(const CampaignResult& result,
+                   const CampaignConfig& config,
+                   const std::string& workload);
+
+/** One campaign's results as one JSON object. */
+std::string campaignReportJson(const CampaignResult& result,
+                               const CampaignConfig& config,
+                               const std::string& workload);
+
+/** Does @p path select the JSON format (".json" suffix)? */
+bool reportPathIsJson(const std::string& path);
+
+/**
+ * Write @p rows / @p json to @p path: ".json" suffix writes the JSON
+ * document, "-" streams the CSV rows to stdout, anything else writes
+ * the CSV rows through util/csv. fatal() if the file cannot be opened.
+ */
+void writeReport(const std::vector<std::vector<std::string>>& rows,
+                 const std::string& json, const std::string& path);
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_REPORT_HH

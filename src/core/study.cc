@@ -92,6 +92,7 @@ Study::campaignConfig(Component component, uint32_t faults) const
     cc.threads = config_.threads;
     cc.cpu = config_.cpu;
     cc.journalDir = config_.journalDir;
+    cc.trace = config_.trace;
     cc.hostFaultHook = config_.hostFaultHook;
     return cc;
 }
@@ -362,6 +363,16 @@ Study::runSweep(const ProgressFn& progress)
     }
     const uint64_t runs_total = tasks.size();
 
+    // Scheduler instruments (DESIGN.md §12): queue depth tracks the
+    // unclaimed tail of the task list; worker_busy_us accumulates time
+    // spent inside runs so the heartbeat can report pool utilization
+    // (busy / (elapsed x workers)).
+    Gauge& queue_depth = metrics().gauge("sweep.queue_depth");
+    Gauge& workers_gauge = metrics().gauge("sweep.workers");
+    Counter& busy_us = metrics().counter("sweep.worker_busy_us");
+    const uint64_t busy_before = busy_us.value();
+    queue_depth.set(static_cast<int64_t>(tasks.size()));
+
     std::atomic<size_t> next{0};
     std::atomic<uint64_t> runs_done{0};
     std::atomic<bool> cancel{false};
@@ -444,8 +455,15 @@ Study::runSweep(const ProgressFn& progress)
             size_t t = next.fetch_add(1);
             if (t >= tasks.size())
                 return;
+            queue_depth.set(
+                static_cast<int64_t>(tasks.size() - (t + 1)));
             Cell* cell = tasks[t].first;
+            const Clock::time_point run_start = Clock::now();
             uint32_t remaining = cell->exec->runIndex(tasks[t].second);
+            busy_us.add(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - run_start)
+                    .count()));
             runs_done.fetch_add(1);
             // The worker that retires a cell's last run finalizes it:
             // the cell is complete, so caching it is safe even if a
@@ -455,8 +473,21 @@ Study::runSweep(const ProgressFn& progress)
         }
     };
 
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envUInt("MBUSIM_THREADS",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    UINT32_MAX));
+    }
+    threads = std::max<uint64_t>(
+        1, std::min<uint64_t>(threads, tasks.size()));
+    workers_gauge.set(threads);
+
     // Sweep-level watchdog: one heartbeat/deadline monitor for the
-    // whole grid instead of one per campaign.
+    // whole grid instead of one per campaign. Each beat prints one
+    // metrics line: queue depth, pool utilization since the sweep
+    // started, and the per-run wall-time tail (p50/p99/max us).
     std::mutex monitorMutex;
     std::condition_variable monitorCv;
     std::thread monitor;
@@ -473,26 +504,34 @@ Study::runSweep(const ProgressFn& progress)
                     now - last_beat >=
                         std::chrono::seconds(heartbeat_s)) {
                     last_beat = now;
+                    const uint64_t elapsed_us = static_cast<uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(now - started)
+                            .count());
+                    const double utilization =
+                        elapsed_us > 0
+                            ? 100.0 *
+                                  static_cast<double>(busy_us.value() -
+                                                      busy_before) /
+                                  (static_cast<double>(elapsed_us) *
+                                   threads)
+                            : 0.0;
                     std::lock_guard<std::mutex> plock(progressMutex);
-                    inform("sweep: %llu/%llu runs, %u/%u cells done",
+                    inform("sweep: %llu/%llu runs, %u/%u cells done | "
+                           "depth=%lld workers=%u util=%.0f%% %s",
                            static_cast<unsigned long long>(
                                runs_done.load()),
                            static_cast<unsigned long long>(runs_total),
-                           cells_done, report.cells);
+                           cells_done, report.cells,
+                           static_cast<long long>(queue_depth.value()),
+                           threads, utilization,
+                           metrics().snapshot()
+                               .brief("campaign.run_wall_us")
+                               .c_str());
                 }
             }
         });
     }
-
-    uint32_t threads = config_.threads;
-    if (threads == 0) {
-        threads = static_cast<uint32_t>(
-            envUInt("MBUSIM_THREADS",
-                    std::max(1u, std::thread::hardware_concurrency()),
-                    UINT32_MAX));
-    }
-    threads = std::max<uint64_t>(
-        1, std::min<uint64_t>(threads, tasks.size()));
 
     if (threads == 1) {
         worker();

@@ -64,6 +64,15 @@ struct StudyConfig
     /** Global-queue sweep scheduler (MBUSIM_SWEEP_SCHEDULER); off =
      *  runSweep() degrades to the serial per-campaign loop. */
     bool sweepScheduler = true;
+    /**
+     * Run-trace sink shared by every campaign of the sweep (the CLI's
+     * --trace-out): one JSONL record per simulated or replayed run,
+     * emitted when its cell finalizes. Cells served from the memo or
+     * disk cache carry no per-run data and emit nothing; cells left
+     * incomplete by a cancellation are not finalized, so their runs
+     * appear in the next (resumed) sweep's trace instead.
+     */
+    std::shared_ptr<JsonlWriter> trace;
     /** Test-only host-fault injection, forwarded to every campaign
      *  (see CampaignConfig::hostFaultHook). */
     std::function<void(uint32_t, uint32_t)> hostFaultHook;

@@ -267,7 +267,7 @@ parseMemOperand(const std::string& s, int line)
     }
     std::string off = trim(s.substr(0, open));
     if (off.empty())
-        off = "0";
+        off.push_back('0');   // (a plain `= "0"` trips GCC 12's bogus -Wrestrict)
     uint32_t reg = parseReg(trim(s.substr(open + 1, close - open - 1)),
                             line);
     return {off, reg};

@@ -1,0 +1,281 @@
+#include "util/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace mbusim {
+
+// --- Histogram --------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        panic("histogram bucket bounds must be ascending");
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    size_t b = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[b];
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+}
+
+std::vector<uint64_t>
+Histogram::exponentialBounds(uint64_t first, uint64_t base, size_t count)
+{
+    if (first == 0 || base < 2)
+        panic("exponentialBounds needs first >= 1 and base >= 2");
+    std::vector<uint64_t> bounds;
+    bounds.reserve(count);
+    uint64_t bound = first;
+    for (size_t i = 0; i < count; ++i) {
+        bounds.push_back(bound);
+        if (bound > UINT64_MAX / base)
+            break;   // further bounds would overflow; overflow bucket
+        bound *= base;
+    }
+    return bounds;
+}
+
+uint64_t
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the ceil(q*n)-th sample (1-based), counting up the
+    // buckets.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::max<uint64_t>(1, std::min(rank, count));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return b < bounds.size() ? bounds[b] : max;
+    }
+    return max;
+}
+
+// --- Metrics registry -------------------------------------------------
+
+Counter&
+Metrics::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name,
+                               std::unique_ptr<Counter>(new Counter()))
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge&
+Metrics::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge()))
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram&
+Metrics::histogram(const std::string& name, std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::unique_ptr<Histogram>(
+                                    new Histogram(std::move(bounds))))
+                 .first;
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    for (const auto& [name, h] : histograms_) {
+        HistogramData data;
+        data.name = name;
+        std::lock_guard<std::mutex> hlock(h->mutex_);
+        data.bounds = h->bounds_;
+        data.buckets = h->buckets_;
+        data.count = h->count_;
+        data.sum = h->sum_;
+        data.max = h->max_;
+        snap.histograms.push_back(std::move(data));
+    }
+    return snap;
+}
+
+Metrics&
+metrics()
+{
+    static Metrics instance;
+    return instance;
+}
+
+// --- Serialization ----------------------------------------------------
+
+std::string
+jsonQuote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+        out += strprintf("%s%s:%llu", first ? "" : ",",
+                         jsonQuote(name).c_str(),
+                         static_cast<unsigned long long>(value));
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+        out += strprintf("%s%s:%lld", first ? "" : ",",
+                         jsonQuote(name).c_str(),
+                         static_cast<long long>(value));
+        first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const HistogramData& h : histograms) {
+        out += strprintf(
+            "%s%s:{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
+            "\"buckets\":[",
+            first ? "" : ",", jsonQuote(h.name).c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.sum),
+            static_cast<unsigned long long>(h.max));
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b)
+                out += ',';
+            if (b < h.bounds.size()) {
+                out += strprintf(
+                    "{\"le\":%llu,\"n\":%llu}",
+                    static_cast<unsigned long long>(h.bounds[b]),
+                    static_cast<unsigned long long>(h.buckets[b]));
+            } else {
+                out += strprintf(
+                    "{\"le\":\"inf\",\"n\":%llu}",
+                    static_cast<unsigned long long>(h.buckets[b]));
+            }
+        }
+        out += "]}";
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+MetricsSnapshot::brief(const std::string& prefix) const
+{
+    auto matches = [&prefix](const std::string& name) {
+        return name.compare(0, prefix.size(), prefix) == 0;
+    };
+    std::string out;
+    auto sep = [&out]() {
+        if (!out.empty())
+            out += ' ';
+    };
+    for (const auto& [name, value] : counters) {
+        if (!matches(name))
+            continue;
+        sep();
+        out += strprintf("%s=%llu", name.c_str(),
+                         static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, value] : gauges) {
+        if (!matches(name))
+            continue;
+        sep();
+        out += strprintf("%s=%lld", name.c_str(),
+                         static_cast<long long>(value));
+    }
+    for (const HistogramData& h : histograms) {
+        if (!matches(h.name))
+            continue;
+        sep();
+        out += strprintf("%s=%llu/%llu/%llu", h.name.c_str(),
+                         static_cast<unsigned long long>(h.quantile(0.5)),
+                         static_cast<unsigned long long>(
+                             h.quantile(0.99)),
+                         static_cast<unsigned long long>(h.max));
+    }
+    return out;
+}
+
+// --- JsonlWriter ------------------------------------------------------
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : out_(path, std::ios::trunc)
+{
+    if (!out_)
+        fatal("cannot open JSONL output file '%s'", path.c_str());
+    open_ = true;
+}
+
+void
+JsonlWriter::append(const std::string& json_object)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!open_)
+        panic("JsonlWriter::append after close");
+    out_ << json_object << '\n';
+}
+
+void
+JsonlWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (open_) {
+        out_.flush();
+        out_.close();
+        open_ = false;
+    }
+}
+
+} // namespace mbusim

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Lightweight process-wide metrics: named counters, gauges and
+ * fixed-bucket histograms (DESIGN.md §12).
+ *
+ * The campaign stack is instrumented at run granularity (one injected
+ * run = microseconds to seconds of simulation), so the hot-path cost is
+ * one atomic add per event: counters and gauges are lock-free atomics,
+ * histograms take a short mutex. Instrument registration is
+ * lookup-or-create under a registry mutex — call sites that fire per
+ * run resolve their instruments once and keep the reference (references
+ * stay valid for the registry's lifetime).
+ *
+ * A MetricsSnapshot is a point-in-time copy of every instrument,
+ * serializable to JSON (machine consumption: the CI smoke step and the
+ * report exporter) and to a one-line `k=v` string (the heartbeat
+ * monitor prints one per beat).
+ *
+ * This header also carries the two tiny building blocks the rest of the
+ * observability layer shares: jsonQuote() (string escaping for the JSON
+ * emitters) and JsonlWriter (a thread-safe append-only JSON Lines sink,
+ * used by the --trace-out run trace).
+ */
+
+#ifndef MBUSIM_UTIL_METRICS_HH
+#define MBUSIM_UTIL_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbusim {
+
+/** Monotonic event count. Lock-free; relaxed ordering is enough
+ *  because counters carry no synchronization duties. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Metrics;
+    Counter() = default;
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level (queue depth, workers busy). Lock-free. */
+class Gauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Metrics;
+    Gauge() = default;
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket upper bounds are set at creation and
+ * never change; record() finds the first bound >= value (last bucket is
+ * the implicit +inf overflow). Guarded by a mutex — histogram events
+ * are per-run, not per-cycle, so contention is negligible.
+ */
+class Histogram
+{
+  public:
+    void record(uint64_t value);
+
+    /** Exponential bounds: first, first*base, ... (count-1 of them). */
+    static std::vector<uint64_t> exponentialBounds(uint64_t first,
+                                                   uint64_t base,
+                                                   size_t count);
+
+  private:
+    friend class Metrics;
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    friend struct HistogramData;
+    mutable std::mutex mutex_;
+    std::vector<uint64_t> bounds_;   ///< ascending upper bounds
+    std::vector<uint64_t> buckets_;  ///< bounds_.size() + 1 (overflow)
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t max_ = 0;
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramData
+{
+    std::string name;
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+
+    double mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /**
+     * Bucket-resolution quantile estimate (q in [0,1]): the upper bound
+     * of the bucket holding the q-th sample (max_ for the overflow
+     * bucket). Good enough to spot straggler tails in a heartbeat.
+     */
+    uint64_t quantile(double q) const;
+};
+
+/** Point-in-time copy of every instrument in a Metrics registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramData> histograms;
+
+    /**
+     * Serialize as one JSON object:
+     *   {"counters":{...},"gauges":{...},
+     *    "histograms":{"name":{"count":..,"sum":..,"max":..,
+     *                          "buckets":[{"le":..,"n":..},...]},...}}
+     */
+    std::string toJson() const;
+
+    /**
+     * One-line `name=value` rendering of the counters and gauges whose
+     * name starts with @p prefix (all of them when empty); histograms
+     * render as name=p50/p99/max. Empty string when nothing matches.
+     */
+    std::string brief(const std::string& prefix = "") const;
+};
+
+/**
+ * Instrument registry. counter()/gauge()/histogram() are
+ * lookup-or-create by name; returned references live as long as the
+ * registry. Most code uses the process-wide metrics() singleton;
+ * tests construct their own.
+ */
+class Metrics
+{
+  public:
+    Metrics() = default;
+    Metrics(const Metrics&) = delete;
+    Metrics& operator=(const Metrics&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /** @p bounds must be ascending; ignored (with the original bounds
+     *  kept) when the histogram already exists. */
+    Histogram& histogram(const std::string& name,
+                         std::vector<uint64_t> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;   ///< guards the maps, not the instruments
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry every subsystem reports into. */
+Metrics& metrics();
+
+/** Escape and double-quote @p s for embedding in JSON output. */
+std::string jsonQuote(const std::string& s);
+
+/**
+ * Thread-safe append-only JSON Lines sink (the --trace-out file).
+ * append() takes one complete JSON object (no trailing newline) and
+ * writes it as one line under a mutex, so concurrent writers interleave
+ * at line granularity only.
+ */
+class JsonlWriter
+{
+  public:
+    /** Open @p path for writing (truncates); fatal() on failure. */
+    explicit JsonlWriter(const std::string& path);
+
+    void append(const std::string& json_object);
+
+    /** Flush and close; idempotent. Also run by the destructor. */
+    void close();
+
+    ~JsonlWriter() { close(); }
+
+  private:
+    std::mutex mutex_;
+    std::ofstream out_;
+    bool open_ = false;
+};
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_METRICS_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Subprocess tests of the mbusim CLI's input-validation contract.
+ *
+ * The exit-code contract is part of the tool's scriptable interface
+ * (documented in tools/mbusim_cli.cc): 0 success, 1 runtime failure,
+ * 2 usage error. The old parser accepted `--faults abc` (atoi -> 0),
+ * `--faults -1` (strtoul wraparound -> 4294967295) and `--injections
+ * 5k` (silent truncation at the 'k'), then failed — or worse, ran the
+ * wrong campaign — much later. These tests pin the strict behaviour by
+ * invoking the real binary (path injected by CMake as MBUSIM_CLI_PATH)
+ * and checking both the exit status and that the diagnostic is exactly
+ * one line on stderr.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string out;
+    std::string err;
+};
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+/** Run `mbusim <args>`, capturing exit code, stdout and stderr. */
+CliResult
+runCli(const std::string& args)
+{
+    static int serial = 0;
+    std::string base = testing::TempDir() + "/cli_test_" +
+                       std::to_string(serial++);
+    std::string outPath = base + ".out", errPath = base + ".err";
+    std::string cmd = std::string(MBUSIM_CLI_PATH) + " " + args + " >" +
+                      outPath + " 2>" + errPath;
+    int status = std::system(cmd.c_str());
+    CliResult result;
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    result.out = slurp(outPath);
+    result.err = slurp(errPath);
+    std::filesystem::remove(outPath);
+    std::filesystem::remove(errPath);
+    return result;
+}
+
+size_t
+lineCount(const std::string& text)
+{
+    size_t n = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++n;
+    }
+    return n;
+}
+
+/** A malformed invocation must exit 2 with a one-line diagnostic. */
+void
+expectUsageError(const std::string& args, const std::string& needle)
+{
+    CliResult r = runCli(args);
+    EXPECT_EQ(r.exitCode, 2) << args << "\nstderr: " << r.err;
+    EXPECT_EQ(lineCount(r.err), 1u) << args << "\nstderr: " << r.err;
+    EXPECT_NE(r.err.find(needle), std::string::npos)
+        << args << "\nstderr: " << r.err;
+}
+
+TEST(CliUsageErrors, NonNumericFaults)
+{
+    expectUsageError("campaign CRC32 --faults abc",
+                     "expected an unsigned integer");
+}
+
+TEST(CliUsageErrors, FaultsOutOfRange)
+{
+    expectUsageError("campaign CRC32 --faults 0", "out of range [1, 3]");
+    expectUsageError("campaign CRC32 --faults 4", "out of range [1, 3]");
+}
+
+TEST(CliUsageErrors, NegativeFaultsIsNotWraparound)
+{
+    // strtoul would have read -1 as 4294967295; the strict parser
+    // rejects the sign outright.
+    expectUsageError("campaign CRC32 --faults -1",
+                     "expected an unsigned integer");
+}
+
+TEST(CliUsageErrors, TrailingGarbage)
+{
+    expectUsageError("campaign CRC32 --injections 5k",
+                     "trailing garbage");
+    expectUsageError("campaign CRC32 --seed 0x12g", "trailing garbage");
+}
+
+TEST(CliUsageErrors, InjectionsZero)
+{
+    expectUsageError("campaign CRC32 --injections 0", "out of range");
+}
+
+TEST(CliUsageErrors, ClusterTooSmallForCardinality)
+{
+    // Cross-option feasibility is checked at parse time, not by a
+    // panic deep inside the mask generator mid-campaign.
+    expectUsageError("campaign CRC32 --cluster 1x1 --faults 3",
+                     "cannot place 3 faults in a 1x1 cluster");
+    expectUsageError("campaign CRC32 --faults 2 --cluster 1x1",
+                     "cannot place 2 faults in a 1x1 cluster");
+}
+
+TEST(CliUsageErrors, MalformedCluster)
+{
+    expectUsageError("campaign CRC32 --cluster bogus", "expected RxC");
+    expectUsageError("campaign CRC32 --cluster 3x", "expected RxC");
+    expectUsageError("campaign CRC32 --cluster x3", "expected RxC");
+    expectUsageError("campaign CRC32 --cluster 0x3", "out of range");
+    expectUsageError("campaign CRC32 --cluster 3x9999", "out of range");
+}
+
+TEST(CliUsageErrors, UnknownComponent)
+{
+    expectUsageError("campaign CRC32 --component l9",
+                     "unknown component");
+}
+
+TEST(CliUsageErrors, UnknownOptionAndMissingValue)
+{
+    expectUsageError("campaign CRC32 --badopt", "unknown option");
+    expectUsageError("campaign CRC32 --faults", "needs a value");
+}
+
+TEST(CliUsageErrors, BadSubcommandAndMissingProgram)
+{
+    EXPECT_EQ(runCli("bogus").exitCode, 2);
+    EXPECT_EQ(runCli("").exitCode, 2);
+    EXPECT_EQ(runCli("campaign").exitCode, 2);
+}
+
+TEST(CliObservability, TinyCampaignWithTraceAndReport)
+{
+    std::string trace = testing::TempDir() + "/cli_trace.jsonl";
+    std::string report = testing::TempDir() + "/cli_report.csv";
+    std::filesystem::remove(trace);
+    std::filesystem::remove(report);
+
+    CliResult r = runCli("campaign CRC32 --injections 2 --seed 7 "
+                         "--trace-out " + trace +
+                         " --report-out " + report);
+    EXPECT_EQ(r.exitCode, 0) << r.err;
+    EXPECT_NE(r.out.find("AVF"), std::string::npos);
+
+    // One JSONL record per injected run.
+    std::string traceText = slurp(trace);
+    EXPECT_EQ(lineCount(traceText), 2u) << traceText;
+    EXPECT_NE(traceText.find("{\"run\":0,"), std::string::npos);
+    EXPECT_NE(traceText.find("{\"run\":1,"), std::string::npos);
+
+    // Report: tidy CSV with the shared header.
+    std::string reportText = slurp(report);
+    EXPECT_EQ(reportText.rfind("table,node,component,field,value\n", 0),
+              0u) << reportText;
+    EXPECT_NE(reportText.find("campaign,,l1d,workload,CRC32"),
+              std::string::npos) << reportText;
+
+    std::filesystem::remove(trace);
+    std::filesystem::remove(report);
+}
+
+TEST(CliObservability, ValidOptionsStillParse)
+{
+    // The strict parser must not reject well-formed input: hex seeds,
+    // whitespace-free numerals, boundary values.
+    CliResult r = runCli("campaign CRC32 --injections 1 --faults 3 "
+                         "--cluster 2x2 --seed 0xbeef");
+    EXPECT_EQ(r.exitCode, 0) << r.err;
+}
+
+} // namespace

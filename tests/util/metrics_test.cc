@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the metrics registry (DESIGN.md §12): instrument
+ * semantics, snapshot serialization, and the JSONL sink the run trace
+ * is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hh"
+
+namespace mbusim {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndIsStable)
+{
+    Metrics m;
+    Counter& c = m.counter("runs");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Lookup-or-create: the same name resolves to the same instrument.
+    EXPECT_EQ(&m.counter("runs"), &c);
+    EXPECT_EQ(m.counter("runs").value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    Metrics m;
+    Gauge& g = m.gauge("depth");
+    g.set(10);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 7);
+    g.set(-5);
+    EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Metrics, ExponentialBounds)
+{
+    auto bounds = Histogram::exponentialBounds(64, 2, 4);
+    ASSERT_EQ(bounds.size(), 4u);
+    EXPECT_EQ(bounds[0], 64u);
+    EXPECT_EQ(bounds[1], 128u);
+    EXPECT_EQ(bounds[2], 256u);
+    EXPECT_EQ(bounds[3], 512u);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles)
+{
+    Metrics m;
+    Histogram& h = m.histogram("wall", {10, 100, 1000});
+    h.record(5);      // bucket <=10
+    h.record(10);     // bucket <=10 (bound is inclusive)
+    h.record(50);     // bucket <=100
+    h.record(5000);   // overflow bucket
+
+    MetricsSnapshot snap = m.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramData& d = snap.histograms[0];
+    EXPECT_EQ(d.name, "wall");
+    ASSERT_EQ(d.buckets.size(), 4u);   // 3 bounds + overflow
+    EXPECT_EQ(d.buckets[0], 2u);
+    EXPECT_EQ(d.buckets[1], 1u);
+    EXPECT_EQ(d.buckets[2], 0u);
+    EXPECT_EQ(d.buckets[3], 1u);
+    EXPECT_EQ(d.count, 4u);
+    EXPECT_EQ(d.sum, 5065u);
+    EXPECT_EQ(d.max, 5000u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5065.0 / 4.0);
+    // Quantiles resolve to bucket upper bounds; the overflow bucket
+    // reports the observed max.
+    EXPECT_EQ(d.quantile(0.0), 10u);
+    EXPECT_EQ(d.quantile(0.5), 10u);
+    EXPECT_EQ(d.quantile(0.75), 100u);
+    EXPECT_EQ(d.quantile(1.0), 5000u);
+}
+
+TEST(Metrics, HistogramKeepsOriginalBoundsOnRelookup)
+{
+    Metrics m;
+    Histogram& h = m.histogram("h", {1, 2});
+    EXPECT_EQ(&m.histogram("h", {7, 8, 9}), &h);
+    MetricsSnapshot snap = m.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].bounds, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(Metrics, SnapshotToJsonShape)
+{
+    Metrics m;
+    m.counter("a.count").add(3);
+    m.gauge("b.level").set(-2);
+    m.histogram("c.hist", {10}).record(4);
+    std::string json = m.snapshot().toJson();
+    EXPECT_NE(json.find("\"counters\":{\"a.count\":3}"),
+              std::string::npos) << json;
+    EXPECT_NE(json.find("\"gauges\":{\"b.level\":-2}"),
+              std::string::npos) << json;
+    EXPECT_NE(json.find("\"c.hist\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos) << json;
+}
+
+TEST(Metrics, BriefFiltersByPrefix)
+{
+    Metrics m;
+    m.counter("campaign.runs").add(7);
+    m.counter("golden.sims").add(1);
+    m.gauge("campaign.depth").set(3);
+    std::string brief = m.snapshot().brief("campaign.");
+    EXPECT_NE(brief.find("campaign.runs=7"), std::string::npos) << brief;
+    EXPECT_NE(brief.find("campaign.depth=3"), std::string::npos) << brief;
+    EXPECT_EQ(brief.find("golden.sims"), std::string::npos) << brief;
+    EXPECT_TRUE(m.snapshot().brief("nomatch.").empty());
+}
+
+TEST(Metrics, ConcurrentCountersAreExact)
+{
+    Metrics m;
+    Counter& c = m.counter("n");
+    constexpr int kThreads = 4, kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, JsonQuoteEscapes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nfeed\ttab"), "\"line\\nfeed\\ttab\"");
+}
+
+TEST(Metrics, JsonlWriterOneObjectPerLine)
+{
+    std::string path = testing::TempDir() + "/metrics_jsonl_test.jsonl";
+    std::filesystem::remove(path);
+    {
+        JsonlWriter writer(path);
+        writer.append("{\"a\":1}");
+        writer.append("{\"b\":2}");
+        writer.close();
+        writer.close();   // idempotent
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "{\"a\":1}");
+    EXPECT_EQ(lines[1], "{\"b\":2}");
+    std::filesystem::remove(path);
+}
+
+TEST(Metrics, JsonlWriterConcurrentAppendsStayLineAtomic)
+{
+    std::string path = testing::TempDir() + "/metrics_jsonl_mt.jsonl";
+    std::filesystem::remove(path);
+    constexpr int kThreads = 4, kLines = 500;
+    {
+        JsonlWriter writer(path);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&writer, t] {
+                for (int i = 0; i < kLines; ++i) {
+                    writer.append("{\"thread\":" + std::to_string(t) +
+                                  ",\"i\":" + std::to_string(i) + "}");
+                }
+            });
+        }
+        for (auto& t : threads)
+            t.join();
+    }
+    std::ifstream in(path);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) {
+        ++n;
+        // Line-granularity interleaving: every line is one complete
+        // object, never a torn mix of two writers.
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"thread\":"), std::string::npos);
+    }
+    EXPECT_EQ(n, static_cast<size_t>(kThreads) * kLines);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace mbusim

@@ -11,6 +11,8 @@
  *   campaign <file.s|workload> [opts]     fault-injection campaign
  *   sweep [opts]                          full (workload x component x
  *                                         cardinality) study sweep
+ *   report [opts]                         export the weighted-AVF / FIT
+ *                                         tables (sweeps uncached cells)
  *
  * Common options:
  *   --func                 use the functional reference model (run)
@@ -25,9 +27,14 @@
  *   --journal-dir DIR      durable run journal; an interrupted
  *                          campaign resumes from it (campaign, sweep)
  *   --deadline N           wall-clock budget in seconds (campaign, sweep)
- *   --cache-dir DIR        on-disk result cache (sweep)
+ *   --cache-dir DIR        on-disk result cache (sweep, report)
  *   --serial               disable the sweep scheduler: run one
  *                          campaign at a time (sweep)
+ *   --trace-out FILE       JSONL run trace: one record per injected
+ *                          run (campaign, sweep)
+ *   --report-out FILE      result tables; ".json" selects JSON, "-"
+ *                          streams CSV to stdout (campaign, sweep,
+ *                          report)
  *
  * sweep honours the MBUSIM_* environment knobs (MBUSIM_WORKLOADS
  * restricts the grid, MBUSIM_SWEEP_SCHEDULER=0 is --serial, ...);
@@ -36,20 +43,29 @@
  * Program arguments may name a registered workload ("CRC32") or a path
  * to an assembly file.
  *
- * Exit codes: 0 success, 1 failure, 2 usage error, 124 campaign
- * deadline expired, 130 interrupted by SIGINT (in-flight runs finish
- * and the journal is flushed first in both cases).
+ * Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
+ * option or subcommand, malformed or out-of-range value, missing
+ * operand), 124 campaign deadline expired, 130 interrupted by SIGINT
+ * (in-flight runs finish and the journal is flushed first in both
+ * cases). Numeric options are parsed strictly: non-numeric input,
+ * trailing garbage ("5k") and values outside the documented range are
+ * usage errors, never silently clamped or wrapped.
  */
 
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hh"
+#include "core/report.hh"
 #include "core/sampling.hh"
 #include "core/study.hh"
 #include "sim/assembler.hh"
@@ -57,6 +73,7 @@
 #include "sim/simulator.hh"
 #include "util/interrupt.hh"
 #include "util/log.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -84,6 +101,8 @@ struct Options
     uint32_t deadlineSeconds = 0;
     std::string cacheDir;
     bool serial = false;
+    std::string traceOut;
+    std::string reportOut;
 };
 
 [[noreturn]] void
@@ -91,10 +110,96 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mbusim <list|asm|disasm|run|trace|campaign|"
-                 "sweep> [program] [options]\n"
-                 "run 'head -55 tools/mbusim_cli.cc' for the option "
+                 "sweep|report> [program] [options]\n"
+                 "run 'head -75 tools/mbusim_cli.cc' for the option "
                  "list\n");
     std::exit(2);
+}
+
+/**
+ * A usage error (the documented exit code 2): one line to stderr, then
+ * out. Distinct from fatal(), which reports runtime failures and exits
+ * 1 — a bad flag must be distinguishable from a failed simulation in
+ * scripts.
+ */
+[[noreturn]] void
+usageError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void
+usageError(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "mbusim: usage error: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+/**
+ * Strict unsigned parse for option values (base 10, or 0x-prefixed
+ * hex). Rejects empty input, signs, non-numeric text, trailing garbage
+ * ("5k") and anything outside [minv, maxv] with a usage error — atoi's
+ * silent 0s and strtoul's negative wraparound were real footguns
+ * (`--faults abc` ran a 0-fault campaign; `--faults -1` asked for
+ * 4294967295 faults).
+ */
+uint64_t
+parseUInt(const char* opt, const char* text, uint64_t minv,
+          uint64_t maxv)
+{
+    const char* p = text;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '\0' || *p == '-' || *p == '+' ||
+        !std::isdigit(static_cast<unsigned char>(*p))) {
+        usageError("option %s: expected an unsigned integer, got '%s'",
+                   opt, text);
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(p, &end, 0);
+    if (end == p || *end != '\0')
+        usageError("option %s: trailing garbage in '%s'", opt, text);
+    if (errno == ERANGE || value < minv || value > maxv) {
+        usageError("option %s: value '%s' out of range [%llu, %llu]",
+                   opt, text, static_cast<unsigned long long>(minv),
+                   static_cast<unsigned long long>(maxv));
+    }
+    return value;
+}
+
+/** Parse a component short name; usage error (not fatal) if unknown. */
+core::Component
+parseComponent(const char* text)
+{
+    for (core::Component c : core::AllComponents) {
+        if (std::strcmp(core::componentShortName(c), text) == 0)
+            return c;
+    }
+    usageError("option --component: unknown component '%s' (expected "
+               "l1d, l1i, l2, regfile, itlb or dtlb)",
+               text);
+}
+
+/** Parse a RxC cluster shape with strictly checked dimensions. */
+core::ClusterShape
+parseCluster(const char* text)
+{
+    const std::string s = text;
+    size_t x = s.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= s.size()) {
+        usageError("option --cluster: expected RxC (e.g. 3x3), "
+                   "got '%s'", text);
+    }
+    // 4096 bounds the cluster well above any studied geometry while
+    // keeping rows*cols far from uint32 overflow.
+    core::ClusterShape shape;
+    shape.rows = static_cast<uint32_t>(
+        parseUInt("--cluster", s.substr(0, x).c_str(), 1, 4096));
+    shape.cols = static_cast<uint32_t>(
+        parseUInt("--cluster", s.substr(x + 1).c_str(), 1, 4096));
+    return shape;
 }
 
 Options
@@ -105,7 +210,7 @@ parseOptions(int argc, char** argv, int first)
         std::string arg = argv[i];
         auto next = [&]() -> const char* {
             if (i + 1 >= argc)
-                fatal("option %s needs a value", arg.c_str());
+                usageError("option %s needs a value", arg.c_str());
             return argv[++i];
         };
         if (arg == "--func") {
@@ -113,38 +218,52 @@ parseOptions(int argc, char** argv, int first)
         } else if (arg == "--in-order") {
             opts.inOrder = true;
         } else if (arg == "--max-cycles") {
-            opts.maxCycles = std::strtoull(next(), nullptr, 0);
+            opts.maxCycles = parseUInt("--max-cycles", next(), 1,
+                                       UINT64_MAX);
         } else if (arg == "--limit") {
-            opts.limit = std::strtoull(next(), nullptr, 0);
+            opts.limit = parseUInt("--limit", next(), 0, UINT64_MAX);
         } else if (arg == "--component") {
-            opts.component = core::componentFromShortName(next());
+            opts.component = parseComponent(next());
         } else if (arg == "--faults") {
-            opts.faults = static_cast<uint32_t>(std::atoi(next()));
+            // Validated here, not deep inside MbuRates::forCardinality
+            // or the mask generator mid-campaign.
+            opts.faults = static_cast<uint32_t>(
+                parseUInt("--faults", next(), 1, 3));
         } else if (arg == "--injections") {
-            opts.injections = static_cast<uint32_t>(std::atoi(next()));
+            opts.injections = static_cast<uint32_t>(
+                parseUInt("--injections", next(), 1, UINT32_MAX));
         } else if (arg == "--seed") {
-            opts.seed = std::strtoull(next(), nullptr, 0);
+            opts.seed = parseUInt("--seed", next(), 0, UINT64_MAX);
         } else if (arg == "--journal-dir") {
             opts.journalDir = next();
         } else if (arg == "--cache-dir") {
             opts.cacheDir = next();
         } else if (arg == "--serial") {
             opts.serial = true;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
+        } else if (arg == "--report-out") {
+            opts.reportOut = next();
         } else if (arg == "--deadline") {
-            opts.deadlineSeconds =
-                static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+            opts.deadlineSeconds = static_cast<uint32_t>(
+                parseUInt("--deadline", next(), 0, UINT32_MAX));
         } else if (arg == "--cluster") {
-            const char* v = next();
-            unsigned r = 0, c = 0;
-            if (std::sscanf(v, "%ux%u", &r, &c) != 2 || !r || !c)
-                fatal("bad --cluster '%s' (expected e.g. 3x3)", v);
-            opts.cluster = {r, c};
+            opts.cluster = parseCluster(next());
         } else if (!arg.empty() && arg[0] != '-' &&
                    opts.program.empty()) {
             opts.program = arg;
         } else {
-            fatal("unknown option '%s'", arg.c_str());
+            usageError("unknown option '%s'", arg.c_str());
         }
+    }
+    // Cross-option feasibility, checked at parse time so an infeasible
+    // campaign fails before any simulation: N faults need a cluster
+    // with at least N cells to land in.
+    if (opts.faults >
+        static_cast<uint64_t>(opts.cluster.rows) * opts.cluster.cols) {
+        usageError("cannot place %u faults in a %ux%u cluster "
+                   "(--faults must be <= rows*cols of --cluster)",
+                   opts.faults, opts.cluster.rows, opts.cluster.cols);
     }
     return opts;
 }
@@ -319,6 +438,8 @@ cmdCampaign(const Options& opts)
     config.cpu.inOrderIssue = opts.inOrder;
     config.journalDir = opts.journalDir;
     config.deadlineSeconds = opts.deadlineSeconds;
+    if (!opts.traceOut.empty())
+        config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
 
     // ^C finishes in-flight runs, flushes the journal and reports the
     // partial tally instead of dropping completed work on the floor.
@@ -326,6 +447,14 @@ cmdCampaign(const Options& opts)
 
     core::Campaign campaign(*workload, config);
     core::CampaignResult result = campaign.run();
+    if (config.trace)
+        config.trace->close();
+    if (!opts.reportOut.empty()) {
+        core::writeReport(
+            core::campaignReportRows(result, config, workload->name),
+            core::campaignReportJson(result, config, workload->name),
+            opts.reportOut);
+    }
 
     std::printf("campaign: %s, %s, %u-bit faults, %u injections "
                 "(+/-%.1f%% @99%%)\n",
@@ -377,6 +506,8 @@ cmdSweep(const Options& opts)
     config.deadlineSeconds = opts.deadlineSeconds;
     if (opts.serial)
         config.sweepScheduler = false;
+    if (!opts.traceOut.empty())
+        config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
 
     installSigintHandler();
 
@@ -401,6 +532,8 @@ cmdSweep(const Options& opts)
                 "per workload)\n",
                 static_cast<unsigned long long>(
                     report.goldenSimulations));
+    if (config.trace)
+        config.trace->close();
     if (report.cancelled) {
         std::printf("cancelled: %u/%u cells completed%s\n",
                     report.cachedCells + report.simulatedCells,
@@ -420,6 +553,49 @@ cmdSweep(const Options& opts)
                       strprintf("%.2f%%", avf.byCardinality[2] * 100.0)});
     }
     table.print();
+    if (!opts.reportOut.empty()) {
+        core::StudyReport study_report = core::buildStudyReport(study);
+        core::writeReport(core::studyReportRows(study_report),
+                          core::studyReportJson(study_report),
+                          opts.reportOut);
+    }
+    return 0;
+}
+
+/**
+ * Export the paper's quantitative tables. Shares the sweep's study
+ * machinery: cells already memoized in --cache-dir cost no simulation;
+ * anything missing is swept first.
+ */
+int
+cmdReport(const Options& opts)
+{
+    const Options defaults;
+    core::StudyConfig config = core::defaultStudyConfig();
+    if (opts.injections != defaults.injections)
+        config.injections = opts.injections;
+    if (opts.seed != defaults.seed)
+        config.seed = opts.seed;
+    config.cluster = opts.cluster;
+    config.cpu.inOrderIssue = opts.inOrder;
+    if (!opts.journalDir.empty())
+        config.journalDir = opts.journalDir;
+    if (!opts.cacheDir.empty())
+        config.cacheDir = opts.cacheDir;
+    if (opts.serial)
+        config.sweepScheduler = false;
+    if (!opts.traceOut.empty())
+        config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
+
+    installSigintHandler();
+
+    core::Study study(config);
+    core::StudyReport report = core::buildStudyReport(study);
+    if (config.trace)
+        config.trace->close();
+    core::writeReport(core::studyReportRows(report),
+                      core::studyReportJson(report),
+                      opts.reportOut.empty() ? "-" : opts.reportOut);
     return 0;
 }
 
@@ -436,6 +612,8 @@ main(int argc, char** argv)
     Options opts = parseOptions(argc, argv, 2);
     if (cmd == "sweep")
         return cmdSweep(opts);
+    if (cmd == "report")
+        return cmdReport(opts);
     if (opts.program.empty())
         usage();
     if (cmd == "asm")
