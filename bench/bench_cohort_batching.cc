@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cohort-batching speedup bench (DESIGN.md §13).
+ *
+ * Runs the same L1D 2-bit injection campaign three times — per-run
+ * restore (cohorts and early exit off), cohort cursor (batching on,
+ * early exit off), and cohort + early exit (the default engine) — as
+ * google-benchmark cases, then verifies that all measured arms
+ * classified every injection identically and prints an A/B/C table of
+ * cycles simulated, wall time, speedup and cursor stats. The first two
+ * arms isolate the warm-cursor gain (shared golden-prefix replay); the
+ * third shows the shipped configuration with both optimizations
+ * composed.
+ *
+ * Knobs: MBUSIM_WORKLOAD (default qsort), MBUSIM_INJECTIONS (default
+ * 120), MBUSIM_THREADS; plus the usual --benchmark_* flags.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+
+#include "core/campaign.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+#include "util/metrics.hh"
+#include "util/table.hh"
+
+using namespace mbusim;
+
+namespace {
+
+struct Arm
+{
+    const char* name;
+    bool cohortBatching;
+    bool earlyExit;
+};
+
+constexpr Arm Arms[] = {
+    {"per-run restore", false, false},
+    {"cohort cursor", true, false},
+    {"cohort + early exit", true, true},
+};
+constexpr int ArmCount = static_cast<int>(std::size(Arms));
+
+/** Last campaign result, wall time and cursor stats per arm. */
+struct ArmOutcome
+{
+    bool measured = false;
+    core::CampaignResult result;
+    double seconds = 0.0;
+    uint64_t cohorts = 0;
+    uint64_t restoresAvoided = 0;
+    uint64_t cursorCycles = 0;
+};
+ArmOutcome outcomes[ArmCount];
+
+core::CampaignConfig
+benchConfig(const Arm& arm)
+{
+    core::CampaignConfig config;
+    config.component = core::Component::L1D;
+    config.faults = 2;
+    config.injections =
+        static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 120));
+    config.cohortBatching = arm.cohortBatching;
+    config.earlyExit = arm.earlyExit;
+    if (!arm.earlyExit)
+        config.digestPoints = 0;
+    return config;
+}
+
+/** Cycles actually simulated by the injected runs: golden plus every
+ *  faulty segment, net of skipped prefixes and early-exit savings
+ *  (cursor replay cycles are reported separately). */
+uint64_t
+simulatedCycles(const core::CampaignResult& result)
+{
+    uint64_t cycles = result.goldenCycles;
+    for (const core::RunRecord& run : result.runs)
+        cycles += run.cycles - run.restoredFrom - run.cyclesSaved;
+    return cycles;
+}
+
+void
+BM_Campaign(benchmark::State& state, int arm_index)
+{
+    const Arm& arm = Arms[arm_index];
+    const auto& workload = workloads::workloadByName(
+        envString("MBUSIM_WORKLOAD", "qsort"));
+    core::CampaignConfig config = benchConfig(arm);
+    ArmOutcome& out = outcomes[arm_index];
+    Counter& cohorts = metrics().counter("campaign.cohorts");
+    Counter& avoided = metrics().counter("campaign.restores_avoided");
+    Counter& cursor = metrics().counter("campaign.cursor_cycles");
+    for (auto _ : state) {
+        core::Campaign campaign(workload, config);
+        const uint64_t c0 = cohorts.value();
+        const uint64_t a0 = avoided.value();
+        const uint64_t u0 = cursor.value();
+        auto start = std::chrono::steady_clock::now();
+        out.result = campaign.run(true);
+        out.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        out.cohorts = cohorts.value() - c0;
+        out.restoresAvoided = avoided.value() - a0;
+        out.cursorCycles = cursor.value() - u0;
+        out.measured = true;
+    }
+    state.counters["sim_cycles"] =
+        static_cast<double>(simulatedCycles(out.result));
+    state.counters["cohorts"] = static_cast<double>(out.cohorts);
+    state.counters["restores_avoided"] =
+        static_cast<double>(out.restoresAvoided);
+}
+
+void
+report()
+{
+    const ArmOutcome& base = outcomes[0];
+    if (!base.measured)
+        return;   // filtered out: no baseline to compare against
+
+    TextTable table({"Execution", "Cycles simulated", "Cursor cycles",
+                     "Wall time", "Speedup", "Cohorts", "Avoided"});
+    table.title("Campaign cost by execution strategy");
+    for (int i = 0; i < ArmCount; ++i) {
+        const ArmOutcome& arm = outcomes[i];
+        if (!arm.measured)
+            continue;
+        if (arm.result.counts.counts != base.result.counts.counts)
+            fatal("cohort batching changed campaign outcomes "
+                  "(arm '%s')",
+                  Arms[i].name);
+        table.addRow({Arms[i].name,
+                      fmtGrouped(simulatedCycles(arm.result)),
+                      fmtGrouped(arm.cursorCycles),
+                      strprintf("%.3f s", arm.seconds),
+                      strprintf("%.2fx", base.seconds / arm.seconds),
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(
+                                    arm.cohorts)),
+                      strprintf("%llu",
+                                static_cast<unsigned long long>(
+                                    arm.restoresAvoided))});
+    }
+    std::printf("\n");
+    table.print();
+    std::printf("\noutcome counts identical across measured arms\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // The arms own these knobs; keep the environment from skewing them.
+    unsetenv("MBUSIM_COHORT");
+    unsetenv("MBUSIM_EARLY_EXIT");
+    unsetenv("MBUSIM_DIGEST_POINTS");
+    unsetenv("MBUSIM_CHECKPOINTS");
+
+    std::printf("mbusim cohort-batching speedup (workload %s, "
+                "%lld injections, L1D 2-bit campaign)\n",
+                envString("MBUSIM_WORKLOAD", "qsort").c_str(),
+                static_cast<long long>(envInt("MBUSIM_INJECTIONS",
+                                              120)));
+
+    for (int i = 0; i < ArmCount; ++i) {
+        benchmark::RegisterBenchmark(
+            strprintf("BM_Campaign/%s", Arms[i].name).c_str(),
+            BM_Campaign, i)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    report();
+    return 0;
+}

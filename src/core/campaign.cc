@@ -69,8 +69,10 @@ earlyExitName(sim::EarlyExit reason)
 
 /**
  * One --trace-out JSONL record for a completed run. Every field except
- * wall_us is deterministic in (campaign config, run index); wall_us is
- * deliberately last so scripts can strip it for equivalence checks.
+ * cohort and wall_us is deterministic in (campaign config, run index);
+ * those two are deliberately last so scripts can strip them for
+ * equivalence checks (cohort assignment depends on journal state and
+ * worker count; see RunRecord::cohortId).
  */
 std::string
 traceLine(const workloads::Workload& workload,
@@ -82,6 +84,12 @@ traceLine(const workloads::Workload& workload,
         flips += strprintf("%s[%" PRIu32 ",%" PRIu32 "]",
                            flips.empty() ? "" : ",", flip.row, flip.col);
     }
+    std::string cohort =
+        record.cohortId < 0
+            ? "null"
+            : strprintf("[%lld,%" PRIu32 "]",
+                        static_cast<long long>(record.cohortId),
+                        record.cohortPos);
     return strprintf(
         "{\"run\":%" PRIu32 ",\"workload\":%s,\"component\":\"%s\","
         "\"faults\":%" PRIu32 ",\"seed\":%" PRIu64
@@ -90,14 +98,14 @@ traceLine(const workloads::Workload& workload,
         ",\"flips\":[%s]},\"cycle\":%" PRIu64 ",\"outcome\":\"%s\","
         "\"exit\":\"%s\",\"cycles\":%" PRIu64
         ",\"cycles_saved\":%" PRIu64 ",\"restored_from\":%" PRIu64
-        ",\"replayed\":%s,\"wall_us\":%" PRIu64 "}",
+        ",\"cohort\":%s,\"replayed\":%s,\"wall_us\":%" PRIu64 "}",
         record.index, jsonQuote(workload.name).c_str(),
         componentShortName(config.component), config.faults,
         config.seed, config.cluster.rows, config.cluster.cols,
         record.mask.clusterRow, record.mask.clusterCol, flips.c_str(),
         record.cycle, outcomeName(record.outcome),
         earlyExitName(record.exitReason), record.cycles,
-        record.cyclesSaved, record.restoredFrom,
+        record.cyclesSaved, record.restoredFrom, cohort.c_str(),
         replayed ? "true" : "false", record.wallMicros);
 }
 
@@ -159,9 +167,10 @@ outcomeDigest(const sim::CpuConfig& c, const char* source)
         digest = (digest ^ v) * 1099511628211ULL;
     };
     // Schema epoch: bump to orphan every cache and journal key when
-    // record layouts or run bookkeeping change (3 = early-termination
-    // fields in RunRecord).
-    mix(3);
+    // record layouts or run bookkeeping change (4 = lazy convergence
+    // sampling, which changes the journalled exit-reason and
+    // cycles-saved fields without changing outcomes).
+    mix(4);
     mix(c.fetchWidth); mix(c.issueWidth); mix(c.wbWidth);
     mix(c.commitWidth); mix(c.robEntries); mix(c.iqEntries);
     mix(c.lsqEntries); mix(c.numPhysRegs); mix(c.bimodalEntries);
@@ -209,6 +218,8 @@ Campaign::Campaign(const workloads::Workload& workload,
       checkpointTarget_(resolvedCheckpointTarget(config)),
       earlyExit_(envUInt("MBUSIM_EARLY_EXIT",
                          config.earlyExit ? 1 : 0, 1) != 0),
+      cohortBatching_(envUInt("MBUSIM_COHORT",
+                              config.cohortBatching ? 1 : 0, 1) != 0),
       digestTarget_(static_cast<uint32_t>(
           envUInt("MBUSIM_DIGEST_POINTS", config.digestPoints,
                   UINT32_MAX)))
@@ -289,13 +300,10 @@ Campaign::goldenCycles() const
     return golden().result.cycles;
 }
 
-RunRecord
-Campaign::runOne(const GoldenArtifacts& golden, uint32_t index,
-                 const MaskGenerator& generator, uint32_t attempt) const
+Campaign::RunPlan
+Campaign::planRun(const GoldenArtifacts& golden, uint32_t index,
+                  const MaskGenerator& generator) const
 {
-    if (config_.hostFaultHook)
-        config_.hostFaultHook(index, attempt);
-
     // Independent stream per run: reproducible regardless of threading
     // (and across retries — a retry replays the identical injection).
     Rng rng = Rng(config_.seed)
@@ -303,26 +311,38 @@ Campaign::runOne(const GoldenArtifacts& golden, uint32_t index,
                             config_.faults,
                         index);
 
-    RunRecord record;
-    record.index = index;
-    record.mask = generator.generate(config_.faults, rng);
-    record.cycle = rng.below(golden.result.cycles);
+    RunPlan plan;
+    plan.record.index = index;
+    plan.record.mask = generator.generate(config_.faults, rng);
+    plan.record.cycle = rng.below(golden.result.cycles);
+    // The latest checkpoint at or before the injection cycle — the
+    // golden prefix up to it is bit-identical anyway, so only the
+    // suffix needs simulating. One binary search; the ladder is
+    // sorted by cycle.
+    plan.checkpointIndex =
+        nearestCheckpointIndex(golden.checkpoints, plan.record.cycle);
+    return plan;
+}
 
-    // Fast-forward from the latest checkpoint at or before the
-    // injection cycle: the golden prefix is bit-identical anyway, so
-    // only the suffix needs simulating. Checkpoints are shared
-    // read-only across the worker pool.
-    const sim::Snapshot* nearest = nullptr;
-    for (const sim::Snapshot& snapshot : golden.checkpoints) {
-        if (snapshot.cycle > record.cycle)
-            break;
-        nearest = &snapshot;
-    }
+RunRecord
+Campaign::executePlan(const GoldenArtifacts& golden, const RunPlan& plan,
+                      const sim::Snapshot* start, uint32_t attempt) const
+{
+    if (config_.hostFaultHook)
+        config_.hostFaultHook(plan.record.index, attempt);
 
+    RunRecord record = plan.record;
     sim::Simulator simulator =
-        nearest ? sim::Simulator(program_, config_.cpu, *nearest)
-                : sim::Simulator(program_, config_.cpu);
-    record.restoredFrom = nearest ? nearest->cycle : 0;
+        start ? sim::Simulator(program_, config_.cpu, *start)
+              : sim::Simulator(program_, config_.cpu);
+    // restoredFrom always reports the resolved ladder checkpoint, even
+    // when a cursor snapshot (taken at the injection cycle itself)
+    // actually seeded the simulator: journal records and traces must
+    // not depend on which mode executed the run.
+    record.restoredFrom =
+        plan.checkpointIndex == NoCheckpoint
+            ? 0
+            : golden.checkpoints[plan.checkpointIndex].cycle;
     sim::Injection injection;
     injection.target = config_.targetOverride
                            ? *config_.targetOverride
@@ -358,31 +378,32 @@ Campaign::runOne(const GoldenArtifacts& golden, uint32_t index,
 }
 
 RunRecord
-Campaign::runOneIsolated(const GoldenArtifacts& golden, uint32_t index,
-                         const MaskGenerator& generator) const
+Campaign::runPlanIsolated(const GoldenArtifacts& golden,
+                          const RunPlan& plan,
+                          const sim::Snapshot* start) const
 {
     // The workload under fault is expected to reach broken states; the
     // simulator classifies those itself. Anything that still escapes —
     // a SimAssert leak, std::bad_alloc, a host bug — is confined to
-    // this run: one deterministic retry (same seed and index stream),
-    // then the Error bucket. Never std::terminate, never take the
-    // campaign down.
+    // this run: one deterministic retry (the plan is fixed, so the
+    // retry sees the identical fault), then the Error bucket. Never
+    // std::terminate, never take the campaign down.
     for (uint32_t attempt = 0; attempt < 2; ++attempt) {
         try {
-            return runOne(golden, index, generator, attempt);
+            return executePlan(golden, plan, start, attempt);
         } catch (const std::exception& e) {
-            warn("run %u of '%s' escaped the simulator (%s)%s", index,
-                 workload_.name.c_str(), e.what(),
+            warn("run %u of '%s' escaped the simulator (%s)%s",
+                 plan.record.index, workload_.name.c_str(), e.what(),
                  attempt == 0 ? "; retrying" : "");
         } catch (...) {
             warn("run %u of '%s' escaped the simulator (non-standard "
                  "exception)%s",
-                 index, workload_.name.c_str(),
+                 plan.record.index, workload_.name.c_str(),
                  attempt == 0 ? "; retrying" : "");
         }
     }
     RunRecord record;
-    record.index = index;
+    record.index = plan.record.index;
     record.outcome = Outcome::Error;
     return record;
 }
@@ -408,6 +429,9 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
     // bucket; p99/max expose the straggler tail in heartbeats.
     runWall_ = &m.histogram("campaign.run_wall_us",
                             Histogram::exponentialBounds(64, 2, 21));
+    cohorts_ = &m.counter("campaign.cohorts");
+    cursorCycles_ = &m.counter("campaign.cursor_cycles");
+    restoresAvoided_ = &m.counter("campaign.restores_avoided");
 
     // Replay the journal of an earlier, interrupted invocation: runs it
     // recorded are taken as-is (they are bit-identical to what a fresh
@@ -468,31 +492,24 @@ Campaign::Execution::completedRuns() const
 }
 
 uint32_t
-Campaign::Execution::runIndex(uint32_t index)
+Campaign::Execution::complete(RunRecord&& record,
+                              uint64_t skipped_prefix)
 {
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point t0 = Clock::now();
-    RunRecord record = campaign_.runOneIsolated(campaign_.golden(),
-                                                index, generator_);
-    record.wallMicros = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            Clock::now() - t0)
-            .count());
-
     runWall_->record(record.wallMicros);
     runsSimulated_->add(1);
-    // The cycles actually simulated: the faulty run minus the
-    // checkpoint prefix it fast-forwarded over and the golden tail the
+    // The cycles actually simulated: the faulty run minus the golden
+    // prefix its simulator never executed and the golden tail the
     // early-exit engine proved it never needed (record.cycles reports
     // golden's terminal count for early exits).
-    uint64_t skipped = record.restoredFrom + record.cyclesSaved;
+    uint64_t skipped = skipped_prefix + record.cyclesSaved;
     cyclesSimulated_->add(record.cycles > skipped
                               ? record.cycles - skipped
                               : 0);
     cyclesSaved_->add(record.cyclesSaved);
-    ffCycles_->add(record.restoredFrom);
+    ffCycles_->add(skipped_prefix);
     exitCounters_[static_cast<size_t>(record.exitReason)]->add(1);
 
+    const uint32_t index = record.index;
     records_[index] = std::move(record);
     done_[index] = 1;
     if (journal_) {
@@ -501,6 +518,190 @@ Campaign::Execution::runIndex(uint32_t index)
     }
     completed_.fetch_add(1);
     return pending_.fetch_sub(1) - 1;
+}
+
+uint32_t
+Campaign::Execution::runIndex(uint32_t index)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const GoldenArtifacts& golden = campaign_.golden();
+    RunPlan plan = campaign_.planRun(golden, index, generator_);
+    const sim::Snapshot* start =
+        plan.checkpointIndex == NoCheckpoint
+            ? nullptr
+            : &golden.checkpoints[plan.checkpointIndex];
+    RunRecord record = campaign_.runPlanIsolated(golden, plan, start);
+    record.wallMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+    return complete(std::move(record), record.restoredFrom);
+}
+
+std::vector<Campaign::Execution::Cohort>
+Campaign::Execution::planCohorts(uint32_t parallelism)
+{
+    const GoldenArtifacts& golden = campaign_.golden();
+    const uint32_t injections = campaign_.config_.injections;
+
+    std::vector<Cohort> cohorts;
+    if (!campaign_.cohortBatching_) {
+        // Per-run restore mode: one unbatched singleton per pending
+        // run, in index order. The scheduling shape is shared with
+        // batched mode; only the cursor is gone.
+        for (uint32_t i = 0; i < injections; ++i) {
+            if (done_[i])
+                continue;
+            Cohort cohort;
+            cohort.id = static_cast<int64_t>(cohorts.size());
+            cohort.batched = false;
+            cohort.indices.push_back(i);
+            cohorts.push_back(std::move(cohort));
+        }
+        return cohorts;
+    }
+
+    // Group pending runs by resolved restore checkpoint (keys shifted
+    // by one so the before-any-checkpoint group sorts first), each
+    // group ordered by ascending (cycle, index) so a cursor only ever
+    // moves forward. Replayed runs are already done_ and simply drop
+    // out of their cohort.
+    std::map<size_t, std::vector<std::pair<uint64_t, uint32_t>>> groups;
+    uint32_t planned = 0;
+    for (uint32_t i = 0; i < injections; ++i) {
+        if (done_[i])
+            continue;
+        RunPlan plan = campaign_.planRun(golden, i, generator_);
+        size_t key = plan.checkpointIndex == NoCheckpoint
+                         ? 0
+                         : plan.checkpointIndex + 1;
+        groups[key].push_back({plan.record.cycle, i});
+        ++planned;
+    }
+
+    // Cohort splitting: with one worker a whole checkpoint interval is
+    // one cohort (maximum prefix sharing); with more, cap cohorts at
+    // pending/(2*parallelism) runs so the queue stays at least twice
+    // as deep as the worker pool — splitting trades some repeated
+    // golden-prefix replay for workers never going idle.
+    size_t max_chunk = std::max<uint32_t>(planned, 1);
+    if (parallelism > 1 && planned > 0) {
+        max_chunk = std::max<size_t>(
+            1, (planned + 2 * parallelism - 1) / (2 * parallelism));
+    }
+    for (auto& [key, runs] : groups) {
+        std::sort(runs.begin(), runs.end());
+        for (size_t at = 0; at < runs.size(); at += max_chunk) {
+            Cohort cohort;
+            cohort.id = static_cast<int64_t>(cohorts.size());
+            cohort.checkpointIndex =
+                key == 0 ? NoCheckpoint : key - 1;
+            cohort.baseCycle =
+                key == 0 ? 0 : golden.checkpoints[key - 1].cycle;
+            const size_t end = std::min(runs.size(), at + max_chunk);
+            for (size_t j = at; j < end; ++j)
+                cohort.indices.push_back(runs[j].second);
+            cohorts.push_back(std::move(cohort));
+        }
+    }
+    return cohorts;
+}
+
+Campaign::Execution::CohortOutcome
+Campaign::Execution::runCohort(const Cohort& cohort,
+                               const std::function<bool()>& stop)
+{
+    using Clock = std::chrono::steady_clock;
+    const GoldenArtifacts& golden = campaign_.golden();
+    CohortOutcome out;
+    if (cohort.batched && !cohort.indices.empty())
+        cohorts_->add(1);
+
+    // The warm golden cursor, created lazily on the cohort's first
+    // pending run and shared by every later one. If it ever fails
+    // (host fault during the golden replay), the rest of the cohort
+    // falls back to per-run restore — outcomes are identical either
+    // way, only the prefix sharing is lost.
+    std::optional<sim::Simulator> cursor;
+    bool cursor_ok = true;
+    bool cursor_served = false;
+    uint32_t pos = 0;
+    for (uint32_t index : cohort.indices) {
+        if (stop && stop())
+            break;
+        if (done_[index]) {
+            ++pos;
+            continue;
+        }
+        const Clock::time_point t0 = Clock::now();
+        RunPlan plan = campaign_.planRun(golden, index, generator_);
+        RunRecord record;
+        uint64_t prefix = 0;
+        bool served = false;
+        if (cohort.batched && cursor_ok) {
+            try {
+                if (!cursor) {
+                    if (cohort.checkpointIndex != NoCheckpoint) {
+                        cursor.emplace(
+                            campaign_.program_, campaign_.config_.cpu,
+                            golden.checkpoints[cohort.checkpointIndex]);
+                    } else {
+                        cursor.emplace(campaign_.program_,
+                                       campaign_.config_.cpu);
+                    }
+                }
+                const uint64_t before = cursor->cycle();
+                cursor->advanceTo(plan.record.cycle);
+                cursorCycles_->add(cursor->cycle() - before);
+                const sim::Snapshot at = cursor->checkpoint();
+                record = campaign_.runPlanIsolated(golden, plan, &at);
+                // The run's own simulator started at the injection
+                // cycle: the whole golden prefix was the cursor's.
+                prefix = plan.record.cycle;
+                if (cursor_served)
+                    restoresAvoided_->add(1);
+                cursor_served = true;
+                served = true;
+            } catch (const std::exception& e) {
+                warn("cohort %lld cursor of '%s' failed (%s); "
+                     "falling back to per-run restore",
+                     static_cast<long long>(cohort.id),
+                     campaign_.workload_.name.c_str(), e.what());
+                cursor_ok = false;
+                cursor.reset();
+            } catch (...) {
+                warn("cohort %lld cursor of '%s' failed; falling back "
+                     "to per-run restore",
+                     static_cast<long long>(cohort.id),
+                     campaign_.workload_.name.c_str());
+                cursor_ok = false;
+                cursor.reset();
+            }
+        }
+        if (!served) {
+            const sim::Snapshot* start =
+                plan.checkpointIndex == NoCheckpoint
+                    ? nullptr
+                    : &golden.checkpoints[plan.checkpointIndex];
+            record = campaign_.runPlanIsolated(golden, plan, start);
+            prefix = record.restoredFrom;
+        }
+        if (cohort.batched) {
+            record.cohortId = cohort.id;
+            record.cohortPos = pos;
+        }
+        record.wallMicros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count());
+        out.remaining = complete(std::move(record), prefix);
+        if (out.remaining == 0)
+            out.retiredLast = true;
+        ++out.executed;
+        ++pos;
+    }
+    return out;
 }
 
 CampaignResult
@@ -565,7 +766,7 @@ Campaign::run(bool keep_runs) const
 
     std::unique_ptr<Execution> exec = prepare(keep_runs);
 
-    std::atomic<uint32_t> next{0};
+    std::atomic<size_t> next{0};
     std::atomic<bool> cancel{false};
     std::atomic<bool> finished{false};
 
@@ -591,16 +792,21 @@ Campaign::run(bool keep_runs) const
         return true;
     };
 
+    // The work queue: cohorts of runs sharing a restore checkpoint
+    // (DESIGN.md §13) — or singletons when batching is off. Planning
+    // triggers the golden simulation, so it happens before the pool
+    // spins up.
+    const std::vector<Execution::Cohort> cohorts =
+        exec->planCohorts(threads_);
+
     auto worker = [&]() {
         for (;;) {
             if (shouldStop())
                 return;
-            uint32_t i = next.fetch_add(1);
-            if (i >= config_.injections)
+            size_t i = next.fetch_add(1);
+            if (i >= cohorts.size())
                 return;
-            if (!exec->pending(i))
-                continue;   // replayed from the journal
-            exec->runIndex(i);
+            exec->runCohort(cohorts[i], shouldStop);
         }
     };
 

@@ -96,6 +96,18 @@ struct CampaignConfig
      * Overridable via MBUSIM_DIGEST_POINTS.
      */
     uint32_t digestPoints = 64;
+    /**
+     * Cohort-batched execution (DESIGN.md §13): group pending runs by
+     * their resolved restore checkpoint and serve each cohort, sorted
+     * by injection cycle, from one warm golden cursor — a single
+     * simulator that replays the golden segment once and snapshots at
+     * each run's injection cycle, instead of every run independently
+     * re-simulating the same golden prefix. Outcomes, run records and
+     * traces (modulo the cohort/wall-time fields) are bit-identical
+     * with batching on or off. Overridable via MBUSIM_COHORT
+     * (0 disables, falling back to per-run restore).
+     */
+    bool cohortBatching = true;
     sim::CpuConfig cpu;            ///< microarchitecture under test
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
@@ -151,6 +163,15 @@ struct RunRecord
      * excluded from determinism comparisons.
      */
     uint64_t wallMicros = 0;
+    /**
+     * Cohort the run was scheduled in and its position within it.
+     * Host-side bookkeeping like wallMicros: cohort assignment depends
+     * on journal state and worker count, so it is never journalled
+     * (replayed and per-run-restored runs report -1) and is excluded
+     * from determinism comparisons.
+     */
+    int64_t cohortId = -1;
+    uint32_t cohortPos = 0;
 };
 
 /** Aggregated campaign results. */
@@ -235,9 +256,61 @@ class Campaign
     class Execution
     {
       public:
+        /**
+         * One schedulable batch of pending runs (DESIGN.md §13): runs
+         * sharing a resolved restore checkpoint, ordered by ascending
+         * injection cycle (ties by index) so the warm golden cursor
+         * only ever moves forward. With cohort batching disabled,
+         * planCohorts() degrades to one unbatched singleton cohort per
+         * pending run in index order, so Campaign::run and
+         * Study::runSweep schedule through one shape either way.
+         */
+        struct Cohort
+        {
+            int64_t id = 0;             ///< dense id, plan order
+            bool batched = true;        ///< false = per-run restore
+            /** Ladder index of the shared restore checkpoint
+             *  (NoCheckpoint = the cohort starts from cycle 0). */
+            size_t checkpointIndex = NoCheckpoint;
+            uint64_t baseCycle = 0;     ///< that checkpoint's cycle
+            std::vector<uint32_t> indices;   ///< ascending cycle order
+        };
+
+        /** What one runCohort() call did. */
+        struct CohortOutcome
+        {
+            uint32_t executed = 0;   ///< runs simulated by this call
+            /** Campaign-wide pending count after the last run. */
+            uint32_t remaining = 0;
+            /**
+             * This call retired the campaign's final pending run.
+             * Exactly one runCohort()/runIndex() call across all
+             * workers observes this; that caller may finalize().
+             */
+            bool retiredLast = false;
+        };
+
         uint32_t injections() const;
         /** Does run @p index still need simulating (not replayed)? */
         bool pending(uint32_t index) const;
+        /**
+         * Plan the pending runs into cohorts. @p parallelism is the
+         * number of workers expected to serve this execution: when
+         * more than one, large cohorts are split so no single chunk
+         * exceeds pending/(2*parallelism) runs, trading some repeated
+         * golden-prefix replay for queue depth. Deterministic in
+         * (journal state, parallelism).
+         */
+        std::vector<Cohort> planCohorts(uint32_t parallelism = 1);
+        /**
+         * Execute a cohort's still-pending runs in order, keeping one
+         * warm golden cursor for batched cohorts. @p stop, when given,
+         * is polled between runs so a deadline/interrupt abandons the
+         * cohort's tail (those runs simply stay pending). Each cohort
+         * must be run by at most one caller.
+         */
+        CohortOutcome runCohort(const Cohort& cohort,
+                                const std::function<bool()>& stop = {});
         /**
          * Simulate run @p index (fault-isolated, journalled) and
          * return how many runs are still pending afterwards — zero
@@ -254,6 +327,14 @@ class Campaign
       private:
         friend class Campaign;
         Execution(const Campaign& campaign, bool keep_runs);
+
+        /**
+         * Record a finished run: metrics, journal append, tallies.
+         * @p skipped_prefix is the golden prefix this run's simulator
+         * never executed (checkpoint cycle in per-run mode, injection
+         * cycle in cursor mode). Returns runs still pending.
+         */
+        uint32_t complete(RunRecord&& record, uint64_t skipped_prefix);
 
         const Campaign& campaign_;
         MaskGenerator generator_;
@@ -274,6 +355,9 @@ class Campaign
         Counter* ffCycles_;
         std::array<Counter*, 3> exitCounters_;  ///< by sim::EarlyExit
         Histogram* runWall_;
+        Counter* cohorts_;          ///< batched cohorts executed
+        Counter* cursorCycles_;     ///< golden cycles cursors advanced
+        Counter* restoresAvoided_;  ///< runs served by an already-warm cursor
     };
 
     /** Start an invocation: replay the journal, simulate nothing yet. */
@@ -285,18 +369,44 @@ class Campaign
      * the shared store when one was given). Thread-safe on first call.
      */
     const GoldenArtifacts& golden() const;
-    RunRecord runOne(const GoldenArtifacts& golden, uint32_t index,
-                     const MaskGenerator& generator,
-                     uint32_t attempt) const;
-    RunRecord runOneIsolated(const GoldenArtifacts& golden,
-                             uint32_t index,
-                             const MaskGenerator& generator) const;
+
+    /**
+     * Everything about run @p index that is decided before any
+     * simulation: the RNG-derived mask and injection cycle (filled
+     * into `record`) and the resolved restore checkpoint. The cohort
+     * planner groups on checkpointIndex; execution replays the same
+     * plan on retries so a retry sees the identical fault.
+     */
+    struct RunPlan
+    {
+        RunRecord record;
+        size_t checkpointIndex = NoCheckpoint;
+    };
+    RunPlan planRun(const GoldenArtifacts& golden, uint32_t index,
+                    const MaskGenerator& generator) const;
+    /**
+     * Simulate a planned run from @p start (nullptr = cycle 0). The
+     * snapshot may be the plan's ladder checkpoint or a cursor
+     * snapshot taken at the injection cycle itself — the continuation
+     * is bit-identical either way, and record.restoredFrom always
+     * reports the ladder checkpoint so journal records match across
+     * modes.
+     */
+    RunRecord executePlan(const GoldenArtifacts& golden,
+                          const RunPlan& plan,
+                          const sim::Snapshot* start,
+                          uint32_t attempt) const;
+    /** executePlan with the retry-then-Error fault isolation. */
+    RunRecord runPlanIsolated(const GoldenArtifacts& golden,
+                              const RunPlan& plan,
+                              const sim::Snapshot* start) const;
 
     const workloads::Workload& workload_;
     CampaignConfig config_;
     sim::Program program_;
     uint32_t checkpointTarget_;    ///< resolved checkpoint count
     bool earlyExit_;               ///< resolved early-exit switch
+    bool cohortBatching_;          ///< resolved cohort switch
     uint32_t digestTarget_;        ///< resolved digest-point count
     uint32_t threads_;             ///< resolved worker count (>= 1)
     std::string journalDir_;       ///< resolved journal dir ("" = off)

@@ -1,5 +1,6 @@
 #include "core/golden_store.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -26,6 +27,26 @@ constexpr uint64_t InitialCheckpointInterval = 512;
 std::atomic<uint64_t> goldenSims{0};
 
 } // namespace
+
+size_t
+nearestCheckpointIndex(const std::vector<sim::Snapshot>& ladder,
+                       uint64_t cycle)
+{
+    auto it = std::upper_bound(
+        ladder.begin(), ladder.end(), cycle,
+        [](uint64_t c, const sim::Snapshot& s) { return c < s.cycle; });
+    if (it == ladder.begin())
+        return NoCheckpoint;
+    return static_cast<size_t>(it - ladder.begin()) - 1;
+}
+
+const sim::Snapshot*
+nearestCheckpoint(const std::vector<sim::Snapshot>& ladder,
+                  uint64_t cycle)
+{
+    size_t index = nearestCheckpointIndex(ladder, cycle);
+    return index == NoCheckpoint ? nullptr : &ladder[index];
+}
 
 uint64_t
 goldenSimulationCount()

@@ -40,6 +40,23 @@ struct GoldenArtifacts
 };
 
 /**
+ * Index into @p checkpoints of the latest snapshot at or before
+ * @p cycle, or npos when the cycle precedes the whole ladder. The
+ * ladder is sorted by cycle, so this is one std::upper_bound — both
+ * the per-run fast-forward path and the cohort planner (which groups
+ * runs by their resolved restore checkpoint) resolve through here so
+ * they can never disagree.
+ */
+inline constexpr size_t NoCheckpoint = static_cast<size_t>(-1);
+size_t nearestCheckpointIndex(const std::vector<sim::Snapshot>& ladder,
+                              uint64_t cycle);
+
+/** The snapshot at nearestCheckpointIndex, or nullptr for npos. */
+const sim::Snapshot*
+nearestCheckpoint(const std::vector<sim::Snapshot>& ladder,
+                  uint64_t cycle);
+
+/**
  * Simulate a workload's golden run, recording both interval-doubling
  * ladders in the same simulation (pass 0 to disable either). Fatal if
  * the golden run does not exit cleanly. Each call increments

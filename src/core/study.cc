@@ -325,6 +325,7 @@ Study::runSweep(const ProgressFn& progress)
         std::string key;
         std::unique_ptr<Campaign> campaign;
         std::unique_ptr<Campaign::Execution> exec;
+        std::vector<Campaign::Execution::Cohort> cohorts;
     };
     std::vector<std::unique_ptr<Cell>> cells;
     std::vector<std::string> cached_keys;
@@ -349,19 +350,66 @@ Study::runSweep(const ProgressFn& progress)
         }
     }
 
-    // --- Pass 2: one global queue of (cell, run) tasks in cell order.
-    // Workers claim tasks with a single atomic cursor, so a cell's
-    // Masked-heavy straggler tail overlaps the next cell's work and
-    // the pool is spawned once per sweep, not once per campaign.
-    std::vector<std::pair<Cell*, uint32_t>> tasks;
-    for (auto& cell : cells) {
-        report.runsResumed += cell->exec->resumedRuns();
-        for (uint32_t i = 0; i < config_.injections; ++i) {
-            if (cell->exec->pending(i))
-                tasks.push_back({cell.get(), i});
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envUInt("MBUSIM_THREADS",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    UINT32_MAX));
+    }
+    threads = std::max(1u, threads);
+
+    // --- Pass 2: plan every pending cell into cohorts (DESIGN.md
+    // §13). Planning triggers each cell's golden simulation, so it
+    // runs on its own pool — distinct workloads simulate their goldens
+    // concurrently, same-workload cells block on the store's
+    // once_flag. The split hint keeps per-cell cohorts large when many
+    // cells already provide queue depth, and splits them up when a few
+    // cells must feed the whole pool.
+    const uint32_t split_hint = std::max<uint32_t>(
+        1, cells.empty()
+               ? 1
+               : threads / static_cast<uint32_t>(cells.size()));
+    {
+        std::atomic<size_t> plan_next{0};
+        auto planner = [&]() {
+            for (;;) {
+                size_t i = plan_next.fetch_add(1);
+                if (i >= cells.size())
+                    return;
+                cells[i]->cohorts =
+                    cells[i]->exec->planCohorts(split_hint);
+            }
+        };
+        const uint32_t planners = std::max<uint32_t>(
+            1, std::min<uint32_t>(
+                   threads, static_cast<uint32_t>(cells.size())));
+        if (planners == 1) {
+            planner();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(planners);
+            for (uint32_t t = 0; t < planners; ++t)
+                pool.emplace_back(planner);
+            for (auto& t : pool)
+                t.join();
         }
     }
-    const uint64_t runs_total = tasks.size();
+
+    // --- Pass 3: one global queue of (cell, cohort) tasks in cell
+    // order. Workers claim cohorts with a single atomic cursor, so a
+    // cell's Masked-heavy straggler tail overlaps the next cell's work
+    // and the pool is spawned once per sweep, not once per campaign.
+    std::vector<std::pair<Cell*, const Campaign::Execution::Cohort*>>
+        tasks;
+    uint64_t runs_total = 0;
+    for (auto& cell : cells) {
+        report.runsResumed += cell->exec->resumedRuns();
+        for (const auto& cohort : cell->cohorts) {
+            tasks.push_back({cell.get(), &cohort});
+            runs_total += cohort.indices.size();
+        }
+    }
 
     // Scheduler instruments (DESIGN.md §12): queue depth tracks the
     // unclaimed tail of the task list; worker_busy_us accumulates time
@@ -370,7 +418,12 @@ Study::runSweep(const ProgressFn& progress)
     Gauge& queue_depth = metrics().gauge("sweep.queue_depth");
     Gauge& workers_gauge = metrics().gauge("sweep.workers");
     Counter& busy_us = metrics().counter("sweep.worker_busy_us");
+    Counter& cohorts_ctr = metrics().counter("campaign.cohorts");
+    Counter& avoided_ctr =
+        metrics().counter("campaign.restores_avoided");
     const uint64_t busy_before = busy_us.value();
+    const uint64_t cohorts_before = cohorts_ctr.value();
+    const uint64_t avoided_before = avoided_ctr.value();
     queue_depth.set(static_cast<int64_t>(tasks.size()));
 
     std::atomic<size_t> next{0};
@@ -459,27 +512,22 @@ Study::runSweep(const ProgressFn& progress)
                 static_cast<int64_t>(tasks.size() - (t + 1)));
             Cell* cell = tasks[t].first;
             const Clock::time_point run_start = Clock::now();
-            uint32_t remaining = cell->exec->runIndex(tasks[t].second);
+            Campaign::Execution::CohortOutcome out =
+                cell->exec->runCohort(*tasks[t].second, shouldStop);
             busy_us.add(static_cast<uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     Clock::now() - run_start)
                     .count()));
-            runs_done.fetch_add(1);
+            runs_done.fetch_add(out.executed);
             // The worker that retires a cell's last run finalizes it:
             // the cell is complete, so caching it is safe even if a
-            // cancellation raced in meanwhile.
-            if (remaining == 0)
+            // cancellation raced in meanwhile. Exactly one runCohort
+            // call per cell observes retiredLast.
+            if (out.retiredLast)
                 finalizeCell(*cell);
         }
     };
 
-    uint32_t threads = config_.threads;
-    if (threads == 0) {
-        threads = static_cast<uint32_t>(
-            envUInt("MBUSIM_THREADS",
-                    std::max(1u, std::thread::hardware_concurrency()),
-                    UINT32_MAX));
-    }
     threads = std::max<uint64_t>(
         1, std::min<uint64_t>(threads, tasks.size()));
     workers_gauge.set(threads);
@@ -518,13 +566,18 @@ Study::runSweep(const ProgressFn& progress)
                             : 0.0;
                     std::lock_guard<std::mutex> plock(progressMutex);
                     inform("sweep: %llu/%llu runs, %u/%u cells done | "
-                           "depth=%lld workers=%u util=%.0f%% %s",
+                           "depth=%lld workers=%u util=%.0f%% "
+                           "cohorts=%llu avoided=%llu %s",
                            static_cast<unsigned long long>(
                                runs_done.load()),
                            static_cast<unsigned long long>(runs_total),
                            cells_done, report.cells,
                            static_cast<long long>(queue_depth.value()),
                            threads, utilization,
+                           static_cast<unsigned long long>(
+                               cohorts_ctr.value() - cohorts_before),
+                           static_cast<unsigned long long>(
+                               avoided_ctr.value() - avoided_before),
                            metrics().snapshot()
                                .brief("campaign.run_wall_us")
                                .c_str());

@@ -49,6 +49,19 @@ Simulator::restore(const Snapshot& snapshot)
     cpu_->restore(snapshot.cpu);
 }
 
+void
+Simulator::advanceTo(uint64_t cycle)
+{
+    if (cycle > cpu_->cycle())
+        run(cycle);
+}
+
+uint64_t
+Simulator::cycle() const
+{
+    return cpu_->cycle();
+}
+
 std::pair<uint32_t, uint32_t>
 Simulator::targetGeometry(FaultTarget target, const CpuConfig& config)
 {
@@ -218,16 +231,35 @@ Simulator::run(uint64_t max_cycles)
                         // While unpropagated flips sit live in an
                         // array, the state provably differs from
                         // golden: skip the digest, it cannot match.
+                        // This skip costs nothing, so it does not
+                        // advance the geometric sampling stride.
                         bool surely_differs = deadFaultPruning_ &&
                                               !deadCheckDisabled_ &&
                                               live > 0;
-                        if (!surely_differs &&
-                            stateDigest() ==
-                                (*goldenDigests_)[nextDigest_].digest) {
+                        if (surely_differs) {
+                            ++nextDigest_;
+                        } else if (goldenDigests_->back().cycle -
+                                       cpu_->cycle() <
+                                   digestInterval_) {
+                            // Less than one rung interval of golden
+                            // tail remains: a match here could not
+                            // save even one interval of simulation,
+                            // while the digest itself walks the whole
+                            // machine. Stop checking for this run.
+                            goldenDigests_ = nullptr;
+                        } else if (stateDigest() ==
+                                   (*goldenDigests_)[nextDigest_]
+                                       .digest) {
                             result.earlyExit = EarlyExit::Converged;
                             break;
+                        } else {
+                            // A computed digest that differs: back off
+                            // geometrically from the injection point
+                            // so a never-converging run digests
+                            // O(log rungs) times, not once per rung.
+                            nextDigest_ += digestStride_;
+                            digestStride_ *= 2;
                         }
-                        ++nextDigest_;
                     }
                 }
             }

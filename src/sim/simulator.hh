@@ -136,11 +136,26 @@ class Simulator
      * (sorted by cycle; must outlive this simulator). run() exits
      * with EarlyExit::Converged when the machine's digest equals
      * golden's at the same cycle, past the last injection.
+     *
+     * Digest checks are lazy: rungs are sampled geometrically from the
+     * injection point (1st candidate rung, then skip 1, 2, 4, ... after
+     * every digest that fails to match), and checking stops outright
+     * once less than one rung interval of golden tail remains — a hit
+     * there could not save even one interval of simulation. Skipped
+     * rungs only delay detection, never change outcomes: a run that
+     * converged at a skipped rung either matches at a later sampled
+     * rung or simply runs its (bit-identical-to-golden) tail to
+     * completion and classifies Masked the ordinary way.
      */
     void
     setGoldenDigests(const std::vector<DigestPoint>* digests)
     {
         goldenDigests_ = digests;
+        digestInterval_ = 0;
+        if (digests && digests->size() >= 2)
+            digestInterval_ = (*digests)[1].cycle - (*digests)[0].cycle;
+        else if (digests && digests->size() == 1)
+            digestInterval_ = (*digests)[0].cycle;
     }
 
     /**
@@ -153,6 +168,21 @@ class Simulator
 
     /** Capture the whole machine state (callable between run() calls). */
     Snapshot checkpoint() const;
+
+    /**
+     * Advance a running simulation to exactly @p cycle (no-op when the
+     * machine is already at or past it). Built for the cohort
+     * scheduler's warm golden cursor (DESIGN.md §13): one golden
+     * simulator advances monotonically through the injection cycles of
+     * a whole cohort, checkpoint()ing at each so the injected runs
+     * start from in-memory snapshots instead of each replaying the
+     * golden prefix. Must not be asked to advance past the program's
+     * natural end.
+     */
+    void advanceTo(uint64_t cycle);
+
+    /** Current cycle of the machine (monotonic across run() calls). */
+    uint64_t cycle() const;
 
     /** Rewind the machine to @p snapshot (same program and config). */
     void restore(const Snapshot& snapshot);
@@ -194,6 +224,8 @@ class Simulator
     bool deadCheckDisabled_ = false;   ///< a flip propagated: no pruning
     const std::vector<DigestPoint>* goldenDigests_ = nullptr;
     size_t nextDigest_ = 0;            ///< first unchecked ladder rung
+    uint64_t digestInterval_ = 0;      ///< ladder rung spacing (cycles)
+    size_t digestStride_ = 1;          ///< rungs to the next sample
     std::vector<BitArray*> trackedArrays_;   ///< arrays holding flips
     uint64_t lastInjectionCycle_ = 0;
 };

@@ -30,6 +30,7 @@ class EarlyExitTest : public ::testing::Test
         unsetenv("MBUSIM_EARLY_EXIT");
         unsetenv("MBUSIM_DIGEST_POINTS");
         unsetenv("MBUSIM_CHECKPOINTS");
+        unsetenv("MBUSIM_COHORT");
     }
 };
 

@@ -191,7 +191,7 @@ class ObservabilityTest : public ::testing::Test
               "MBUSIM_WORKLOADS", "MBUSIM_SWEEP_SCHEDULER",
               "MBUSIM_DEADLINE_S", "MBUSIM_HEARTBEAT_S",
               "MBUSIM_EARLY_EXIT", "MBUSIM_DIGEST_POINTS",
-              "MBUSIM_CHECKPOINTS"}) {
+              "MBUSIM_CHECKPOINTS", "MBUSIM_COHORT"}) {
             unsetenv(knob);
         }
         clearInterrupt();
@@ -219,13 +219,15 @@ readLines(const std::string& path)
     return lines;
 }
 
-/** Strip the two fields excluded from the determinism guarantee: wall
- *  time (host-dependent) and the replayed flag (journal-dependent). */
+/** Strip the fields excluded from the determinism guarantee: wall
+ *  time (host-dependent), the replayed flag (journal-dependent) and
+ *  the cohort assignment (journal- and worker-count-dependent). */
 std::string
 stripVolatile(const std::string& line)
 {
     static const std::regex volatileFields(
-        ",\"replayed\":(true|false)|,\"wall_us\":[0-9]+");
+        ",\"replayed\":(true|false)|,\"wall_us\":[0-9]+"
+        "|,\"cohort\":(null|\\[[0-9]+,[0-9]+\\])");
     return std::regex_replace(line, volatileFields, "");
 }
 

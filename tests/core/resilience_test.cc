@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <stdexcept>
 
@@ -144,6 +146,55 @@ TEST(ResilienceTest, InterruptedCampaignResumesBitIdentical)
             EXPECT_EQ(resumed.runs[i].mask.flips[f].col,
                       baseline.runs[i].mask.flips[f].col);
         }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceTest, MidCohortInterruptResumesBitIdentical)
+{
+    // Interrupt in the middle of a warm-cursor cohort (the attempt
+    // counter fires mid-campaign regardless of which cohort serves
+    // which index): the cohort's executed head is journalled, its
+    // abandoned tail stays pending, and the resumed campaign — whose
+    // replayed runs drop out of their re-planned cohorts — must end
+    // bit-identical to a per-run-restore baseline.
+    const auto& w = workloads::workloadByName("stringsearch");
+    CampaignConfig config = smallConfig(Component::L1D, 2, 30);
+    config.cohortBatching = false;
+    CampaignResult baseline = Campaign(w, config).run(true);
+
+    std::string dir = freshDir("mbusim_journal_midcohort");
+    config.cohortBatching = true;
+    config.journalDir = dir;
+    auto attempts = std::make_shared<std::atomic<uint32_t>>(0);
+    config.hostFaultHook = [attempts](uint32_t, uint32_t) {
+        if (attempts->fetch_add(1) + 1 == 11)
+            requestInterrupt();   // as if ^C arrived mid-cohort
+    };
+    CampaignResult partial = Campaign(w, config).run();
+    clearInterrupt();
+    EXPECT_TRUE(partial.cancelled);
+    EXPECT_LT(partial.completed, 30u);
+    EXPECT_GT(partial.completed, 0u);
+
+    config.hostFaultHook = nullptr;
+    CampaignResult resumed = Campaign(w, config).run(true);
+    EXPECT_FALSE(resumed.cancelled);
+    EXPECT_EQ(resumed.resumed, partial.completed);
+    EXPECT_EQ(resumed.completed, 30u);
+    EXPECT_EQ(resumed.counts.counts, baseline.counts.counts);
+    ASSERT_EQ(resumed.runs.size(), baseline.runs.size());
+    for (size_t i = 0; i < baseline.runs.size(); ++i) {
+        EXPECT_EQ(resumed.runs[i].index, baseline.runs[i].index);
+        EXPECT_EQ(resumed.runs[i].cycle, baseline.runs[i].cycle);
+        EXPECT_EQ(resumed.runs[i].outcome, baseline.runs[i].outcome);
+        EXPECT_EQ(resumed.runs[i].cycles, baseline.runs[i].cycles);
+        EXPECT_EQ(resumed.runs[i].restoredFrom,
+                  baseline.runs[i].restoredFrom);
+        EXPECT_EQ(resumed.runs[i].exitReason,
+                  baseline.runs[i].exitReason);
+        EXPECT_EQ(resumed.runs[i].cyclesSaved,
+                  baseline.runs[i].cyclesSaved);
     }
     std::filesystem::remove_all(dir);
 }

@@ -40,7 +40,7 @@ class SweepTest : public ::testing::Test
               "MBUSIM_WORKLOADS", "MBUSIM_SWEEP_SCHEDULER",
               "MBUSIM_DEADLINE_S", "MBUSIM_HEARTBEAT_S",
               "MBUSIM_EARLY_EXIT", "MBUSIM_DIGEST_POINTS",
-              "MBUSIM_CHECKPOINTS"}) {
+              "MBUSIM_CHECKPOINTS", "MBUSIM_COHORT"}) {
             unsetenv(knob);
         }
         clearInterrupt();
