@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <condition_variable>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -33,13 +34,10 @@ makeGenerator(const CampaignConfig& config)
     return MaskGenerator(rows, cols, config.cluster);
 }
 
-/**
- * Render a completed run as one journal payload line. Everything a
- * RunRecord holds goes in, so a replayed record is bit-identical to the
- * simulated one.
- */
+} // namespace
+
 std::string
-serializeRun(const RunRecord& record)
+serializeRunRecord(const RunRecord& record)
 {
     std::string line = strprintf(
         "run %" PRIu32 " %" PRIu64 " %u %" PRIu64 " %" PRIu64
@@ -54,6 +52,41 @@ serializeRun(const RunRecord& record)
         line += strprintf(" %" PRIu32 ":%" PRIu32, flip.row, flip.col);
     return line;
 }
+
+bool
+parseRunRecord(const std::string& payload, RunRecord& record)
+{
+    std::istringstream in(payload);
+    std::string tag;
+    unsigned outcome = 0;
+    unsigned exit_reason = 0;
+    size_t flips = 0;
+    in >> tag >> record.index >> record.cycle >> outcome >>
+        record.cycles >> record.restoredFrom >> exit_reason >>
+        record.cyclesSaved >> record.mask.clusterRow >>
+        record.mask.clusterCol >> flips;
+    if (!in || tag != "run" || outcome >= AllOutcomes.size() ||
+        exit_reason >
+            static_cast<unsigned>(sim::EarlyExit::Converged) ||
+        flips > 64) {
+        return false;
+    }
+    record.outcome = static_cast<Outcome>(outcome);
+    record.exitReason = static_cast<sim::EarlyExit>(exit_reason);
+    record.mask.flips.resize(flips);
+    for (sim::BitFlip& flip : record.mask.flips) {
+        char sep = 0;
+        in >> flip.row >> sep >> flip.col;
+        if (!in || sep != ':')
+            return false;
+    }
+    // Trailing garbage means a mangled line: reject it entirely.
+    std::string rest;
+    in >> rest;
+    return rest.empty();
+}
+
+namespace {
 
 /** Machine-friendly name of an early-exit reason (trace records). */
 const char*
@@ -107,40 +140,6 @@ traceLine(const workloads::Workload& workload,
         earlyExitName(record.exitReason), record.cycles,
         record.cyclesSaved, record.restoredFrom, cohort.c_str(),
         replayed ? "true" : "false", record.wallMicros);
-}
-
-/** Parse a journal payload line; strict — any deviation rejects it. */
-bool
-parseRun(const std::string& payload, RunRecord& record)
-{
-    std::istringstream in(payload);
-    std::string tag;
-    unsigned outcome = 0;
-    unsigned exit_reason = 0;
-    size_t flips = 0;
-    in >> tag >> record.index >> record.cycle >> outcome >>
-        record.cycles >> record.restoredFrom >> exit_reason >>
-        record.cyclesSaved >> record.mask.clusterRow >>
-        record.mask.clusterCol >> flips;
-    if (!in || tag != "run" || outcome >= AllOutcomes.size() ||
-        exit_reason >
-            static_cast<unsigned>(sim::EarlyExit::Converged) ||
-        flips > 64) {
-        return false;
-    }
-    record.outcome = static_cast<Outcome>(outcome);
-    record.exitReason = static_cast<sim::EarlyExit>(exit_reason);
-    record.mask.flips.resize(flips);
-    for (sim::BitFlip& flip : record.mask.flips) {
-        char sep = 0;
-        in >> flip.row >> sep >> flip.col;
-        if (!in || sep != ':')
-            return false;
-    }
-    // Trailing garbage means a mangled line: reject it entirely.
-    std::string rest;
-    in >> rest;
-    return rest.empty();
 }
 
 } // namespace
@@ -448,11 +447,17 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
             "%s %s ee%u dp%u", JournalVersion, key.c_str(),
             campaign_.earlyExit_ ? 1u : 0u,
             campaign_.earlyExit_ ? campaign_.digestTarget_ : 0u);
+        // Worker processes of a distributed sweep write private shards
+        // (one appender per file); the coordinator merges them into the
+        // canonical journal (DESIGN.md §14).
         std::string path =
             campaign_.journalDir_ + "/" + key + ".journal";
+        if (!campaign_.config_.journalShard.empty())
+            path += ".shard-" + campaign_.config_.journalShard;
         for (const std::string& line : Journal::replay(path, header)) {
             RunRecord record;
-            if (parseRun(line, record) && record.index < injections &&
+            if (parseRunRecord(line, record) &&
+                record.index < injections &&
                 !done_[record.index]) {
                 done_[record.index] = 2;   // 2 = replayed (1 = simulated)
                 records_[record.index] = std::move(record);
@@ -491,9 +496,29 @@ Campaign::Execution::completedRuns() const
     return completed_.load();
 }
 
+void
+Campaign::Execution::setRunObserver(
+    std::function<void(const RunRecord&)> fn)
+{
+    runObserver_ = std::move(fn);
+}
+
+uint32_t
+Campaign::Execution::adoptRecord(RunRecord record)
+{
+    if (record.index >= campaign_.config_.injections ||
+        done_[record.index])
+        return pending_.load();
+    // The adopting process did not simulate the run, so never journal
+    // it here: the worker's shard already holds the durable copy, and
+    // appending to a canonical journal that a shard merge may rename
+    // away mid-sweep would write through a dangling inode.
+    return complete(std::move(record), record.restoredFrom, false);
+}
+
 uint32_t
 Campaign::Execution::complete(RunRecord&& record,
-                              uint64_t skipped_prefix)
+                              uint64_t skipped_prefix, bool journal_it)
 {
     runWall_->record(record.wallMicros);
     runsSimulated_->add(1);
@@ -512,10 +537,12 @@ Campaign::Execution::complete(RunRecord&& record,
     const uint32_t index = record.index;
     records_[index] = std::move(record);
     done_[index] = 1;
-    if (journal_) {
+    if (journal_ && journal_it) {
         std::lock_guard<std::mutex> lock(journalMutex_);
-        journal_->append(serializeRun(records_[index]));
+        journal_->append(serializeRunRecord(records_[index]));
     }
+    if (runObserver_)
+        runObserver_(records_[index]);
     completed_.fetch_add(1);
     return pending_.fetch_sub(1) - 1;
 }
@@ -606,6 +633,44 @@ Campaign::Execution::planCohorts(uint32_t parallelism)
         }
     }
     return cohorts;
+}
+
+Campaign::Execution::Cohort
+Campaign::Execution::makeCohort(const std::vector<uint32_t>& indices,
+                                int64_t id)
+{
+    const GoldenArtifacts& golden = campaign_.golden();
+    Cohort cohort;
+    cohort.id = id;
+    cohort.batched = campaign_.cohortBatching_;
+
+    // Re-derive each run's plan; planning is deterministic in (seed,
+    // index), so the checkpoint and cycle match what the coordinator's
+    // planner saw. Taking the *earliest* resolved checkpoint keeps the
+    // cursor valid (it can only advance) even if a mixed unit ever
+    // slips through.
+    std::vector<std::pair<uint64_t, uint32_t>> runs;
+    size_t key = std::numeric_limits<size_t>::max();
+    for (uint32_t index : indices) {
+        if (index >= campaign_.config_.injections || done_[index])
+            continue;
+        RunPlan plan = campaign_.planRun(golden, index, generator_);
+        size_t k = plan.checkpointIndex == NoCheckpoint
+                       ? 0
+                       : plan.checkpointIndex + 1;
+        key = std::min(key, k);
+        runs.push_back({plan.record.cycle, index});
+    }
+    if (runs.empty())
+        return cohort;
+    if (key > 0) {
+        cohort.checkpointIndex = key - 1;
+        cohort.baseCycle = golden.checkpoints[key - 1].cycle;
+    }
+    std::sort(runs.begin(), runs.end());
+    for (const auto& [cycle, index] : runs)
+        cohort.indices.push_back(index);
+    return cohort;
 }
 
 Campaign::Execution::CohortOutcome

@@ -58,6 +58,23 @@ uint32_t resolvedCheckpointTarget(const CampaignConfig& config);
  *  off (the ladder exists only for convergence detection). */
 uint32_t resolvedDigestTarget(const CampaignConfig& config);
 
+struct RunRecord;
+
+/**
+ * Render a completed run as one journal/protocol payload line
+ * (`run <index> ...`). Everything a RunRecord deterministically holds
+ * goes in, so a replayed or adopted record is bit-identical to the
+ * simulated one; the host-side bookkeeping fields (wallMicros,
+ * cohortId/cohortPos) are deliberately excluded. Shared by the
+ * campaign journal and the distributed sweep's wire protocol so the
+ * two can never drift.
+ */
+std::string serializeRunRecord(const RunRecord& record);
+
+/** Parse a serializeRunRecord() line; strict — any deviation rejects
+ *  it and leaves @p record unspecified. */
+bool parseRunRecord(const std::string& payload, RunRecord& record);
+
 /** Parameters of one campaign. */
 struct CampaignConfig
 {
@@ -119,6 +136,16 @@ struct CampaignConfig
      * resumes where it stopped, bit-identical to an uninterrupted one.
      */
     std::string journalDir;
+    /**
+     * Journal shard name (distributed sweep workers only). When set,
+     * the journal file is `<key>.journal.shard-<name>` instead of the
+     * canonical `<key>.journal`: a worker process records its runs in
+     * a private shard so concurrent workers never interleave appends,
+     * and the coordinator merges shards into the canonical journal
+     * durably (mergeJournalShards; DESIGN.md §14). Replay at
+     * construction reads only this shard.
+     */
+    std::string journalShard;
     /**
      * Wall-clock budget for one run() call in seconds (0 = take
      * MBUSIM_DEADLINE_S, unset/0 = none). On expiry in-flight runs
@@ -317,6 +344,35 @@ class Campaign
          * means the campaign is complete and finalize() may be called.
          */
         uint32_t runIndex(uint32_t index);
+        /**
+         * Build a cohort over the still-pending runs of @p indices
+         * (distributed sweep work units): plans each run, resolves the
+         * shared restore checkpoint from the first and orders by
+         * ascending (cycle, index) exactly like planCohorts(). The
+         * indices must share a resolved checkpoint — the coordinator
+         * only derives units from planned cohorts, which guarantees
+         * it. Already-done indices drop out.
+         */
+        Cohort makeCohort(const std::vector<uint32_t>& indices,
+                          int64_t id);
+        /**
+         * Observe every run this execution completes (called from
+         * complete(), possibly on a worker thread, after the record is
+         * journalled). The distributed worker streams each record to
+         * its coordinator from here. Install before running anything.
+         */
+        void setRunObserver(std::function<void(const RunRecord&)> fn);
+        /**
+         * Adopt a run simulated by another process (the distributed
+         * coordinator ingesting a worker's record): tallies, metrics
+         * and records_ exactly like complete(), but never appends to
+         * this process's journal — durability is the producer's shard,
+         * merged in later. A record whose index is already done is
+         * ignored (a reclaimed-and-reassigned unit can race its dead
+         * worker's last record). Returns runs still pending; zero
+         * means finalize() may be called.
+         */
+        uint32_t adoptRecord(RunRecord record);
         /** Runs finished so far (replayed + simulated). */
         uint32_t completedRuns() const;
         /** Runs replayed from the journal at construction. */
@@ -332,9 +388,12 @@ class Campaign
          * Record a finished run: metrics, journal append, tallies.
          * @p skipped_prefix is the golden prefix this run's simulator
          * never executed (checkpoint cycle in per-run mode, injection
-         * cycle in cursor mode). Returns runs still pending.
+         * cycle in cursor mode). @p journal_it is false for adopted
+         * records, whose durability lives in the producing worker's
+         * shard. Returns runs still pending.
          */
-        uint32_t complete(RunRecord&& record, uint64_t skipped_prefix);
+        uint32_t complete(RunRecord&& record, uint64_t skipped_prefix,
+                          bool journal_it = true);
 
         const Campaign& campaign_;
         MaskGenerator generator_;
@@ -343,6 +402,7 @@ class Campaign
         std::vector<char> done_;
         std::optional<Journal> journal_;
         std::mutex journalMutex_;
+        std::function<void(const RunRecord&)> runObserver_;
         uint32_t resumed_ = 0;
         std::atomic<uint32_t> completed_{0};
         std::atomic<uint32_t> pending_{0};

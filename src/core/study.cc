@@ -268,67 +268,34 @@ Study::goldenCycles(const std::string& workload)
     return cycles;
 }
 
-SweepReport
-Study::runSweep(const ProgressFn& progress)
+uint32_t
+Study::resolvedThreads() const
 {
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point started = Clock::now();
-    const uint64_t golden_before = goldenSimulationCount();
-
-    SweepReport report;
-    report.cells = static_cast<uint32_t>(workloads_.size()) *
-                   static_cast<uint32_t>(AllComponents.size()) * 3;
-
-    if (!config_.sweepScheduler) {
-        // Escape hatch (MBUSIM_SWEEP_SCHEDULER=0): the pre-scheduler
-        // serial loop — one campaign at a time, each with its own
-        // worker pool. Goldens are still shared through the store.
-        uint32_t done = 0;
-        for (const auto* w : workloads_) {
-            for (Component component : AllComponents) {
-                for (uint32_t faults = 1; faults <= 3; ++faults) {
-                    std::string key =
-                        cacheKey(w->name, component, faults);
-                    bool cached = lookupCell(w->name, key);
-                    const CampaignResult& result =
-                        campaign(w->name, component, faults);
-                    if (cached) {
-                        ++report.cachedCells;
-                    } else {
-                        ++report.simulatedCells;
-                        report.runsSimulated +=
-                            result.completed - result.resumed;
-                        report.runsResumed += result.resumed;
-                    }
-                    if (progress) {
-                        SweepProgress p;
-                        p.cell = key;
-                        p.fromCache = cached;
-                        p.cellsDone = ++done;
-                        p.cellsTotal = report.cells;
-                        p.runsDone = report.runsSimulated;
-                        progress(p);
-                    }
-                }
-            }
-        }
-        report.goldenSimulations =
-            goldenSimulationCount() - golden_before;
-        return report;
+    uint32_t threads = config_.threads;
+    if (threads == 0) {
+        threads = static_cast<uint32_t>(
+            envUInt("MBUSIM_THREADS",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    UINT32_MAX));
     }
+    return std::max(1u, threads);
+}
+
+std::vector<std::unique_ptr<SweepCell>>
+Study::prepareSweepCells(SweepReport& report,
+                         std::vector<std::string>& cached_keys,
+                         uint32_t threads)
+{
+    // Absorb journal shards orphaned by a killed coordinator before
+    // any Execution opens (and holds) the canonical journals, so a
+    // resumed sweep — serial, threaded or distributed — replays every
+    // run any previous worker process completed.
+    if (!config_.journalDir.empty())
+        mergeShardJournals(config_.journalDir);
 
     // --- Pass 1: enumerate the grid (workload-major, so consecutive
     // cells share a golden) and split cached cells from pending ones.
-    struct Cell
-    {
-        const workloads::Workload* workload = nullptr;
-        std::string key;
-        std::unique_ptr<Campaign> campaign;
-        std::unique_ptr<Campaign::Execution> exec;
-        std::vector<Campaign::Execution::Cohort> cohorts;
-    };
-    std::vector<std::unique_ptr<Cell>> cells;
-    std::vector<std::string> cached_keys;
+    std::vector<std::unique_ptr<SweepCell>> cells;
     for (const auto* w : workloads_) {
         for (Component component : AllComponents) {
             for (uint32_t faults = 1; faults <= 3; ++faults) {
@@ -338,8 +305,10 @@ Study::runSweep(const ProgressFn& progress)
                     cached_keys.push_back(std::move(key));
                     continue;
                 }
-                auto cell = std::make_unique<Cell>();
+                auto cell = std::make_unique<SweepCell>();
                 cell->workload = w;
+                cell->component = component;
+                cell->faults = faults;
                 cell->key = std::move(key);
                 cell->campaign = std::make_unique<Campaign>(
                     *w, campaignConfig(component, faults),
@@ -349,15 +318,6 @@ Study::runSweep(const ProgressFn& progress)
             }
         }
     }
-
-    uint32_t threads = config_.threads;
-    if (threads == 0) {
-        threads = static_cast<uint32_t>(
-            envUInt("MBUSIM_THREADS",
-                    std::max(1u, std::thread::hardware_concurrency()),
-                    UINT32_MAX));
-    }
-    threads = std::max(1u, threads);
 
     // --- Pass 2: plan every pending cell into cohorts (DESIGN.md
     // §13). Planning triggers each cell's golden simulation, so it
@@ -395,16 +355,87 @@ Study::runSweep(const ProgressFn& progress)
                 t.join();
         }
     }
+    for (const auto& cell : cells)
+        report.runsResumed += cell->exec->resumedRuns();
+    return cells;
+}
+
+void
+Study::installCellResult(SweepCell& cell)
+{
+    CampaignResult result = cell.exec->finalize(false);
+    storeCached(cell.key, result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    golden_[cell.workload->name] = result.goldenCycles;
+    results_.emplace(cell.key, std::move(result));
+}
+
+SweepReport
+Study::runSweep(const ProgressFn& progress)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point started = Clock::now();
+    const uint64_t golden_before = goldenSimulationCount();
+
+    SweepReport report;
+    report.cells = static_cast<uint32_t>(workloads_.size()) *
+                   static_cast<uint32_t>(AllComponents.size()) * 3;
+
+    if (!config_.sweepScheduler) {
+        // Escape hatch (MBUSIM_SWEEP_SCHEDULER=0): the pre-scheduler
+        // serial loop — one campaign at a time, each with its own
+        // worker pool. Goldens are still shared through the store.
+        // Shards from a killed distributed sweep still resume here.
+        if (!config_.journalDir.empty())
+            mergeShardJournals(config_.journalDir);
+        uint32_t done = 0;
+        for (const auto* w : workloads_) {
+            for (Component component : AllComponents) {
+                for (uint32_t faults = 1; faults <= 3; ++faults) {
+                    std::string key =
+                        cacheKey(w->name, component, faults);
+                    bool cached = lookupCell(w->name, key);
+                    const CampaignResult& result =
+                        campaign(w->name, component, faults);
+                    if (cached) {
+                        ++report.cachedCells;
+                    } else {
+                        ++report.simulatedCells;
+                        report.runsSimulated +=
+                            result.completed - result.resumed;
+                        report.runsResumed += result.resumed;
+                    }
+                    if (progress) {
+                        SweepProgress p;
+                        p.cell = key;
+                        p.fromCache = cached;
+                        p.cellsDone = ++done;
+                        p.cellsTotal = report.cells;
+                        p.runsDone = report.runsSimulated;
+                        progress(p);
+                    }
+                }
+            }
+        }
+        report.goldenSimulations =
+            goldenSimulationCount() - golden_before;
+        return report;
+    }
+
+    uint32_t threads = resolvedThreads();
+    std::vector<std::string> cached_keys;
+    std::vector<std::unique_ptr<SweepCell>> cells =
+        prepareSweepCells(report, cached_keys, threads);
 
     // --- Pass 3: one global queue of (cell, cohort) tasks in cell
     // order. Workers claim cohorts with a single atomic cursor, so a
     // cell's Masked-heavy straggler tail overlaps the next cell's work
     // and the pool is spawned once per sweep, not once per campaign.
-    std::vector<std::pair<Cell*, const Campaign::Execution::Cohort*>>
+    std::vector<
+        std::pair<SweepCell*, const Campaign::Execution::Cohort*>>
         tasks;
     uint64_t runs_total = 0;
     for (auto& cell : cells) {
-        report.runsResumed += cell->exec->resumedRuns();
         for (const auto& cohort : cell->cohorts) {
             tasks.push_back({cell.get(), &cohort});
             runs_total += cohort.indices.size();
@@ -454,14 +485,8 @@ Study::runSweep(const ProgressFn& progress)
 
     // A cell fully replayed from its journal completes without ever
     // entering the queue.
-    auto finalizeCell = [&](Cell& cell) {
-        CampaignResult result = cell.exec->finalize(false);
-        storeCached(cell.key, result);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            golden_[cell.workload->name] = result.goldenCycles;
-            results_.emplace(cell.key, std::move(result));
-        }
+    auto finalizeCell = [&](SweepCell& cell) {
+        installCellResult(cell);
         notify(cell.key, false);
     };
     for (auto& cell : cells) {
@@ -510,7 +535,7 @@ Study::runSweep(const ProgressFn& progress)
                 return;
             queue_depth.set(
                 static_cast<int64_t>(tasks.size() - (t + 1)));
-            Cell* cell = tasks[t].first;
+            SweepCell* cell = tasks[t].first;
             const Clock::time_point run_start = Clock::now();
             Campaign::Execution::CohortOutcome out =
                 cell->exec->runCohort(*tasks[t].second, shouldStop);

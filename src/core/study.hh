@@ -36,6 +36,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -105,6 +106,24 @@ struct SweepReport
     bool cancelled = false;       ///< SIGINT/deadline stopped the sweep
 };
 
+/**
+ * One pending (not cached) cell of a sweep grid, prepared for
+ * execution: its campaign, a journal-replayed Execution, and the
+ * planned cohorts. Shared by the in-process scheduler (runSweep) and
+ * the multi-process coordinator (src/dist), which both drain the same
+ * cohort shape — only the workers differ.
+ */
+struct SweepCell
+{
+    const workloads::Workload* workload = nullptr;
+    Component component = Component::L1D;
+    uint32_t faults = 1;
+    std::string key;                ///< cache key / journal key
+    std::unique_ptr<Campaign> campaign;
+    std::unique_ptr<Campaign::Execution> exec;
+    std::vector<Campaign::Execution::Cohort> cohorts;
+};
+
 /** On-demand, memoized campaign sweep. */
 class Study
 {
@@ -146,6 +165,30 @@ class Study
      * resumable and never caches a partially finished cell.
      */
     SweepReport runSweep(const ProgressFn& progress = {});
+
+    /** Worker-thread count the sweep scheduler resolves: config, else
+     *  MBUSIM_THREADS, else the hardware concurrency (min 1). */
+    uint32_t resolvedThreads() const;
+
+    /**
+     * Passes 1+2 of the sweep scheduler, shared with the
+     * multi-process coordinator (src/dist): merge any journal shards
+     * left by a killed coordinator, enumerate the grid workload-major,
+     * split cached cells (counted in @p report, keys appended to
+     * @p cached_keys) from pending ones, and plan every pending cell
+     * into cohorts sized for @p threads workers. Resumed runs are
+     * tallied into @p report.
+     */
+    std::vector<std::unique_ptr<SweepCell>>
+    prepareSweepCells(SweepReport& report,
+                      std::vector<std::string>& cached_keys,
+                      uint32_t threads);
+
+    /**
+     * Finalize a cell whose runs are all done and install the result
+     * in the memo and disk cache, exactly like the in-process sweep.
+     */
+    void installCellResult(SweepCell& cell);
 
     /**
      * Eq. 2 weighted AVF of a component for all three cardinalities

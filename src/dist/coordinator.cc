@@ -1,0 +1,818 @@
+#include "dist/coordinator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/golden_store.hh"
+#include "dist/protocol.hh"
+#include "util/env.hh"
+#include "util/interrupt.hh"
+#include "util/journal.hh"
+#include "util/log.hh"
+#include "util/metrics.hh"
+
+namespace mbusim::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One leasable work unit: a cell plus the run indices of one planned
+ * cohort. The coordinator never re-sorts them — the worker's
+ * makeCohort() re-derives the cohort ordering deterministically.
+ */
+struct WorkUnit
+{
+    int64_t id = 0;
+    core::SweepCell* cell = nullptr;
+    std::vector<uint32_t> indices;
+    /** Workers this unit's execution has killed (crash or revoked
+     *  lease). Two strikes quarantine it: a multi-run unit splits
+     *  into singletons, a singleton is recorded as Outcome::Error. */
+    uint32_t killCount = 0;
+};
+
+/** One worker slot: a subprocess, its pipes and its lease. */
+struct WorkerSlot
+{
+    uint32_t slot = 0;
+    uint32_t generation = 0;     ///< bumped per respawn: shard names
+    pid_t pid = -1;
+    int toFd = -1;
+    int fromFd = -1;
+    FrameBuffer frames;
+    WorkUnit* unit = nullptr;    ///< leased unit, if any
+    bool ready = false;          ///< said hello, can take work
+    Clock::time_point lastFrame; ///< lease: renewed by any frame
+    Clock::time_point nextSpawn; ///< respawn backoff gate
+    uint32_t spawnFailures = 0;  ///< consecutive, drives the backoff
+};
+
+void
+closeFd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** The worker executable: config, else MBUSIM_WORKER_EXE (tests whose
+ *  own binary has no `worker` subcommand), else this binary. */
+std::string
+resolveWorkerExe(const DistConfig& config)
+{
+    if (!config.workerExe.empty())
+        return config.workerExe;
+    std::string exe = envString("MBUSIM_WORKER_EXE", "");
+    if (!exe.empty())
+        return exe;
+    return "/proc/self/exe";
+}
+
+} // namespace
+
+DistConfig
+defaultDistConfig()
+{
+    DistConfig config;
+    config.workerProcs = static_cast<uint32_t>(
+        envUInt("MBUSIM_WORKER_PROCS", 0, 4096));
+    config.leaseTimeoutS = static_cast<uint32_t>(
+        envUInt("MBUSIM_LEASE_TIMEOUT_S", 60, UINT32_MAX));
+    config.respawnBudget = static_cast<uint32_t>(
+        envUInt("MBUSIM_RESPAWN_BUDGET", 8, UINT32_MAX));
+    config.workerExe = envString("MBUSIM_WORKER_EXE", "");
+    return config;
+}
+
+core::SweepReport
+runDistributedSweep(core::Study& study, const DistConfig& config,
+                    const core::Study::ProgressFn& progress)
+{
+    if (config.workerProcs == 0)
+        return study.runSweep(progress);
+
+    const Clock::time_point started = Clock::now();
+    const uint64_t golden_before = core::goldenSimulationCount();
+    const core::StudyConfig& sc = study.config();
+
+    // A worker that dies between our poll and our write would
+    // otherwise SIGPIPE the whole coordinator.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    core::SweepReport report;
+    report.cells =
+        static_cast<uint32_t>(study.workloadSet().size()) *
+        static_cast<uint32_t>(core::AllComponents.size()) * 3;
+
+    // Pass 1+2 are shared with the in-process scheduler: merge
+    // leftover shards, enumerate, replay journals, plan cohorts.
+    std::vector<std::string> cached_keys;
+    std::vector<std::unique_ptr<core::SweepCell>> cells =
+        study.prepareSweepCells(report, cached_keys,
+                                config.workerProcs);
+
+    Metrics& m = metrics();
+    Counter& respawns_ctr = m.counter("dist.respawns");
+    Counter& reclaimed_ctr = m.counter("dist.leases_reclaimed");
+    Counter& quarantined_ctr = m.counter("dist.units_quarantined");
+    Counter& poisoned_ctr = m.counter("dist.runs_poisoned");
+    Gauge& workers_gauge = m.gauge("dist.workers");
+    Gauge& queue_gauge = m.gauge("dist.queue_depth");
+
+    uint32_t cells_done = 0;
+    uint64_t runs_done = 0;
+    uint64_t runs_total = 0;
+    auto notify = [&](const std::string& key, bool from_cache) {
+        ++cells_done;
+        if (!from_cache)
+            ++report.simulatedCells;
+        if (progress) {
+            core::SweepProgress p;
+            p.cell = key;
+            p.fromCache = from_cache;
+            p.cellsDone = cells_done;
+            p.cellsTotal = report.cells;
+            p.runsDone = runs_done;
+            p.runsTotal = runs_total;
+            progress(p);
+        }
+    };
+    for (const std::string& key : cached_keys)
+        notify(key, true);
+
+    // Merge a completed cell's shards into its canonical journal.
+    // Safe mid-sweep: the cell has zero pending runs, so neither the
+    // workers nor the coordinator will ever append to it again (the
+    // coordinator adopts records without journaling precisely so the
+    // rename cannot orphan a live appender).
+    auto mergeCellShards = [&](const core::SweepCell& cell) {
+        if (sc.journalDir.empty())
+            return;
+        const std::string canonical =
+            sc.journalDir + "/" + cell.key + ".journal";
+        const std::string prefix = cell.key + ".journal.shard-";
+        std::vector<std::string> shards;
+        std::error_code ec;
+        for (const auto& entry : std::filesystem::directory_iterator(
+                 sc.journalDir, ec)) {
+            if (entry.path().filename().string().rfind(prefix, 0) == 0)
+                shards.push_back(entry.path().string());
+        }
+        if (!shards.empty())
+            mergeJournalShards(canonical, shards);
+    };
+    // A duplicate record arriving after a cell already completed
+    // reports remaining == 0 too; the set makes finalize idempotent.
+    std::set<const core::SweepCell*> finalized;
+    auto finalizeCell = [&](core::SweepCell& cell) {
+        if (!finalized.insert(&cell).second)
+            return;
+        mergeCellShards(cell);
+        study.installCellResult(cell);
+        notify(cell.key, false);
+    };
+    for (auto& cell : cells) {
+        if (cell->exec->completedRuns() == sc.injections)
+            finalizeCell(*cell);
+    }
+
+    // The work-unit queue, one unit per planned cohort, in cell order.
+    std::deque<std::unique_ptr<WorkUnit>> units;
+    std::deque<WorkUnit*> ready;
+    int64_t next_unit_id = 0;
+    uint32_t units_open = 0;   // not yet done: queued or leased
+    auto enqueue = [&](core::SweepCell* cell,
+                       std::vector<uint32_t> indices,
+                       uint32_t kill_count) {
+        auto unit = std::make_unique<WorkUnit>();
+        unit->id = next_unit_id++;
+        unit->cell = cell;
+        unit->indices = std::move(indices);
+        unit->killCount = kill_count;
+        ready.push_back(unit.get());
+        units.push_back(std::move(unit));
+        ++units_open;
+    };
+    for (auto& cell : cells) {
+        for (const auto& cohort : cell->cohorts) {
+            if (cohort.indices.empty())
+                continue;
+            runs_total += cohort.indices.size();
+            enqueue(cell.get(), cohort.indices, 0);
+        }
+    }
+
+    // Adoption: one streamed record enters the coordinator's
+    // Execution, and the worker that retires a cell's last run
+    // completes the cell.
+    auto adopt = [&](core::SweepCell& cell, core::RunRecord record) {
+        const bool was_pending = cell.exec->pending(record.index);
+        const uint32_t remaining =
+            cell.exec->adoptRecord(std::move(record));
+        if (was_pending)
+            ++runs_done;
+        if (remaining == 0 &&
+            cell.exec->completedRuns() == sc.injections)
+            finalizeCell(cell);
+    };
+
+    const std::string worker_exe = resolveWorkerExe(config);
+    const bool sticky_crash =
+        envUInt("MBUSIM_TEST_CRASH_STICKY", 0, 1) != 0;
+    const uint32_t heartbeat_ms =
+        std::max<uint32_t>(250, config.leaseTimeoutS * 1000 / 4);
+
+    // Worker argv: every campaign parameter the coordinator resolved,
+    // so worker-side planning is bit-identical. MBUSIM_* env knobs
+    // (checkpoints, early exit, cohort batching...) are inherited via
+    // the environment unchanged.
+    auto workerArgs = [&](const WorkerSlot& slot, bool respawned) {
+        std::vector<std::string> args;
+        args.push_back(worker_exe);
+        args.push_back("worker");
+        args.push_back("--injections");
+        args.push_back(std::to_string(sc.injections));
+        args.push_back("--seed");
+        args.push_back(std::to_string(sc.seed));
+        args.push_back("--cluster");
+        args.push_back(strprintf("%ux%u", sc.cluster.rows,
+                                 sc.cluster.cols));
+        args.push_back("--timeout-factor");
+        args.push_back(std::to_string(sc.timeoutFactor));
+        if (sc.cpu.inOrderIssue)
+            args.push_back("--in-order");
+        if (!sc.journalDir.empty()) {
+            args.push_back("--journal-dir");
+            args.push_back(sc.journalDir);
+        }
+        args.push_back("--shard");
+        args.push_back(strprintf("w%ug%u", slot.slot,
+                                 slot.generation));
+        args.push_back("--heartbeat-ms");
+        args.push_back(std::to_string(heartbeat_ms));
+        // The deterministic crash hook must not re-fire on the respawn
+        // that re-executes the reclaimed unit, or the equivalence
+        // guarantee would be unreachable; MBUSIM_TEST_CRASH_STICKY
+        // keeps it armed to exercise the quarantine path instead.
+        if (respawned && !sticky_crash)
+            args.push_back("--no-crash-hook");
+        return args;
+    };
+
+    std::vector<WorkerSlot> slots(config.workerProcs);
+    uint32_t respawns_used = 0;
+    uint32_t alive = 0;
+    bool degraded = false;
+
+    auto spawn = [&](WorkerSlot& slot, bool respawned) -> bool {
+        int down[2] = {-1, -1};   // coordinator -> worker
+        int up[2] = {-1, -1};     // worker -> coordinator
+        if (::pipe(down) != 0 || ::pipe(up) != 0) {
+            closeFd(down[0]);
+            closeFd(down[1]);
+            closeFd(up[0]);
+            closeFd(up[1]);
+            warn("dist: pipe() failed: %s", std::strerror(errno));
+            return false;
+        }
+        std::vector<std::string> args = workerArgs(slot, respawned);
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            closeFd(down[0]);
+            closeFd(down[1]);
+            closeFd(up[0]);
+            closeFd(up[1]);
+            warn("dist: fork() failed: %s", std::strerror(errno));
+            return false;
+        }
+        if (pid == 0) {
+            // Child: protocol pipes on fds 3/4 by convention;
+            // stdout/stderr inherited only for last-resort
+            // panic()/fatal() output. pipe() hands out the lowest
+            // free descriptors — possibly 3/4 themselves — so move
+            // the ends clear before dup2 and never close an fd that
+            // now *is* 3 or 4.
+            if (down[0] == 4)
+                down[0] = ::fcntl(down[0], F_DUPFD, 16);
+            if (up[1] == 3)
+                up[1] = ::fcntl(up[1], F_DUPFD, 16);
+            ::dup2(down[0], 3);
+            ::dup2(up[1], 4);
+            for (int fd : {down[0], down[1], up[0], up[1]}) {
+                if (fd != 3 && fd != 4)
+                    ::close(fd);
+            }
+            std::vector<char*> argv;
+            argv.reserve(args.size() + 1);
+            for (std::string& a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            std::fprintf(stderr, "mbusim: cannot exec worker '%s': %s\n",
+                         argv[0], std::strerror(errno));
+            ::_exit(127);
+        }
+        closeFd(down[0]);
+        closeFd(up[1]);
+        ::fcntl(up[0], F_SETFL, O_NONBLOCK);
+        // Later workers must not inherit this worker's pipe ends, or
+        // closing toFd would never deliver EOF while siblings live.
+        ::fcntl(down[1], F_SETFD, FD_CLOEXEC);
+        ::fcntl(up[0], F_SETFD, FD_CLOEXEC);
+        slot.pid = pid;
+        slot.toFd = down[1];
+        slot.fromFd = up[0];
+        slot.frames = FrameBuffer();
+        slot.unit = nullptr;
+        slot.ready = false;
+        slot.lastFrame = Clock::now();
+        ++alive;
+        workers_gauge.set(alive);
+        return true;
+    };
+
+    auto sendWork = [&](WorkerSlot& slot) {
+        while (!ready.empty() && slot.unit == nullptr) {
+            WorkUnit* unit = ready.front();
+            ready.pop_front();
+            // Re-filter against the Execution: reclaimed units keep
+            // only the runs no other worker already finished.
+            std::vector<uint32_t> pending;
+            for (uint32_t index : unit->indices) {
+                if (unit->cell->exec->pending(index))
+                    pending.push_back(index);
+            }
+            if (pending.empty()) {
+                --units_open;
+                continue;
+            }
+            unit->indices = std::move(pending);
+            std::string frame = strprintf(
+                "work %lld %s %s %u %zu",
+                static_cast<long long>(unit->id),
+                unit->cell->workload->name.c_str(),
+                core::componentShortName(unit->cell->component),
+                unit->cell->faults, unit->indices.size());
+            for (uint32_t index : unit->indices)
+                frame += strprintf(" %u", index);
+            if (!writeFrame(slot.toFd, frame)) {
+                // Dead pipe: the reaper will reclaim; requeue the
+                // unit so someone else picks it up first.
+                ready.push_front(unit);
+                return;
+            }
+            slot.unit = unit;
+            slot.lastFrame = Clock::now();
+        }
+        queue_gauge.set(static_cast<int64_t>(ready.size()));
+    };
+
+    // Reclaim a dead or revoked worker's lease: only the unit's
+    // still-pending runs go back on the queue, and two strikes
+    // trigger the quarantine ladder.
+    auto reclaim = [&](WorkerSlot& slot, bool killed) {
+        WorkUnit* unit = slot.unit;
+        slot.unit = nullptr;
+        if (unit == nullptr)
+            return;
+        --units_open;
+        if (killed)
+            ++unit->killCount;
+        std::vector<uint32_t> pending;
+        for (uint32_t index : unit->indices) {
+            if (unit->cell->exec->pending(index))
+                pending.push_back(index);
+        }
+        if (pending.empty())
+            return;
+        if (unit->killCount < 2) {
+            enqueue(unit->cell, std::move(pending), unit->killCount);
+            return;
+        }
+        if (pending.size() > 1) {
+            // A unit that killed two workers: some run in it is
+            // poison, so isolate them — each singleton gets its own
+            // two strikes before being condemned.
+            quarantined_ctr.add(1);
+            warn("dist: unit %lld of %s killed %u workers; splitting "
+                 "%zu runs into singletons",
+                 static_cast<long long>(unit->id),
+                 unit->cell->key.c_str(), unit->killCount,
+                 pending.size());
+            for (uint32_t index : pending)
+                enqueue(unit->cell, {index}, 0);
+            return;
+        }
+        // A singleton that still kills workers is charged to the run:
+        // Outcome::Error, the host-side bucket AVF already excludes.
+        poisoned_ctr.add(1);
+        warn("dist: run %u of %s persistently kills workers; "
+             "recording Outcome::Error",
+             pending.front(), unit->cell->key.c_str());
+        core::RunRecord record;
+        record.index = pending.front();
+        record.outcome = core::Outcome::Error;
+        adopt(*unit->cell, std::move(record));
+    };
+
+    auto handleFrame = [&](WorkerSlot& slot,
+                           const std::string& payload) {
+        slot.lastFrame = Clock::now();
+        if (payload == "hb")
+            return;
+        std::istringstream in(payload);
+        std::string tag;
+        in >> tag;
+        if (tag == "hello") {
+            slot.ready = true;
+            slot.spawnFailures = 0;
+            sendWork(slot);
+        } else if (tag == "rec") {
+            long long unit_id = -1;
+            unsigned long long wall_us = 0;
+            in >> unit_id >> wall_us;
+            std::string rest;
+            std::getline(in, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            core::RunRecord record;
+            if (!in || !core::parseRunRecord(rest, record)) {
+                warn("dist: worker %u sent a malformed record",
+                     slot.slot);
+                return;
+            }
+            record.wallMicros = wall_us;
+            if (slot.unit != nullptr && slot.unit->id == unit_id)
+                adopt(*slot.unit->cell, std::move(record));
+        } else if (tag == "unit-done") {
+            long long unit_id = -1;
+            in >> unit_id;
+            if (slot.unit != nullptr && slot.unit->id == unit_id) {
+                slot.unit = nullptr;
+                --units_open;
+            }
+            sendWork(slot);
+        } else if (tag == "log") {
+            char level = 'I';
+            in >> level;
+            std::string text;
+            std::getline(in, text);
+            if (!text.empty() && text.front() == ' ')
+                text.erase(0, 1);
+            if (level == 'W')
+                warn("[w%u] %s", slot.slot, text.c_str());
+            else
+                inform("[w%u] %s", slot.slot, text.c_str());
+        } else {
+            warn("dist: worker %u sent unknown frame '%s'", slot.slot,
+                 tag.c_str());
+        }
+    };
+
+    auto drainPipe = [&](WorkerSlot& slot) {
+        char buf[4096];
+        for (;;) {
+            ssize_t n = ::read(slot.fromFd, buf, sizeof(buf));
+            if (n > 0) {
+                slot.frames.feed(buf, static_cast<size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;   // EAGAIN (drained) or EOF/error (reaper's job)
+        }
+        std::string payload;
+        while (slot.frames.next(payload))
+            handleFrame(slot, payload);
+        if (slot.frames.corrupt()) {
+            warn("dist: worker %u sent a corrupt stream; killing it",
+                 slot.slot);
+            if (slot.pid > 0)
+                ::kill(slot.pid, SIGKILL);
+        }
+    };
+
+    auto releaseSlot = [&](WorkerSlot& slot) {
+        closeFd(slot.toFd);
+        closeFd(slot.fromFd);
+        slot.pid = -1;
+        slot.ready = false;
+        if (alive > 0)
+            --alive;
+        workers_gauge.set(alive);
+    };
+
+    // Reap exited workers; a death with a lease is a strike.
+    auto reapDead = [&]() {
+        for (;;) {
+            int status = 0;
+            pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                return;
+            auto it = std::find_if(slots.begin(), slots.end(),
+                                   [&](const WorkerSlot& s) {
+                                       return s.pid == pid;
+                                   });
+            if (it == slots.end())
+                continue;
+            WorkerSlot& slot = *it;
+            // Adopt whatever complete frames made it into the pipe
+            // before death — a killed worker's finished runs are not
+            // lost work.
+            drainPipe(slot);
+            const bool crashed =
+                WIFSIGNALED(status) ||
+                (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+            if (slot.unit != nullptr) {
+                if (crashed) {
+                    warn("dist: worker %u (pid %d) died (%s) holding "
+                         "unit %lld; requeueing its pending runs",
+                         slot.slot, static_cast<int>(pid),
+                         WIFSIGNALED(status)
+                             ? strprintf("signal %d",
+                                         WTERMSIG(status))
+                                   .c_str()
+                             : strprintf("exit %d",
+                                         WEXITSTATUS(status))
+                                   .c_str(),
+                         static_cast<long long>(slot.unit->id));
+                }
+                reclaim(slot, true);
+            }
+            releaseSlot(slot);
+        }
+    };
+
+    const uint32_t deadline_s =
+        sc.deadlineSeconds != 0
+            ? sc.deadlineSeconds
+            : static_cast<uint32_t>(
+                  envUInt("MBUSIM_DEADLINE_S", 0, UINT32_MAX));
+    const uint32_t heartbeat_s = static_cast<uint32_t>(
+        envUInt("MBUSIM_HEARTBEAT_S", 30, UINT32_MAX));
+    const Clock::time_point deadline =
+        started + std::chrono::seconds(deadline_s);
+    bool cancel = false;
+    auto shouldStop = [&]() {
+        if (cancel)
+            return true;
+        const char* why = nullptr;
+        if (interruptRequested())
+            why = "interrupted";
+        else if (deadline_s != 0 && Clock::now() >= deadline)
+            why = "deadline expired";
+        if (why == nullptr)
+            return false;
+        cancel = true;
+        warn("dist sweep %s: draining workers (%llu/%llu runs done%s)",
+             why, static_cast<unsigned long long>(runs_done),
+             static_cast<unsigned long long>(runs_total),
+             sc.journalDir.empty() ? ""
+                                   : ", journalled for resume");
+        return true;
+    };
+
+    // Initial fleet.
+    for (uint32_t i = 0; i < slots.size(); ++i) {
+        slots[i].slot = i;
+        if (units_open > 0)
+            spawn(slots[i], false);
+    }
+
+    // --- The event loop. Single-threaded: every mutation of cells,
+    // units and leases happens here, so there is no locking anywhere
+    // in the coordinator.
+    Clock::time_point last_beat = started;
+    while (units_open > 0 && !shouldStop()) {
+        // Keep the fleet at strength while the respawn budget lasts.
+        const Clock::time_point now = Clock::now();
+        for (WorkerSlot& slot : slots) {
+            if (slot.pid >= 0 || ready.empty())
+                continue;
+            if (respawns_used >= config.respawnBudget)
+                continue;
+            if (now < slot.nextSpawn)
+                continue;
+            ++slot.generation;
+            if (spawn(slot, true)) {
+                ++respawns_used;
+                respawns_ctr.add(1);
+                // Capped exponential backoff per slot: a worker that
+                // dies instantly (bad exe, OOM storm) must not burn
+                // the whole budget in one scheduler beat.
+                slot.spawnFailures =
+                    std::min<uint32_t>(slot.spawnFailures + 1, 6);
+                slot.nextSpawn =
+                    now + std::chrono::milliseconds(
+                              std::min<uint64_t>(
+                                  50ull << slot.spawnFailures, 2000));
+            } else {
+                slot.nextSpawn = now + std::chrono::seconds(1);
+            }
+        }
+        if (alive == 0) {
+            if (respawns_used >= config.respawnBudget &&
+                units_open > 0) {
+                degraded = true;
+                break;
+            }
+            // All spawns are backing off; don't spin.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            reapDead();
+            continue;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<WorkerSlot*> fd_slots;
+        for (WorkerSlot& slot : slots) {
+            if (slot.pid >= 0 && slot.fromFd >= 0) {
+                fds.push_back({slot.fromFd, POLLIN, 0});
+                fd_slots.push_back(&slot);
+            }
+        }
+        ::poll(fds.data(), fds.size(), 100);
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                drainPipe(*fd_slots[i]);
+        }
+        reapDead();
+
+        // Lease audit: a worker silent past the timeout is presumed
+        // hung (its heartbeat thread would have spoken otherwise) and
+        // killed; the reaper then requeues its unit with a strike.
+        if (config.leaseTimeoutS > 0) {
+            const Clock::time_point cutoff =
+                Clock::now() -
+                std::chrono::seconds(config.leaseTimeoutS);
+            for (WorkerSlot& slot : slots) {
+                if (slot.pid >= 0 && slot.lastFrame < cutoff) {
+                    warn("dist: worker %u (pid %d) silent for %us; "
+                         "revoking its lease",
+                         slot.slot, static_cast<int>(slot.pid),
+                         config.leaseTimeoutS);
+                    reclaimed_ctr.add(1);
+                    ::kill(slot.pid, SIGKILL);
+                }
+            }
+        }
+
+        // Idle-but-ready workers pick up requeued units.
+        for (WorkerSlot& slot : slots) {
+            if (slot.pid >= 0 && slot.ready && slot.unit == nullptr)
+                sendWork(slot);
+        }
+
+        if (heartbeat_s != 0 &&
+            Clock::now() - last_beat >=
+                std::chrono::seconds(heartbeat_s)) {
+            last_beat = Clock::now();
+            inform("dist: %llu/%llu runs, %u/%u cells done | "
+                   "workers=%u/%u queue=%zu respawns=%u/%u "
+                   "reclaimed=%llu",
+                   static_cast<unsigned long long>(runs_done),
+                   static_cast<unsigned long long>(runs_total),
+                   cells_done, report.cells, alive,
+                   config.workerProcs, ready.size(), respawns_used,
+                   config.respawnBudget,
+                   static_cast<unsigned long long>(
+                       reclaimed_ctr.value()));
+        }
+    }
+
+    // --- Shutdown: ask nicely (shutdown frame + EOF + SIGTERM),
+    // adopt every record still in flight, then escalate to SIGKILL
+    // after a grace period.
+    for (WorkerSlot& slot : slots) {
+        if (slot.pid < 0)
+            continue;
+        if (slot.toFd >= 0)
+            writeFrame(slot.toFd, "shutdown");
+        closeFd(slot.toFd);
+        ::kill(slot.pid, SIGTERM);
+    }
+    const Clock::time_point grace_end =
+        Clock::now() + std::chrono::seconds(2);
+    while (alive > 0 && Clock::now() < grace_end) {
+        std::vector<pollfd> fds;
+        std::vector<WorkerSlot*> fd_slots;
+        for (WorkerSlot& slot : slots) {
+            if (slot.pid >= 0 && slot.fromFd >= 0) {
+                fds.push_back({slot.fromFd, POLLIN, 0});
+                fd_slots.push_back(&slot);
+            }
+        }
+        if (!fds.empty()) {
+            ::poll(fds.data(), fds.size(), 50);
+            for (size_t i = 0; i < fds.size(); ++i) {
+                if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                    drainPipe(*fd_slots[i]);
+            }
+        }
+        reapDead();
+    }
+    for (WorkerSlot& slot : slots) {
+        if (slot.pid >= 0) {
+            ::kill(slot.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(slot.pid, &status, 0);
+            drainPipe(slot);
+            reclaim(slot, true);
+            releaseSlot(slot);
+        }
+    }
+    workers_gauge.set(0);
+
+    // --- Graceful degradation: the respawn budget is gone but runs
+    // remain. Finish them in this process with the same cohort
+    // machinery rather than abandoning the sweep.
+    if (degraded && !shouldStop()) {
+        warn("dist: respawn budget (%u) exhausted with %llu/%llu runs "
+             "done; draining the remainder in-process",
+             config.respawnBudget,
+             static_cast<unsigned long long>(runs_done),
+             static_cast<unsigned long long>(runs_total));
+        const uint32_t threads = study.resolvedThreads();
+        std::vector<
+            std::pair<core::SweepCell*,
+                      core::Campaign::Execution::Cohort>>
+            tasks;
+        for (auto& cell : cells) {
+            if (cell->exec->completedRuns() == sc.injections)
+                continue;
+            // Re-plan only what is still pending; quarantined Error
+            // runs are done_ and stay out.
+            for (auto& cohort : cell->exec->planCohorts(threads))
+                tasks.emplace_back(cell.get(), std::move(cohort));
+        }
+        std::atomic<size_t> next{0};
+        std::atomic<uint64_t> drained{0};
+        auto stop = [&]() { return shouldStop(); };
+        auto worker = [&]() {
+            for (;;) {
+                if (stop())
+                    return;
+                size_t t = next.fetch_add(1);
+                if (t >= tasks.size())
+                    return;
+                auto out = tasks[t].first->exec->runCohort(
+                    tasks[t].second, stop);
+                drained.fetch_add(out.executed);
+            }
+        };
+        const uint32_t pool_size = std::max<uint32_t>(
+            1,
+            std::min<uint32_t>(threads,
+                               static_cast<uint32_t>(tasks.size())));
+        if (pool_size == 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(pool_size);
+            for (uint32_t t = 0; t < pool_size; ++t)
+                pool.emplace_back(worker);
+            for (auto& t : pool)
+                t.join();
+        }
+        runs_done += drained.load();
+        for (auto& cell : cells) {
+            if (cell->exec->completedRuns() == sc.injections)
+                finalizeCell(*cell);
+        }
+    }
+
+    // Anything a killed worker journalled for a still-incomplete cell
+    // is merged now, so the next sweep (serial or distributed)
+    // resumes from every run that ever completed. Nothing appends to
+    // these journals anymore: workers are reaped and the drain pool
+    // has joined.
+    if (!sc.journalDir.empty())
+        mergeShardJournals(sc.journalDir);
+
+    report.cancelled = cancel;
+    report.runsSimulated = runs_done;
+    report.goldenSimulations =
+        core::goldenSimulationCount() - golden_before;
+    return report;
+}
+
+} // namespace mbusim::dist

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-process sweep coordinator (DESIGN.md §14).
+ *
+ * runDistributedSweep() drives the same (cell, cohort) work units as
+ * Study::runSweep, but hands them to `mbusim worker` subprocesses over
+ * length-prefixed pipes instead of threads, so a crash — a host-side
+ * simulator bug, an OOM kill, a stray SIGKILL — costs one worker and
+ * its in-flight unit, never the sweep. The coordinator is
+ * single-threaded: one poll(2) loop adopts streamed RunRecords into
+ * the cells' Executions, tracks a lease per busy worker (any frame
+ * renews it; a silent worker is presumed hung, killed and its unit's
+ * still-pending runs requeued), respawns dead workers under a
+ * capped-exponential-backoff budget, and quarantines poison units:
+ * a unit that kills workers twice is split into singletons, and a
+ * singleton that still kills workers is recorded as Outcome::Error —
+ * excluded from the AVF denominator like every host-side failure.
+ * When the respawn budget is exhausted the remaining runs are drained
+ * in-process, so a sweep degrades gracefully rather than deadlocking.
+ *
+ * Results are bit-identical to the in-process scheduler: records are
+ * deterministic in (seed, index), the trace is emitted in run-index
+ * order by Execution::finalize, and worker journal shards are merged
+ * into the canonical journal (durably: fsync, rename, fsync the
+ * directory) when each cell completes and once more at shutdown.
+ */
+
+#ifndef MBUSIM_DIST_COORDINATOR_HH
+#define MBUSIM_DIST_COORDINATOR_HH
+
+#include <string>
+
+#include "core/study.hh"
+
+namespace mbusim::dist {
+
+/** Knobs of the multi-process execution layer. */
+struct DistConfig
+{
+    /** Worker subprocesses; 0 = run in-process (Study::runSweep). */
+    uint32_t workerProcs = 0;
+    /** Seconds without any frame before a worker's lease is revoked
+     *  and the worker killed (MBUSIM_LEASE_TIMEOUT_S, default 60). */
+    uint32_t leaseTimeoutS = 60;
+    /** Total worker respawns before the sweep degrades to in-process
+     *  execution (MBUSIM_RESPAWN_BUDGET, default 8). */
+    uint32_t respawnBudget = 8;
+    /** Executable spawned as `<exe> worker ...`; empty resolves
+     *  /proc/self/exe. MBUSIM_WORKER_EXE overrides for tests whose
+     *  own binary has no worker subcommand. */
+    std::string workerExe;
+};
+
+/** DistConfig from the MBUSIM_* environment knobs. */
+DistConfig defaultDistConfig();
+
+/**
+ * Run @p study's full sweep grid through @p config.workerProcs worker
+ * subprocesses. Cancellation (SIGINT/SIGTERM via the interrupt flag,
+ * or the study's deadline) stops assignment, asks workers to shut
+ * down and escalates to SIGKILL after a grace period; journal shards
+ * already written survive for the next resume. Progress callbacks
+ * match Study::runSweep's.
+ */
+core::SweepReport
+runDistributedSweep(core::Study& study, const DistConfig& config,
+                    const core::Study::ProgressFn& progress = {});
+
+} // namespace mbusim::dist
+
+#endif // MBUSIM_DIST_COORDINATOR_HH

@@ -1,0 +1,130 @@
+#include "dist/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mbusim::dist {
+
+namespace {
+
+/** Write all of @p len bytes, absorbing EINTR and short writes. */
+bool
+writeAll(int fd, const char* data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p len bytes. Returns 1 on success, 0 on EOF before
+ * the first byte, -1 on error or EOF mid-buffer. EINTR is an error on
+ * purpose: the worker blocks here between units, and a termination
+ * signal must pop it out of the read so it can exit gracefully.
+ */
+int
+readAll(int fd, char* data, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, data + got, len - got);
+        if (n < 0)
+            return -1;
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string& payload)
+{
+    if (payload.size() > MaxFrameBytes)
+        return false;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    char prefix[4] = {
+        static_cast<char>(len & 0xff),
+        static_cast<char>((len >> 8) & 0xff),
+        static_cast<char>((len >> 16) & 0xff),
+        static_cast<char>((len >> 24) & 0xff),
+    };
+    // One buffer, one write: frames from the worker's heartbeat thread
+    // and its run observer must not interleave prefix/payload bytes.
+    std::string frame;
+    frame.reserve(sizeof(prefix) + payload.size());
+    frame.append(prefix, sizeof(prefix));
+    frame.append(payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+int
+readFrame(int fd, std::string& payload)
+{
+    char prefix[4];
+    int rc = readAll(fd, prefix, sizeof(prefix));
+    if (rc <= 0)
+        return rc;
+    const uint32_t len = static_cast<uint32_t>(
+                             static_cast<unsigned char>(prefix[0])) |
+                         (static_cast<uint32_t>(static_cast<unsigned char>(
+                              prefix[1]))
+                          << 8) |
+                         (static_cast<uint32_t>(static_cast<unsigned char>(
+                              prefix[2]))
+                          << 16) |
+                         (static_cast<uint32_t>(static_cast<unsigned char>(
+                              prefix[3]))
+                          << 24);
+    if (len > MaxFrameBytes)
+        return -1;
+    payload.resize(len);
+    if (len == 0)
+        return 1;
+    return readAll(fd, payload.data(), len) == 1 ? 1 : -1;
+}
+
+void
+FrameBuffer::feed(const char* data, size_t len)
+{
+    if (!corrupt_)
+        buffer_.append(data, len);
+}
+
+bool
+FrameBuffer::next(std::string& payload)
+{
+    if (corrupt_ || buffer_.size() < 4)
+        return false;
+    const uint32_t len =
+        static_cast<uint32_t>(static_cast<unsigned char>(buffer_[0])) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[1]))
+         << 8) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[2]))
+         << 16) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[3]))
+         << 24);
+    if (len > MaxFrameBytes) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buffer_.size() < 4 + static_cast<size_t>(len))
+        return false;
+    payload.assign(buffer_, 4, len);
+    buffer_.erase(0, 4 + static_cast<size_t>(len));
+    return true;
+}
+
+} // namespace mbusim::dist

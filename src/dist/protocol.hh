@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wire protocol between the sweep coordinator and its worker
+ * processes (DESIGN.md §14).
+ *
+ * Frames are a 4-byte little-endian payload length followed by the
+ * payload bytes; payloads are single-line text messages so the
+ * protocol can be read in a debugger and unit-tested without a
+ * process pair. The length prefix makes torn pipes detectable: a
+ * worker SIGKILLed mid-write leaves a short final frame that the
+ * coordinator discards instead of misparsing.
+ *
+ * Messages (coordinator -> worker):
+ *   work <unit> <workload> <component> <faults> <n> <i0> ... <in-1>
+ *   shutdown
+ *
+ * Messages (worker -> coordinator):
+ *   hello <pid>
+ *   rec <unit> <wall_us> run <index> ...   (serializeRunRecord payload)
+ *   unit-done <unit>
+ *   log <W|I> <text>
+ *   hb
+ *
+ * Every worker->coordinator frame renews the worker's lease; `hb` is
+ * sent by a worker-side heartbeat thread so a long run does not look
+ * like a hang.
+ */
+
+#ifndef MBUSIM_DIST_PROTOCOL_HH
+#define MBUSIM_DIST_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbusim::dist {
+
+/**
+ * Hard ceiling on one frame's payload. The largest legitimate frame
+ * is a work unit listing a few thousand run indices; anything bigger
+ * means a corrupted length prefix, and reading it would ask the
+ * coordinator to allocate garbage gigabytes.
+ */
+constexpr uint32_t MaxFrameBytes = 1u << 20;
+
+/**
+ * Write one length-prefixed frame to @p fd, retrying short writes and
+ * EINTR. Returns false on any other error (EPIPE once the peer is
+ * dead); callers treat that as the peer being gone, never as fatal.
+ */
+bool writeFrame(int fd, const std::string& payload);
+
+/**
+ * Blocking read of one frame from @p fd. Returns 1 on a frame, 0 on
+ * clean EOF at a frame boundary, -1 on error, torn trailing data or
+ * an oversized length prefix. EINTR counts as an error: a termination
+ * signal must be able to pop the worker out of a blocking read.
+ */
+int readFrame(int fd, std::string& payload);
+
+/**
+ * Incremental frame decoder for the coordinator's non-blocking reads:
+ * feed() whatever read(2) returned, then drain complete frames with
+ * next(). Bytes of a partial frame are buffered until the rest
+ * arrives; a worker that dies mid-frame simply leaves them unclaimed.
+ */
+class FrameBuffer
+{
+  public:
+    /** Append @p len raw bytes from the pipe. */
+    void feed(const char* data, size_t len);
+
+    /**
+     * Pop the next complete frame into @p payload. Returns false when
+     * no complete frame is buffered. An oversized length prefix marks
+     * the stream corrupt: next() then returns false forever.
+     */
+    bool next(std::string& payload);
+
+    /** True once an oversized length prefix poisoned the stream. */
+    bool corrupt() const { return corrupt_; }
+
+  private:
+    std::string buffer_;
+    bool corrupt_ = false;
+};
+
+} // namespace mbusim::dist
+
+#endif // MBUSIM_DIST_PROTOCOL_HH

@@ -1,0 +1,310 @@
+#include "dist/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "core/campaign.hh"
+#include "core/golden_store.hh"
+#include "core/technology.hh"
+#include "dist/protocol.hh"
+#include "util/env.hh"
+#include "util/interrupt.hh"
+#include "util/log.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::dist {
+
+namespace {
+
+/** Campaign parameters the coordinator resolved for the whole sweep;
+ *  forwarded verbatim so every worker plans identical runs. */
+struct WorkerArgs
+{
+    int inFd = 3;
+    int outFd = 4;
+    uint32_t injections = 200;
+    uint64_t seed = 0x5eed;
+    core::ClusterShape cluster;
+    uint32_t timeoutFactor = 4;
+    bool inOrder = false;
+    std::string journalDir;
+    std::string shard;
+    uint32_t heartbeatMs = 0;
+    bool crashHook = true;
+};
+
+bool
+parseWorkerArgs(const std::vector<std::string>& args, WorkerArgs& out)
+{
+    auto bad = [](const std::string& why) {
+        std::fprintf(stderr, "mbusim worker: %s\n", why.c_str());
+        return false;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        auto next = [&]() -> const char* {
+            return ++i < args.size() ? args[i].c_str() : nullptr;
+        };
+        auto uval = [&](uint64_t max) -> uint64_t {
+            const char* v = next();
+            if (!v)
+                return max + 1;
+            char* end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            return (end && *end == '\0' && n <= max) ? n : max + 1;
+        };
+        if (arg == "--in") {
+            out.inFd = static_cast<int>(uval(INT32_MAX));
+        } else if (arg == "--out") {
+            out.outFd = static_cast<int>(uval(INT32_MAX));
+        } else if (arg == "--injections") {
+            out.injections = static_cast<uint32_t>(uval(UINT32_MAX));
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v)
+                return bad("--seed needs a value");
+            out.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--cluster") {
+            const char* v = next();
+            if (!v)
+                return bad("--cluster needs a value");
+            std::string s(v);
+            size_t x = s.find('x');
+            if (x == std::string::npos)
+                return bad("--cluster expects RxC");
+            out.cluster.rows = static_cast<uint32_t>(
+                std::strtoul(s.substr(0, x).c_str(), nullptr, 10));
+            out.cluster.cols = static_cast<uint32_t>(
+                std::strtoul(s.substr(x + 1).c_str(), nullptr, 10));
+            if (out.cluster.rows == 0 || out.cluster.cols == 0)
+                return bad("--cluster expects RxC");
+        } else if (arg == "--timeout-factor") {
+            out.timeoutFactor = static_cast<uint32_t>(uval(UINT32_MAX));
+        } else if (arg == "--in-order") {
+            out.inOrder = true;
+        } else if (arg == "--journal-dir") {
+            const char* v = next();
+            if (!v)
+                return bad("--journal-dir needs a value");
+            out.journalDir = v;
+        } else if (arg == "--shard") {
+            const char* v = next();
+            if (!v)
+                return bad("--shard needs a value");
+            out.shard = v;
+        } else if (arg == "--heartbeat-ms") {
+            out.heartbeatMs = static_cast<uint32_t>(uval(UINT32_MAX));
+        } else if (arg == "--no-crash-hook") {
+            out.crashHook = false;
+        } else {
+            return bad("unknown option '" + arg + "'");
+        }
+    }
+    if (out.shard.empty())
+        return bad("--shard is required");
+    return true;
+}
+
+/** One cached cell: its campaign and journal-replaying execution. */
+struct CellState
+{
+    std::unique_ptr<core::Campaign> campaign;
+    std::unique_ptr<core::Campaign::Execution> exec;
+};
+
+} // namespace
+
+int
+workerMain(const std::vector<std::string>& args)
+{
+    WorkerArgs cfg;
+    if (!parseWorkerArgs(args, cfg))
+        return 2;
+
+    // The coordinator may die first; a write to the closed pipe must
+    // surface as EPIPE (worker exits), not SIGPIPE (worker vanishes
+    // without reaching its own cleanup).
+    std::signal(SIGPIPE, SIG_IGN);
+    installTerminationHandlers();
+
+    std::mutex writeMutex;   // run observer vs heartbeat thread
+    std::atomic<bool> peer_gone{false};
+    auto send = [&](const std::string& payload) {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!writeFrame(cfg.outFd, payload))
+            peer_gone.store(true, std::memory_order_relaxed);
+    };
+
+    // Satellite: the coordinator owns stderr. Everything the campaign
+    // machinery would print goes over the pipe instead, so N workers
+    // never interleave bytes mid-line on a shared terminal.
+    setLogSink([&](LogLevel level, const std::string& msg) {
+        send(strprintf("log %c %s",
+                       level == LogLevel::Warn ? 'W' : 'I',
+                       msg.c_str()));
+    });
+
+    // Deterministic crash injection (test-only, see DESIGN.md §14):
+    // MBUSIM_TEST_CRASH_AT=<run-index> SIGKILLs the worker the moment
+    // it starts simulating that run; MBUSIM_TEST_CRASH_CELL narrows it
+    // to cells whose "<workload>:<component>:f<faults>" label contains
+    // the given substring. Respawned workers get --no-crash-hook so
+    // the re-execution succeeds (unless MBUSIM_TEST_CRASH_STICKY=1,
+    // which exercises the poison-run quarantine).
+    const std::string crash_at_s =
+        envString("MBUSIM_TEST_CRASH_AT", "");
+    const std::string crash_cell =
+        envString("MBUSIM_TEST_CRASH_CELL", "");
+    uint32_t crash_at = UINT32_MAX;
+    if (cfg.crashHook && !crash_at_s.empty()) {
+        crash_at = static_cast<uint32_t>(
+            std::strtoul(crash_at_s.c_str(), nullptr, 10));
+    }
+
+    send(strprintf("hello %d", static_cast<int>(::getpid())));
+
+    // Worker-side heartbeat: runCohort can legitimately stay silent
+    // for the length of one long run, so a dedicated thread keeps the
+    // coordinator's lease fresh while the process is healthy. A hung
+    // or SIGKILLed worker stops heartbeating and loses its lease.
+    std::mutex hbMutex;
+    std::condition_variable hbCv;
+    bool hb_stop = false;
+    std::thread heartbeat;
+    if (cfg.heartbeatMs > 0) {
+        heartbeat = std::thread([&]() {
+            std::unique_lock<std::mutex> lock(hbMutex);
+            while (!hb_stop) {
+                hbCv.wait_for(lock,
+                              std::chrono::milliseconds(cfg.heartbeatMs));
+                if (hb_stop)
+                    return;
+                send("hb");
+            }
+        });
+    }
+    auto stop_heartbeat = [&]() {
+        if (!heartbeat.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(hbMutex);
+            hb_stop = true;
+        }
+        hbCv.notify_all();
+        heartbeat.join();
+    };
+
+    core::GoldenStore store;
+    std::map<std::string, CellState> cells;
+    int64_t current_unit = -1;
+
+    // Abandon the cohort as soon as the coordinator is gone: every
+    // completed run is already durable in the shard journal, and a
+    // resuming coordinator replans the remainder, so simulating for a
+    // dead peer only wastes CPU.
+    auto stop = [&peer_gone]() {
+        return interruptRequested() ||
+               peer_gone.load(std::memory_order_relaxed);
+    };
+    std::string payload;
+    int exit_code = 0;
+    for (;;) {
+        int rc = readFrame(cfg.inFd, payload);
+        if (rc == 0)
+            break;   // coordinator closed the pipe: normal shutdown
+        if (rc < 0 || interruptRequested() ||
+            peer_gone.load(std::memory_order_relaxed)) {
+            exit_code = interruptRequested() ? 130 : 1;
+            break;
+        }
+        if (payload == "shutdown")
+            break;
+        std::istringstream in(payload);
+        std::string tag;
+        in >> tag;
+        if (tag != "work") {
+            warn("worker: ignoring unknown frame '%s'",
+                 tag.c_str());
+            continue;
+        }
+        int64_t unit = -1;
+        std::string workload_name, component_name;
+        uint32_t faults = 0;
+        size_t count = 0;
+        in >> unit >> workload_name >> component_name >> faults >>
+            count;
+        std::vector<uint32_t> indices(count);
+        for (uint32_t& index : indices)
+            in >> index;
+        if (!in || unit < 0) {
+            warn("worker: malformed work frame, ignoring");
+            continue;
+        }
+
+        const std::string cell_key = workload_name + ":" +
+                                     component_name + ":f" +
+                                     std::to_string(faults);
+        CellState& cell = cells[cell_key];
+        if (!cell.campaign) {
+            core::CampaignConfig cc;
+            cc.component =
+                core::componentFromShortName(component_name.c_str());
+            cc.faults = faults;
+            cc.injections = cfg.injections;
+            cc.seed = cfg.seed;
+            cc.cluster = cfg.cluster;
+            cc.timeoutFactor = cfg.timeoutFactor;
+            cc.threads = 1;
+            cc.cpu.inOrderIssue = cfg.inOrder;
+            cc.journalDir = cfg.journalDir;
+            cc.journalShard = cfg.shard;
+            if (crash_at != UINT32_MAX &&
+                (crash_cell.empty() ||
+                 cell_key.find(crash_cell) != std::string::npos)) {
+                const uint32_t at = crash_at;
+                cc.hostFaultHook = [at](uint32_t index, uint32_t) {
+                    if (index == at)
+                        ::kill(::getpid(), SIGKILL);
+                };
+            }
+            cell.campaign = std::make_unique<core::Campaign>(
+                workloads::workloadByName(workload_name), cc, store);
+            cell.exec = cell.campaign->prepare();
+            cell.exec->setRunObserver(
+                [&send, &current_unit](const core::RunRecord& r) {
+                    send(strprintf(
+                        "rec %lld %llu %s",
+                        static_cast<long long>(current_unit),
+                        static_cast<unsigned long long>(r.wallMicros),
+                        core::serializeRunRecord(r).c_str()));
+                });
+        }
+
+        current_unit = unit;
+        core::Campaign::Execution::Cohort cohort =
+            cell.exec->makeCohort(indices, unit);
+        cell.exec->runCohort(cohort, stop);
+        if (interruptRequested()) {
+            exit_code = 130;
+            break;
+        }
+        send(strprintf("unit-done %lld",
+                       static_cast<long long>(unit)));
+    }
+
+    stop_heartbeat();
+    setLogSink(nullptr);
+    return exit_code;
+}
+
+} // namespace mbusim::dist

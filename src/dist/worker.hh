@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Worker-process entry point of the distributed sweep (DESIGN.md §14).
+ *
+ * `mbusim worker` is exec'd by the coordinator with the campaign
+ * parameters on the command line and two inherited pipe ends (fds 3/4
+ * by convention). It pulls `work` units — a (cell, run-index list)
+ * pair — over the pipe, simulates them through the same
+ * Campaign::Execution cohort machinery the in-process scheduler uses,
+ * and streams every completed RunRecord back as a `rec` frame. All
+ * durable state lives in a private journal shard per cell
+ * (`<key>.journal.shard-<name>`), so a SIGKILLed worker loses at most
+ * the runs of its in-flight unit and never corrupts the canonical
+ * journal. Workers own no terminal output: warn()/inform() are routed
+ * over the pipe as `log` frames and the coordinator prints them.
+ */
+
+#ifndef MBUSIM_DIST_WORKER_HH
+#define MBUSIM_DIST_WORKER_HH
+
+#include <string>
+#include <vector>
+
+namespace mbusim::dist {
+
+/**
+ * Run the worker protocol loop until EOF, a `shutdown` frame or a
+ * termination signal. @p args are the arguments after the `worker`
+ * subcommand. Returns the process exit code (0 clean, 130
+ * interrupted, 2 usage).
+ */
+int workerMain(const std::vector<std::string>& args);
+
+} // namespace mbusim::dist
+
+#endif // MBUSIM_DIST_WORKER_HH

@@ -13,12 +13,12 @@ static_assert(std::atomic<bool>::is_always_lock_free,
               "the SIGINT handler requires a lock-free flag");
 
 extern "C" void
-sigintHandler(int)
+sigintHandler(int sig)
 {
-    // Second ^C with the flag already raised: give up on graceful
-    // shutdown and let the next SIGINT kill the process.
+    // Second delivery with the flag already raised: give up on graceful
+    // shutdown and let the next signal kill the process.
     if (interrupted.exchange(true, std::memory_order_relaxed))
-        std::signal(SIGINT, SIG_DFL);
+        std::signal(sig, SIG_DFL);
 }
 
 } // namespace
@@ -27,6 +27,13 @@ void
 installSigintHandler()
 {
     std::signal(SIGINT, sigintHandler);
+}
+
+void
+installTerminationHandlers()
+{
+    std::signal(SIGINT, sigintHandler);
+    std::signal(SIGTERM, sigintHandler);
 }
 
 void

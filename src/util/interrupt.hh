@@ -21,6 +21,15 @@ namespace mbusim {
  */
 void installSigintHandler();
 
+/**
+ * installSigintHandler() plus the same graceful treatment for SIGTERM:
+ * a service manager's (or the sweep coordinator's) termination request
+ * finishes in-flight runs and flushes journals exactly like ^C does.
+ * Both signals share the one flag — the CLI reports either as the
+ * documented exit code 130.
+ */
+void installTerminationHandlers();
+
 /** Ask running campaigns to stop after their in-flight runs. */
 void requestInterrupt();
 

@@ -1,6 +1,14 @@
 #include "util/journal.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/log.hh"
 
@@ -97,6 +105,220 @@ Journal::append(const std::string& payload)
         return;
     out_ << sealLine(payload) << '\n';
     out_.flush();
+}
+
+namespace {
+
+/** The raw (unsealed) header payload of a journal, or "" if absent. */
+std::string
+readHeader(const std::string& path)
+{
+    std::ifstream in(path);
+    std::string line, payload;
+    if (in && std::getline(in, line) && unsealLine(line, payload))
+        return payload;
+    return "";
+}
+
+/**
+ * Dedup/sort key of a run record payload: the numeric second token of
+ * a `run <index> ...` line. Payloads that do not look like run records
+ * get UINT64_MAX (they sort last, in stable input order) and dedup on
+ * the full payload text.
+ */
+uint64_t
+runIndexOf(const std::string& payload, bool& parsed)
+{
+    parsed = false;
+    if (payload.rfind("run ", 0) != 0)
+        return UINT64_MAX;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(payload.c_str() + 4, &end, 10);
+    if (end == payload.c_str() + 4 || errno == ERANGE || *end != ' ')
+        return UINT64_MAX;
+    parsed = true;
+    return v;
+}
+
+/** write(2) the whole buffer, retrying on short writes and EINTR. */
+bool
+writeFully(int fd, const std::string& data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** fsync the directory holding @p path so a rename in it is durable. */
+void
+syncParentDir(const std::string& path)
+{
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+bool
+mergeJournalShards(const std::string& canonical_path,
+                   const std::vector<std::string>& shard_paths)
+{
+    // The header that names the campaign: the canonical journal's if it
+    // exists, else the first shard's that has one. Shards with any
+    // other header are stale or foreign and contribute nothing.
+    std::string header = readHeader(canonical_path);
+    std::vector<std::string> shards(shard_paths);
+    std::sort(shards.begin(), shards.end());
+    if (header.empty()) {
+        for (const std::string& shard : shards) {
+            header = readHeader(shard);
+            if (!header.empty())
+                break;
+        }
+    }
+    if (header.empty())
+        return false;   // nothing readable anywhere: leave all as-is
+
+    // Replay canonical first (it wins dedup), then the shards. Records
+    // are keyed by run index; duplicates across sources are
+    // bit-identical by construction (runs are deterministic in (seed,
+    // index)), so "wins" only decides which copy we keep.
+    struct Entry
+    {
+        uint64_t index;
+        size_t order;       ///< arrival order, for stable ties
+        std::string payload;
+    };
+    std::vector<Entry> entries;
+    std::map<std::string, size_t> seen;   ///< dedup key -> entries slot
+    size_t order = 0;
+    size_t shard_only = 0;
+    auto absorb = [&](const std::string& path, bool is_shard) {
+        for (std::string& payload : Journal::replay(path, header)) {
+            bool parsed = false;
+            uint64_t index = runIndexOf(payload, parsed);
+            std::string key = parsed
+                                  ? strprintf("i%llu",
+                                              static_cast<unsigned long
+                                                          long>(index))
+                                  : payload;
+            if (seen.count(key))
+                continue;
+            seen.emplace(std::move(key), entries.size());
+            entries.push_back({index, order++, std::move(payload)});
+            if (is_shard)
+                ++shard_only;
+        }
+    };
+    absorb(canonical_path, false);
+    for (const std::string& shard : shards) {
+        if (readHeader(shard) != header) {
+            warn("journal shard '%s' has a stale or foreign header; "
+                 "discarding it", shard.c_str());
+            continue;
+        }
+        absorb(shard, true);
+    }
+
+    std::error_code ec;
+    if (shard_only == 0) {
+        // Canonical already holds every surviving record; just drop the
+        // shards (their content is a subset).
+        for (const std::string& shard : shards)
+            std::filesystem::remove(shard, ec);
+        return true;
+    }
+
+    // Deterministic result-store order: ascending run index (stable for
+    // non-record lines). The in-process journal appends in completion
+    // order; replay is order-insensitive, so the two layouts resume
+    // identically.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                         return a.index < b.index;
+                     });
+    std::string content = sealLine(header) + '\n';
+    for (const Entry& entry : entries)
+        content += sealLine(entry.payload) + '\n';
+
+    // Durable install: write the merged journal to a temporary, fsync
+    // it, atomically rename it over the canonical path, then fsync the
+    // directory entry. A crash at any point leaves either the old
+    // journal or the complete merged one.
+    std::string tmp = strprintf("%s.merge.%d", canonical_path.c_str(),
+                                static_cast<int>(::getpid()));
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("cannot write journal merge temporary '%s': %s",
+             tmp.c_str(), std::strerror(errno));
+        return false;
+    }
+    bool ok = writeFully(fd, content) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+        warn("short write merging journal '%s'", canonical_path.c_str());
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    std::filesystem::rename(tmp, canonical_path, ec);
+    if (ec) {
+        warn("cannot install merged journal '%s': %s",
+             canonical_path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    syncParentDir(canonical_path);
+    for (const std::string& shard : shards)
+        std::filesystem::remove(shard, ec);
+    return true;
+}
+
+size_t
+mergeShardJournals(const std::string& dir)
+{
+    if (dir.empty() || !std::filesystem::exists(dir))
+        return 0;
+    // Group `<key>.journal.shard-<name>` files under their canonical
+    // `<key>.journal`.
+    std::map<std::string, std::vector<std::string>> groups;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        size_t mark = name.find(".journal.shard-");
+        if (mark == std::string::npos)
+            continue;
+        std::string canonical =
+            (entry.path().parent_path() /
+             (name.substr(0, mark) + ".journal"))
+                .string();
+        groups[canonical].push_back(entry.path().string());
+    }
+    size_t absorbed = 0;
+    for (const auto& [canonical, shards] : groups) {
+        if (mergeJournalShards(canonical, shards))
+            absorbed += shards.size();
+    }
+    if (absorbed > 0) {
+        inform("absorbed %zu journal shard(s) left by a previous "
+               "distributed sweep", absorbed);
+    }
+    return absorbed;
 }
 
 } // namespace mbusim

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,41 @@ class Journal
   private:
     std::ofstream out_;
 };
+
+/**
+ * Merge worker-private journal shards into their canonical journal
+ * (the distributed sweep's result store; DESIGN.md §14).
+ *
+ * Shards are named `<canonical>.shard-<name>` and carry the same
+ * sealed header as the canonical file. The merge replays the canonical
+ * journal plus every shard, deduplicates records by run index
+ * (canonical wins, then shards in sorted path order — records are
+ * deterministic in (seed, index), so duplicates are bit-identical
+ * anyway), sorts by run index and rewrites the canonical file
+ * durably: the temporary is fsync'd, atomically renamed over the
+ * canonical path, and the directory entry is fsync'd, so a host crash
+ * mid-merge leaves either the old journal or the complete merged one —
+ * never a torn result store. Merged shards are deleted; a shard whose
+ * header does not match the canonical one is stale or foreign and is
+ * discarded with a warning.
+ *
+ * The caller must ensure no Journal handle is appending to
+ * @p canonical_path during the merge (the rename would orphan the open
+ * inode and lose later appends).
+ *
+ * @return true if the canonical journal now holds the merged records
+ *         (including the no-op case of zero shard-only records).
+ */
+bool mergeJournalShards(const std::string& canonical_path,
+                        const std::vector<std::string>& shard_paths);
+
+/**
+ * Scan @p dir for `*.journal.shard-*` files, group them by canonical
+ * journal and merge each group via mergeJournalShards(). Returns the
+ * number of shard files absorbed. Safe to call on every sweep start:
+ * with no shards present it is one directory scan.
+ */
+size_t mergeShardJournals(const std::string& dir);
 
 } // namespace mbusim
 

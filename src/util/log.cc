@@ -62,6 +62,19 @@ simAssertFail(const char* fmt, ...)
     throw SimAssert(s);
 }
 
+namespace {
+
+/** Non-null while a sink owns warn()/inform() output (see log.hh). */
+std::function<void(LogLevel, const std::string&)> log_sink;
+
+} // namespace
+
+void
+setLogSink(std::function<void(LogLevel, const std::string&)> sink)
+{
+    log_sink = std::move(sink);
+}
+
 void
 warn(const char* fmt, ...)
 {
@@ -69,6 +82,10 @@ warn(const char* fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
+    if (log_sink) {
+        log_sink(LogLevel::Warn, s);
+        return;
+    }
     std::fprintf(stderr, "warn: %s\n", s.c_str());
 }
 
@@ -79,6 +96,10 @@ inform(const char* fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
+    if (log_sink) {
+        log_sink(LogLevel::Info, s);
+        return;
+    }
     std::fprintf(stderr, "info: %s\n", s.c_str());
 }
 

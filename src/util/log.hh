@@ -15,6 +15,7 @@
 #define MBUSIM_UTIL_LOG_HH
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -64,6 +65,24 @@ void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational message to stderr. */
 void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Severity of a message handed to the log sink (LogLevel::Warn for
+ * warn(), LogLevel::Info for inform()).
+ */
+enum class LogLevel { Info, Warn };
+
+/**
+ * Redirect warn()/inform() through @p sink instead of stderr (nullptr
+ * restores stderr). The distributed sweep's worker processes install a
+ * sink that forwards messages over the coordinator pipe, so the
+ * coordinator alone owns stderr and multi-process output never
+ * interleaves mid-line. The sink is process-wide and not itself
+ * synchronized: install it before spawning threads (the worker is
+ * single-threaded). panic()/fatal() always go to stderr — a dying
+ * process must not depend on a live pipe to say why.
+ */
+void setLogSink(std::function<void(LogLevel, const std::string&)> sink);
 
 } // namespace mbusim
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests of the coordinator/worker wire protocol (DESIGN.md §14).
+ *
+ * The framing layer is the one piece of the distributed sweep that
+ * must survive byte-level adversity: workers are SIGKILLed mid-write,
+ * pipes deliver frames in arbitrary chunks, and a corrupted length
+ * prefix must never turn into a multi-gigabyte allocation. These
+ * tests exercise FrameBuffer against every chunking of a frame
+ * stream, the corrupt-prefix latch, and writeFrame/readFrame over a
+ * real pipe(2) pair — including the torn-final-frame case a dead
+ * worker leaves behind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "dist/protocol.hh"
+
+namespace mbusim::dist {
+namespace {
+
+/** Encode one frame the way writeFrame does, into a byte string. */
+std::string
+encode(const std::string& payload)
+{
+    uint32_t n = static_cast<uint32_t>(payload.size());
+    char prefix[4] = {static_cast<char>(n & 0xff),
+                      static_cast<char>((n >> 8) & 0xff),
+                      static_cast<char>((n >> 16) & 0xff),
+                      static_cast<char>((n >> 24) & 0xff)};
+    return std::string(prefix, 4) + payload;
+}
+
+TEST(FrameBufferTest, RoundTripsWholeFrames)
+{
+    FrameBuffer fb;
+    std::string wire = encode("hello 42") + encode("") + encode("hb");
+    fb.feed(wire.data(), wire.size());
+
+    std::string payload;
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "hello 42");
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "");
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "hb");
+    EXPECT_FALSE(fb.next(payload));
+    EXPECT_FALSE(fb.corrupt());
+}
+
+TEST(FrameBufferTest, ReassemblesAcrossEveryChunking)
+{
+    // A pipe may deliver the stream split at any byte boundary,
+    // including inside the length prefix. Every split point must
+    // yield the same two frames.
+    std::string wire = encode("rec 7 123 run 0 947 0") + encode("unit-done 7");
+    for (size_t cut = 0; cut <= wire.size(); ++cut) {
+        FrameBuffer fb;
+        fb.feed(wire.data(), cut);
+        fb.feed(wire.data() + cut, wire.size() - cut);
+
+        std::string payload;
+        ASSERT_TRUE(fb.next(payload)) << "cut at " << cut;
+        EXPECT_EQ(payload, "rec 7 123 run 0 947 0");
+        ASSERT_TRUE(fb.next(payload)) << "cut at " << cut;
+        EXPECT_EQ(payload, "unit-done 7");
+        EXPECT_FALSE(fb.next(payload));
+    }
+}
+
+TEST(FrameBufferTest, ByteAtATime)
+{
+    std::string wire = encode("log W something broke");
+    FrameBuffer fb;
+    std::string payload;
+    for (size_t i = 0; i < wire.size(); ++i) {
+        EXPECT_FALSE(fb.next(payload)) << "premature frame at byte " << i;
+        fb.feed(wire.data() + i, 1);
+    }
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "log W something broke");
+}
+
+TEST(FrameBufferTest, TornFinalFrameStaysBuffered)
+{
+    // A worker SIGKILLed mid-write leaves a short final frame. The
+    // buffer must hold it without emitting garbage and without
+    // marking the stream corrupt (the bytes are valid, just
+    // incomplete).
+    std::string wire = encode("hello 99") + encode("rec 1 55 run ...");
+    FrameBuffer fb;
+    fb.feed(wire.data(), wire.size() - 5);
+
+    std::string payload;
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "hello 99");
+    EXPECT_FALSE(fb.next(payload));
+    EXPECT_FALSE(fb.corrupt());
+}
+
+TEST(FrameBufferTest, OversizedPrefixPoisonsStream)
+{
+    // 0xFFFFFFFF as a length prefix means the stream is garbage;
+    // next() must refuse it forever rather than try to buffer 4 GiB.
+    FrameBuffer fb;
+    std::string good = encode("hb");
+    char bad[4] = {'\xff', '\xff', '\xff', '\xff'};
+    fb.feed(good.data(), good.size());
+    fb.feed(bad, 4);
+    fb.feed(good.data(), good.size());
+
+    std::string payload;
+    ASSERT_TRUE(fb.next(payload));
+    EXPECT_EQ(payload, "hb");
+    EXPECT_FALSE(fb.next(payload));
+    EXPECT_TRUE(fb.corrupt());
+    EXPECT_FALSE(fb.next(payload));
+}
+
+TEST(FrameBufferTest, MaxSizeFrameIsAcceptedJustOverIsNot)
+{
+    {
+        FrameBuffer fb;
+        std::string wire = encode(std::string(MaxFrameBytes, 'x'));
+        fb.feed(wire.data(), wire.size());
+        std::string payload;
+        ASSERT_TRUE(fb.next(payload));
+        EXPECT_EQ(payload.size(), MaxFrameBytes);
+        EXPECT_FALSE(fb.corrupt());
+    }
+    {
+        FrameBuffer fb;
+        uint32_t n = MaxFrameBytes + 1;
+        char prefix[4];
+        std::memcpy(prefix, &n, 4);
+        fb.feed(prefix, 4);
+        std::string payload;
+        EXPECT_FALSE(fb.next(payload));
+        EXPECT_TRUE(fb.corrupt());
+    }
+}
+
+/** RAII pipe pair for the blocking read/write tests. */
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+    void
+    closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void
+    closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+TEST(FrameIoTest, WriteThenReadOverPipe)
+{
+    Pipe p;
+    ASSERT_TRUE(writeFrame(p.fds[1], "work 3 stringsearch l1d 2 2 0 1"));
+    ASSERT_TRUE(writeFrame(p.fds[1], "shutdown"));
+
+    std::string payload;
+    ASSERT_EQ(readFrame(p.fds[0], payload), 1);
+    EXPECT_EQ(payload, "work 3 stringsearch l1d 2 2 0 1");
+    ASSERT_EQ(readFrame(p.fds[0], payload), 1);
+    EXPECT_EQ(payload, "shutdown");
+}
+
+TEST(FrameIoTest, CleanEofAtFrameBoundaryReturnsZero)
+{
+    Pipe p;
+    ASSERT_TRUE(writeFrame(p.fds[1], "hb"));
+    p.closeWrite();
+
+    std::string payload;
+    ASSERT_EQ(readFrame(p.fds[0], payload), 1);
+    EXPECT_EQ(payload, "hb");
+    EXPECT_EQ(readFrame(p.fds[0], payload), 0);
+}
+
+TEST(FrameIoTest, TornFrameAtEofIsAnError)
+{
+    Pipe p;
+    std::string wire = encode("rec 1 55 run 0 947 0");
+    ASSERT_EQ(::write(p.fds[1], wire.data(), wire.size() - 3),
+              static_cast<ssize_t>(wire.size() - 3));
+    p.closeWrite();
+
+    std::string payload;
+    EXPECT_EQ(readFrame(p.fds[0], payload), -1);
+}
+
+TEST(FrameIoTest, WriteToClosedPipeFailsWithoutSignal)
+{
+    // The worker ignores SIGPIPE and relies on writeFrame returning
+    // false once the coordinator is gone.
+    ::signal(SIGPIPE, SIG_IGN);
+    Pipe p;
+    p.closeRead();
+    EXPECT_FALSE(writeFrame(p.fds[1], "hb"));
+}
+
+} // namespace
+} // namespace mbusim::dist

@@ -146,6 +146,18 @@ TEST(CliUsageErrors, UnknownOptionAndMissingValue)
     expectUsageError("campaign CRC32 --faults", "needs a value");
 }
 
+TEST(CliUsageErrors, WorkerProcsValidation)
+{
+    expectUsageError("sweep --worker-procs abc",
+                     "expected an unsigned integer");
+    expectUsageError("sweep --worker-procs 5000", "out of range");
+    expectUsageError("sweep --serial --worker-procs 2",
+                     "incompatible with --serial");
+    // Order must not matter for the cross-option check.
+    expectUsageError("sweep --worker-procs 2 --serial",
+                     "incompatible with --serial");
+}
+
 TEST(CliUsageErrors, BadSubcommandAndMissingProgram)
 {
     EXPECT_EQ(runCli("bogus").exitCode, 2);

@@ -13,6 +13,10 @@
  *                                         cardinality) study sweep
  *   report [opts]                         export the weighted-AVF / FIT
  *                                         tables (sweeps uncached cells)
+ *   worker [opts]                         internal: sweep worker process
+ *                                         spawned by `sweep
+ *                                         --worker-procs N`; not for
+ *                                         interactive use
  *
  * Common options:
  *   --func                 use the functional reference model (run)
@@ -30,6 +34,12 @@
  *   --cache-dir DIR        on-disk result cache (sweep, report)
  *   --serial               disable the sweep scheduler: run one
  *                          campaign at a time (sweep)
+ *   --worker-procs N       run the sweep through N crash-isolated
+ *                          worker subprocesses (sweep; 0 = in-process;
+ *                          incompatible with --serial). See
+ *                          DESIGN.md §14 for the lease/respawn knobs
+ *                          MBUSIM_LEASE_TIMEOUT_S and
+ *                          MBUSIM_RESPAWN_BUDGET.
  *   --trace-out FILE       JSONL run trace: one record per injected
  *                          run (campaign, sweep)
  *   --report-out FILE      result tables; ".json" selects JSON, "-"
@@ -37,8 +47,9 @@
  *                          report)
  *
  * sweep honours the MBUSIM_* environment knobs (MBUSIM_WORKLOADS
- * restricts the grid, MBUSIM_SWEEP_SCHEDULER=0 is --serial, ...);
- * explicit flags win over the environment.
+ * restricts the grid, MBUSIM_SWEEP_SCHEDULER=0 is --serial,
+ * MBUSIM_WORKER_PROCS is --worker-procs, ...); explicit flags win
+ * over the environment.
  *
  * Program arguments may name a registered workload ("CRC32") or a path
  * to an assembly file.
@@ -46,10 +57,10 @@
  * Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
  * option or subcommand, malformed or out-of-range value, missing
  * operand), 124 campaign deadline expired, 130 interrupted by SIGINT
- * (in-flight runs finish and the journal is flushed first in both
- * cases). Numeric options are parsed strictly: non-numeric input,
- * trailing garbage ("5k") and values outside the documented range are
- * usage errors, never silently clamped or wrapped.
+ * or SIGTERM (in-flight runs finish and the journal is flushed first
+ * in both cases). Numeric options are parsed strictly: non-numeric
+ * input, trailing garbage ("5k") and values outside the documented
+ * range are usage errors, never silently clamped or wrapped.
  */
 
 #include <cctype>
@@ -68,6 +79,8 @@
 #include "core/report.hh"
 #include "core/sampling.hh"
 #include "core/study.hh"
+#include "dist/coordinator.hh"
+#include "dist/worker.hh"
 #include "sim/assembler.hh"
 #include "sim/funcsim.hh"
 #include "sim/simulator.hh"
@@ -101,6 +114,9 @@ struct Options
     uint32_t deadlineSeconds = 0;
     std::string cacheDir;
     bool serial = false;
+    /** UINT32_MAX = flag absent (defer to MBUSIM_WORKER_PROCS); an
+     *  explicit 0 forces the in-process scheduler. */
+    uint32_t workerProcs = UINT32_MAX;
     std::string traceOut;
     std::string reportOut;
 };
@@ -240,6 +256,9 @@ parseOptions(int argc, char** argv, int first)
             opts.cacheDir = next();
         } else if (arg == "--serial") {
             opts.serial = true;
+        } else if (arg == "--worker-procs") {
+            opts.workerProcs = static_cast<uint32_t>(
+                parseUInt("--worker-procs", next(), 0, 4096));
         } else if (arg == "--trace-out") {
             opts.traceOut = next();
         } else if (arg == "--report-out") {
@@ -264,6 +283,13 @@ parseOptions(int argc, char** argv, int first)
         usageError("cannot place %u faults in a %ux%u cluster "
                    "(--faults must be <= rows*cols of --cluster)",
                    opts.faults, opts.cluster.rows, opts.cluster.cols);
+    }
+    // --serial means "one campaign at a time in this process"; a
+    // worker fleet contradicts it rather than refining it.
+    if (opts.serial && opts.workerProcs != UINT32_MAX &&
+        opts.workerProcs > 0) {
+        usageError("--worker-procs is incompatible with --serial "
+                   "(pick one execution mode)");
     }
     return opts;
 }
@@ -441,9 +467,10 @@ cmdCampaign(const Options& opts)
     if (!opts.traceOut.empty())
         config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
 
-    // ^C finishes in-flight runs, flushes the journal and reports the
-    // partial tally instead of dropping completed work on the floor.
-    installSigintHandler();
+    // ^C or SIGTERM finishes in-flight runs, flushes the journal and
+    // reports the partial tally instead of dropping completed work on
+    // the floor.
+    installTerminationHandlers();
 
     core::Campaign campaign(*workload, config);
     core::CampaignResult result = campaign.run();
@@ -509,11 +536,20 @@ cmdSweep(const Options& opts)
     if (!opts.traceOut.empty())
         config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
 
-    installSigintHandler();
+    // SIGTERM (the batch scheduler's goodbye) gets the same graceful
+    // drain as ^C: finish in-flight runs, flush journals, exit 130.
+    installTerminationHandlers();
+
+    dist::DistConfig dist_config = dist::defaultDistConfig();
+    if (opts.workerProcs != UINT32_MAX)
+        dist_config.workerProcs = opts.workerProcs;
+    if (opts.serial)
+        dist_config.workerProcs = 0;
 
     core::Study study(config);
-    core::SweepReport report = study.runSweep(
-        [](const core::SweepProgress& p) {
+    // workerProcs == 0 falls straight through to Study::runSweep.
+    core::SweepReport report = dist::runDistributedSweep(
+        study, dist_config, [](const core::SweepProgress& p) {
             std::fprintf(stderr, "[%u/%u] %s%s\n", p.cellsDone,
                          p.cellsTotal, p.cell.c_str(),
                          p.fromCache ? " (cached)" : "");
@@ -587,7 +623,7 @@ cmdReport(const Options& opts)
     if (!opts.traceOut.empty())
         config.trace = std::make_shared<JsonlWriter>(opts.traceOut);
 
-    installSigintHandler();
+    installTerminationHandlers();
 
     core::Study study(config);
     core::StudyReport report = core::buildStudyReport(study);
@@ -609,6 +645,13 @@ main(int argc, char** argv)
     std::string cmd = argv[1];
     if (cmd == "list")
         return cmdList();
+    // The worker protocol has its own strict argv contract (it is
+    // built by the coordinator, not typed by a person), so it skips
+    // the interactive option parser entirely.
+    if (cmd == "worker") {
+        return dist::workerMain(
+            std::vector<std::string>(argv + 2, argv + argc));
+    }
     Options opts = parseOptions(argc, argv, 2);
     if (cmd == "sweep")
         return cmdSweep(opts);
