@@ -69,6 +69,10 @@ benchConfig(const Arm& arm)
     config.injections =
         static_cast<uint32_t>(envInt("MBUSIM_INJECTIONS", 120));
     config.cohortBatching = arm.cohortBatching;
+    // This bench isolates the §13 warm-cursor gain; the §15 lockstep
+    // engine rides the same cursor and has its own A/B/C harness
+    // (bench_lockstep).
+    config.lockstep = false;
     config.earlyExit = arm.earlyExit;
     if (!arm.earlyExit)
         config.digestPoints = 0;
@@ -162,6 +166,7 @@ main(int argc, char** argv)
 {
     // The arms own these knobs; keep the environment from skewing them.
     unsetenv("MBUSIM_COHORT");
+    unsetenv("MBUSIM_LOCKSTEP");
     unsetenv("MBUSIM_EARLY_EXIT");
     unsetenv("MBUSIM_DIGEST_POINTS");
     unsetenv("MBUSIM_CHECKPOINTS");

@@ -102,10 +102,11 @@ earlyExitName(sim::EarlyExit reason)
 
 /**
  * One --trace-out JSONL record for a completed run. Every field except
- * cohort and wall_us is deterministic in (campaign config, run index);
- * those two are deliberately last so scripts can strip them for
- * equivalence checks (cohort assignment depends on journal state and
- * worker count; see RunRecord::cohortId).
+ * cohort, wall_us and forked_at is deterministic in (campaign config,
+ * run index); those are deliberately last so scripts can strip them
+ * for equivalence checks (cohort assignment depends on journal state
+ * and worker count, and forked_at on the execution mode; see
+ * RunRecord::cohortId and RunRecord::forkedAt).
  */
 std::string
 traceLine(const workloads::Workload& workload,
@@ -123,6 +124,11 @@ traceLine(const workloads::Workload& workload,
             : strprintf("[%lld,%" PRIu32 "]",
                         static_cast<long long>(record.cohortId),
                         record.cohortPos);
+    std::string forked_at =
+        record.forkedAt < 0
+            ? "null"
+            : strprintf("%lld",
+                        static_cast<long long>(record.forkedAt));
     return strprintf(
         "{\"run\":%" PRIu32 ",\"workload\":%s,\"component\":\"%s\","
         "\"faults\":%" PRIu32 ",\"seed\":%" PRIu64
@@ -131,7 +137,8 @@ traceLine(const workloads::Workload& workload,
         ",\"flips\":[%s]},\"cycle\":%" PRIu64 ",\"outcome\":\"%s\","
         "\"exit\":\"%s\",\"cycles\":%" PRIu64
         ",\"cycles_saved\":%" PRIu64 ",\"restored_from\":%" PRIu64
-        ",\"cohort\":%s,\"replayed\":%s,\"wall_us\":%" PRIu64 "}",
+        ",\"cohort\":%s,\"replayed\":%s,\"wall_us\":%" PRIu64
+        ",\"forked_at\":%s}",
         record.index, jsonQuote(workload.name).c_str(),
         componentShortName(config.component), config.faults,
         config.seed, config.cluster.rows, config.cluster.cols,
@@ -139,7 +146,8 @@ traceLine(const workloads::Workload& workload,
         record.cycle, outcomeName(record.outcome),
         earlyExitName(record.exitReason), record.cycles,
         record.cyclesSaved, record.restoredFrom, cohort.c_str(),
-        replayed ? "true" : "false", record.wallMicros);
+        replayed ? "true" : "false", record.wallMicros,
+        forked_at.c_str());
 }
 
 } // namespace
@@ -219,6 +227,8 @@ Campaign::Campaign(const workloads::Workload& workload,
                          config.earlyExit ? 1 : 0, 1) != 0),
       cohortBatching_(envUInt("MBUSIM_COHORT",
                               config.cohortBatching ? 1 : 0, 1) != 0),
+      lockstep_(envUInt("MBUSIM_LOCKSTEP",
+                        config.lockstep ? 1 : 0, 1) != 0),
       digestTarget_(static_cast<uint32_t>(
           envUInt("MBUSIM_DIGEST_POINTS", config.digestPoints,
                   UINT32_MAX)))
@@ -358,6 +368,14 @@ Campaign::executePlan(const GoldenArtifacts& golden, const RunPlan& plan,
 
     sim::SimResult faulty =
         simulator.run(golden.result.cycles * config_.timeoutFactor);
+    finishRecord(golden, record, faulty);
+    return record;
+}
+
+void
+Campaign::finishRecord(const GoldenArtifacts& golden, RunRecord& record,
+                       const sim::SimResult& faulty) const
+{
     if (faulty.earlyExit != sim::EarlyExit::None) {
         // The engine proved the remaining execution bit-identical to
         // golden: Masked, with golden's terminal cycle count instead
@@ -373,6 +391,90 @@ Campaign::executePlan(const GoldenArtifacts& golden, const RunPlan& plan,
         record.outcome = classify(golden.result, faulty);
         record.cycles = faulty.cycles;
     }
+}
+
+RunRecord
+Campaign::executeFork(const GoldenArtifacts& golden, const RunPlan& plan,
+                      const sim::Snapshot& base,
+                      const std::vector<sim::BitFlip>& live_flips,
+                      const std::vector<sim::BitFlip>& ghost_flips,
+                      uint32_t attempt) const
+{
+    if (config_.hostFaultHook)
+        config_.hostFaultHook(plan.record.index, attempt);
+
+    RunRecord record = plan.record;
+    sim::Simulator simulator(program_, config_.cpu, base);
+    record.restoredFrom =
+        plan.checkpointIndex == NoCheckpoint
+            ? 0
+            : golden.checkpoints[plan.checkpointIndex].cycle;
+    // Re-injecting the still-live flips (tracked) and the ghost flips
+    // (untracked) reproduces the private run exactly: a private
+    // simulator's machine at the base cycle is golden XOR its live
+    // flips XOR its ghosts (flips a deadness proof untracked without
+    // anything having physically overwritten them — overwritten flips
+    // are already folded into the golden image), and its tracked set
+    // at that point is exactly the live flips.
+    sim::FaultTarget target = config_.targetOverride
+                                  ? *config_.targetOverride
+                                  : targetFor(config_.component);
+    sim::Injection injection;
+    injection.target = target;
+    injection.cycle = base.cycle;
+    injection.flips = live_flips;
+    injection.prePruned = true;
+    simulator.scheduleInjection(injection);
+    if (!ghost_flips.empty()) {
+        sim::Injection ghosts;
+        ghosts.target = target;
+        ghosts.cycle = base.cycle;
+        ghosts.flips = ghost_flips;
+        ghosts.prePruned = true;
+        ghosts.untracked = true;
+        simulator.scheduleInjection(ghosts);
+    }
+
+    if (earlyExit_) {
+        simulator.enableDeadFaultPruning();
+        if (!golden.digests.empty())
+            simulator.setGoldenDigests(&golden.digests);
+    }
+
+    sim::SimResult faulty =
+        simulator.run(golden.result.cycles * config_.timeoutFactor);
+    finishRecord(golden, record, faulty);
+    return record;
+}
+
+RunRecord
+Campaign::runForkIsolated(const GoldenArtifacts& golden,
+                          const RunPlan& plan, const sim::Snapshot& base,
+                          const std::vector<sim::BitFlip>& live_flips,
+                          const std::vector<sim::BitFlip>& ghost_flips)
+    const
+{
+    // Same fault-isolation discipline as runPlanIsolated: the fork is
+    // deterministic in (base, live flips), so one retry sees the
+    // identical divergence; a second escape lands in the Error bucket.
+    for (uint32_t attempt = 0; attempt < 2; ++attempt) {
+        try {
+            return executeFork(golden, plan, base, live_flips,
+                               ghost_flips, attempt);
+        } catch (const std::exception& e) {
+            warn("run %u of '%s' escaped the simulator (%s)%s",
+                 plan.record.index, workload_.name.c_str(), e.what(),
+                 attempt == 0 ? "; retrying" : "");
+        } catch (...) {
+            warn("run %u of '%s' escaped the simulator (non-standard "
+                 "exception)%s",
+                 plan.record.index, workload_.name.c_str(),
+                 attempt == 0 ? "; retrying" : "");
+        }
+    }
+    RunRecord record;
+    record.index = plan.record.index;
+    record.outcome = Outcome::Error;
     return record;
 }
 
@@ -431,6 +533,9 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
     cohorts_ = &m.counter("campaign.cohorts");
     cursorCycles_ = &m.counter("campaign.cursor_cycles");
     restoresAvoided_ = &m.counter("campaign.restores_avoided");
+    forks_ = &m.counter("campaign.forks");
+    overlayCycles_ = &m.counter("campaign.overlay_cycles");
+    neverForked_ = &m.counter("campaign.never_forked");
 
     // Replay the journal of an earlier, interrupted invocation: runs it
     // recorded are taken as-is (they are bit-identical to what a fresh
@@ -677,11 +782,28 @@ Campaign::Execution::CohortOutcome
 Campaign::Execution::runCohort(const Cohort& cohort,
                                const std::function<bool()>& stop)
 {
-    using Clock = std::chrono::steady_clock;
-    const GoldenArtifacts& golden = campaign_.golden();
     CohortOutcome out;
     if (cohort.batched && !cohort.indices.empty())
         cohorts_->add(1);
+    if (cohort.batched && campaign_.lockstep_ &&
+        !cohort.indices.empty()) {
+        if (runCohortLockstep(cohort, stop, out))
+            return out;
+        // The lockstep cursor failed with runs unretired: finish the
+        // cohort on the per-run cursor path (done_ guards skip every
+        // run lockstep already retired).
+    }
+    runCohortCursor(cohort, stop, out);
+    return out;
+}
+
+void
+Campaign::Execution::runCohortCursor(const Cohort& cohort,
+                                     const std::function<bool()>& stop,
+                                     CohortOutcome& out)
+{
+    using Clock = std::chrono::steady_clock;
+    const GoldenArtifacts& golden = campaign_.golden();
 
     // The warm golden cursor, created lazily on the cohort's first
     // pending run and shared by every later one. If it ever fails
@@ -766,7 +888,267 @@ Campaign::Execution::runCohort(const Cohort& cohort,
         ++out.executed;
         ++pos;
     }
-    return out;
+}
+
+bool
+Campaign::Execution::runCohortLockstep(const Cohort& cohort,
+                                       const std::function<bool()>& stop,
+                                       CohortOutcome& out)
+{
+    using Clock = std::chrono::steady_clock;
+    const GoldenArtifacts& golden = campaign_.golden();
+    const sim::FaultTarget target =
+        campaign_.config_.targetOverride
+            ? *campaign_.config_.targetOverride
+            : targetFor(campaign_.config_.component);
+
+    // Plan the cohort's still-pending runs up front; indices arrive
+    // in ascending (cycle, index) order, which is exactly the attach
+    // order the cursor needs.
+    struct Pending
+    {
+        RunPlan plan;
+        uint32_t pos;
+    };
+    std::vector<Pending> todo;
+    uint32_t pos = 0;
+    for (uint32_t index : cohort.indices) {
+        if (!done_[index]) {
+            todo.push_back(
+                {campaign_.planRun(golden, index, generator_), pos});
+        }
+        ++pos;
+    }
+    if (todo.empty())
+        return true;
+
+    // One attached, not-yet-forked run riding the cursor.
+    struct Overlay
+    {
+        RunPlan plan;
+        uint32_t pos = 0;
+        sim::Simulator::OverlayHandle handle;
+        std::vector<sim::BitFlip> liveAtBase;
+        std::vector<sim::BitFlip> ghostAtBase;
+        Clock::time_point t0;
+    };
+
+    std::optional<sim::Simulator> cursor;
+    std::vector<Overlay> riding;
+    sim::Snapshot base;
+    size_t next = 0;
+
+    auto ladder_cycle = [&](const RunPlan& plan) {
+        return plan.checkpointIndex == NoCheckpoint
+                   ? 0
+                   : golden.checkpoints[plan.checkpointIndex].cycle;
+    };
+    auto finish = [&](RunRecord&& record, uint64_t prefix, uint32_t at,
+                      const Clock::time_point& t0) {
+        record.cohortId = cohort.id;
+        record.cohortPos = at;
+        record.wallMicros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count());
+        out.remaining = complete(std::move(record), prefix);
+        if (out.remaining == 0)
+            out.retiredLast = true;
+        ++out.executed;
+    };
+    // Retire a run straight from its overlay — zero private
+    // simulation. With the early-exit engine on, a run whose flips
+    // all died is exactly a DeadFault exit (the private engine's
+    // check fires the cycle after the killing tick, which is where
+    // the cursor detected it too); in every other case the flips
+    // provably never reach the machine before the program ends, so
+    // the record is the one a full simulation of a golden-identical
+    // machine produces: golden terminal counts, no early exit.
+    auto retire = [&](Overlay& run, bool dead, uint64_t death_cycle) {
+        RunRecord record = run.plan.record;
+        record.restoredFrom = ladder_cycle(run.plan);
+        record.cycles = golden.result.cycles;
+        if (dead && campaign_.earlyExit_) {
+            record.outcome = Outcome::Masked;
+            record.exitReason = sim::EarlyExit::DeadFault;
+            record.cyclesSaved =
+                golden.result.cycles > death_cycle
+                    ? golden.result.cycles - death_cycle
+                    : 0;
+        } else {
+            record.outcome = classify(golden.result, golden.result);
+        }
+        const uint64_t end = dead ? death_cycle : golden.result.cycles;
+        overlayCycles_->add(
+            end > record.cycle ? end - record.cycle : 0);
+        neverForked_->add(1);
+        cursor->dropOverlay(run.handle);
+        // The run simulated nothing privately: its whole extent is
+        // skipped prefix.
+        finish(std::move(record),
+               record.cycles - record.cyclesSaved, run.pos, run.t0);
+    };
+    // A flip was read: the run diverged from golden during the last
+    // tick. Materialize it from the fork base (golden state at the
+    // last injection event, at or after its own injection cycle) plus
+    // its flips still live there.
+    auto fork = [&](Overlay& run) {
+        const uint64_t at = cursor->cycle();
+        forks_->add(1);
+        overlayCycles_->add(
+            at > run.plan.record.cycle ? at - run.plan.record.cycle
+                                       : 0);
+        cursor->dropOverlay(run.handle);
+        RunRecord record = campaign_.runForkIsolated(
+            golden, run.plan, base, run.liveAtBase, run.ghostAtBase);
+        record.forkedAt = static_cast<int64_t>(at);
+        finish(std::move(record), base.cycle, run.pos, run.t0);
+    };
+
+    try {
+        while (next < todo.size() || !riding.empty()) {
+            if (stop && stop()) {
+                // Abandoned runs simply stay pending (never
+                // complete()d); a resume re-runs them bit-identically.
+                return true;
+            }
+            if (!cursor) {
+                if (cohort.checkpointIndex != NoCheckpoint) {
+                    cursor.emplace(
+                        campaign_.program_, campaign_.config_.cpu,
+                        golden.checkpoints[cohort.checkpointIndex]);
+                } else {
+                    cursor.emplace(campaign_.program_,
+                                   campaign_.config_.cpu);
+                }
+            }
+            cursor->clearOverlayEvents();
+            // Stop exactly at the next attach cycle; with no attach
+            // left, run to the golden halt (the halting commit does
+            // not advance the cycle counter, so a cycle bound would
+            // stop one tick short of it).
+            const uint64_t until = next < todo.size()
+                                       ? todo[next].plan.record.cycle
+                                       : UINT64_MAX;
+            const uint64_t before = cursor->cycle();
+            cursor->runLockstep(until);
+            cursorCycles_->add(cursor->cycle() - before);
+
+            // Forks first: a flip read during the last tick diverged
+            // that run mid-tick — even if the same tick halted the
+            // machine or killed the run's other flips.
+            std::erase_if(riding, [&](Overlay& run) {
+                if (!cursor->overlayPropagated(run.handle))
+                    return false;
+                fork(run);
+                return true;
+            });
+
+            if (cursor->halted()) {
+                // Golden end: every still-attached run held only
+                // never-read flips through the whole golden stream —
+                // including any whose last flip died on the halting
+                // tick (the private engine's loop exits on halt
+                // before its dead-fault check, so that is not a
+                // DeadFault there either).
+                for (Overlay& run : riding)
+                    retire(run, false, 0);
+                riding.clear();
+                if (next < todo.size()) {
+                    // Injection cycles are drawn below the golden
+                    // cycle count, so this cannot happen; bail to the
+                    // per-run path rather than drop runs.
+                    return false;
+                }
+                break;
+            }
+
+            // Deaths: an overlay's last live flip was overwritten.
+            // Detected the cycle after the killing tick, exactly like
+            // the private engine's top-of-loop check.
+            std::erase_if(riding, [&](Overlay& run) {
+                if (cursor->overlayLiveCount(run.handle) != 0)
+                    return false;
+                retire(run, true, cursor->cycle());
+                return true;
+            });
+
+            // Attach every run injecting at this cycle.
+            bool attached = false;
+            while (next < todo.size() &&
+                   todo[next].plan.record.cycle == cursor->cycle()) {
+                Pending& p = todo[next];
+                ++next;
+                attached = true;
+                const Clock::time_point t0 = Clock::now();
+                if (campaign_.config_.hostFaultHook) {
+                    // The hook stands in for "a simulation attempt
+                    // begins". If it throws, serve this run alone on
+                    // the isolated per-run path (retry-then-Error)
+                    // and keep the cohort riding.
+                    try {
+                        campaign_.config_.hostFaultHook(
+                            p.plan.record.index, 0);
+                    } catch (...) {
+                        const sim::Snapshot* start =
+                            p.plan.checkpointIndex == NoCheckpoint
+                                ? nullptr
+                                : &golden.checkpoints
+                                       [p.plan.checkpointIndex];
+                        RunRecord record = campaign_.runPlanIsolated(
+                            golden, p.plan, start);
+                        finish(std::move(record), record.restoredFrom,
+                               p.pos, t0);
+                        continue;
+                    }
+                }
+                Overlay run;
+                run.plan = std::move(p.plan);
+                run.pos = p.pos;
+                run.t0 = t0;
+                sim::Injection injection;
+                injection.target = target;
+                injection.cycle = run.plan.record.cycle;
+                injection.flips = run.plan.record.mask.flips;
+                run.handle = cursor->attachOverlay(injection);
+                if (cursor->overlayLiveCount(run.handle) == 0) {
+                    // Dead on arrival: the private engine's check
+                    // fires in the same loop iteration, before the
+                    // first post-injection tick.
+                    retire(run, true, cursor->cycle());
+                } else {
+                    riding.push_back(std::move(run));
+                }
+            }
+            if (attached) {
+                // Refresh the rolling fork base: one snapshot per
+                // injection event (the same count the per-run cursor
+                // path pays), plus each rider's flips still live
+                // here. A later fork replays at most one
+                // inter-injection gap of golden prefix privately.
+                base = cursor->checkpoint();
+                for (Overlay& run : riding) {
+                    run.liveAtBase =
+                        cursor->overlayLiveFlips(run.handle);
+                    run.ghostAtBase =
+                        cursor->overlayGhostFlips(run.handle);
+                }
+            }
+        }
+    } catch (const std::exception& e) {
+        warn("cohort %lld lockstep cursor of '%s' failed (%s); "
+             "falling back to per-run restore",
+             static_cast<long long>(cohort.id),
+             campaign_.workload_.name.c_str(), e.what());
+        return false;
+    } catch (...) {
+        warn("cohort %lld lockstep cursor of '%s' failed; falling "
+             "back to per-run restore",
+             static_cast<long long>(cohort.id),
+             campaign_.workload_.name.c_str());
+        return false;
+    }
+    return true;
 }
 
 CampaignResult

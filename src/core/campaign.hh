@@ -125,6 +125,21 @@ struct CampaignConfig
      * (0 disables, falling back to per-run restore).
      */
     bool cohortBatching = true;
+    /**
+     * Lockstep divergence-on-demand execution (DESIGN.md §15): inside
+     * a batched cohort, runs no longer fork a private simulator at
+     * injection time. Each run rides the shared warm golden cursor as
+     * a flip overlay; the cursor advances all unforked runs at once,
+     * and a run only materializes a private simulator when one of its
+     * flips is read (the fault propagated). Runs whose flips all die
+     * retire directly with golden terminal counts — zero private
+     * simulation. Outcomes, run records and traces (modulo the
+     * host-bookkeeping tail fields) are bit-identical with lockstep
+     * on or off. Overridable via MBUSIM_LOCKSTEP (0 disables, falling
+     * back to per-run cursor snapshots); moot when cohort batching is
+     * off.
+     */
+    bool lockstep = true;
     sim::CpuConfig cpu;            ///< microarchitecture under test
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
@@ -199,6 +214,15 @@ struct RunRecord
      */
     int64_t cohortId = -1;
     uint32_t cohortPos = 0;
+    /**
+     * Cycle this run left the lockstep cursor for a private simulator
+     * (-1 = it never forked: per-run/cursor modes, replayed runs, and
+     * lockstep runs that retired straight from the overlay). Host-side
+     * bookkeeping like cohortId: which mode executed a run is not part
+     * of its outcome, so the field is never journalled and is excluded
+     * from determinism comparisons.
+     */
+    int64_t forkedAt = -1;
 };
 
 /** Aggregated campaign results. */
@@ -388,12 +412,36 @@ class Campaign
          * Record a finished run: metrics, journal append, tallies.
          * @p skipped_prefix is the golden prefix this run's simulator
          * never executed (checkpoint cycle in per-run mode, injection
-         * cycle in cursor mode). @p journal_it is false for adopted
+         * cycle in cursor mode, fork-base cycle for lockstep forks,
+         * and the run's full un-simulated extent for lockstep runs
+         * that never forked). @p journal_it is false for adopted
          * records, whose durability lives in the producing worker's
          * shard. Returns runs still pending.
          */
         uint32_t complete(RunRecord&& record, uint64_t skipped_prefix,
                           bool journal_it = true);
+
+        /**
+         * The PR 6 cohort loop: one warm golden cursor, one private
+         * simulator per run from a cursor snapshot at its injection
+         * cycle. Accumulates into @p out. Skips done_ runs, so it also
+         * finishes a cohort the lockstep path abandoned mid-flight.
+         */
+        void runCohortCursor(const Cohort& cohort,
+                             const std::function<bool()>& stop,
+                             CohortOutcome& out);
+
+        /**
+         * The lockstep loop (DESIGN.md §15): every run rides the
+         * cursor as a flip overlay; dead runs retire with golden
+         * terminal counts, propagated runs fork private simulators
+         * from a rolling fork-base snapshot. Returns false if the
+         * cursor failed with runs still unretired (the caller then
+         * falls back to runCohortCursor for the remainder).
+         */
+        bool runCohortLockstep(const Cohort& cohort,
+                               const std::function<bool()>& stop,
+                               CohortOutcome& out);
 
         const Campaign& campaign_;
         MaskGenerator generator_;
@@ -418,6 +466,9 @@ class Campaign
         Counter* cohorts_;          ///< batched cohorts executed
         Counter* cursorCycles_;     ///< golden cycles cursors advanced
         Counter* restoresAvoided_;  ///< runs served by an already-warm cursor
+        Counter* forks_;            ///< lockstep overlays forked private
+        Counter* overlayCycles_;    ///< cycles runs rode the cursor
+        Counter* neverForked_;      ///< lockstep runs retired overlay-only
     };
 
     /** Start an invocation: replay the journal, simulate nothing yet. */
@@ -460,6 +511,34 @@ class Campaign
     RunRecord runPlanIsolated(const GoldenArtifacts& golden,
                               const RunPlan& plan,
                               const sim::Snapshot* start) const;
+    /**
+     * Simulate the private tail of a lockstep run that propagated:
+     * from the cohort's fork-base snapshot, re-injecting the overlay's
+     * @p live_flips at the base cycle (pre-pruned — they survived the
+     * attach-time screen; re-screening against base-cycle state could
+     * discard flips a private run would still track) plus its
+     * @p ghost_flips (applied untracked — discarded from liveness by a
+     * deadness proof but still physically present, and state digests
+     * hash every bit). Bit-identical to executePlan for the same run:
+     * the machine at the base cycle is golden XOR the live and ghost
+     * flips, and the tracking engine starts in the same state a
+     * private simulator would have reached there.
+     */
+    RunRecord executeFork(const GoldenArtifacts& golden,
+                          const RunPlan& plan, const sim::Snapshot& base,
+                          const std::vector<sim::BitFlip>& live_flips,
+                          const std::vector<sim::BitFlip>& ghost_flips,
+                          uint32_t attempt) const;
+    /** executeFork with the retry-then-Error fault isolation. */
+    RunRecord runForkIsolated(
+        const GoldenArtifacts& golden, const RunPlan& plan,
+        const sim::Snapshot& base,
+        const std::vector<sim::BitFlip>& live_flips,
+        const std::vector<sim::BitFlip>& ghost_flips) const;
+    /** Classify @p faulty against golden into @p record (the shared
+     *  tail of executePlan and executeFork). */
+    void finishRecord(const GoldenArtifacts& golden, RunRecord& record,
+                      const sim::SimResult& faulty) const;
 
     const workloads::Workload& workload_;
     CampaignConfig config_;
@@ -467,6 +546,7 @@ class Campaign
     uint32_t checkpointTarget_;    ///< resolved checkpoint count
     bool earlyExit_;               ///< resolved early-exit switch
     bool cohortBatching_;          ///< resolved cohort switch
+    bool lockstep_;                ///< resolved lockstep switch
     uint32_t digestTarget_;        ///< resolved digest-point count
     uint32_t threads_;             ///< resolved worker count (>= 1)
     std::string journalDir_;       ///< resolved journal dir ("" = off)

@@ -1,5 +1,6 @@
 #include "sim/bitarray.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/log.hh"
@@ -25,7 +26,7 @@ void
 BitArray::setBit(uint32_t row, uint32_t col, bool value)
 {
     checkField(row, col, 1);
-    if (!live_.empty()) [[unlikely]]
+    if (!tracked_.empty()) [[unlikely]]
         noteWrite(row, col, 1);
     uint64_t& w = words_[wordIndex(row, col)];
     uint64_t mask = 1ULL << (col % 64);
@@ -53,8 +54,15 @@ BitArray::restore(const Snapshot& snapshot)
               snapshot.words.size(), words_.size());
     words_ = snapshot.words;
     // The restored image replaces every bit, so no tracked flip is
-    // live in it; propagated_ stays latched (the flip already escaped).
-    live_.clear();
+    // live in it; propagated flags stay latched (those flips already
+    // escaped). Silent — restore is a host operation, not a machine
+    // write, so it raises no tracking events.
+    if (!tracked_.empty()) [[unlikely]] {
+        for (OverlayState& overlay : overlays_)
+            overlay.live = 0;
+        tracked_.clear();
+        clearGuard();
+    }
 }
 
 void
@@ -65,42 +73,146 @@ BitArray::digestInto(Fnv& fnv) const
         fnv.add(word);
 }
 
+uint32_t
+BitArray::beginOverlay()
+{
+    if (overlays_.empty())
+        overlays_.emplace_back();   // reserve the single-run overlay 0
+    overlays_.emplace_back();
+    return static_cast<uint32_t>(overlays_.size() - 1);
+}
+
 void
-BitArray::trackFlip(uint32_t row, uint32_t col)
+BitArray::trackFlipIn(uint32_t overlay, uint32_t row, uint32_t col)
 {
     checkField(row, col, 1);
-    live_.push_back({row, col});
+    if (overlay >= overlays_.size())
+        overlays_.resize(overlay + 1);
+    tracked_.push_back({row, col, overlay});
+    ++overlays_[overlay].live;
+    if (rowGuard_.empty())
+        rowGuard_.assign((rows_ + 63) / 64, 0);
+    rowGuard_[row >> 6] |= 1ULL << (row & 63);
+}
+
+void
+BitArray::appendLiveBits(
+    uint32_t overlay,
+    std::vector<std::pair<uint32_t, uint32_t>>& bits) const
+{
+    for (const TrackedBit& b : tracked_) {
+        if (b.overlay == overlay && !b.ghost)
+            bits.push_back({b.row, b.col});
+    }
+}
+
+void
+BitArray::appendGhostBits(
+    uint32_t overlay,
+    std::vector<std::pair<uint32_t, uint32_t>>& bits) const
+{
+    for (const TrackedBit& b : tracked_) {
+        if (b.overlay == overlay && b.ghost)
+            bits.push_back({b.row, b.col});
+    }
+}
+
+void
+BitArray::dropOverlay(uint32_t overlay)
+{
+    if (overlay >= overlays_.size())
+        return;
+    std::erase_if(tracked_, [overlay](const TrackedBit& b) {
+        return b.overlay == overlay;
+    });
+    overlays_[overlay].live = 0;
+    if (tracked_.empty())
+        clearGuard();
 }
 
 void
 BitArray::resetFlipTracking()
 {
-    live_.clear();
-    propagated_ = false;
+    tracked_.clear();
+    overlays_.clear();
+    eventsPending_ = false;
+    clearGuard();
+}
+
+void
+BitArray::clearGuard() const
+{
+    std::fill(rowGuard_.begin(), rowGuard_.end(), 0);
 }
 
 void
 BitArray::noteRead(uint32_t row, uint32_t col, uint32_t width) const
 {
-    for (const TrackedBit& b : live_) {
-        if (b.row == row && b.col >= col && b.col < col + width) {
-            propagated_ = true;
-            live_.clear();
-            return;
+    if (!rowGuarded(row))
+        return;
+    bool hit = false;
+    for (const TrackedBit& b : tracked_) {
+        // Ghosts never propagate: a deadness proof already established
+        // the bit cannot be read before an overwrite erases it.
+        if (!b.ghost && b.row == row && b.col >= col &&
+            b.col < col + width) {
+            overlays_[b.overlay].propagated = true;
+            hit = true;
         }
     }
+    if (!hit)
+        return;
+    // Drop every bit of each propagated overlay, not just the read
+    // one: once the fault escaped, liveness proves nothing anymore
+    // and the hot path gets cheaper. (Tracked bits always belong to
+    // not-yet-propagated overlays, so the erase below removes exactly
+    // the overlays latched above plus nothing else.)
+    eventsPending_ = true;
+    std::erase_if(tracked_, [this](const TrackedBit& b) {
+        if (!overlays_[b.overlay].propagated)
+            return false;
+        overlays_[b.overlay].live = 0;
+        return true;
+    });
+    if (tracked_.empty())
+        clearGuard();
 }
 
 void
-BitArray::noteWrite(uint32_t row, uint32_t col, uint32_t width)
+BitArray::removeTracked(uint32_t row, uint32_t col, uint32_t width,
+                        uint32_t scope)
 {
-    for (size_t i = 0; i < live_.size();) {
-        const TrackedBit& b = live_[i];
-        if (b.row == row && b.col >= col && b.col < col + width) {
-            live_[i] = live_.back();
-            live_.pop_back();
+    if (!rowGuarded(row))
+        return;
+    for (size_t i = 0; i < tracked_.size();) {
+        const TrackedBit& b = tracked_[i];
+        if (b.row == row && b.col >= col && b.col < col + width &&
+            (scope == AllOverlays || b.overlay == scope)) {
+            if (!b.ghost && --overlays_[b.overlay].live == 0)
+                eventsPending_ = true;
+            tracked_[i] = tracked_.back();
+            tracked_.pop_back();
         } else {
             ++i;
+        }
+    }
+    if (tracked_.empty())
+        clearGuard();
+}
+
+void
+BitArray::ghostTracked(uint32_t row, uint32_t col, uint32_t width,
+                       uint32_t scope)
+{
+    if (!rowGuarded(row))
+        return;
+    for (TrackedBit& b : tracked_) {
+        if (!b.ghost && b.row == row && b.col >= col &&
+            b.col < col + width &&
+            (scope == AllOverlays || b.overlay == scope)) {
+            b.ghost = true;
+            if (--overlays_[b.overlay].live == 0)
+                eventsPending_ = true;
         }
     }
 }
@@ -108,9 +220,16 @@ BitArray::noteWrite(uint32_t row, uint32_t col, uint32_t width)
 void
 BitArray::clear()
 {
-    // An architectural clear overwrites every bit: tracked flips die.
-    if (!live_.empty()) [[unlikely]]
-        live_.clear();
+    // An architectural clear overwrites every bit: tracked flips die,
+    // with death events for any overlay losing its last live bit.
+    if (!tracked_.empty()) [[unlikely]] {
+        for (const TrackedBit& b : tracked_) {
+            if (!b.ghost && --overlays_[b.overlay].live == 0)
+                eventsPending_ = true;
+        }
+        tracked_.clear();
+        clearGuard();
+    }
     std::fill(words_.begin(), words_.end(), 0);
 }
 

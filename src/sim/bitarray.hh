@@ -61,47 +61,127 @@ class BitArray
         return static_cast<uint64_t>(rows_) * cols_;
     }
 
-    /** @name Fault-liveness tracking (dead-fault pruning)
+    /** @name Fault-liveness tracking (dead-fault pruning, overlays)
      *
      * The early-termination engine (DESIGN.md §10) needs to know when
      * an injected flip can no longer affect the simulation: a corrupted
      * bit that is overwritten before ever being read is dead, and one
      * that is read has propagated into the machine. trackFlip()
      * registers an injected bit; every functional accessor then updates
-     * the tracked set. When no flips were tracked (golden runs, engine
-     * off) the cost on the hot accessors is one empty-vector test.
+     * the tracked set. When no flips are tracked (golden runs, engine
+     * off) the cost on the hot accessors is one empty-vector test; when
+     * flips are tracked elsewhere in the array, an access to a row with
+     * no tracked bit costs one extra bitmap load (rowGuard_).
+     *
+     * Tracked bits are grouped into *overlays* so the lockstep cohort
+     * engine (DESIGN.md §15) can ride many injected runs on one shared
+     * golden simulation: each run's flips form one overlay, and because
+     * an unforked run's machine is bit-identical to golden everywhere
+     * the machine has read, the golden access stream updates every
+     * overlay's liveness soundly at once. The single-run API
+     * (trackFlip / liveFlips / flipPropagated) is overlay 0.
      *
      * A flip itself is the particle strike, not an architectural write:
      * flipBit() never clears a tracked bit.
      */
     /// @{
-    /** Register an injected flip at (row, col) as live. */
-    void trackFlip(uint32_t row, uint32_t col);
+    /** discardFlips() scope meaning "every overlay". */
+    static constexpr uint32_t AllOverlays = UINT32_MAX;
 
-    /** Injected flips neither read nor overwritten yet. */
-    uint32_t liveFlips() const
+    /** Register an injected flip at (row, col) as live (overlay 0). */
+    void trackFlip(uint32_t row, uint32_t col) { trackFlipIn(0, row, col); }
+
+    /** Injected flips of overlay 0 neither read nor overwritten yet. */
+    uint32_t liveFlips() const { return overlayLiveCount(0); }
+
+    /** Has any overlay-0 flip been read (escaped into the machine)? */
+    bool flipPropagated() const { return overlayPropagated(0); }
+
+    /** Forget all tracking state (every overlay, all latches). */
+    void resetFlipTracking();
+
+    /** Allocate a fresh overlay id (> 0; overlay 0 is the implicit
+     *  single-run overlay). Ids are per-array and not recycled until
+     *  resetFlipTracking(). */
+    uint32_t beginOverlay();
+
+    /** Register an injected flip at (row, col) as live in @p overlay. */
+    void trackFlipIn(uint32_t overlay, uint32_t row, uint32_t col);
+
+    /** Live (not yet read or overwritten) flips of @p overlay. */
+    uint32_t overlayLiveCount(uint32_t overlay) const
     {
-        return static_cast<uint32_t>(live_.size());
+        return overlay < overlays_.size() ? overlays_[overlay].live : 0;
     }
 
-    /** Has any tracked flip been read (escaped into the machine)? */
-    bool flipPropagated() const { return propagated_; }
+    /** Has any flip of @p overlay been read? Latched. */
+    bool overlayPropagated(uint32_t overlay) const
+    {
+        return overlay < overlays_.size() && overlays_[overlay].propagated;
+    }
 
-    /** Forget all tracking state (live set and propagated flag). */
-    void resetFlipTracking();
+    /** Append @p overlay's live (row, col) bits to @p bits. */
+    void appendLiveBits(
+        uint32_t overlay,
+        std::vector<std::pair<uint32_t, uint32_t>>& bits) const;
+
+    /**
+     * Append @p overlay's *ghost* bits to @p bits: flips discarded
+     * from liveness tracking by a model-layer deadness proof
+     * (discardFlips) but not yet architecturally overwritten. A ghost
+     * is physically present in a private simulator's machine — it was
+     * applied at injection and nothing has replaced it — it just can
+     * never be read before an overwrite erases it. A lockstep fork
+     * must re-apply ghosts along with the live flips to reproduce the
+     * private machine bit-for-bit (state digests hash every bit,
+     * never-readable ones included).
+     */
+    void appendGhostBits(
+        uint32_t overlay,
+        std::vector<std::pair<uint32_t, uint32_t>>& bits) const;
+
+    /** Stop tracking @p overlay: its bits are dropped without death
+     *  events (the owner retired or forked the run). The propagated
+     *  latch stays readable. */
+    void dropOverlay(uint32_t overlay);
+
+    /**
+     * Has any overlay changed state (a propagation latched, or a live
+     * count reaching zero) since the last clearTrackingEvents()? The
+     * lockstep driver polls this once per tick; state changes inside a
+     * tick only set a flag, so the poll is one load.
+     */
+    bool trackingEventsPending() const { return eventsPending_; }
+
+    /** Acknowledge trackingEventsPending(). */
+    void clearTrackingEvents() { eventsPending_ = false; }
+
+    /**
+     * Scope discardFlips() to one overlay (AllOverlays = no scope).
+     * The lockstep attach path runs the model-layer dead-on-arrival
+     * hooks for one just-injected overlay against the shared machine;
+     * their deadness proofs apply only to that overlay's flips —
+     * another overlay's co-located flip may still legitimately be
+     * live in its own run.
+     */
+    void setDiscardScope(uint32_t overlay) { discardScope_ = overlay; }
 
     /**
      * Declare a field dead: the owning model guarantees these bits
      * cannot be architecturally read before being overwritten (the
      * data of an invalid cache line, a free physical register), so
-     * tracked flips inside are dropped exactly as an overwrite would.
+     * tracked flips inside leave liveness accounting exactly as an
+     * overwrite would. Unlike an overwrite, nothing has physically
+     * replaced the bit yet, so the flip lingers as a *ghost* (see
+     * appendGhostBits) until a real write erases it.
+     * Honors setDiscardScope().
      */
     void
     discardFlips(uint32_t row, uint32_t col, uint32_t width)
     {
         checkField(row, col, width);
-        if (!live_.empty()) [[unlikely]]
-            noteWrite(row, col, width);
+        if (!tracked_.empty()) [[unlikely]]
+            ghostTracked(row, col, width, discardScope_);
     }
 
     /**
@@ -122,7 +202,7 @@ class BitArray
     bit(uint32_t row, uint32_t col) const
     {
         checkField(row, col, 1);
-        if (!live_.empty()) [[unlikely]]
+        if (!tracked_.empty()) [[unlikely]]
             noteRead(row, col, 1);
         return (words_[wordIndex(row, col)] >> (col % 64)) & 1;
     }
@@ -141,7 +221,7 @@ class BitArray
     read(uint32_t row, uint32_t col, uint32_t width) const
     {
         checkField(row, col, width);
-        if (!live_.empty()) [[unlikely]]
+        if (!tracked_.empty()) [[unlikely]]
             noteRead(row, col, width);
         uint64_t idx = wordIndex(row, col);
         uint32_t shift = col % 64;
@@ -159,7 +239,7 @@ class BitArray
     write(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
     {
         checkField(row, col, width);
-        if (!live_.empty()) [[unlikely]]
+        if (!tracked_.empty()) [[unlikely]]
             noteWrite(row, col, width);
         if (width < 64)
             value &= (1ULL << width) - 1;
@@ -202,30 +282,76 @@ class BitArray
     [[noreturn]] void fieldViolation(uint32_t row, uint32_t col,
                                      uint32_t width) const;
 
-    /** A still-live injected flip. */
+    /** A tracked injected flip. Live unless ghosted: a ghost was
+     *  discarded by a deadness proof (discardFlips) but is still
+     *  physically present until an overwrite erases it, and stays
+     *  recorded so a lockstep fork can reproduce the private machine
+     *  exactly. Ghosts never propagate and never count as live. */
     struct TrackedBit
     {
         uint32_t row;
         uint32_t col;
+        uint32_t overlay;
+        bool ghost = false;
+    };
+
+    /** Per-overlay liveness summary. */
+    struct OverlayState
+    {
+        uint32_t live = 0;
+        bool propagated = false;
     };
 
     /**
+     * Does @p row hold any tracked bit? One load. Guard bits are set
+     * on track and only cleared wholesale when the tracked set
+     * empties, so a stale set bit costs one spurious scan of the
+     * (small) tracked set — never a missed update.
+     */
+    bool
+    rowGuarded(uint32_t row) const
+    {
+        return (rowGuard_[row >> 6] >> (row & 63)) & 1;
+    }
+
+    void clearGuard() const;
+
+    /**
      * A tracked bit inside the read field has propagated: latch the
-     * flag and drop the live set, restoring the zero-cost hot path.
+     * owning overlay's flag and drop all of its bits — liveness proves
+     * nothing once the fault escaped, and the hot path gets cheaper.
      * Mutates only the mutable tracking state, hence const.
      */
     void noteRead(uint32_t row, uint32_t col, uint32_t width) const;
 
     /** Tracked bits covered by an overwrite are dead: drop them. */
-    void noteWrite(uint32_t row, uint32_t col, uint32_t width);
+    void noteWrite(uint32_t row, uint32_t col, uint32_t width)
+    {
+        removeTracked(row, col, width, AllOverlays);
+    }
+
+    /** Erase tracked bits (live and ghost) in the field: the bits were
+     *  physically overwritten. Flags a tracking event for each overlay
+     *  whose last live bit dies. */
+    void removeTracked(uint32_t row, uint32_t col, uint32_t width,
+                       uint32_t scope);
+
+    /** Ghost-mark live tracked bits in the field (of @p scope, or
+     *  every overlay): deadness-proof discard. Same liveness events
+     *  as removeTracked, but the entries stay recorded as ghosts. */
+    void ghostTracked(uint32_t row, uint32_t col, uint32_t width,
+                      uint32_t scope);
 
     uint32_t rows_;
     uint32_t cols_;
     uint32_t wordsPerRow_;
     std::vector<uint64_t> words_;
 
-    mutable std::vector<TrackedBit> live_;
-    mutable bool propagated_ = false;
+    mutable std::vector<TrackedBit> tracked_;
+    mutable std::vector<OverlayState> overlays_;
+    mutable std::vector<uint64_t> rowGuard_;   ///< lazily allocated
+    mutable bool eventsPending_ = false;
+    uint32_t discardScope_ = AllOverlays;
 };
 
 } // namespace mbusim::sim

@@ -62,6 +62,108 @@ Simulator::cycle() const
     return cpu_->cycle();
 }
 
+bool
+Simulator::halted() const
+{
+    return cpu_->halted();
+}
+
+Simulator::OverlayHandle
+Simulator::attachOverlay(const Injection& inj)
+{
+    BitArray& bits = targetBits(inj.target);
+    OverlayHandle handle{inj.target, bits.beginOverlay()};
+    for (const BitFlip& flip : inj.flips)
+        bits.trackFlipIn(handle.id, flip.row, flip.col);
+    // The dead-on-arrival screen inspects machine state (a tag flip
+    // can hit the very valid bit the screen peeks), so it must see
+    // the flips applied, exactly as a private simulator's injection
+    // would. Apply, screen, revert: no cycle elapses, and flipBit is
+    // an involution, so the shared golden state is unchanged.
+    for (const BitFlip& flip : inj.flips)
+        bits.flipBit(flip.row, flip.col);
+    bits.setDiscardScope(handle.id);
+    pruneDeadOnArrival(inj);
+    bits.setDiscardScope(BitArray::AllOverlays);
+    for (const BitFlip& flip : inj.flips)
+        bits.flipBit(flip.row, flip.col);
+    if (std::find(overlayArrays_.begin(), overlayArrays_.end(), &bits) ==
+        overlayArrays_.end()) {
+        overlayArrays_.push_back(&bits);
+    }
+    return handle;
+}
+
+uint32_t
+Simulator::overlayLiveCount(const OverlayHandle& overlay) const
+{
+    return targetBitsConst(overlay.target).overlayLiveCount(overlay.id);
+}
+
+bool
+Simulator::overlayPropagated(const OverlayHandle& overlay) const
+{
+    return targetBitsConst(overlay.target).overlayPropagated(overlay.id);
+}
+
+std::vector<BitFlip>
+Simulator::overlayLiveFlips(const OverlayHandle& overlay) const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> bits;
+    targetBitsConst(overlay.target).appendLiveBits(overlay.id, bits);
+    std::vector<BitFlip> flips;
+    flips.reserve(bits.size());
+    for (const auto& [row, col] : bits)
+        flips.push_back({row, col});
+    return flips;
+}
+
+std::vector<BitFlip>
+Simulator::overlayGhostFlips(const OverlayHandle& overlay) const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> bits;
+    targetBitsConst(overlay.target).appendGhostBits(overlay.id, bits);
+    std::vector<BitFlip> flips;
+    flips.reserve(bits.size());
+    for (const auto& [row, col] : bits)
+        flips.push_back({row, col});
+    return flips;
+}
+
+void
+Simulator::dropOverlay(const OverlayHandle& overlay)
+{
+    targetBits(overlay.target).dropOverlay(overlay.id);
+}
+
+bool
+Simulator::overlayEventsPending() const
+{
+    for (const BitArray* bits : overlayArrays_) {
+        if (bits->trackingEventsPending())
+            return true;
+    }
+    return false;
+}
+
+void
+Simulator::clearOverlayEvents()
+{
+    for (BitArray* bits : overlayArrays_)
+        bits->clearTrackingEvents();
+}
+
+uint64_t
+Simulator::runLockstep(uint64_t until)
+{
+    while (!cpu_->halted() && cpu_->cycle() < until) {
+        cpu_->tick();
+        if (overlayEventsPending())
+            break;
+    }
+    return cpu_->cycle();
+}
+
 std::pair<uint32_t, uint32_t>
 Simulator::targetGeometry(FaultTarget target, const CpuConfig& config)
 {
@@ -179,7 +281,7 @@ Simulator::run(uint64_t max_cycles)
                    injections_[nextInjection_].cycle <= cpu_->cycle()) {
                 const Injection& inj = injections_[nextInjection_];
                 BitArray& bits = targetBits(inj.target);
-                if (deadFaultPruning_) {
+                if (deadFaultPruning_ && !inj.untracked) {
                     for (const BitFlip& flip : inj.flips)
                         bits.trackFlip(flip.row, flip.col);
                     if (std::find(trackedArrays_.begin(),
@@ -190,7 +292,7 @@ Simulator::run(uint64_t max_cycles)
                 }
                 for (const BitFlip& flip : inj.flips)
                     bits.flipBit(flip.row, flip.col);
-                if (deadFaultPruning_)
+                if (deadFaultPruning_ && !inj.prePruned)
                     pruneDeadOnArrival(inj);
                 lastInjectionCycle_ = cpu_->cycle();
                 ++nextInjection_;

@@ -43,6 +43,24 @@ struct Injection
     FaultTarget target = FaultTarget::L1DData;
     uint64_t cycle = 0;
     std::vector<BitFlip> flips;
+    /**
+     * The flips already survived model-layer dead-on-arrival screening
+     * and must not be screened again: a lockstep fork (DESIGN.md §15)
+     * re-injects the overlay's still-live flips at the fork-base
+     * cycle, where the machine state — and therefore the hooks'
+     * deadness verdicts — can differ from what the original
+     * injection-time screen soundly established.
+     */
+    bool prePruned = false;
+    /**
+     * Apply the flips physically but do not register them for
+     * liveness tracking. A lockstep fork uses this to re-apply an
+     * overlay's *ghost* flips (BitArray::appendGhostBits): bits a
+     * deadness proof removed from tracking that are still physically
+     * present in the machine a private simulator would have built,
+     * and that state digests therefore still see.
+     */
+    bool untracked = false;
 };
 
 /**
@@ -184,8 +202,80 @@ class Simulator
     /** Current cycle of the machine (monotonic across run() calls). */
     uint64_t cycle() const;
 
+    /** Has the program ended (further ticks are no-ops)? */
+    bool halted() const;
+
     /** Rewind the machine to @p snapshot (same program and config). */
     void restore(const Snapshot& snapshot);
+
+    /** @name Lockstep cohort support (DESIGN.md §15)
+     *
+     * A cohort's injected runs ride one shared golden simulation as
+     * flip *overlays*: each run's flips are registered in the target
+     * BitArray without being applied, and the golden access stream —
+     * which is bit-identical to each unforked run's own stream until
+     * that run reads a flipped bit — updates every overlay's liveness
+     * at once. runLockstep() advances the machine tick by tick and
+     * returns the moment any overlay changes state, so the driver can
+     * retire dead runs (zero private simulation) and fork propagated
+     * ones into private simulators at the cycle the divergence began.
+     */
+    /// @{
+    /** One attached overlay: the target structure plus the BitArray's
+     *  per-array overlay id. */
+    struct OverlayHandle
+    {
+        FaultTarget target = FaultTarget::L1DData;
+        uint32_t id = 0;
+    };
+
+    /**
+     * Attach @p inj as a flip overlay: track its flips in a fresh
+     * overlay of the target array and run the model-layer
+     * dead-on-arrival screen exactly as a private simulator would at
+     * injection time. The screen must see the injected machine, so the
+     * flips are applied, screened, and reverted — flipBit() is an
+     * involution and no cycle elapses in between, so the shared golden
+     * state is untouched. The screen's discards are scoped to the new
+     * overlay (another overlay's co-located flip stays live).
+     */
+    OverlayHandle attachOverlay(const Injection& inj);
+
+    /** Live (unread, not overwritten) flips of @p overlay. */
+    uint32_t overlayLiveCount(const OverlayHandle& overlay) const;
+
+    /** Has any flip of @p overlay been architecturally read? */
+    bool overlayPropagated(const OverlayHandle& overlay) const;
+
+    /** The still-live flips of @p overlay (fork-base capture). */
+    std::vector<BitFlip> overlayLiveFlips(const OverlayHandle& overlay)
+        const;
+
+    /** @p overlay's ghost flips (fork-base capture): discarded by a
+     *  deadness proof but not yet physically overwritten, so a fork
+     *  must re-apply them (untracked) to match a private simulator's
+     *  machine bit-for-bit. */
+    std::vector<BitFlip> overlayGhostFlips(const OverlayHandle& overlay)
+        const;
+
+    /** Detach @p overlay (the run retired or forked). */
+    void dropOverlay(const OverlayHandle& overlay);
+
+    /** Any overlay state change since clearOverlayEvents()? */
+    bool overlayEventsPending() const;
+
+    /** Acknowledge overlayEventsPending(). */
+    void clearOverlayEvents();
+
+    /**
+     * Advance the machine to @p until, stopping early the moment the
+     * program halts or any attached overlay changes state (a flip
+     * read, or an overlay's last live flip overwritten). Returns the
+     * cycle reached. Unlike run(), applies no scheduled injections —
+     * the lockstep cursor is a pure golden execution.
+     */
+    uint64_t runLockstep(uint64_t until);
+    /// @}
 
     /**
      * Run to completion or @p max_cycles (0 = unlimited; the budget is
@@ -211,6 +301,11 @@ class Simulator
     /** Drop injected flips the model layer proves dead on arrival. */
     void pruneDeadOnArrival(const Injection& inj);
 
+    const BitArray& targetBitsConst(FaultTarget target) const
+    {
+        return const_cast<Simulator*>(this)->targetBits(target);
+    }
+
     CpuConfig config_;
     std::unique_ptr<System> system_;
     std::unique_ptr<Cpu> cpu_;
@@ -228,6 +323,11 @@ class Simulator
     size_t digestStride_ = 1;          ///< rungs to the next sample
     std::vector<BitArray*> trackedArrays_;   ///< arrays holding flips
     uint64_t lastInjectionCycle_ = 0;
+
+    // Lockstep state: the arrays holding attached overlays (one per
+    // distinct fault target — in practice a single array, since a
+    // campaign injects one structure).
+    std::vector<BitArray*> overlayArrays_;
 };
 
 } // namespace mbusim::sim

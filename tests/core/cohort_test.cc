@@ -33,6 +33,7 @@ class CohortTest : public ::testing::Test
         unsetenv("MBUSIM_DIGEST_POINTS");
         unsetenv("MBUSIM_CHECKPOINTS");
         unsetenv("MBUSIM_COHORT");
+        unsetenv("MBUSIM_LOCKSTEP");
         unsetenv("MBUSIM_JOURNAL_DIR");
     }
 };
@@ -92,9 +93,13 @@ TEST_F(CohortTest, EquivalenceSweepAcrossComponentsAndCardinalities)
                 SCOPED_TRACE(strprintf("%s %s f%u", workload,
                                        componentShortName(component),
                                        faults));
-                CampaignResult on =
-                    Campaign(w, sweepConfig(component, faults, true))
-                        .run(true);
+                // This sweep proves the warm-cursor restore path;
+                // lockstep overlay riding (DESIGN.md §15) has its own
+                // equivalence sweep in lockstep_test.cc.
+                CampaignConfig batched =
+                    sweepConfig(component, faults, true);
+                batched.lockstep = false;
+                CampaignResult on = Campaign(w, batched).run(true);
                 CampaignResult off =
                     Campaign(w, sweepConfig(component, faults, false))
                         .run(true);

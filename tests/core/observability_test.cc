@@ -220,14 +220,17 @@ readLines(const std::string& path)
 }
 
 /** Strip the fields excluded from the determinism guarantee: wall
- *  time (host-dependent), the replayed flag (journal-dependent) and
- *  the cohort assignment (journal- and worker-count-dependent). */
+ *  time (host-dependent), the replayed flag (journal-dependent), the
+ *  cohort assignment (journal- and worker-count-dependent) and the
+ *  fork cycle (lockstep- and journal-dependent — a replayed run never
+ *  re-forks). */
 std::string
 stripVolatile(const std::string& line)
 {
     static const std::regex volatileFields(
         ",\"replayed\":(true|false)|,\"wall_us\":[0-9]+"
-        "|,\"cohort\":(null|\\[[0-9]+,[0-9]+\\])");
+        "|,\"cohort\":(null|\\[[0-9]+,[0-9]+\\])"
+        "|,\"forked_at\":(null|[0-9]+)");
     return std::regex_replace(line, volatileFields, "");
 }
 

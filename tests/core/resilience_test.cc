@@ -199,6 +199,58 @@ TEST(ResilienceTest, MidCohortInterruptResumesBitIdentical)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ResilienceTest, MidLockstepInterruptResumesBitIdentical)
+{
+    // Interrupt while a lockstep cohort is riding the shared cursor
+    // (the attach-time hook fires mid-cohort, and the interrupt is
+    // noticed at the cursor's next stop poll): attached-but-unfinished
+    // overlays are abandoned without a journal entry, and the resumed
+    // campaign — still on the lockstep path — must end bit-identical
+    // to a per-run baseline. This pins the journal discipline of the
+    // overlay shortcuts: a run is recorded only when it retires or its
+    // fork finishes, never when it merely attaches.
+    const auto& w = workloads::workloadByName("stringsearch");
+    CampaignConfig config = smallConfig(Component::L1D, 2, 30);
+    config.cohortBatching = false;
+    CampaignResult baseline = Campaign(w, config).run(true);
+
+    std::string dir = freshDir("mbusim_journal_midlockstep");
+    config.cohortBatching = true;
+    config.lockstep = true;
+    config.journalDir = dir;
+    auto attempts = std::make_shared<std::atomic<uint32_t>>(0);
+    config.hostFaultHook = [attempts](uint32_t, uint32_t) {
+        if (attempts->fetch_add(1) + 1 == 11)
+            requestInterrupt();   // as if ^C arrived mid-lockstep
+    };
+    CampaignResult partial = Campaign(w, config).run();
+    clearInterrupt();
+    EXPECT_TRUE(partial.cancelled);
+    EXPECT_LT(partial.completed, 30u);
+    EXPECT_GT(partial.completed, 0u);
+
+    config.hostFaultHook = nullptr;
+    CampaignResult resumed = Campaign(w, config).run(true);
+    EXPECT_FALSE(resumed.cancelled);
+    EXPECT_EQ(resumed.resumed, partial.completed);
+    EXPECT_EQ(resumed.completed, 30u);
+    EXPECT_EQ(resumed.counts.counts, baseline.counts.counts);
+    ASSERT_EQ(resumed.runs.size(), baseline.runs.size());
+    for (size_t i = 0; i < baseline.runs.size(); ++i) {
+        EXPECT_EQ(resumed.runs[i].index, baseline.runs[i].index);
+        EXPECT_EQ(resumed.runs[i].cycle, baseline.runs[i].cycle);
+        EXPECT_EQ(resumed.runs[i].outcome, baseline.runs[i].outcome);
+        EXPECT_EQ(resumed.runs[i].cycles, baseline.runs[i].cycles);
+        EXPECT_EQ(resumed.runs[i].restoredFrom,
+                  baseline.runs[i].restoredFrom);
+        EXPECT_EQ(resumed.runs[i].exitReason,
+                  baseline.runs[i].exitReason);
+        EXPECT_EQ(resumed.runs[i].cyclesSaved,
+                  baseline.runs[i].cyclesSaved);
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ResilienceTest, CorruptJournalRecordIsResimulated)
 {
     const auto& w = workloads::workloadByName("stringsearch");

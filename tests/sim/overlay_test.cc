@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Multi-overlay flip tracking and the lockstep simulator API
+ * (DESIGN.md §15). The lockstep cohort engine rides many injected
+ * runs on one shared golden simulation; its soundness rests on the
+ * per-overlay semantics pinned down here: independent liveness and
+ * propagation per overlay, deadness-proof discards scoped to one
+ * overlay, ghost bits that stay reproducible for forks, and event
+ * flags the tick loop can poll in O(1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bitarray.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace mbusim::sim {
+namespace {
+
+TEST(BitArrayOverlays, IndependentLivenessPerOverlay)
+{
+    BitArray a(8, 64);
+    uint32_t ov1 = a.beginOverlay();
+    uint32_t ov2 = a.beginOverlay();
+    EXPECT_NE(ov1, 0u);
+    EXPECT_NE(ov2, 0u);
+    EXPECT_NE(ov1, ov2);
+
+    a.trackFlipIn(ov1, 1, 3);
+    a.trackFlipIn(ov1, 1, 4);
+    a.trackFlipIn(ov2, 2, 3);
+    EXPECT_EQ(a.overlayLiveCount(ov1), 2u);
+    EXPECT_EQ(a.overlayLiveCount(ov2), 1u);
+
+    a.write(1, 0, 32, 0);        // kills both of ov1's flips, unread
+    EXPECT_EQ(a.overlayLiveCount(ov1), 0u);
+    EXPECT_EQ(a.overlayLiveCount(ov2), 1u);
+    EXPECT_FALSE(a.overlayPropagated(ov1));
+    EXPECT_FALSE(a.overlayPropagated(ov2));
+}
+
+TEST(BitArrayOverlays, PropagationLatchesPerOverlayAndDropsItsBits)
+{
+    BitArray a(8, 64);
+    uint32_t ov1 = a.beginOverlay();
+    uint32_t ov2 = a.beginOverlay();
+    a.trackFlipIn(ov1, 1, 3);
+    a.trackFlipIn(ov1, 4, 8);
+    a.trackFlipIn(ov2, 2, 3);
+
+    (void)a.read(1, 0, 16);      // reads ov1's col-3 flip only
+    EXPECT_TRUE(a.overlayPropagated(ov1));
+    // The whole overlay is dropped on propagation: liveness proves
+    // nothing once the fault escaped.
+    EXPECT_EQ(a.overlayLiveCount(ov1), 0u);
+    EXPECT_FALSE(a.overlayPropagated(ov2));
+    EXPECT_EQ(a.overlayLiveCount(ov2), 1u);
+
+    // The dropped overlay's remaining bit no longer reacts to reads.
+    (void)a.read(4, 0, 32);
+    EXPECT_FALSE(a.overlayPropagated(ov2));
+}
+
+TEST(BitArrayOverlays, CoLocatedFlipsPropagateTogether)
+{
+    // Two runs injected the same bit: one golden read latches both.
+    BitArray a(4, 64);
+    uint32_t ov1 = a.beginOverlay();
+    uint32_t ov2 = a.beginOverlay();
+    a.trackFlipIn(ov1, 0, 5);
+    a.trackFlipIn(ov2, 0, 5);
+    (void)a.bit(0, 5);
+    EXPECT_TRUE(a.overlayPropagated(ov1));
+    EXPECT_TRUE(a.overlayPropagated(ov2));
+}
+
+TEST(BitArrayOverlays, DiscardScopeProtectsOtherOverlays)
+{
+    // A dead-on-arrival screen's verdicts apply only to the overlay
+    // being attached: another run's co-located flip stays live.
+    BitArray a(4, 64);
+    uint32_t ov1 = a.beginOverlay();
+    uint32_t ov2 = a.beginOverlay();
+    a.trackFlipIn(ov1, 0, 5);
+    a.trackFlipIn(ov2, 0, 5);
+
+    a.setDiscardScope(ov2);
+    a.discardFlips(0, 0, 64);
+    a.setDiscardScope(BitArray::AllOverlays);
+
+    EXPECT_EQ(a.overlayLiveCount(ov1), 1u);
+    EXPECT_EQ(a.overlayLiveCount(ov2), 0u);
+}
+
+TEST(BitArrayOverlays, DiscardLeavesAForkReproducibleGhost)
+{
+    // discardFlips removes a flip from liveness but nothing has
+    // physically overwritten it: the bit must stay enumerable (a
+    // lockstep fork re-applies it so state digests match a private
+    // simulator's machine), disappear once a real write lands, and
+    // never latch propagation.
+    BitArray a(4, 64);
+    uint32_t ov = a.beginOverlay();
+    a.trackFlipIn(ov, 1, 3);
+    a.trackFlipIn(ov, 1, 9);
+    a.setDiscardScope(ov);
+    a.discardFlips(1, 3, 1);
+    a.setDiscardScope(BitArray::AllOverlays);
+
+    EXPECT_EQ(a.overlayLiveCount(ov), 1u);
+    std::vector<std::pair<uint32_t, uint32_t>> live, ghosts;
+    a.appendLiveBits(ov, live);
+    a.appendGhostBits(ov, ghosts);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0], (std::pair<uint32_t, uint32_t>{1, 9}));
+    ASSERT_EQ(ghosts.size(), 1u);
+    EXPECT_EQ(ghosts[0], (std::pair<uint32_t, uint32_t>{1, 3}));
+
+    // A read over the ghost does not propagate (the deadness proof
+    // says this cannot happen before an overwrite; the tracker must
+    // not second-guess it).
+    (void)a.read(1, 0, 8);
+    EXPECT_FALSE(a.overlayPropagated(ov));
+
+    // A real overwrite erases the ghost.
+    a.write(1, 0, 8, 0);
+    ghosts.clear();
+    a.appendGhostBits(ov, ghosts);
+    EXPECT_TRUE(ghosts.empty());
+}
+
+TEST(BitArrayOverlays, EventsFlagRaisedOnDeathAndPropagation)
+{
+    BitArray a(4, 64);
+    uint32_t ov1 = a.beginOverlay();
+    uint32_t ov2 = a.beginOverlay();
+    a.trackFlipIn(ov1, 0, 1);
+    a.trackFlipIn(ov2, 1, 1);
+    EXPECT_FALSE(a.trackingEventsPending());
+
+    // A write that kills no tracked bit raises nothing.
+    a.write(2, 0, 32, 5);
+    EXPECT_FALSE(a.trackingEventsPending());
+
+    // Death of an overlay's last live flip raises the flag.
+    a.write(0, 0, 32, 0);
+    EXPECT_TRUE(a.trackingEventsPending());
+    a.clearTrackingEvents();
+    EXPECT_FALSE(a.trackingEventsPending());
+
+    // Propagation raises it too.
+    (void)a.read(1, 0, 8);
+    EXPECT_TRUE(a.trackingEventsPending());
+}
+
+TEST(BitArrayOverlays, DropOverlayIsSilentAndComplete)
+{
+    BitArray a(4, 64);
+    uint32_t ov = a.beginOverlay();
+    a.trackFlipIn(ov, 0, 1);
+    a.trackFlipIn(ov, 0, 2);
+    a.setDiscardScope(ov);
+    a.discardFlips(0, 2, 1);     // one ghost, one live
+    a.setDiscardScope(BitArray::AllOverlays);
+    a.clearTrackingEvents();
+
+    a.dropOverlay(ov);
+    EXPECT_FALSE(a.trackingEventsPending());
+    EXPECT_EQ(a.overlayLiveCount(ov), 0u);
+    std::vector<std::pair<uint32_t, uint32_t>> bits;
+    a.appendLiveBits(ov, bits);
+    a.appendGhostBits(ov, bits);
+    EXPECT_TRUE(bits.empty());
+}
+
+TEST(BitArrayOverlays, LegacyApiIsOverlayZero)
+{
+    BitArray a(4, 64);
+    a.trackFlip(0, 3);
+    EXPECT_EQ(a.liveFlips(), a.overlayLiveCount(0));
+    EXPECT_EQ(a.liveFlips(), 1u);
+    (void)a.read(0, 0, 8);
+    EXPECT_TRUE(a.flipPropagated());
+    EXPECT_TRUE(a.overlayPropagated(0));
+}
+
+// ---------------------------------------------------------------------
+// Simulator lockstep API.
+
+TEST(SimulatorLockstep, AttachLeavesGoldenStateUntouched)
+{
+    // attachOverlay applies, screens and reverts the flips; the
+    // machine digest must be exactly what it was before the attach.
+    Program p = workloads::workloadByName("stringsearch").assemble();
+    Simulator sim(p, CpuConfig{});
+    sim.advanceTo(200);
+    const uint64_t before = sim.stateDigest();
+
+    Injection inj;
+    inj.target = FaultTarget::L1DData;
+    inj.cycle = 200;
+    inj.flips = {{3, 17}, {3, 18}};
+    auto handle = sim.attachOverlay(inj);
+    EXPECT_EQ(sim.stateDigest(), before);
+    EXPECT_LE(sim.overlayLiveCount(handle), 2u);
+
+    sim.dropOverlay(handle);
+    EXPECT_EQ(sim.stateDigest(), before);
+}
+
+TEST(SimulatorLockstep, RunLockstepStopsAtBoundOrEvent)
+{
+    Program p = workloads::workloadByName("stringsearch").assemble();
+    Simulator sim(p, CpuConfig{});
+    // With no overlay attached the bound is exact.
+    EXPECT_EQ(sim.runLockstep(150), 150u);
+    EXPECT_EQ(sim.cycle(), 150u);
+
+    // A register-file overlay on an allocated register propagates or
+    // dies quickly; either way runLockstep must stop early with the
+    // event flag raised, not run to the bound.
+    Injection inj;
+    inj.target = FaultTarget::RegFileBits;
+    inj.cycle = 150;
+    inj.flips = {{4, 0}, {4, 1}, {5, 0}};
+    auto handle = sim.attachOverlay(inj);
+    sim.clearOverlayEvents();
+    if (sim.overlayLiveCount(handle) > 0) {
+        const uint64_t stopped = sim.runLockstep(UINT64_MAX);
+        EXPECT_TRUE(sim.halted() || sim.overlayEventsPending());
+        if (sim.overlayEventsPending()) {
+            EXPECT_TRUE(sim.overlayPropagated(handle) ||
+                        sim.overlayLiveCount(handle) == 0);
+            EXPECT_LT(stopped, UINT64_MAX);
+        }
+    }
+}
+
+} // namespace
+} // namespace mbusim::sim
