@@ -229,6 +229,8 @@ Campaign::Campaign(const workloads::Workload& workload,
                               config.cohortBatching ? 1 : 0, 1) != 0),
       lockstep_(envUInt("MBUSIM_LOCKSTEP",
                         config.lockstep ? 1 : 0, 1) != 0),
+      deltaSnapshots_(envUInt("MBUSIM_DELTA_SNAPSHOTS",
+                              config.deltaSnapshots ? 1 : 0, 1) != 0),
       digestTarget_(static_cast<uint32_t>(
           envUInt("MBUSIM_DIGEST_POINTS", config.digestPoints,
                   UINT32_MAX)))
@@ -240,7 +242,13 @@ Campaign::Campaign(const workloads::Workload& workload,
 
     // Resolve the environment knobs once: CampaignConfig documents what
     // each field means, and repeated run() calls must not diverge if
-    // the environment changes mid-process.
+    // the environment changes mid-process. The decode memo rides in
+    // CpuConfig (every simulator this campaign builds sees it) but is
+    // outcome-neutral by construction, so it is deliberately absent
+    // from outcomeDigest() — toggling it reuses caches and journals.
+    config_.cpu.decodeCache =
+        envUInt("MBUSIM_DECODE_CACHE",
+                config.cpu.decodeCache ? 1 : 0, 1) != 0;
     uint32_t threads = config_.threads;
     if (threads == 0) {
         threads = static_cast<uint32_t>(
@@ -368,6 +376,11 @@ Campaign::executePlan(const GoldenArtifacts& golden, const RunPlan& plan,
 
     sim::SimResult faulty =
         simulator.run(golden.result.cycles * config_.timeoutFactor);
+    // Counter addresses are stable for the process lifetime, so one
+    // registry lookup amortizes over every run (DESIGN.md §12).
+    static Counter& decode_hits =
+        metrics().counter("campaign.decode_hits");
+    decode_hits.add(simulator.cpu().decodeHits());
     finishRecord(golden, record, faulty);
     return record;
 }
@@ -443,6 +456,9 @@ Campaign::executeFork(const GoldenArtifacts& golden, const RunPlan& plan,
 
     sim::SimResult faulty =
         simulator.run(golden.result.cycles * config_.timeoutFactor);
+    static Counter& decode_hits =
+        metrics().counter("campaign.decode_hits");
+    decode_hits.add(simulator.cpu().decodeHits());
     finishRecord(golden, record, faulty);
     return record;
 }
@@ -536,6 +552,8 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
     forks_ = &m.counter("campaign.forks");
     overlayCycles_ = &m.counter("campaign.overlay_cycles");
     neverForked_ = &m.counter("campaign.never_forked");
+    decodeHits_ = &m.counter("campaign.decode_hits");
+    snapshotBytes_ = &m.counter("snapshot.bytes_copied");
 
     // Replay the journal of an earlier, interrupted invocation: runs it
     // recorded are taken as-is (they are bit-identical to what a fresh
@@ -841,8 +859,23 @@ Campaign::Execution::runCohortCursor(const Cohort& cohort,
                 const uint64_t before = cursor->cycle();
                 cursor->advanceTo(plan.record.cycle);
                 cursorCycles_->add(cursor->cycle() - before);
-                const sim::Snapshot at = cursor->checkpoint();
-                record = campaign_.runPlanIsolated(golden, plan, &at);
+                decodeHits_->add(cursor->cpu().decodeHits());
+                cursor->cpu().resetDecodeCounters();
+                // Delta checkpoints reuse the cursor's pooled buffer:
+                // the pointer stays valid until the next
+                // deltaCheckpoint() call, and runPlanIsolated only
+                // reads it while seeding the run's own simulator.
+                sim::Snapshot full;
+                const sim::Snapshot* at;
+                if (campaign_.deltaSnapshots_) {
+                    uint64_t delta_bytes = 0;
+                    at = &cursor->deltaCheckpoint(&delta_bytes);
+                    snapshotBytes_->add(delta_bytes);
+                } else {
+                    full = cursor->checkpoint();
+                    at = &full;
+                }
+                record = campaign_.runPlanIsolated(golden, plan, at);
                 // The run's own simulator started at the injection
                 // cycle: the whole golden prefix was the cursor's.
                 prefix = plan.record.cycle;
@@ -935,7 +968,13 @@ Campaign::Execution::runCohortLockstep(const Cohort& cohort,
 
     std::optional<sim::Simulator> cursor;
     std::vector<Overlay> riding;
-    sim::Snapshot base;
+    // The rolling fork base. In delta mode it points at the cursor's
+    // pooled deltaCheckpoint() buffer: the buffer only changes on the
+    // next deltaCheckpoint() call (attach events), forks are processed
+    // before attaches, and runForkIsolated reads the base while the
+    // cursor is parked — so the pointee is always the fork-base state.
+    sim::Snapshot baseCopy;
+    const sim::Snapshot* base = &baseCopy;
     size_t next = 0;
 
     auto ladder_cycle = [&](const RunPlan& plan) {
@@ -1000,9 +1039,9 @@ Campaign::Execution::runCohortLockstep(const Cohort& cohort,
                                        : 0);
         cursor->dropOverlay(run.handle);
         RunRecord record = campaign_.runForkIsolated(
-            golden, run.plan, base, run.liveAtBase, run.ghostAtBase);
+            golden, run.plan, *base, run.liveAtBase, run.ghostAtBase);
         record.forkedAt = static_cast<int64_t>(at);
-        finish(std::move(record), base.cycle, run.pos, run.t0);
+        finish(std::move(record), base->cycle, run.pos, run.t0);
     };
 
     try {
@@ -1033,6 +1072,8 @@ Campaign::Execution::runCohortLockstep(const Cohort& cohort,
             const uint64_t before = cursor->cycle();
             cursor->runLockstep(until);
             cursorCycles_->add(cursor->cycle() - before);
+            decodeHits_->add(cursor->cpu().decodeHits());
+            cursor->cpu().resetDecodeCounters();
 
             // Forks first: a flip read during the last tick diverged
             // that run mid-tick — even if the same tick halted the
@@ -1126,7 +1167,14 @@ Campaign::Execution::runCohortLockstep(const Cohort& cohort,
                 // path pays), plus each rider's flips still live
                 // here. A later fork replays at most one
                 // inter-injection gap of golden prefix privately.
-                base = cursor->checkpoint();
+                if (campaign_.deltaSnapshots_) {
+                    uint64_t delta_bytes = 0;
+                    base = &cursor->deltaCheckpoint(&delta_bytes);
+                    snapshotBytes_->add(delta_bytes);
+                } else {
+                    baseCopy = cursor->checkpoint();
+                    base = &baseCopy;
+                }
                 for (Overlay& run : riding) {
                     run.liveAtBase =
                         cursor->overlayLiveFlips(run.handle);

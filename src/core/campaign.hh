@@ -140,6 +140,17 @@ struct CampaignConfig
      * off.
      */
     bool lockstep = true;
+    /**
+     * Delta snapshots for the warm golden cursor (DESIGN.md §16):
+     * cursor checkpoints copy only the state written since the
+     * previous checkpoint into one pooled buffer instead of deep-
+     * copying the whole machine every time. The folded snapshot is
+     * byte-identical to a full checkpoint() at the same cycle, so
+     * outcomes, run records and traces are unaffected. Overridable
+     * via MBUSIM_DELTA_SNAPSHOTS (0 disables, falling back to full
+     * per-checkpoint copies).
+     */
+    bool deltaSnapshots = true;
     sim::CpuConfig cpu;            ///< microarchitecture under test
     /** Inject somewhere other than the component's data array (tag
      * ablation); the component still names the campaign. */
@@ -469,6 +480,8 @@ class Campaign
         Counter* forks_;            ///< lockstep overlays forked private
         Counter* overlayCycles_;    ///< cycles runs rode the cursor
         Counter* neverForked_;      ///< lockstep runs retired overlay-only
+        Counter* decodeHits_;       ///< decode-memo hits (cursor sims)
+        Counter* snapshotBytes_;    ///< bytes delta checkpoints copied
     };
 
     /** Start an invocation: replay the journal, simulate nothing yet. */
@@ -547,6 +560,7 @@ class Campaign
     bool earlyExit_;               ///< resolved early-exit switch
     bool cohortBatching_;          ///< resolved cohort switch
     bool lockstep_;                ///< resolved lockstep switch
+    bool deltaSnapshots_;          ///< resolved delta-snapshot switch
     uint32_t digestTarget_;        ///< resolved digest-point count
     uint32_t threads_;             ///< resolved worker count (>= 1)
     std::string journalDir_;       ///< resolved journal dir ("" = off)

@@ -28,6 +28,7 @@ BitArray::setBit(uint32_t row, uint32_t col, bool value)
     checkField(row, col, 1);
     if (!tracked_.empty()) [[unlikely]]
         noteWrite(row, col, 1);
+    dirty_ = true;
     uint64_t& w = words_[wordIndex(row, col)];
     uint64_t mask = 1ULL << (col % 64);
     w = value ? (w | mask) : (w & ~mask);
@@ -37,7 +38,56 @@ void
 BitArray::flipBit(uint32_t row, uint32_t col)
 {
     checkField(row, col, 1);
+    dirty_ = true;
     words_[wordIndex(row, col)] ^= 1ULL << (col % 64);
+}
+
+void
+BitArray::readBytes(uint32_t row, uint32_t col, uint32_t bytes,
+                    uint8_t* out) const
+{
+    uint64_t width = static_cast<uint64_t>(bytes) * 8;
+    checkSpan(row, col, width);
+    if (!tracked_.empty()) [[unlikely]]
+        noteRead(row, col, static_cast<uint32_t>(width));
+    uint32_t b = 0;
+    while (b < bytes) {
+        uint32_t chunk = std::min(bytes - b, 8u);
+        uint64_t value = extract(row, col + b * 8, chunk * 8);
+        for (uint32_t i = 0; i < chunk; ++i)
+            out[b + i] = static_cast<uint8_t>(value >> (i * 8));
+        b += chunk;
+    }
+}
+
+void
+BitArray::writeBytes(uint32_t row, uint32_t col, uint32_t bytes,
+                     const uint8_t* in)
+{
+    uint64_t width = static_cast<uint64_t>(bytes) * 8;
+    checkSpan(row, col, width);
+    if (!tracked_.empty()) [[unlikely]]
+        noteWrite(row, col, static_cast<uint32_t>(width));
+    dirty_ = true;
+    uint32_t b = 0;
+    while (b < bytes) {
+        uint32_t chunk = std::min(bytes - b, 8u);
+        uint64_t value = 0;
+        for (uint32_t i = 0; i < chunk; ++i)
+            value |= static_cast<uint64_t>(in[b + i]) << (i * 8);
+        deposit(row, col + b * 8, chunk * 8, value);
+        b += chunk;
+    }
+}
+
+uint64_t
+BitArray::fold(Snapshot& snapshot)
+{
+    if (!dirty_ && snapshot.words.size() == words_.size())
+        return 0;
+    snapshot.words = words_;
+    dirty_ = false;
+    return words_.size() * sizeof(uint64_t);
 }
 
 void
@@ -53,6 +103,7 @@ BitArray::restore(const Snapshot& snapshot)
         panic("BitArray restore size mismatch (%zu words into %zu)",
               snapshot.words.size(), words_.size());
     words_ = snapshot.words;
+    dirty_ = true;
     // The restored image replaces every bit, so no tracked flip is
     // live in it; propagated flags stay latched (those flips already
     // escaped). Silent — restore is a host operation, not a machine
@@ -230,6 +281,7 @@ BitArray::clear()
         tracked_.clear();
         clearGuard();
     }
+    dirty_ = true;
     std::fill(words_.begin(), words_.end(), 0);
 }
 

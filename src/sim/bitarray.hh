@@ -207,6 +207,33 @@ class BitArray
         return (words_[wordIndex(row, col)] >> (col % 64)) & 1;
     }
 
+    /**
+     * Read a field of @p width bits at (row, col) while excluding the
+     * single column @p skipCol from the liveness note. The *physical*
+     * value returned covers the whole field — only the tracking
+     * side-effects skip that column. This lets a model fold several
+     * architectural reads of one row into a single field read when one
+     * interior bit (e.g. a cache line's dirty bit, probed only on
+     * eviction) is not architecturally read at this point.
+     */
+    uint64_t
+    readExcept(uint32_t row, uint32_t col, uint32_t width,
+               uint32_t skipCol) const
+    {
+        checkField(row, col, width);
+        if (!tracked_.empty()) [[unlikely]] {
+            if (skipCol < col || skipCol >= col + width) {
+                noteRead(row, col, width);
+            } else {
+                if (skipCol > col)
+                    noteRead(row, col, skipCol - col);
+                if (skipCol + 1 < col + width)
+                    noteRead(row, skipCol + 1, col + width - skipCol - 1);
+            }
+        }
+        return extract(row, col, width);
+    }
+
     /** Write one bit. */
     void setBit(uint32_t row, uint32_t col, bool value);
 
@@ -223,6 +250,71 @@ class BitArray
         checkField(row, col, width);
         if (!tracked_.empty()) [[unlikely]]
             noteRead(row, col, width);
+        return extract(row, col, width);
+    }
+
+    /** Write a field of @p width bits starting at (row, col), LSB first. */
+    void
+    write(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
+    {
+        checkField(row, col, width);
+        if (!tracked_.empty()) [[unlikely]]
+            noteWrite(row, col, width);
+        dirty_ = true;
+        deposit(row, col, width, value);
+    }
+
+    /** @name Bulk row transfers
+     *
+     * Whole-field byte transfers for line-sized moves (cache fill and
+     * writeback). One span bounds check and one liveness note cover
+     * the entire field, and the data moves in 64-bit word chunks, so a
+     * 64-byte line costs ~8 word operations instead of 64 guarded
+     * field accesses. The liveness semantics are equivalent to a
+     * bit-at-a-time loop over the span: noteRead latches and erases
+     * whole overlays regardless of which covered bit triggered it, and
+     * noteWrite removes exactly the tracked bits inside the span —
+     * both are unions over the covered columns, insensitive to
+     * per-byte subdivision or ordering.
+     */
+    /// @{
+    /** Read @p bytes bytes starting at (row, col) into @p out,
+     *  little-endian, lowest column first. The span may exceed 64 bits
+     *  but must not cross the end of the row. */
+    void readBytes(uint32_t row, uint32_t col, uint32_t bytes,
+                   uint8_t* out) const;
+
+    /** Write @p bytes bytes from @p in starting at (row, col). */
+    void writeBytes(uint32_t row, uint32_t col, uint32_t bytes,
+                    const uint8_t* in);
+    /// @}
+
+    /** @name Delta-snapshot support (DESIGN.md §16)
+     *
+     * Every mutator sets a dirty flag; fold() copies the contents into
+     * a caller-owned snapshot only when the flag is set (or the
+     * snapshot has never been filled), then clears it. The flag is
+     * meaningful only against a single snapshot buffer — the
+     * simulator's warm-cursor snapshot — which is exactly how
+     * Simulator::deltaCheckpoint() uses it.
+     */
+    /// @{
+    /** Fold the current contents into @p snapshot, copying only if the
+     *  array changed since the last fold. Returns bytes copied. */
+    uint64_t fold(Snapshot& snapshot);
+    /// @}
+
+    /** Reset all bits to zero. */
+    void clear();
+
+    /** Count set bits (test/debug aid). */
+    uint64_t popcount() const;
+
+  private:
+    /** Raw field extraction: no bounds check, no liveness note. */
+    uint64_t
+    extract(uint32_t row, uint32_t col, uint32_t width) const
+    {
         uint64_t idx = wordIndex(row, col);
         uint32_t shift = col % 64;
         uint64_t value = words_[idx] >> shift;
@@ -234,13 +326,10 @@ class BitArray
         return value;
     }
 
-    /** Write a field of @p width bits starting at (row, col), LSB first. */
+    /** Raw field deposit: no bounds check, no liveness note. */
     void
-    write(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
+    deposit(uint32_t row, uint32_t col, uint32_t width, uint64_t value)
     {
-        checkField(row, col, width);
-        if (!tracked_.empty()) [[unlikely]]
-            noteWrite(row, col, width);
         if (width < 64)
             value &= (1ULL << width) - 1;
         uint64_t idx = wordIndex(row, col);
@@ -256,13 +345,18 @@ class BitArray
         }
     }
 
-    /** Reset all bits to zero. */
-    void clear();
-
-    /** Count set bits (test/debug aid). */
-    uint64_t popcount() const;
-
-  private:
+    /** Span bounds check for bulk transfers (width may exceed 64). */
+    void
+    checkSpan(uint32_t row, uint32_t col, uint64_t widthBits) const
+    {
+        if (row >= rows_ || widthBits == 0 ||
+            static_cast<uint64_t>(col) + widthBits > cols_) {
+            fieldViolation(row, col,
+                           static_cast<uint32_t>(
+                               widthBits > UINT32_MAX ? UINT32_MAX
+                                                      : widthBits));
+        }
+    }
     uint64_t
     wordIndex(uint32_t row, uint32_t col) const
     {
@@ -352,6 +446,9 @@ class BitArray
     mutable std::vector<uint64_t> rowGuard_;   ///< lazily allocated
     mutable bool eventsPending_ = false;
     uint32_t discardScope_ = AllOverlays;
+    /** Contents changed since the last fold(). Starts dirty so the
+     *  first fold into an empty snapshot always copies. */
+    bool dirty_ = true;
 };
 
 } // namespace mbusim::sim

@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/memory.hh"
@@ -53,6 +54,14 @@ Cache::Cache(std::string name, const CacheConfig& config, MemLevel& next)
     if (interleave_ == 0 || (lineBytes_ / 4) % interleave_ != 0)
         fatal("%s: interleave %u must divide the %u words per line",
               name_.c_str(), interleave_, lineBytes_ / 4);
+    if (interleave_ > 1) {
+        physColOf_.resize(lineBytes_ * 8);
+        for (uint32_t b = 0; b < lineBytes_ * 8; ++b)
+            physColOf_[b] = physCol(b);
+    }
+    lineBuf_.resize(lineBytes_);
+    wbBuf_.resize(lineBytes_);
+    permBuf_.resize(lineBytes_);
 }
 
 void
@@ -64,6 +73,18 @@ Cache::save(Snapshot& snapshot) const
     snapshot.mru = mru_;
     snapshot.useCounter = useCounter_;
     snapshot.stats = stats_;
+}
+
+uint64_t
+Cache::fold(Snapshot& snapshot)
+{
+    uint64_t bytes = data_.fold(snapshot.data) +
+                     tags_.fold(snapshot.tags);
+    snapshot.lastUse = lastUse_;
+    snapshot.mru = mru_;
+    snapshot.useCounter = useCounter_;
+    snapshot.stats = stats_;
+    return bytes;
 }
 
 void
@@ -120,18 +141,6 @@ Cache::writeData(uint32_t row, uint32_t bit_off, uint32_t width,
         data_.setBit(row, physCol(bit_off + b), (value >> b) & 1);
 }
 
-uint32_t
-Cache::setOf(uint32_t paddr) const
-{
-    return (paddr / lineBytes_) & (sets_ - 1);
-}
-
-uint32_t
-Cache::tagOf(uint32_t paddr) const
-{
-    return paddr >> (32 - tagBits_);
-}
-
 bool
 Cache::lineValid(uint32_t set, uint32_t way) const
 {
@@ -164,20 +173,18 @@ Cache::noteInjectedTagFlip(uint32_t row, uint32_t col)
 int
 Cache::lookup(uint32_t set, uint32_t tag) const
 {
+    // probeWay folds the valid-bit read and the tag compare into one
+    // field read. The tag columns of an *invalid* way were not read by
+    // the old two-step probe, but any tracked flip there is a ghost
+    // (noteInjectedTagFlip discards tag/dirty flips of invalid lines
+    // at injection, and valid never transitions 1 -> 0), so the wider
+    // note cannot propagate anything the two-step probe would not.
     for (uint32_t way = 0; way < ways_; ++way) {
-        uint32_t row = rowOf(set, way);
-        if (tags_.bit(row, 0) &&
-            tags_.read(row, 2, tagBits_) == tag) {
+        uint64_t probe = probeWay(rowOf(set, way));
+        if ((probe & 1) && (probe >> 2) == tag)
             return static_cast<int>(way);
-        }
     }
     return -1;
-}
-
-void
-Cache::touch(uint32_t set, uint32_t way)
-{
-    lastUse_[rowOf(set, way)] = ++useCounter_;
 }
 
 uint32_t
@@ -201,15 +208,46 @@ Cache::victimWay(uint32_t set) const
 void
 Cache::readLineBits(uint32_t row, uint8_t* out) const
 {
-    for (uint32_t i = 0; i < lineBytes_; ++i)
-        out[i] = static_cast<uint8_t>(readData(row, i * 8, 8));
+    // One bulk transfer replaces the per-byte field loop: the whole
+    // row is one span, so it costs one bounds check and one liveness
+    // note. Under interleaving the physical columns of a full line are
+    // a bijection onto [0, lineBytes*8), so the row-wide note covers
+    // exactly the architecturally-read columns; the bit permutation
+    // back to logical order happens on the host-side copy.
+    if (interleave_ == 1) {
+        data_.readBytes(row, 0, lineBytes_, out);
+        return;
+    }
+    data_.readBytes(row, 0, lineBytes_, permBuf_.data());
+    for (uint32_t i = 0; i < lineBytes_; ++i) {
+        uint8_t v = 0;
+        for (uint32_t b = 0; b < 8; ++b) {
+            uint32_t pc = physColOf_[i * 8 + b];
+            v |= static_cast<uint8_t>(
+                ((permBuf_[pc >> 3] >> (pc & 7)) & 1) << b);
+        }
+        out[i] = v;
+    }
 }
 
 void
 Cache::writeLineBits(uint32_t row, const uint8_t* data)
 {
-    for (uint32_t i = 0; i < lineBytes_; ++i)
-        writeData(row, i * 8, 8, data[i]);
+    if (interleave_ == 1) {
+        data_.writeBytes(row, 0, lineBytes_, data);
+        return;
+    }
+    std::fill(permBuf_.begin(), permBuf_.end(), 0);
+    for (uint32_t i = 0; i < lineBytes_; ++i) {
+        for (uint32_t b = 0; b < 8; ++b) {
+            if ((data[i] >> b) & 1) {
+                uint32_t pc = physColOf_[i * 8 + b];
+                permBuf_[pc >> 3] |=
+                    static_cast<uint8_t>(1u << (pc & 7));
+            }
+        }
+    }
+    data_.writeBytes(row, 0, lineBytes_, permBuf_.data());
 }
 
 std::pair<uint32_t, uint32_t>
@@ -221,8 +259,8 @@ Cache::fill(uint32_t paddr)
     // same way. Host-side speedup only — tag bits are still read.
     {
         uint32_t mru = mru_[set];
-        uint32_t row = rowOf(set, mru);
-        if (tags_.bit(row, 0) && tags_.read(row, 2, tagBits_) == tag) {
+        uint64_t probe = probeWay(rowOf(set, mru));
+        if ((probe & 1) && (probe >> 2) == tag) {
             ++stats_.hits;
             touch(set, mru);
             return {mru, hitLatency_};
@@ -244,22 +282,25 @@ Cache::fill(uint32_t paddr)
     // Write back a dirty victim. The victim's address is reconstructed
     // from its (possibly corrupted) stored tag: a flipped tag bit makes
     // dirty data land at the wrong physical address, as in hardware.
-    if (tags_.bit(row, 0) && tags_.bit(row, 1)) {
+    // One valid+dirty field read replaces the old two-bit probe; the
+    // dirty bit of an *invalid* victim was not read before, but a
+    // tracked flip there is always a ghost (see lookup()), so the
+    // wider note is liveness-neutral.
+    uint64_t vd = tags_.read(row, 0, 2);
+    if ((vd & 1) && (vd & 2)) {
         uint32_t old_tag =
             static_cast<uint32_t>(tags_.read(row, 2, tagBits_));
         uint32_t wb_addr = (old_tag << (32 - tagBits_)) |
                            (set * lineBytes_);
-        std::vector<uint8_t> line(lineBytes_);
-        readLineBits(row, line.data());
-        next_.writeLine(wb_addr, line.data(), lineBytes_);
+        readLineBits(row, wbBuf_.data());
+        next_.writeLine(wb_addr, wbBuf_.data(), lineBytes_);
         ++stats_.writebacks;
     }
 
     // Fetch the new line.
     uint32_t line_addr = paddr & ~(lineBytes_ - 1);
-    std::vector<uint8_t> line(lineBytes_);
-    latency += next_.readLine(line_addr, line.data(), lineBytes_);
-    writeLineBits(row, line.data());
+    latency += next_.readLine(line_addr, lineBuf_.data(), lineBytes_);
+    writeLineBits(row, lineBuf_.data());
     tags_.setBit(row, 0, true);
     tags_.setBit(row, 1, false);
     tags_.write(row, 2, tagBits_, tag);
@@ -269,7 +310,7 @@ Cache::fill(uint32_t paddr)
 }
 
 uint32_t
-Cache::read(uint32_t paddr, uint32_t bytes, uint32_t& value)
+Cache::readSlow(uint32_t paddr, uint32_t bytes, uint32_t& value)
 {
     if (bytes != 1 && bytes != 2 && bytes != 4)
         panic("%s: bad access size %u", name_.c_str(), bytes);
@@ -283,7 +324,7 @@ Cache::read(uint32_t paddr, uint32_t bytes, uint32_t& value)
 }
 
 uint32_t
-Cache::write(uint32_t paddr, uint32_t bytes, uint32_t value)
+Cache::writeSlow(uint32_t paddr, uint32_t bytes, uint32_t value)
 {
     if (bytes != 1 && bytes != 2 && bytes != 4)
         panic("%s: bad access size %u", name_.c_str(), bytes);

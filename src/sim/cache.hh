@@ -96,6 +96,12 @@ class Cache : public MemLevel
     /** Capture all cache state into @p snapshot. */
     void save(Snapshot& snapshot) const;
 
+    /** Delta variant of save() (DESIGN.md §16): the bit arrays copy
+     *  only if touched since the last fold into the same snapshot;
+     *  LRU/MRU bookkeeping is always copied. Returns bytes the arrays
+     *  copied. */
+    uint64_t fold(Snapshot& snapshot);
+
     /** Restore state saved from an identically-configured cache. */
     void restore(const Snapshot& snapshot);
 
@@ -105,11 +111,58 @@ class Cache : public MemLevel
     /**
      * Sub-line read of 1/2/4 naturally-aligned bytes.
      * @return access latency in cycles
+     *
+     * The MRU-way hit is inline — one tag probe, one data field read —
+     * because it serves the overwhelming majority of pipeline accesses.
+     * Everything else (other-way hits, misses, interleaved layouts,
+     * argument validation) takes the out-of-line path. The probe is the
+     * same architectural read fill() would start with, and a probe that
+     * misses here is re-run by the slow path: re-reading the same field
+     * is liveness-idempotent (the first read already latched and erased
+     * any tracked flip it covered), so the retry changes nothing.
      */
-    uint32_t read(uint32_t paddr, uint32_t bytes, uint32_t& value);
+    uint32_t
+    read(uint32_t paddr, uint32_t bytes, uint32_t& value)
+    {
+        if (interleave_ == 1 && (bytes == 1 || bytes == 2 || bytes == 4)
+            && paddr % bytes == 0) {
+            uint32_t set = setOf(paddr);
+            uint32_t way = mru_[set];
+            uint32_t row = rowOf(set, way);
+            uint64_t probe = probeWay(row);
+            if ((probe & 1) && (probe >> 2) == tagOf(paddr)) {
+                ++stats_.hits;
+                touch(set, way);
+                uint32_t offset = paddr & (lineBytes_ - 1);
+                value = static_cast<uint32_t>(
+                    data_.read(row, offset * 8, bytes * 8));
+                return hitLatency_;
+            }
+        }
+        return readSlow(paddr, bytes, value);
+    }
 
     /** Sub-line write of 1/2/4 naturally-aligned bytes. */
-    uint32_t write(uint32_t paddr, uint32_t bytes, uint32_t value);
+    uint32_t
+    write(uint32_t paddr, uint32_t bytes, uint32_t value)
+    {
+        if (interleave_ == 1 && (bytes == 1 || bytes == 2 || bytes == 4)
+            && paddr % bytes == 0) {
+            uint32_t set = setOf(paddr);
+            uint32_t way = mru_[set];
+            uint32_t row = rowOf(set, way);
+            uint64_t probe = probeWay(row);
+            if ((probe & 1) && (probe >> 2) == tagOf(paddr)) {
+                ++stats_.hits;
+                touch(set, way);
+                uint32_t offset = paddr & (lineBytes_ - 1);
+                data_.write(row, offset * 8, bytes * 8, value);
+                tags_.setBit(row, 1, true);
+                return hitLatency_;
+            }
+        }
+        return writeSlow(paddr, bytes, value);
+    }
 
     uint32_t readLine(uint32_t paddr, uint8_t* out,
                       uint32_t line_bytes) override;
@@ -183,13 +236,38 @@ class Cache : public MemLevel
     /** Write a logical data field through the interleaving map. */
     void writeData(uint32_t row, uint32_t bit_off, uint32_t width,
                    uint64_t value);
-    uint32_t setOf(uint32_t paddr) const;
-    uint32_t tagOf(uint32_t paddr) const;
+    uint32_t setOf(uint32_t paddr) const
+    {
+        return (paddr / lineBytes_) & (sets_ - 1);
+    }
+    uint32_t tagOf(uint32_t paddr) const
+    {
+        return paddr >> (32 - tagBits_);
+    }
+    /** Out-of-line tail of read(): non-MRU hits and misses. */
+    uint32_t readSlow(uint32_t paddr, uint32_t bytes, uint32_t& value);
+    /** Out-of-line tail of write(): non-MRU hits and misses. */
+    uint32_t writeSlow(uint32_t paddr, uint32_t bytes, uint32_t value);
+    /**
+     * One-field probe of a way's tag row: valid (bit 0), dirty
+     * (bit 1) and tag (bits 2..) in a single read whose liveness note
+     * skips the dirty column — a lookup does not architecturally read
+     * the dirty bit (it is probed only on eviction). Folds what used
+     * to be two tracked reads per probed way into one.
+     */
+    uint64_t
+    probeWay(uint32_t row) const
+    {
+        return tags_.readExcept(row, 0, 2 + tagBits_, 1);
+    }
     /** Find the hitting way for @p paddr, or -1. */
     int lookup(uint32_t set, uint32_t tag) const;
     /** Ensure the line holding @p paddr is resident; returns (way, lat). */
     std::pair<uint32_t, uint32_t> fill(uint32_t paddr);
-    void touch(uint32_t set, uint32_t way);
+    void touch(uint32_t set, uint32_t way)
+    {
+        lastUse_[rowOf(set, way)] = ++useCounter_;
+    }
     uint32_t victimWay(uint32_t set) const;
     void readLineBits(uint32_t row, uint8_t* out) const;
     void writeLineBits(uint32_t row, const uint8_t* data);
@@ -208,6 +286,12 @@ class Cache : public MemLevel
     std::vector<uint32_t> mru_;       ///< per-set MRU way (lookup hint)
     uint64_t useCounter_ = 0;
     CacheStats stats_;
+    /** Precomputed interleaving map (empty when interleave == 1). */
+    std::vector<uint32_t> physColOf_;
+    /** Pooled line-transfer scratch (host-side, never snapshotted). */
+    std::vector<uint8_t> lineBuf_;
+    std::vector<uint8_t> wbBuf_;
+    mutable std::vector<uint8_t> permBuf_;
 };
 
 } // namespace mbusim::sim

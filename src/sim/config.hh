@@ -80,6 +80,16 @@ struct CpuConfig
 
     /** Fault-model switch: inject into tag arrays too (ablation). */
     bool injectTags = false;
+
+    /**
+     * Decode memoization (DESIGN.md §16): cache decode(word) results
+     * keyed by the raw 32-bit instruction word. decode() is a pure
+     * function and a corrupted word keys a different entry, so this
+     * is outcome-neutral by construction — a host-side speedup,
+     * deliberately excluded from outcomeDigest(). MBUSIM_DECODE_CACHE=0
+     * falls back to decoding every fetch.
+     */
+    bool decodeCache = true;
 };
 
 } // namespace mbusim::sim

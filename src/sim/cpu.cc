@@ -19,7 +19,8 @@ Cpu::Cpu(const CpuConfig& config, System& system)
                  config.rasEntries),
       rob_(config.robEntries),
       regReady_(config.numPhysRegs, true),
-      fetchPc_(system.entryPc())
+      fetchPc_(system.entryPc()),
+      decodeMemo_(config.decodeCache)
 {
     if (config.numPhysRegs <= NumArchRegs)
         fatal("need more physical than architectural registers");
@@ -70,6 +71,46 @@ Cpu::save(Snapshot& snapshot) const
     snapshot.halted = halted_;
     snapshot.exitStatus = exitStatus_;
     snapshot.stats = stats_;
+}
+
+uint64_t
+Cpu::fold(Snapshot& snapshot)
+{
+    uint64_t bytes = 0;
+    bytes += l2_.fold(snapshot.l2);
+    bytes += l1i_.fold(snapshot.l1i);
+    bytes += l1d_.fold(snapshot.l1d);
+    bytes += itlb_.fold(snapshot.itlb);
+    bytes += dtlb_.fold(snapshot.dtlb);
+    bytes += regFile_.fold(snapshot.regFile);
+    predictor_.save(snapshot.predictor);
+
+    snapshot.rob = rob_;
+    snapshot.robHead = robHead_;
+    snapshot.robTail = robTail_;
+    snapshot.robCount = robCount_;
+
+    snapshot.frontMap = frontMap_;
+    snapshot.retireMap = retireMap_;
+    snapshot.freeList = freeList_;
+    snapshot.regReady = regReady_;
+
+    snapshot.iq = iq_;
+    snapshot.lsq = lsq_;
+
+    snapshot.fetchQueue = fetchQueue_;
+    snapshot.fetchPc = fetchPc_;
+    snapshot.fetchReadyCycle = fetchReadyCycle_;
+    snapshot.fetchBlocked = fetchBlocked_;
+
+    snapshot.completions = completions_;
+
+    snapshot.cycle = cycle_;
+    snapshot.nextSeq = nextSeq_;
+    snapshot.halted = halted_;
+    snapshot.exitStatus = exitStatus_;
+    snapshot.stats = stats_;
+    return bytes;
 }
 
 void
@@ -231,10 +272,11 @@ Cpu::noteInjectedRegFlip(uint32_t row, uint32_t col)
 }
 
 void
-Cpu::tick()
+Cpu::tick(uint64_t skip_bound)
 {
     if (halted_)
         return;
+    const uint64_t entry_work = work_;
     commitStage();
     if (halted_)
         return;
@@ -244,6 +286,28 @@ Cpu::tick()
     fetchStage();
     ++cycle_;
     ++stats_.cycles;
+
+    if (work_ != entry_work || cycle_ >= skip_bound)
+        return;
+
+    // Full-stall skip (see the declaration): nothing happened this
+    // cycle, so nothing can happen until the earliest timed event —
+    // the next completion or the fetch-ready cycle. Jump there. If
+    // neither exists the machine is wedged for good; leave the cycle
+    // counter crawling so the caller's run budget ends it.
+    uint64_t next = UINT64_MAX;
+    if (!completions_.empty())
+        next = completions_.front().cycle;
+    // >= : cycle_ was just incremented, so a fetch becoming ready
+    // exactly now fires on the very next tick — it must suppress the
+    // skip (the next <= cycle_ guard below), not be skipped past.
+    if (!fetchBlocked_ && fetchReadyCycle_ >= cycle_)
+        next = std::min(next, fetchReadyCycle_);
+    if (next == UINT64_MAX || next <= cycle_)
+        return;
+    uint64_t target = std::min(next, skip_bound);
+    stats_.cycles += target - cycle_;
+    cycle_ = target;
 }
 
 bool
@@ -258,6 +322,7 @@ Cpu::robPush()
     uint32_t idx = robTail_;
     robTail_ = (robTail_ + 1) % rob_.size();
     ++robCount_;
+    ++work_;
     return idx;
 }
 
@@ -322,6 +387,7 @@ Cpu::fetchStage()
             fi.di = decode(0);
             fi.di.cls = InstClass::Illegal;
             fetchQueue_.push_back(fi);
+            ++work_;
             fetchBlocked_ = true;   // cannot fetch past the unknown
             break;
         }
@@ -340,13 +406,17 @@ Cpu::fetchStage()
             fi.di = decode(0);
             fi.di.cls = InstClass::Illegal;
             fetchQueue_.push_back(fi);
+            ++work_;
             fetchBlocked_ = true;
             break;
         }
         if (icache_lat > config_.l1i.hitLatency)
             fetchReadyCycle_ = cycle_ + icache_lat;
 
-        fi.di = decode(word);
+        // The memoized decode is exact: decode() is pure and the
+        // cache keys on the full raw word, so a corrupted fetch
+        // simply keys a different entry (DESIGN.md §16).
+        fi.di = decodeMemo_ ? decodeCache_.lookup(word) : decode(word);
         fi.predictedTaken = false;
         fi.predictedTarget = 0;
 
@@ -382,6 +452,7 @@ Cpu::fetchStage()
         }
 
         fetchQueue_.push_back(fi);
+        ++work_;
         fetchPc_ = fi.predictedTaken ? fi.predictedTarget : fi.pc + 4;
 
         if (fi.di.cls == InstClass::Syscall) {
@@ -536,6 +607,7 @@ Cpu::loadCanIssue(uint32_t rob_idx, bool& forward, uint32_t& fwd_value)
 void
 Cpu::executeInst(uint32_t rob_idx)
 {
+    ++work_;
     Inst& inst = rob_[rob_idx];
     uint32_t latency = execLatency(inst.di.cls);
     uint32_t a = readSrc(inst.physSrc1);
@@ -721,6 +793,7 @@ Cpu::writebackStage()
         std::pop_heap(completions_.begin(), completions_.end(),
                       std::greater<>());
         completions_.pop_back();
+        ++work_;
 
         Inst& inst = rob_[top.robIdx];
         if (!inst.valid || inst.seq != top.seq || inst.executed)
@@ -758,6 +831,7 @@ void
 Cpu::squashAfter(uint64_t seq, uint32_t new_fetch_pc,
                  const std::array<uint8_t, NumArchRegs>& map)
 {
+    ++work_;
     // Walk the ROB tail back to (and excluding) seq.
     while (robCount_ > 0) {
         uint32_t last = (robTail_ + static_cast<uint32_t>(rob_.size()) -
@@ -806,6 +880,7 @@ Cpu::commitStage()
         Inst& inst = rob_[robHead_];
         if (!inst.executed)
             return;
+        ++work_;
 
         // Precise exceptions and model assertions.
         if (inst.simAssert) {

@@ -61,8 +61,25 @@ class Cpu
   public:
     Cpu(const CpuConfig& config, System& system);
 
-    /** Advance one clock cycle. */
-    void tick();
+    /**
+     * Advance one clock cycle.
+     *
+     * With @p skip_bound > cycle(), a tick in which no stage did any
+     * work (a full stall: fetch waiting on a miss or page walk, no
+     * completion due, nothing issuable, commit blocked on an
+     * unfinished head) may fast-forward the cycle counter to the next
+     * cycle anything *can* happen — the earliest pending completion
+     * or the fetch-ready cycle — but never past @p skip_bound
+     * (DESIGN.md §16). The skipped cycles are provably no-ops: every
+     * state change funnels through a counted stage action, stall
+     * cycles touch no SRAM bit (so fault liveness cannot change), and
+     * the stages' only cycle-dependent entry conditions are exactly
+     * the two event times the skip stops at. Callers bound the skip
+     * by the next cycle *they* care about (injection cycle, golden
+     * digest rung, run budget). The default bound of 0 disables
+     * skipping.
+     */
+    void tick(uint64_t skip_bound = 0);
 
     /** Has the program exited or been killed? */
     bool halted() const { return halted_; }
@@ -87,6 +104,27 @@ class Cpu
     Tlb& itlb() { return itlb_; }
     Tlb& dtlb() { return dtlb_; }
     PhysRegFile& regFile() { return regFile_; }
+    /// @}
+
+    /** @name Decode memoization (DESIGN.md §16)
+     *
+     * Host-side instrumentation of the fetch stage's decode cache:
+     * warm it from known-clean program words, and expose the hit/miss
+     * counters so the campaign can flush them into the metrics
+     * registry once per simulator lifetime. None of this state is
+     * snapshotted or digested — decode() is pure, so the cache cannot
+     * affect outcomes.
+     */
+    /// @{
+    void
+    predecodeProgram(const uint32_t* words, size_t count)
+    {
+        if (decodeMemo_)
+            decodeCache_.predecode(words, count);
+    }
+    uint64_t decodeHits() const { return decodeCache_.hits(); }
+    uint64_t decodeMisses() const { return decodeCache_.misses(); }
+    void resetDecodeCounters() { decodeCache_.resetCounters(); }
     /// @}
 
   private:
@@ -214,9 +252,22 @@ class Cpu
     CommitHook commitHook_;
     uint64_t cycle_ = 0;
     uint64_t nextSeq_ = 1;
+    /**
+     * Monotone stage-activity counter backing the stall skip in
+     * tick(): every fetch-queue push, ROB dispatch, execute, processed
+     * completion, commit slot and squash bumps it, so an unchanged
+     * value across a tick proves the cycle was a no-op. Host-side
+     * only — never snapshotted or digested (it is only ever compared
+     * across a single tick).
+     */
+    uint64_t work_ = 0;
     bool halted_ = false;
     ExitStatus exitStatus_;
     CpuStats stats_;
+
+    // Decode memoization (host-side; never snapshotted or digested).
+    DecodeCache decodeCache_;
+    bool decodeMemo_;
 
   public:
     /**
@@ -262,6 +313,15 @@ class Cpu
 
     /** Capture the entire core state into @p snapshot. */
     void save(Snapshot& snapshot) const;
+
+    /**
+     * Delta variant of save() for the warm-cursor snapshot
+     * (DESIGN.md §16): the bit-backed arrays copy only if touched
+     * since the previous fold into the same snapshot, the (small)
+     * plain pipeline bookkeeping is always copied. Returns the bytes
+     * the arrays actually copied.
+     */
+    uint64_t fold(Snapshot& snapshot);
 
     /** Restore state saved from an identically-configured core. */
     void restore(const Snapshot& snapshot);

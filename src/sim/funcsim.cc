@@ -101,7 +101,9 @@ FuncSim::run(uint64_t max_insts)
             crash(ExceptionType::PageFault, pc_);
             return result_;
         }
-        DecodedInst inst = decode(load(pc_, 4));
+        // Memoized decode: exact, since decode() is pure and the
+        // cache keys on the full raw word (DESIGN.md §16).
+        const DecodedInst& inst = decodeCache_.lookup(load(pc_, 4));
         uint32_t next_pc = pc_ + 4;
         ++result_.instructions;
 

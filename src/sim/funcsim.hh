@@ -60,6 +60,7 @@ class FuncSim
     void store(uint32_t vaddr, uint32_t bytes, uint32_t value);
 
     std::vector<uint8_t> mem_;
+    DecodeCache decodeCache_;   ///< exact memoization of pure decode()
     uint32_t regs_[NumArchRegs] = {};
     uint32_t pc_ = 0;
     uint32_t heapTop_ = 0;

@@ -49,86 +49,6 @@ classify(Opcode op)
     }
 }
 
-bool
-DecodedInst::writesReg() const
-{
-    switch (cls) {
-      case InstClass::IntAlu:
-      case InstClass::IntMul:
-      case InstClass::IntDiv:
-      case InstClass::Load:
-        return true;
-      case InstClass::Jump:
-        return true; // link register (may be r0, still written)
-      default:
-        return false;
-    }
-}
-
-bool
-DecodedInst::readsRs1() const
-{
-    switch (cls) {
-      case InstClass::IntAlu:
-        return op != Opcode::Lui;
-      case InstClass::IntMul:
-      case InstClass::IntDiv:
-      case InstClass::Load:
-      case InstClass::Store:
-      case InstClass::Branch:
-        return true;
-      case InstClass::Jump:
-        return op == Opcode::Jalr;
-      default:
-        return false;
-    }
-}
-
-bool
-DecodedInst::readsRs2() const
-{
-    switch (cls) {
-      case InstClass::IntAlu:
-      case InstClass::IntMul:
-      case InstClass::IntDiv:
-        // R-type ALU ops read rs2; immediates do not.
-        switch (op) {
-          case Opcode::Add: case Opcode::Sub: case Opcode::And:
-          case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
-          case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
-          case Opcode::Mulh: case Opcode::Div: case Opcode::Rem:
-          case Opcode::Slt: case Opcode::Sltu: case Opcode::Min:
-          case Opcode::Max:
-            return true;
-          default:
-            return false;
-        }
-      case InstClass::Branch:
-        return true;
-      case InstClass::Store:
-        return false; // store data register is rd, handled separately
-      default:
-        return false;
-    }
-}
-
-uint32_t
-DecodedInst::memBytes() const
-{
-    switch (op) {
-      case Opcode::Lw: case Opcode::Sw: return 4;
-      case Opcode::Lh: case Opcode::Lhu: case Opcode::Sh: return 2;
-      case Opcode::Lb: case Opcode::Lbu: case Opcode::Sb: return 1;
-      default: return 0;
-    }
-}
-
-bool
-DecodedInst::memSigned() const
-{
-    return op == Opcode::Lb || op == Opcode::Lh;
-}
-
 DecodedInst
 decode(uint32_t word)
 {
@@ -235,23 +155,6 @@ encodeS(uint32_t code)
     if (code > 0x3ffffff)
         panic("encode: syscall code %u out of range", code);
     return opBits(Opcode::Sys) | code;
-}
-
-uint32_t
-execLatency(InstClass cls)
-{
-    switch (cls) {
-      case InstClass::IntAlu: return 1;
-      case InstClass::IntMul: return 3;   // A9 pipelined multiplier
-      case InstClass::IntDiv: return 12;  // unpipelined
-      case InstClass::Load: return 1;     // plus cache latency
-      case InstClass::Store: return 1;
-      case InstClass::Branch: return 1;
-      case InstClass::Jump: return 1;
-      case InstClass::Syscall: return 1;
-      case InstClass::Illegal: return 1;
-    }
-    return 1;
 }
 
 uint32_t

@@ -27,6 +27,7 @@
 #ifndef MBUSIM_SIM_ISA_HH
 #define MBUSIM_SIM_ISA_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -106,9 +107,74 @@ struct DecodedInst
     uint32_t sysCode = 0;      ///< S-type code field
     uint32_t raw = 0;          ///< original instruction word
 
-    bool writesReg() const;    ///< does it produce a register result?
-    bool readsRs1() const;
-    bool readsRs2() const;
+    // The predicates below run several times per rename/issue/execute
+    // slot — inline definitions so the pipeline loops in cpu.cc see
+    // through them (the class/opcode is often a known constant there).
+
+    /** Does it produce a register result? */
+    bool
+    writesReg() const
+    {
+        switch (cls) {
+          case InstClass::IntAlu:
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+          case InstClass::Load:
+            return true;
+          case InstClass::Jump:
+            return true; // link register (may be r0, still written)
+          default:
+            return false;
+        }
+    }
+
+    bool
+    readsRs1() const
+    {
+        switch (cls) {
+          case InstClass::IntAlu:
+            return op != Opcode::Lui;
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+          case InstClass::Load:
+          case InstClass::Store:
+          case InstClass::Branch:
+            return true;
+          case InstClass::Jump:
+            return op == Opcode::Jalr;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    readsRs2() const
+    {
+        switch (cls) {
+          case InstClass::IntAlu:
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+            // R-type ALU ops read rs2; immediates do not.
+            switch (op) {
+              case Opcode::Add: case Opcode::Sub: case Opcode::And:
+              case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+              case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+              case Opcode::Mulh: case Opcode::Div: case Opcode::Rem:
+              case Opcode::Slt: case Opcode::Sltu: case Opcode::Min:
+              case Opcode::Max:
+                return true;
+              default:
+                return false;
+            }
+          case InstClass::Branch:
+            return true;
+          case InstClass::Store:
+            return false; // store data register is rd, handled separately
+          default:
+            return false;
+        }
+    }
+
     bool isMemRef() const
     {
         return cls == InstClass::Load || cls == InstClass::Store;
@@ -118,14 +184,104 @@ struct DecodedInst
     {
         return cls == InstClass::Branch || cls == InstClass::Jump;
     }
+
     /** Memory access size in bytes (loads/stores only). */
-    uint32_t memBytes() const;
+    uint32_t
+    memBytes() const
+    {
+        switch (op) {
+          case Opcode::Lw: case Opcode::Sw: return 4;
+          case Opcode::Lh: case Opcode::Lhu: case Opcode::Sh: return 2;
+          case Opcode::Lb: case Opcode::Lbu: case Opcode::Sb: return 1;
+          default: return 0;
+        }
+    }
+
     /** Is the loaded value sign-extended (lb/lh)? */
-    bool memSigned() const;
+    bool memSigned() const
+    {
+        return op == Opcode::Lb || op == Opcode::Lh;
+    }
 };
 
 /** Decode a 32-bit instruction word. Never throws. */
 DecodedInst decode(uint32_t word);
+
+/**
+ * Direct-mapped memoization cache for decode() (DESIGN.md §16).
+ *
+ * decode() is a pure function of the raw 32-bit word, so memoizing it
+ * is exact; it is *fault-safe by construction* because a corrupted
+ * word is a different key — it either misses or hits an entry whose
+ * stored raw word matches it bit-for-bit, and in both cases the
+ * returned decode is exactly decode(corrupted word). Entries carry a
+ * validity bitmap (word 0 is a legal Add encoding, so "raw == 0"
+ * cannot double as an empty marker) and the full raw word as the tag.
+ *
+ * Host-side only: contents and hit counters are never snapshotted,
+ * digested or journalled — the cache merely avoids re-running a pure
+ * function.
+ */
+class DecodeCache
+{
+  public:
+    DecodeCache() = default;
+
+    /** Look up @p word, decoding and installing on a miss. */
+    const DecodedInst&
+    lookup(uint32_t word)
+    {
+        uint32_t idx = indexOf(word);
+        if ((valid_[idx >> 6] >> (idx & 63)) & 1) {
+            if (entries_[idx].raw == word) {
+                ++hits_;
+                return entries_[idx];
+            }
+        }
+        ++misses_;
+        entries_[idx] = decode(word);
+        valid_[idx >> 6] |= 1ULL << (idx & 63);
+        return entries_[idx];
+    }
+
+    /** Warm the cache from known-clean instruction words (predecode). */
+    void
+    predecode(const uint32_t* words, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            lookup(words[i]);
+        // Predecode warming is not a campaign-visible hit.
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    /** Zero the hit/miss counters (after a metrics flush). */
+    void
+    resetCounters()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    static constexpr uint32_t Log2Entries = 11;
+    static constexpr uint32_t Entries = 1u << Log2Entries;
+
+    static uint32_t
+    indexOf(uint32_t word)
+    {
+        // Fibonacci hashing spreads the dense opcode field.
+        return (word * 2654435761u) >> (32 - Log2Entries);
+    }
+
+    DecodedInst entries_[Entries];
+    uint64_t valid_[Entries / 64] = {};
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
 
 /** Map an opcode to its class; Illegal for undefined opcodes. */
 InstClass classify(Opcode op);
@@ -160,7 +316,22 @@ uint32_t aluResult(Opcode op, uint32_t a, uint32_t b);
 bool branchTaken(Opcode op, uint32_t a, uint32_t b);
 
 /** Execution latency in cycles for each class (Cortex-A9-like). */
-uint32_t execLatency(InstClass cls);
+inline uint32_t
+execLatency(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu: return 1;
+      case InstClass::IntMul: return 3;   // A9 pipelined multiplier
+      case InstClass::IntDiv: return 12;  // unpipelined
+      case InstClass::Load: return 1;     // plus cache latency
+      case InstClass::Store: return 1;
+      case InstClass::Branch: return 1;
+      case InstClass::Jump: return 1;
+      case InstClass::Syscall: return 1;
+      case InstClass::Illegal: return 1;
+    }
+    return 1;
+}
 
 } // namespace mbusim::sim
 

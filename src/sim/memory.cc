@@ -1,14 +1,46 @@
 #include "sim/memory.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "util/log.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define MBUSIM_HAVE_MMAP 1
+#endif
+
 namespace mbusim::sim {
 
+ZeroPagedBytes::ZeroPagedBytes(uint64_t size)
+    : size_(size)
+{
+#ifdef MBUSIM_HAVE_MMAP
+    void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        base_ = static_cast<uint8_t*>(p);
+        mapped_ = true;
+        return;
+    }
+#endif
+    base_ = new uint8_t[size]();
+}
+
+ZeroPagedBytes::~ZeroPagedBytes()
+{
+#ifdef MBUSIM_HAVE_MMAP
+    if (mapped_) {
+        ::munmap(base_, size_);
+        return;
+    }
+#endif
+    delete[] base_;
+}
+
 PhysicalMemory::PhysicalMemory(uint64_t size_bytes)
-    : data_(size_bytes, 0)
+    : data_(size_bytes)
 {
     if (size_bytes == 0)
         panic("PhysicalMemory of size zero");
@@ -41,6 +73,7 @@ PhysicalMemory::write(uint64_t paddr, uint32_t bytes, uint32_t value)
 {
     check(paddr, bytes);
     touchHighWater(paddr + bytes);
+    markDirty(paddr, paddr + bytes);
     for (uint32_t i = 0; i < bytes; ++i)
         data_[paddr + i] = static_cast<uint8_t>(value >> (8 * i));
 }
@@ -49,7 +82,10 @@ void
 PhysicalMemory::load(uint64_t paddr, const uint8_t* src, uint64_t len)
 {
     check(paddr, len);
+    if (len == 0)
+        return;
     touchHighWater(paddr + len);
+    markDirty(paddr, paddr + len);
     std::memcpy(data_.data() + paddr, src, len);
 }
 
@@ -63,16 +99,15 @@ PhysicalMemory::dump(uint64_t paddr, uint8_t* dst, uint64_t len) const
 void
 PhysicalMemory::clear()
 {
-    std::fill(data_.begin(), data_.begin() +
-              static_cast<std::ptrdiff_t>(highWater_), 0);
+    std::memset(data_.data(), 0, highWater_);
     highWater_ = 0;
+    allDirty_ = true;
 }
 
 void
 PhysicalMemory::save(Snapshot& snapshot) const
 {
-    snapshot.data.assign(data_.begin(), data_.begin() +
-                         static_cast<std::ptrdiff_t>(highWater_));
+    snapshot.data.assign(data_.data(), data_.data() + highWater_);
 }
 
 void
@@ -86,13 +121,57 @@ PhysicalMemory::restore(const Snapshot& snapshot)
     // Bytes between the snapshot's high-water mark and ours were
     // written after the snapshot was taken: zero them again.
     if (highWater_ > snapshot.data.size()) {
-        std::fill(data_.begin() +
-                      static_cast<std::ptrdiff_t>(snapshot.data.size()),
-                  data_.begin() +
-                      static_cast<std::ptrdiff_t>(highWater_),
-                  0);
+        std::memset(data_.data() + snapshot.data.size(), 0,
+                    highWater_ - snapshot.data.size());
     }
     highWater_ = snapshot.data.size();
+    allDirty_ = true;
+}
+
+uint64_t
+PhysicalMemory::fold(Snapshot& snapshot)
+{
+    if (!dirtyTracking_) {
+        dirtyTracking_ = true;
+        uint64_t pages = (data_.size() + DeltaPageBytes - 1)
+                         / DeltaPageBytes;
+        dirtyPages_.assign((pages + 63) / 64, 0);
+    }
+    // The high-water mark only grows between folds (clear()/restore()
+    // shrink it, but both set allDirty_), so a snapshot larger than
+    // the current prefix means it was filled by someone else — fall
+    // back to a full copy.
+    if (allDirty_ || snapshot.data.size() > highWater_) {
+        save(snapshot);
+        std::fill(dirtyPages_.begin(), dirtyPages_.end(), 0);
+        allDirty_ = false;
+        return snapshot.data.size();
+    }
+    // Pages beyond the snapshot's previous size were written since the
+    // last fold (that is what grew the mark), so they are dirty by
+    // construction; resizing first makes the copies below land.
+    snapshot.data.resize(highWater_);
+    uint64_t copied = 0;
+    uint64_t pages = (highWater_ + DeltaPageBytes - 1) / DeltaPageBytes;
+    for (uint64_t w = 0; w < dirtyPages_.size(); ++w) {
+        uint64_t word = dirtyPages_[w];
+        if (!word)
+            continue;
+        dirtyPages_[w] = 0;
+        while (word) {
+            uint64_t p = w * 64
+                         + static_cast<uint64_t>(std::countr_zero(word));
+            word &= word - 1;
+            if (p >= pages)
+                continue;
+            uint64_t begin = p * DeltaPageBytes;
+            uint64_t len = std::min(DeltaPageBytes, highWater_ - begin);
+            std::memcpy(snapshot.data.data() + begin,
+                        data_.data() + begin, len);
+            copied += len;
+        }
+    }
+    return copied;
 }
 
 void

@@ -20,6 +20,36 @@
 
 namespace mbusim::sim {
 
+/**
+ * Zero-initialized byte buffer backed by demand-paged anonymous
+ * memory (DESIGN.md §16). A campaign constructs one simulator per
+ * injection run, and eagerly memset-ing a multi-MiB flat memory
+ * dominated construction cost; an anonymous mapping is zero by
+ * definition and faults in only the pages the workload actually
+ * touches. Falls back to a zeroed heap allocation where mmap is
+ * unavailable. Behaviour is indistinguishable from a zero-filled
+ * vector of the same size.
+ */
+class ZeroPagedBytes
+{
+  public:
+    explicit ZeroPagedBytes(uint64_t size);
+    ~ZeroPagedBytes();
+    ZeroPagedBytes(const ZeroPagedBytes&) = delete;
+    ZeroPagedBytes& operator=(const ZeroPagedBytes&) = delete;
+
+    uint8_t* data() { return base_; }
+    const uint8_t* data() const { return base_; }
+    uint64_t size() const { return size_; }
+    uint8_t& operator[](uint64_t i) { return base_[i]; }
+    uint8_t operator[](uint64_t i) const { return base_[i]; }
+
+  private:
+    uint8_t* base_ = nullptr;
+    uint64_t size_ = 0;
+    bool mapped_ = false;
+};
+
 /** Flat little-endian physical memory. */
 class PhysicalMemory
 {
@@ -67,7 +97,20 @@ class PhysicalMemory
     /** Zero all of memory. */
     void clear();
 
+    /**
+     * Fold the current contents into @p snapshot, copying only the
+     * 4 KiB pages written since the previous fold (DESIGN.md §16).
+     * The first fold (and any fold after clear()/restore(), which
+     * invalidate page accounting) copies the full written prefix and
+     * turns dirty-page tracking on. Returns bytes copied. Only valid
+     * against one snapshot buffer reused across folds.
+     */
+    uint64_t fold(Snapshot& snapshot);
+
   private:
+    /** Dirty-page granule for delta snapshots. */
+    static constexpr uint64_t DeltaPageBytes = 4096;
+
     void check(uint64_t paddr, uint64_t len) const;
 
     void
@@ -77,8 +120,24 @@ class PhysicalMemory
             highWater_ = end;
     }
 
-    std::vector<uint8_t> data_;
+    /** Note bytes [paddr, end) as written for delta snapshots. */
+    void
+    markDirty(uint64_t paddr, uint64_t end)
+    {
+        if (!dirtyTracking_ || allDirty_)
+            return;
+        uint64_t p0 = paddr / DeltaPageBytes;
+        uint64_t p1 = (end - 1) / DeltaPageBytes;
+        for (uint64_t p = p0; p <= p1; ++p)
+            dirtyPages_[p >> 6] |= 1ULL << (p & 63);
+    }
+
+    ZeroPagedBytes data_;
     uint64_t highWater_ = 0;   ///< end of the ever-written prefix
+
+    std::vector<uint64_t> dirtyPages_;   ///< page bitmap (lazy)
+    bool dirtyTracking_ = false;         ///< enabled by the first fold
+    bool allDirty_ = true;               ///< page accounting invalid
 };
 
 } // namespace mbusim::sim

@@ -57,45 +57,21 @@ Mmu::mapped(uint32_t vpn) const
     return TlbEntry::unpack(mem_.read(pteAddr(vpn), 4)).valid;
 }
 
-Translation
-Mmu::translate(Tlb& tlb, uint32_t vaddr, AccessType type)
+bool
+Mmu::walkMiss(Tlb& tlb, uint32_t vpn, TlbEntry& entry,
+              Translation& result)
 {
-    Translation result;
-
-    // Virtual addresses beyond the 16 MiB space are unmappable.
-    if ((vaddr >> PageShift) > MaxVpn) {
+    // Page walk (uncached PTE read).
+    ++walks_;
+    result.latency += walkLatency_;
+    entry = TlbEntry::unpack(mem_.read(pteAddr(vpn), 4));
+    if (!entry.valid) {
         result.status = Translation::Status::PageFault;
-        return result;
+        return false;
     }
-    uint32_t vpn = vaddr >> PageShift;
-
-    TlbEntry entry;
-    auto slot = tlb.lookup(vpn);
-    if (slot) {
-        entry = tlb.entryAt(*slot);
-    } else {
-        // Page walk (uncached PTE read).
-        ++walks_;
-        result.latency += walkLatency_;
-        entry = TlbEntry::unpack(mem_.read(pteAddr(vpn), 4));
-        if (!entry.valid) {
-            result.status = Translation::Status::PageFault;
-            return result;
-        }
-        entry.vpn = vpn;
-        tlb.insert(entry);
-    }
-
-    bool allowed = (type == AccessType::Read && entry.perms.read) ||
-                   (type == AccessType::Write && entry.perms.write) ||
-                   (type == AccessType::Execute && entry.perms.exec);
-    if (!allowed) {
-        result.status = Translation::Status::PermissionFault;
-        return result;
-    }
-    result.status = Translation::Status::Ok;
-    result.paddr = (entry.pfn << PageShift) | (vaddr & (PageBytes - 1));
-    return result;
+    entry.vpn = vpn;
+    tlb.insert(entry);
+    return true;
 }
 
 } // namespace mbusim::sim

@@ -119,12 +119,55 @@ class Mmu
      * Translate @p vaddr through @p tlb, walking the page table on a
      * miss. Never throws: PFN validity is checked by physical memory at
      * access time, so corrupted translations surface there.
+     *
+     * The TLB-hit path is inline (it runs for every fetch, load and
+     * store); the page walk lives out of line in walkMiss().
      */
-    Translation translate(Tlb& tlb, uint32_t vaddr, AccessType type);
+    Translation
+    translate(Tlb& tlb, uint32_t vaddr, AccessType type)
+    {
+        Translation result;
+
+        // Virtual addresses beyond the 16 MiB space are unmappable.
+        if ((vaddr >> PageShift) > MaxVpn) {
+            result.status = Translation::Status::PageFault;
+            return result;
+        }
+        uint32_t vpn = vaddr >> PageShift;
+
+        // lookupEntry hands back the matched entry from the lookup's
+        // own read of the bits, folding what used to be two
+        // architectural reads of the same entry (lookup + entryAt)
+        // into one.
+        TlbEntry entry;
+        auto slot = tlb.lookupEntry(vpn, entry);
+        if (!slot && !walkMiss(tlb, vpn, entry, result))
+            return result;
+
+        bool allowed = (type == AccessType::Read && entry.perms.read) ||
+                       (type == AccessType::Write && entry.perms.write) ||
+                       (type == AccessType::Execute && entry.perms.exec);
+        if (!allowed) {
+            result.status = Translation::Status::PermissionFault;
+            return result;
+        }
+        result.status = Translation::Status::Ok;
+        result.paddr =
+            (entry.pfn << PageShift) | (vaddr & (PageBytes - 1));
+        return result;
+    }
 
     uint64_t pageWalks() const { return walks_; }
 
   private:
+    /**
+     * TLB-miss tail of translate(): walk the page table (uncached PTE
+     * read), refill the TLB. Returns false on an invalid PTE, with
+     * @p result set to the page fault.
+     */
+    bool walkMiss(Tlb& tlb, uint32_t vpn, TlbEntry& entry,
+                  Translation& result);
+
     uint32_t pteAddr(uint32_t vpn) const
     {
         return PageTableBase + vpn * 4;

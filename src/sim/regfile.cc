@@ -11,16 +11,4 @@ PhysRegFile::PhysRegFile(uint32_t regs)
         panic("physical register file smaller than the architectural set");
 }
 
-uint32_t
-PhysRegFile::read(uint32_t phys_reg) const
-{
-    return static_cast<uint32_t>(bits_.read(phys_reg, 0, 32));
-}
-
-void
-PhysRegFile::write(uint32_t phys_reg, uint32_t value)
-{
-    bits_.write(phys_reg, 0, 32, value);
-}
-
 } // namespace mbusim::sim

@@ -31,6 +31,9 @@ class PhysRegFile
     /** Capture register values into @p snapshot. */
     void save(Snapshot& snapshot) const { bits_.save(snapshot.bits); }
 
+    /** Delta variant of save() (DESIGN.md §16). Returns bytes copied. */
+    uint64_t fold(Snapshot& snapshot) { return bits_.fold(snapshot.bits); }
+
     /** Restore values saved from an identically-sized file. */
     void restore(const Snapshot& snapshot)
     {
@@ -42,11 +45,21 @@ class PhysRegFile
 
     uint32_t numRegs() const { return bits_.rows(); }
 
+    // read()/write() run for every operand of every issued instruction;
+    // inline so the BitArray field accessors (also inline) collapse into
+    // the pipeline loops.
+
     /** Read a physical register. */
-    uint32_t read(uint32_t phys_reg) const;
+    uint32_t read(uint32_t phys_reg) const
+    {
+        return static_cast<uint32_t>(bits_.read(phys_reg, 0, 32));
+    }
 
     /** Write a physical register. */
-    void write(uint32_t phys_reg, uint32_t value);
+    void write(uint32_t phys_reg, uint32_t value)
+    {
+        bits_.write(phys_reg, 0, 32, value);
+    }
 
     /** The raw SRAM array (fault-injection target). */
     BitArray& bits() { return bits_; }

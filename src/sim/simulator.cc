@@ -11,7 +11,13 @@ Simulator::Simulator(const Program& program, const CpuConfig& config)
       system_(std::make_unique<System>(program, config.physMemBytes,
                                        config.pageWalkLatency)),
       cpu_(std::make_unique<Cpu>(config, *system_))
-{}
+{
+    // Predecoded fast path (DESIGN.md §16): warm the decode cache from
+    // the program's clean instruction words so clean I-fetches hit
+    // from the first cycle. Corrupted words key different entries, so
+    // this affects no outcome.
+    cpu_->predecodeProgram(program.code.data(), program.code.size());
+}
 
 Simulator::Simulator(const Program& program, const CpuConfig& config,
                      const Snapshot& snapshot)
@@ -40,6 +46,17 @@ Simulator::checkpoint() const
     system_->save(snapshot.system);
     cpu_->save(snapshot.cpu);
     return snapshot;
+}
+
+const Snapshot&
+Simulator::deltaCheckpoint(uint64_t* bytes_copied)
+{
+    snapshotBuf_.cycle = cpu_->cycle();
+    uint64_t bytes = system_->fold(snapshotBuf_.system);
+    bytes += cpu_->fold(snapshotBuf_.cpu);
+    if (bytes_copied)
+        *bytes_copied = bytes;
+    return snapshotBuf_;
 }
 
 void
@@ -157,7 +174,15 @@ uint64_t
 Simulator::runLockstep(uint64_t until)
 {
     while (!cpu_->halted() && cpu_->cycle() < until) {
-        cpu_->tick();
+        // The stall skip is bounded by the caller's stop cycle, so
+        // the cursor still lands exactly on each attach cycle. An
+        // overlay event raised by a read in a fully-stalled tick
+        // survives the skip (the skipped cycles would only have
+        // repeated the same — idempotent — reads), so divergence is
+        // never missed; only the cycle at which it is *reported* can
+        // move, and fork replay starts from the fork base snapshot,
+        // not from the reported cycle.
+        cpu_->tick(until);
         if (overlayEventsPending())
             break;
     }
@@ -366,7 +391,24 @@ Simulator::run(uint64_t max_cycles)
                 }
             }
 
-            cpu_->tick();
+            // Bound the stall skip (DESIGN.md §16) by the next cycle
+            // this loop must observe exactly: the run budget (golden
+            // recording digests at precise cuts), the next pending
+            // injection, or — once every injection is in — the next
+            // golden digest rung (matched by cycle equality above).
+            // The liveness early-exit needs no bound: flips die only
+            // in counted ticks, which never skip.
+            uint64_t skip_bound =
+                max_cycles == 0 ? UINT64_MAX : max_cycles;
+            if (nextInjection_ < injections_.size()) {
+                skip_bound = std::min(
+                    skip_bound, injections_[nextInjection_].cycle);
+            } else if (goldenDigests_ &&
+                       nextDigest_ < goldenDigests_->size()) {
+                skip_bound = std::min(
+                    skip_bound, (*goldenDigests_)[nextDigest_].cycle);
+            }
+            cpu_->tick(skip_bound);
         }
         if (result.earlyExit != EarlyExit::None) {
             // The caller substitutes golden's outcome and terminal

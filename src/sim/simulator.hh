@@ -188,6 +188,23 @@ class Simulator
     Snapshot checkpoint() const;
 
     /**
+     * Delta variant of checkpoint() for the warm golden cursor
+     * (DESIGN.md §16): folds the machine into a pooled internal
+     * snapshot buffer, copying only state touched since the previous
+     * deltaCheckpoint() — each BitArray carries a dirty flag, physical
+     * memory a dirty-page bitmap; the small plain bookkeeping is
+     * always copied. The first call (and any call after restore(),
+     * which re-dirties everything it touches) amounts to a full copy.
+     *
+     * The returned reference stays valid and unchanged until the next
+     * deltaCheckpoint() call on this simulator; callers that need the
+     * state beyond that must copy it. @p bytes_copied, when non-null,
+     * receives the bytes the dirty arrays actually copied (the
+     * `snapshot.bytes_copied` metric).
+     */
+    const Snapshot& deltaCheckpoint(uint64_t* bytes_copied = nullptr);
+
+    /**
      * Advance a running simulation to exactly @p cycle (no-op when the
      * machine is already at or past it). Built for the cohort
      * scheduler's warm golden cursor (DESIGN.md §13): one golden
@@ -328,6 +345,10 @@ class Simulator
     // distinct fault target — in practice a single array, since a
     // campaign injects one structure).
     std::vector<BitArray*> overlayArrays_;
+
+    // Pooled buffer behind deltaCheckpoint(); reusing it across calls
+    // is what makes the per-array dirty flags meaningful.
+    Snapshot snapshotBuf_;
 };
 
 } // namespace mbusim::sim

@@ -93,6 +93,16 @@ System::save(Snapshot& snapshot) const
     snapshot.output = output_;
 }
 
+uint64_t
+System::fold(Snapshot& snapshot)
+{
+    uint64_t bytes = mem_.fold(snapshot.mem);
+    mmu_.save(snapshot.mmu);
+    snapshot.heapTopVpn = heapTopVpn_;
+    snapshot.output = output_;
+    return bytes;
+}
+
 void
 System::restore(const Snapshot& snapshot)
 {

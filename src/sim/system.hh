@@ -57,6 +57,14 @@ class System
     /** Capture all platform state into @p snapshot. */
     void save(Snapshot& snapshot) const;
 
+    /**
+     * Delta variant of save() (DESIGN.md §16): physical memory copies
+     * only the pages written since the previous fold into the same
+     * snapshot; walker state and the output stream are always copied.
+     * Returns the bytes memory actually copied.
+     */
+    uint64_t fold(Snapshot& snapshot);
+
     /** Restore state saved from an identically-configured platform. */
     void restore(const Snapshot& snapshot);
 

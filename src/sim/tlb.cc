@@ -4,32 +4,6 @@
 
 namespace mbusim::sim {
 
-uint32_t
-TlbEntry::pack() const
-{
-    uint32_t bits = 0;
-    bits |= valid ? 1u : 0u;
-    bits |= (perms.read ? 1u : 0u) << 1;
-    bits |= (perms.write ? 1u : 0u) << 2;
-    bits |= (perms.exec ? 1u : 0u) << 3;
-    bits |= (vpn & MaxVpn) << 4;
-    bits |= (pfn & MaxVpn) << 18;
-    return bits;
-}
-
-TlbEntry
-TlbEntry::unpack(uint32_t bits)
-{
-    TlbEntry e;
-    e.valid = bits & 1;
-    e.perms.read = (bits >> 1) & 1;
-    e.perms.write = (bits >> 2) & 1;
-    e.perms.exec = (bits >> 3) & 1;
-    e.vpn = (bits >> 4) & MaxVpn;
-    e.pfn = (bits >> 18) & MaxVpn;
-    return e;
-}
-
 Tlb::Tlb(std::string name, uint32_t entries)
     : name_(std::move(name)), bits_(entries, 32)
 {
@@ -40,28 +14,8 @@ Tlb::Tlb(std::string name, uint32_t entries)
 std::optional<uint32_t>
 Tlb::lookup(uint32_t vpn)
 {
-    auto matches = [&](uint32_t i) {
-        TlbEntry e = TlbEntry::unpack(
-            static_cast<uint32_t>(bits_.read(i, 0, 32)));
-        return e.valid && e.vpn == (vpn & MaxVpn);
-    };
-    // Micro-TLB behaviour: consecutive accesses usually hit the same
-    // entry, so probe the last hit first. This is purely a host-side
-    // speedup — the entry bits (possibly corrupted) are still what is
-    // read.
-    if (lastHit_ < numEntries() && matches(lastHit_)) {
-        ++stats_.hits;
-        return lastHit_;
-    }
-    for (uint32_t i = 0; i < numEntries(); ++i) {
-        if (matches(i)) {
-            ++stats_.hits;
-            lastHit_ = i;
-            return i;
-        }
-    }
-    ++stats_.misses;
-    return std::nullopt;
+    TlbEntry unused;
+    return lookupEntry(vpn, unused);
 }
 
 TlbEntry

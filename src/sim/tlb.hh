@@ -56,9 +56,32 @@ struct TlbEntry
     uint32_t pfn = 0;
 
     /** Pack into the 32-bit SRAM format. */
-    uint32_t pack() const;
+    uint32_t
+    pack() const
+    {
+        uint32_t bits = 0;
+        bits |= valid ? 1u : 0u;
+        bits |= (perms.read ? 1u : 0u) << 1;
+        bits |= (perms.write ? 1u : 0u) << 2;
+        bits |= (perms.exec ? 1u : 0u) << 3;
+        bits |= (vpn & MaxVpn) << 4;
+        bits |= (pfn & MaxVpn) << 18;
+        return bits;
+    }
+
     /** Unpack from the 32-bit SRAM format. */
-    static TlbEntry unpack(uint32_t bits);
+    static TlbEntry
+    unpack(uint32_t bits)
+    {
+        TlbEntry e;
+        e.valid = bits & 1;
+        e.perms.read = (bits >> 1) & 1;
+        e.perms.write = (bits >> 2) & 1;
+        e.perms.exec = (bits >> 3) & 1;
+        e.vpn = (bits >> 4) & MaxVpn;
+        e.pfn = (bits >> 18) & MaxVpn;
+        return e;
+    }
 };
 
 /** Hit/miss counters. */
@@ -86,6 +109,18 @@ class Tlb
     /** Capture the TLB state into @p snapshot. */
     void save(Snapshot& snapshot) const;
 
+    /** Delta variant of save() (DESIGN.md §16). Returns bytes the
+     *  entry array copied. */
+    uint64_t
+    fold(Snapshot& snapshot)
+    {
+        uint64_t bytes = bits_.fold(snapshot.bits);
+        snapshot.fifo = fifo_;
+        snapshot.lastHit = lastHit_;
+        snapshot.stats = stats_;
+        return bytes;
+    }
+
     /** Restore state saved from an identically-sized TLB. */
     void restore(const Snapshot& snapshot);
 
@@ -99,6 +134,47 @@ class Tlb
      * or nullopt. Updates hit/miss statistics.
      */
     std::optional<uint32_t> lookup(uint32_t vpn);
+
+    /**
+     * Like lookup(), but also hands back the matched entry (unpacked
+     * from the very read that matched it). This folds the hit path's
+     * former lookup() + entryAt() pair — two architectural reads of
+     * the same 32 entry bits — into one. Exact: the second read saw
+     * identical physical bits (no intervening write), and its
+     * liveness note was a no-op (the first read already latched and
+     * erased any tracked flip it covered).
+     */
+    std::optional<uint32_t>
+    lookupEntry(uint32_t vpn, TlbEntry& out)
+    {
+        uint32_t want = vpn & MaxVpn;
+        auto matchAt = [&](uint32_t i) {
+            uint32_t raw = static_cast<uint32_t>(bits_.read(i, 0, 32));
+            // Same predicate as unpack-then-compare, on the packed form.
+            if ((raw & 1) && ((raw >> 4) & MaxVpn) == want) {
+                out = TlbEntry::unpack(raw);
+                return true;
+            }
+            return false;
+        };
+        // Micro-TLB behaviour: consecutive accesses usually hit the same
+        // entry, so probe the last hit first. This is purely a host-side
+        // speedup — the entry bits (possibly corrupted) are still what is
+        // read.
+        if (lastHit_ < numEntries() && matchAt(lastHit_)) {
+            ++stats_.hits;
+            return lastHit_;
+        }
+        for (uint32_t i = 0; i < numEntries(); ++i) {
+            if (matchAt(i)) {
+                ++stats_.hits;
+                lastHit_ = i;
+                return i;
+            }
+        }
+        ++stats_.misses;
+        return std::nullopt;
+    }
 
     /** Read entry @p index (possibly corrupted bits, unpacked). */
     TlbEntry entryAt(uint32_t index) const;

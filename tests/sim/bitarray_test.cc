@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "sim/bitarray.hh"
 #include "util/rng.hh"
 
@@ -299,6 +302,210 @@ TEST(BitArrayLiveness, RestoreDropsLiveFlipsKeepsPropagation)
     (void)a.read(1, 0, 32);
     a.restore(clean);
     EXPECT_TRUE(a.flipPropagated());   // sticky across restore
+}
+
+// Bulk row transfers (DESIGN.md §16): readBytes/writeBytes must be
+// bit-identical to a field-at-a-time loop over the same span — in the
+// data they move AND in the liveness transitions they trigger. The
+// cache line fill/writeback fast path rests on this equivalence.
+
+TEST(BitArrayBulk, ReadBytesMatchesFieldReads)
+{
+    Rng rng(171);
+    BitArray a(4, 520);   // spans cross several 64-bit words
+    for (uint32_t c = 0; c + 64 <= 520; c += 64)
+        a.write(2, c, 64, rng.next());
+    a.write(2, 512, 8, 0x5a);
+    uint8_t bulk[65];
+    a.readBytes(2, 0, 65, bulk);
+    for (uint32_t b = 0; b < 65; ++b)
+        EXPECT_EQ(bulk[b], a.read(2, b * 8, 8)) << "byte " << b;
+}
+
+TEST(BitArrayBulk, WriteBytesMatchesFieldWrites)
+{
+    Rng rng(172);
+    BitArray bulk(4, 520), scalar(4, 520);
+    uint8_t image[65];
+    for (uint8_t& byte : image)
+        byte = static_cast<uint8_t>(rng.next());
+    bulk.writeBytes(1, 0, 65, image);
+    for (uint32_t b = 0; b < 65; ++b)
+        scalar.write(1, b * 8, 8, image[b]);
+    for (uint32_t c = 0; c < 520; ++c)
+        EXPECT_EQ(bulk.bit(1, c), scalar.bit(1, c)) << "col " << c;
+    EXPECT_EQ(bulk.popcount(), scalar.popcount());
+}
+
+TEST(BitArrayBulk, UnalignedSpanRoundTrips)
+{
+    // Line fields rarely start at column 0 in the tag array; the span
+    // may start mid-word and end mid-word.
+    BitArray a(2, 300);
+    uint8_t in[16], out[16];
+    for (uint32_t i = 0; i < 16; ++i)
+        in[i] = static_cast<uint8_t>(0xc3 ^ (i * 41));
+    a.writeBytes(0, 37, 16, in);
+    a.readBytes(0, 37, 16, out);
+    for (uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], in[i]) << "byte " << i;
+    EXPECT_FALSE(a.bit(0, 36));
+    EXPECT_FALSE(a.bit(0, 37 + 128));
+}
+
+TEST(BitArrayBulk, ReadBytesPropagatesCoveredFlipOnly)
+{
+    BitArray a(4, 512);
+    uint32_t covered = a.beginOverlay();
+    uint32_t outside = a.beginOverlay();
+    a.trackFlipIn(covered, 1, 100);
+    a.trackFlipIn(outside, 1, 300);
+    a.flipBit(1, 100);
+    a.flipBit(1, 300);
+    uint8_t buf[32];
+    a.readBytes(1, 0, 32, buf);   // cols 0..255
+    EXPECT_TRUE(a.overlayPropagated(covered));
+    EXPECT_EQ(a.overlayLiveCount(covered), 0u);
+    EXPECT_FALSE(a.overlayPropagated(outside));
+    EXPECT_EQ(a.overlayLiveCount(outside), 1u);
+}
+
+TEST(BitArrayBulk, WriteBytesKillsCoveredFlipsOnly)
+{
+    BitArray a(4, 512);
+    uint32_t covered = a.beginOverlay();
+    uint32_t outside = a.beginOverlay();
+    a.trackFlipIn(covered, 2, 64);
+    a.trackFlipIn(covered, 2, 255);
+    a.trackFlipIn(outside, 2, 256);
+    a.flipBit(2, 64);
+    a.flipBit(2, 255);
+    a.flipBit(2, 256);
+    uint8_t zeros[32] = {};
+    a.writeBytes(2, 0, 32, zeros);   // cols 0..255, never read
+    EXPECT_EQ(a.overlayLiveCount(covered), 0u);
+    EXPECT_FALSE(a.overlayPropagated(covered));
+    EXPECT_EQ(a.overlayLiveCount(outside), 1u);
+}
+
+TEST(BitArrayBulk, ReadBytesNeverPropagatesGhosts)
+{
+    // A deadness-proof ghost stays recorded (a lockstep fork must
+    // re-apply it) but a bulk read over it must not latch propagation
+    // — exactly like a scalar read.
+    BitArray a(4, 512);
+    a.trackFlip(0, 40);
+    a.flipBit(0, 40);
+    a.discardFlips(0, 0, 64);
+    EXPECT_EQ(a.liveFlips(), 0u);
+    uint8_t buf[64];
+    a.readBytes(0, 0, 64, buf);
+    EXPECT_FALSE(a.flipPropagated());
+    std::vector<std::pair<uint32_t, uint32_t>> ghosts;
+    a.appendGhostBits(0, ghosts);
+    ASSERT_EQ(ghosts.size(), 1u);
+    EXPECT_EQ(ghosts[0].second, 40u);
+}
+
+TEST(BitArrayBulk, WriteBytesErasesGhosts)
+{
+    // The overwrite physically replaces the bit: the ghost is gone and
+    // a fork no longer needs to reproduce it.
+    BitArray a(4, 512);
+    a.trackFlip(0, 40);
+    a.flipBit(0, 40);
+    a.discardFlips(0, 0, 64);
+    uint8_t zeros[64] = {};
+    a.writeBytes(0, 0, 64, zeros);
+    std::vector<std::pair<uint32_t, uint32_t>> ghosts;
+    a.appendGhostBits(0, ghosts);
+    EXPECT_TRUE(ghosts.empty());
+}
+
+TEST(BitArrayBulk, BulkAccessOnOtherRowLeavesGuardedRowAlone)
+{
+    // The rowGuard fast path: bulk traffic on rows without tracked
+    // bits must not disturb another row's tracking state.
+    BitArray a(4, 512);
+    a.trackFlip(3, 10);
+    a.flipBit(3, 10);
+    uint8_t buf[64] = {};
+    a.readBytes(1, 0, 64, buf);
+    a.writeBytes(2, 0, 64, buf);
+    EXPECT_EQ(a.liveFlips(), 1u);
+    EXPECT_FALSE(a.flipPropagated());
+}
+
+// readExcept: one field read whose liveness note excludes a single
+// interior column — the cache lookup fold (valid+tag in one read, the
+// dirty bit architecturally unread until eviction) depends on this.
+
+TEST(BitArrayLiveness, ReadExceptSkipsExactlyOneColumn)
+{
+    BitArray a(4, 64);
+    uint32_t skipped = a.beginOverlay();
+    uint32_t noted = a.beginOverlay();
+    a.trackFlipIn(skipped, 0, 1);   // the "dirty" column
+    a.trackFlipIn(noted, 0, 5);
+    a.flipBit(0, 1);
+    a.flipBit(0, 5);
+    uint64_t value = a.readExcept(0, 0, 21, 1);
+    // The physical value still covers the whole field, skip included.
+    EXPECT_EQ(value, (1ULL << 1) | (1ULL << 5));
+    EXPECT_TRUE(a.overlayPropagated(noted));
+    EXPECT_FALSE(a.overlayPropagated(skipped));
+    EXPECT_EQ(a.overlayLiveCount(skipped), 1u);
+}
+
+TEST(BitArrayLiveness, ReadExceptOutOfFieldSkipNotesWholeField)
+{
+    BitArray a(4, 64);
+    a.trackFlip(0, 3);
+    a.flipBit(0, 3);
+    (void)a.readExcept(0, 0, 8, 20);   // skip column not in [0, 8)
+    EXPECT_TRUE(a.flipPropagated());
+}
+
+// Delta-snapshot dirty flag (DESIGN.md §16): fold() copies iff a
+// mutator ran since the previous fold into the same buffer.
+
+TEST(BitArrayDelta, FoldCopiesOnlyWhenDirty)
+{
+    BitArray a(4, 128);
+    a.write(0, 0, 64, 0x1122334455667788ULL);
+    BitArray::Snapshot delta;
+    EXPECT_GT(a.fold(delta), 0u);          // first fold always copies
+    EXPECT_EQ(a.fold(delta), 0u);          // clean: nothing to copy
+    a.setBit(2, 5, true);
+    EXPECT_GT(a.fold(delta), 0u);
+    a.write(1, 0, 32, 0xabcd);
+    EXPECT_GT(a.fold(delta), 0u);
+    uint8_t image[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    a.writeBytes(3, 0, 8, image);
+    EXPECT_GT(a.fold(delta), 0u);
+    a.flipBit(0, 0);
+    EXPECT_GT(a.fold(delta), 0u);
+    // The folded image is always the full-save image.
+    BitArray::Snapshot full;
+    a.save(full);
+    EXPECT_EQ(delta.words, full.words);
+}
+
+TEST(BitArrayDelta, RestoreAndClearMarkDirty)
+{
+    BitArray a(2, 64);
+    BitArray::Snapshot keep, delta;
+    a.write(0, 0, 16, 0xbeef);
+    a.save(keep);
+    EXPECT_GT(a.fold(delta), 0u);
+    a.clear();
+    EXPECT_GT(a.fold(delta), 0u);          // clear dirtied the array
+    EXPECT_EQ(a.read(0, 0, 16), 0u);
+    a.restore(keep);
+    EXPECT_GT(a.fold(delta), 0u);          // restore dirtied it again
+    BitArray::Snapshot full;
+    a.save(full);
+    EXPECT_EQ(delta.words, full.words);
 }
 
 TEST(BitArrayDigest, MatchesContentNotHistory)

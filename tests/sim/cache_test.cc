@@ -139,6 +139,76 @@ TEST_F(CacheFixture, DirtyTagFlipLosesTheWrite)
     EXPECT_EQ(value, 0u);   // memory was never updated
 }
 
+// The lookup probe fold (DESIGN.md §16): probeWay reads valid+dirty+tag
+// as one field whose liveness note skips the dirty column. These tests
+// pin the three soundness cases the fold's equivalence argument rests
+// on — they would all pass with the old two-step probe too.
+
+TEST_F(CacheFixture, LookupDoesNotReadTheDirtyBit)
+{
+    uint32_t value = 0;
+    l1.read(0x4000, 4, value);
+    uint32_t row = l1.tagArray().rows();
+    for (uint32_t r = 0; r < l1.tagArray().rows(); ++r) {
+        if (l1.lineValid(r / l1.ways(), r % l1.ways()))
+            row = r;
+    }
+    ASSERT_LT(row, l1.tagArray().rows());
+    // A flipped dirty bit is architecturally read only on eviction; a
+    // lookup hit must leave it live and unpropagated.
+    l1.tagArray().trackFlip(row, 1);
+    l1.tagArray().flipBit(row, 1);
+    l1.read(0x4000, 4, value);
+    EXPECT_EQ(value, 0u);
+    EXPECT_EQ(l1.tagArray().liveFlips(), 1u);
+    EXPECT_FALSE(l1.tagArray().flipPropagated());
+}
+
+TEST_F(CacheFixture, LookupPropagatesValidLineTagFlip)
+{
+    uint32_t value = 0;
+    l1.read(0x4000, 4, value);
+    uint32_t row = l1.tagArray().rows();
+    for (uint32_t r = 0; r < l1.tagArray().rows(); ++r) {
+        if (l1.lineValid(r / l1.ways(), r % l1.ways()))
+            row = r;
+    }
+    ASSERT_LT(row, l1.tagArray().rows());
+    // Column 5 is a tag column (2..2+tagBits): the probe reads it on
+    // the very next lookup of the set, so the flip escapes.
+    l1.tagArray().trackFlip(row, 5);
+    l1.tagArray().flipBit(row, 5);
+    l1.read(0x4000, 4, value);
+    EXPECT_TRUE(l1.tagArray().flipPropagated());
+}
+
+TEST_F(CacheFixture, InvalidLineTagFlipIsGhostedNotPropagated)
+{
+    uint32_t value = 0;
+    l1.read(0x4000, 4, value);   // set 0: one valid way, three invalid
+    uint32_t row = l1.tagArray().rows();
+    for (uint32_t r = 0; r < l1.ways(); ++r) {
+        if (!l1.lineValid(0, r))
+            row = r;
+    }
+    ASSERT_LT(row, l1.tagArray().rows());
+    // The injector's discipline: a tag flip on an invalid line is
+    // discarded to a ghost at injection time (it cannot be read before
+    // the line's next fill overwrites it). The probe's wider note over
+    // the whole tag field must then never propagate it.
+    l1.tagArray().trackFlip(row, 5);
+    l1.tagArray().flipBit(row, 5);
+    l1.noteInjectedTagFlip(row, 5);
+    EXPECT_EQ(l1.tagArray().liveFlips(), 0u);
+    l1.read(0x4000, 4, value);   // lookup probes the invalid way too
+    EXPECT_FALSE(l1.tagArray().flipPropagated());
+    std::vector<std::pair<uint32_t, uint32_t>> ghosts;
+    l1.tagArray().appendGhostBits(0, ghosts);
+    ASSERT_EQ(ghosts.size(), 1u);
+    EXPECT_EQ(ghosts[0].first, row);
+    EXPECT_EQ(ghosts[0].second, 5u);
+}
+
 TEST_F(CacheFixture, LineTransferPreservesData)
 {
     Rng rng(7);

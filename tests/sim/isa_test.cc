@@ -194,5 +194,100 @@ TEST(IsaDisasm, Readable)
     EXPECT_EQ(disassemble(decode(encodeS(1))), "sys 1");
 }
 
+// Decode memoization (DESIGN.md §16): the fetch fast path substitutes
+// DecodeCache::lookup() for decode(), so the two must agree field for
+// field on EVERY 32-bit word — well-formed, corrupted, or illegal.
+// decode() is a pure function of the word, and a corrupted word keys a
+// different cache entry, which is the whole exactness argument.
+
+void
+expectSameDecode(uint32_t word, const DecodedInst& got)
+{
+    DecodedInst want = decode(word);
+    EXPECT_EQ(got.op, want.op) << "word " << word;
+    EXPECT_EQ(got.cls, want.cls) << "word " << word;
+    EXPECT_EQ(got.rd, want.rd) << "word " << word;
+    EXPECT_EQ(got.rs1, want.rs1) << "word " << word;
+    EXPECT_EQ(got.rs2, want.rs2) << "word " << word;
+    EXPECT_EQ(got.imm, want.imm) << "word " << word;
+    EXPECT_EQ(got.sysCode, want.sysCode) << "word " << word;
+    EXPECT_EQ(got.raw, want.raw) << "word " << word;
+}
+
+TEST(DecodeCache, MatchesDecodeOnBoundaryWords)
+{
+    DecodeCache cache;
+    const uint32_t words[] = {
+        0u,                    // all-zero: a legal encoding, not "empty"
+        ~0u,                   // all-ones
+        1u,        0x80000000u, 0x7fffffffu,
+        encodeR(Opcode::Add, 3, 4, 5),
+        encodeI(Opcode::Addi, 1, 2, Imm18Min),
+        encodeI(Opcode::Addi, 1, 2, Imm18Max),
+        encodeB(Opcode::Beq, 7, 8, -12),
+        encodeJ(Opcode::Jal, 14, Off22Min),
+        encodeS(2),
+    };
+    for (uint32_t word : words) {
+        expectSameDecode(word, cache.lookup(word));   // miss path
+        expectSameDecode(word, cache.lookup(word));   // hit path
+    }
+}
+
+TEST(DecodeCache, MatchesDecodeOnRandomWords)
+{
+    // Random words are overwhelmingly illegal encodings — exactly what
+    // a corrupted I-fetch feeds the decoder.
+    DecodeCache cache;
+    Rng rng(20260808);
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t word = static_cast<uint32_t>(rng.next());
+        expectSameDecode(word, cache.lookup(word));
+    }
+}
+
+TEST(DecodeCache, CorruptedWordNeverSeesStaleEntry)
+{
+    // Install a clean word, then look up single-bit corruptions of it:
+    // the full-raw-word tag check must route every one to its own
+    // decode, never to the clean entry.
+    DecodeCache cache;
+    uint32_t clean = encodeI(Opcode::Lw, 4, 13, 8);
+    (void)cache.lookup(clean);
+    for (uint32_t bitIndex = 0; bitIndex < 32; ++bitIndex) {
+        uint32_t corrupted = clean ^ (1u << bitIndex);
+        expectSameDecode(corrupted, cache.lookup(corrupted));
+    }
+    // The clean entry survives unless the corrupted word evicted it.
+    expectSameDecode(clean, cache.lookup(clean));
+}
+
+TEST(DecodeCache, CountsHitsAndMisses)
+{
+    DecodeCache cache;
+    uint32_t word = encodeR(Opcode::Add, 1, 2, 3);
+    (void)cache.lookup(word);
+    (void)cache.lookup(word);
+    (void)cache.lookup(word);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+    cache.resetCounters();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(DecodeCache, PredecodeWarmsWithoutCountingHits)
+{
+    DecodeCache cache;
+    const uint32_t program[] = {encodeR(Opcode::Add, 1, 2, 3),
+                                encodeI(Opcode::Addi, 1, 1, 7)};
+    cache.predecode(program, 2);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    (void)cache.lookup(program[0]);   // warmed: a hit, no miss
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
 } // namespace
 } // namespace mbusim::sim

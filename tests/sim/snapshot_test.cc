@@ -163,6 +163,100 @@ TEST(SnapshotTest, MemoryHighWaterRoundTrip)
     EXPECT_EQ(mem.read(0x8000, 4), 0u);
 }
 
+// Delta snapshots (DESIGN.md §16): deltaCheckpoint() folds into one
+// pooled buffer, copying only state touched since the previous fold.
+// The folded image must be indistinguishable from a full checkpoint()
+// at the same cycle — same state digest after restore, and a run
+// resumed from it bit-identical to one resumed from the full copy.
+
+TEST(SnapshotTest, DeltaCheckpointMatchesFullCheckpointMidCohort)
+{
+    Program p = programFor("dijkstra");
+    CpuConfig config;
+
+    Simulator straight(p, config);
+    SimResult reference = straight.run(0);
+    ASSERT_EQ(reference.status.kind, ExitKind::Exited);
+
+    // A warm-cursor sequence: several monotonically increasing stop
+    // cycles, one deltaCheckpoint per stop — exactly the campaign's
+    // cohort pattern. Every fold after the first is a genuine delta.
+    Simulator cursor(p, config);
+    const uint64_t cuts[] = {reference.cycles / 8, reference.cycles / 3,
+                             reference.cycles / 2,
+                             (reference.cycles * 3) / 4};
+    for (uint64_t cut : cuts) {
+        SCOPED_TRACE(cut);
+        cursor.advanceTo(cut);
+        uint64_t bytes = 0;
+        const Snapshot& delta = cursor.deltaCheckpoint(&bytes);
+        EXPECT_EQ(delta.cycle, cut);
+        EXPECT_GT(bytes, 0u);
+        Snapshot full = cursor.checkpoint();
+
+        Simulator fromDelta(p, config, delta);
+        Simulator fromFull(p, config, full);
+        EXPECT_EQ(fromDelta.stateDigest(), fromFull.stateDigest());
+        expectSameResult(fromDelta.run(0), reference);
+    }
+}
+
+TEST(SnapshotTest, DeltaCheckpointExactAfterRestore)
+{
+    // restore() re-dirties everything it touches, so a fold taken
+    // after rewinding the machine must still be a faithful image.
+    Program p = programFor("stringsearch");
+    CpuConfig config;
+
+    Simulator straight(p, config);
+    SimResult reference = straight.run(0);
+    ASSERT_EQ(reference.status.kind, ExitKind::Exited);
+
+    Simulator simulator(p, config);
+    simulator.advanceTo(reference.cycles / 3);
+    uint64_t first_bytes = 0;
+    (void)simulator.deltaCheckpoint(&first_bytes);
+    EXPECT_GT(first_bytes, 0u);
+
+    Simulator prefix(p, config);
+    prefix.run(reference.cycles / 2);
+    Snapshot rewind = prefix.checkpoint();
+    simulator.restore(rewind);
+
+    uint64_t bytes = 0;
+    const Snapshot& delta = simulator.deltaCheckpoint(&bytes);
+    EXPECT_EQ(delta.cycle, reference.cycles / 2);
+    Simulator resumed(p, config, delta);
+    EXPECT_EQ(resumed.stateDigest(), prefix.stateDigest());
+    expectSameResult(resumed.run(0), reference);
+}
+
+TEST(SnapshotTest, MemoryFoldCopiesOnlyDirtyPages)
+{
+    PhysicalMemory mem(1 << 20);
+    mem.write(0x100, 4, 0xdeadbeef);
+    mem.write(0x8000, 4, 0x12345678);
+
+    PhysicalMemory::Snapshot delta;
+    uint64_t first = mem.fold(delta);
+    EXPECT_EQ(first, 0x8004u);             // first fold = full copy
+    EXPECT_EQ(mem.fold(delta), 0u);        // clean: nothing to copy
+
+    mem.write(0x104, 1, 0x5a);             // dirties one 4 KiB page
+    uint64_t second = mem.fold(delta);
+    EXPECT_GT(second, 0u);
+    EXPECT_LE(second, 4096u);
+
+    PhysicalMemory::Snapshot full;
+    mem.save(full);
+    EXPECT_EQ(delta.data, full.data);
+
+    // restore() invalidates the page tracking: the next fold is full.
+    mem.restore(full);
+    EXPECT_EQ(mem.fold(delta), full.data.size());
+    EXPECT_EQ(delta.data, full.data);
+}
+
 TEST(SnapshotTest, BitArrayRestoreChecksGeometry)
 {
     BitArray a(8, 64), b(8, 64), c(16, 64);
