@@ -294,6 +294,24 @@ Campaign::cacheKey() const
                      static_cast<unsigned long long>(digest));
 }
 
+uint64_t
+Campaign::outcomeKey() const
+{
+    return outcomeDigest(config_.cpu, workload_.source);
+}
+
+std::string
+Campaign::journalHeader() const
+{
+    // Early-exit settings ride in the header: they cannot change
+    // outcomes, but they do change RunRecord fields (exit reason,
+    // cycles saved), so journals written under different settings
+    // must not mix.
+    return strprintf("%s %s ee%u dp%u", JournalVersion,
+                     cacheKey().c_str(), earlyExit_ ? 1u : 0u,
+                     earlyExit_ ? digestTarget_ : 0u);
+}
+
 const GoldenArtifacts&
 Campaign::golden() const
 {
@@ -562,14 +580,7 @@ Campaign::Execution::Execution(const Campaign& campaign, bool keep_runs)
         std::error_code ec;
         std::filesystem::create_directories(campaign_.journalDir_, ec);
         std::string key = campaign_.cacheKey();
-        // Early-exit settings ride in the header: they cannot change
-        // outcomes, but they do change RunRecord fields (exit reason,
-        // cycles saved), so journals written under different settings
-        // must not mix.
-        std::string header = strprintf(
-            "%s %s ee%u dp%u", JournalVersion, key.c_str(),
-            campaign_.earlyExit_ ? 1u : 0u,
-            campaign_.earlyExit_ ? campaign_.digestTarget_ : 0u);
+        std::string header = campaign_.journalHeader();
         // Worker processes of a distributed sweep write private shards
         // (one appender per file); the coordinator merges them into the
         // canonical journal (DESIGN.md §14).

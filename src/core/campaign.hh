@@ -303,6 +303,26 @@ class Campaign
     std::string cacheKey() const;
 
     /**
+     * The shared golden artifacts, simulated on first use. The
+     * distributed coordinator reads them to build the content-addressed
+     * golden blob it serves to remote workers (golden_wire.hh).
+     */
+    const GoldenArtifacts& goldenArtifacts() const { return golden(); }
+
+    /** outcomeDigest() over this campaign's resolved CPU parameters
+     *  and workload source — the config half of a golden-wire key. */
+    uint64_t outcomeKey() const;
+
+    /**
+     * Header line of this campaign's journal: version, cache key and
+     * the early-exit settings (they change RunRecord fields, so
+     * journals written under different settings must not mix). Shared
+     * by Execution's own journal and the coordinator-side shard that
+     * records remote workers' streamed records.
+     */
+    std::string journalHeader() const;
+
+    /**
      * One in-flight invocation of this campaign: the per-run state
      * (journal, replay table, tallies) that used to live inside run(),
      * factored out so an external scheduler (Study::runSweep) can

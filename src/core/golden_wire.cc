@@ -1,0 +1,252 @@
+#include "core/golden_wire.hh"
+
+#include <sstream>
+
+#include "util/journal.hh"
+#include "util/log.hh"
+#include "util/parse.hh"
+
+namespace mbusim::core {
+
+namespace {
+
+constexpr const char* WireMagic = "mbusim-golden";
+constexpr const char* WireVersion = "v1";
+
+/** Sanity caps: a legitimate blob is a few KiB; anything past these
+ *  means a corrupted transfer and is rejected before allocation. */
+constexpr uint64_t MaxOutputBytes = 1u << 20;
+constexpr uint64_t MaxLadderPoints = 1u << 20;
+
+void
+appendU64(std::string& out, uint64_t value)
+{
+    out += ' ';
+    out += std::to_string(value);
+}
+
+/** Whitespace tokenizer with strict numeric extraction. */
+struct TokenReader
+{
+    std::istringstream in;
+    explicit TokenReader(const std::string& text) : in(text) {}
+
+    bool word(std::string& out) { return !!(in >> out); }
+
+    bool u64(uint64_t max, uint64_t& out)
+    {
+        std::string token;
+        return word(token) && parseU64(token, max, out);
+    }
+
+    bool u32(uint32_t max, uint32_t& out)
+    {
+        uint64_t wide = 0;
+        if (!u64(max, wide))
+            return false;
+        out = static_cast<uint32_t>(wide);
+        return true;
+    }
+
+    bool atEnd()
+    {
+        std::string extra;
+        return !(in >> extra);
+    }
+};
+
+const char HexDigits[] = "0123456789abcdef";
+
+} // namespace
+
+GoldenWire
+wireFromArtifacts(const GoldenArtifacts& artifacts)
+{
+    GoldenWire wire;
+    wire.result = artifacts.result;
+    wire.digests = artifacts.digests;
+    wire.checkpointCycles.reserve(artifacts.checkpoints.size());
+    for (const sim::Snapshot& checkpoint : artifacts.checkpoints)
+        wire.checkpointCycles.push_back(checkpoint.cycle);
+    return wire;
+}
+
+std::string
+serializeGoldenWire(const GoldenWire& wire)
+{
+    const sim::SimResult& r = wire.result;
+    std::string out;
+    out.reserve(256 + r.output.size() * 2 +
+                wire.digests.size() * 24 +
+                wire.checkpointCycles.size() * 12);
+    out += WireMagic;
+    out += ' ';
+    out += WireVersion;
+    appendU64(out, static_cast<uint64_t>(r.status.kind));
+    appendU64(out, r.status.exitCode);
+    appendU64(out, static_cast<uint64_t>(r.status.exception));
+    appendU64(out, r.status.faultPc);
+    appendU64(out, r.status.faultAddr);
+    appendU64(out, r.cycles);
+    appendU64(out, r.instructions);
+    appendU64(out, r.cpuStats.cycles);
+    appendU64(out, r.cpuStats.committed);
+    appendU64(out, r.cpuStats.branches);
+    appendU64(out, r.cpuStats.mispredicts);
+    appendU64(out, r.cpuStats.squashedInsts);
+    appendU64(out, r.cpuStats.loads);
+    appendU64(out, r.cpuStats.stores);
+    appendU64(out, r.cpuStats.storeForwards);
+    for (const sim::CacheStats* cache :
+         {&r.l1iStats, &r.l1dStats, &r.l2Stats}) {
+        appendU64(out, cache->hits);
+        appendU64(out, cache->misses);
+        appendU64(out, cache->writebacks);
+    }
+    for (const sim::TlbStats* tlb : {&r.itlbStats, &r.dtlbStats}) {
+        appendU64(out, tlb->hits);
+        appendU64(out, tlb->misses);
+    }
+    appendU64(out, r.pageWalks);
+    appendU64(out, static_cast<uint64_t>(r.earlyExit));
+    appendU64(out, r.earlyExitCycle);
+    appendU64(out, r.output.size());
+    out += ' ';
+    if (r.output.empty()) {
+        out += '-';
+    } else {
+        for (uint8_t byte : r.output) {
+            out += HexDigits[byte >> 4];
+            out += HexDigits[byte & 0xf];
+        }
+    }
+    appendU64(out, wire.digests.size());
+    for (const sim::DigestPoint& point : wire.digests) {
+        appendU64(out, point.cycle);
+        appendU64(out, point.digest);
+    }
+    appendU64(out, wire.checkpointCycles.size());
+    for (uint64_t cycle : wire.checkpointCycles)
+        appendU64(out, cycle);
+    return out;
+}
+
+bool
+parseGoldenWire(const std::string& blob, GoldenWire& out)
+{
+    TokenReader t(blob);
+    std::string magic, version;
+    if (!t.word(magic) || magic != WireMagic || !t.word(version) ||
+        version != WireVersion)
+        return false;
+    sim::SimResult& r = out.result;
+    uint64_t kind = 0, exception = 0, early = 0;
+    if (!t.u64(static_cast<uint64_t>(sim::ExitKind::SimAssert), kind))
+        return false;
+    r.status.kind = static_cast<sim::ExitKind>(kind);
+    if (!t.u32(UINT32_MAX, r.status.exitCode) ||
+        !t.u64(255, exception))
+        return false;
+    r.status.exception = static_cast<sim::ExceptionType>(exception);
+    if (!t.u32(UINT32_MAX, r.status.faultPc) ||
+        !t.u32(UINT32_MAX, r.status.faultAddr) ||
+        !t.u64(UINT64_MAX, r.cycles) ||
+        !t.u64(UINT64_MAX, r.instructions))
+        return false;
+    for (uint64_t* field :
+         {&r.cpuStats.cycles, &r.cpuStats.committed,
+          &r.cpuStats.branches, &r.cpuStats.mispredicts,
+          &r.cpuStats.squashedInsts, &r.cpuStats.loads,
+          &r.cpuStats.stores, &r.cpuStats.storeForwards}) {
+        if (!t.u64(UINT64_MAX, *field))
+            return false;
+    }
+    for (sim::CacheStats* cache :
+         {&r.l1iStats, &r.l1dStats, &r.l2Stats}) {
+        if (!t.u64(UINT64_MAX, cache->hits) ||
+            !t.u64(UINT64_MAX, cache->misses) ||
+            !t.u64(UINT64_MAX, cache->writebacks))
+            return false;
+    }
+    for (sim::TlbStats* tlb : {&r.itlbStats, &r.dtlbStats}) {
+        if (!t.u64(UINT64_MAX, tlb->hits) ||
+            !t.u64(UINT64_MAX, tlb->misses))
+            return false;
+    }
+    if (!t.u64(UINT64_MAX, r.pageWalks) ||
+        !t.u64(static_cast<uint64_t>(sim::EarlyExit::Converged),
+               early) ||
+        !t.u64(UINT64_MAX, r.earlyExitCycle))
+        return false;
+    r.earlyExit = static_cast<sim::EarlyExit>(early);
+
+    uint64_t output_len = 0;
+    std::string hex;
+    if (!t.u64(MaxOutputBytes, output_len) || !t.word(hex))
+        return false;
+    if (output_len == 0) {
+        if (hex != "-")
+            return false;
+        r.output.clear();
+    } else {
+        if (hex.size() != output_len * 2)
+            return false;
+        r.output.resize(output_len);
+        for (uint64_t i = 0; i < output_len; ++i) {
+            int hi = -1, lo = -1;
+            for (int d = 0; d < 16; ++d) {
+                if (hex[2 * i] == HexDigits[d])
+                    hi = d;
+                if (hex[2 * i + 1] == HexDigits[d])
+                    lo = d;
+            }
+            if (hi < 0 || lo < 0)
+                return false;
+            r.output[i] = static_cast<uint8_t>((hi << 4) | lo);
+        }
+    }
+
+    uint64_t digests = 0;
+    if (!t.u64(MaxLadderPoints, digests))
+        return false;
+    out.digests.resize(digests);
+    for (sim::DigestPoint& point : out.digests) {
+        if (!t.u64(UINT64_MAX, point.cycle) ||
+            !t.u64(UINT64_MAX, point.digest))
+            return false;
+    }
+    uint64_t checkpoints = 0;
+    if (!t.u64(MaxLadderPoints, checkpoints))
+        return false;
+    out.checkpointCycles.resize(checkpoints);
+    for (uint64_t& cycle : out.checkpointCycles) {
+        if (!t.u64(UINT64_MAX, cycle))
+            return false;
+    }
+    return t.atEnd();
+}
+
+std::string
+goldenWireKey(uint64_t outcome_digest, const std::string& blob)
+{
+    return strprintf("g%016llx-%016llx",
+                     static_cast<unsigned long long>(outcome_digest),
+                     static_cast<unsigned long long>(fnv1a64(blob)));
+}
+
+bool
+validGoldenKey(const std::string& key)
+{
+    if (key.size() != 34 || key[0] != 'g' || key[17] != '-')
+        return false;
+    for (size_t i = 1; i < key.size(); ++i) {
+        if (i == 17)
+            continue;
+        const char c = key[i];
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+} // namespace mbusim::core

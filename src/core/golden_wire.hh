@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Portable golden-artifact serialization for cross-host sweeps
+ * (DESIGN.md §17).
+ *
+ * A remote worker cannot assume the coordinator's filesystem, so the
+ * golden run's identity travels by value: the terminal SimResult, the
+ * state-digest ladder and the checkpoint-ladder cycles are rendered
+ * into one deterministic text blob, content-addressed by a key that
+ * combines outcomeDigest() (every CPU parameter and workload-source
+ * byte that can change outcomes) with an FNV-1a hash of the blob
+ * itself. Whole-machine checkpoint *state* is deliberately not
+ * shipped — a worker rebuilds it with one local golden simulation,
+ * exactly as local workers always have — but the digest ladder hashes
+ * every behaviour-relevant bit of that state, so a worker whose
+ * rebuilt blob matches byte-for-byte has proven its checkpoints match
+ * too. A key mismatch means the hosts disagree on simulator or
+ * workload version; the unit is refused rather than silently
+ * producing records from a different machine.
+ */
+
+#ifndef MBUSIM_CORE_GOLDEN_WIRE_HH
+#define MBUSIM_CORE_GOLDEN_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/golden_store.hh"
+
+namespace mbusim::core {
+
+/** The wire-portable subset of GoldenArtifacts. */
+struct GoldenWire
+{
+    sim::SimResult result;
+    std::vector<sim::DigestPoint> digests;
+    std::vector<uint64_t> checkpointCycles;
+};
+
+/** Project the portable fields out of freshly built artifacts. */
+GoldenWire wireFromArtifacts(const GoldenArtifacts& artifacts);
+
+/** Render @p wire as one deterministic single-line text blob. */
+std::string serializeGoldenWire(const GoldenWire& wire);
+
+/**
+ * Strict inverse of serializeGoldenWire: any deviation — wrong magic,
+ * non-numeric field, truncated list, trailing garbage, oversized
+ * output — rejects the blob and leaves @p out unspecified.
+ */
+bool parseGoldenWire(const std::string& blob, GoldenWire& out);
+
+/**
+ * Content address of one golden blob: `g<outcome>-<body>`, both
+ * halves 16 hex digits. @p outcome_digest is outcomeDigest() for the
+ * campaign's CPU config and workload source, so two hosts that agree
+ * on the key agree on everything that can change campaign outcomes.
+ */
+std::string goldenWireKey(uint64_t outcome_digest,
+                          const std::string& blob);
+
+/** Syntactic check for a key as it appears in wire frames. */
+bool validGoldenKey(const std::string& key);
+
+} // namespace mbusim::core
+
+#endif // MBUSIM_CORE_GOLDEN_WIRE_HH

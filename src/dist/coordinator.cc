@@ -9,6 +9,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <map>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -16,16 +17,20 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/golden_store.hh"
+#include "core/golden_wire.hh"
 #include "dist/protocol.hh"
+#include "dist/transport.hh"
 #include "util/env.hh"
 #include "util/interrupt.hh"
 #include "util/journal.hh"
 #include "util/log.hh"
 #include "util/metrics.hh"
+#include "util/parse.hh"
 
 namespace mbusim::dist {
 
@@ -43,15 +48,25 @@ struct WorkUnit
     int64_t id = 0;
     core::SweepCell* cell = nullptr;
     std::vector<uint32_t> indices;
-    /** Workers this unit's execution has killed (crash or revoked
-     *  lease). Two strikes quarantine it: a multi-run unit splits
-     *  into singletons, a singleton is recorded as Outcome::Error. */
+    /** Workers this unit's execution has killed (crash, lost
+     *  connection or revoked lease). Two strikes quarantine it: a
+     *  multi-run unit splits into singletons, a singleton is recorded
+     *  as Outcome::Error. */
     uint32_t killCount = 0;
 };
 
-/** One worker slot: a subprocess, its pipes and its lease. */
+/**
+ * One worker slot: a local subprocess on a pipe pair, a remote worker
+ * the coordinator dialed (re-dialed on loss under the respawn
+ * budget), or a remote worker that dialed in (never re-dialed — it
+ * owns the connection). Remote slots carry one socket fd in both
+ * toFd and fromFd.
+ */
 struct WorkerSlot
 {
+    enum class Kind { Local, Dial, Accepted };
+
+    Kind kind = Kind::Local;
     uint32_t slot = 0;
     uint32_t generation = 0;     ///< bumped per respawn: shard names
     pid_t pid = -1;
@@ -60,10 +75,35 @@ struct WorkerSlot
     FrameBuffer frames;
     WorkUnit* unit = nullptr;    ///< leased unit, if any
     bool ready = false;          ///< said hello, can take work
+    bool sawEof = false;         ///< remote: transport EOF or error
+    bool defunct = false;        ///< remote: refused (bad-golden)
+    bool everConnected = false;  ///< dial: first connect succeeded
+    HostSpec host;               ///< dial target
     Clock::time_point lastFrame; ///< lease: renewed by any frame
-    Clock::time_point nextSpawn; ///< respawn backoff gate
+    Clock::time_point nextSpawn; ///< respawn/re-dial backoff gate
     uint32_t spawnFailures = 0;  ///< consecutive, drives the backoff
 };
+
+bool
+slotActive(const WorkerSlot& slot)
+{
+    return slot.kind == WorkerSlot::Kind::Local ? slot.pid >= 0
+                                                : slot.fromFd >= 0;
+}
+
+const char*
+slotLabel(const WorkerSlot& slot)
+{
+    switch (slot.kind) {
+      case WorkerSlot::Kind::Local:
+        return "local";
+      case WorkerSlot::Kind::Dial:
+        return "remote";
+      case WorkerSlot::Kind::Accepted:
+        return "dial-in";
+    }
+    return "?";
+}
 
 void
 closeFd(int& fd)
@@ -100,6 +140,11 @@ defaultDistConfig()
     config.respawnBudget = static_cast<uint32_t>(
         envUInt("MBUSIM_RESPAWN_BUDGET", 8, UINT32_MAX));
     config.workerExe = envString("MBUSIM_WORKER_EXE", "");
+    config.hosts = splitCommaList(envString("MBUSIM_HOSTS", ""));
+    config.shipGolden =
+        envUInt("MBUSIM_SHIP_GOLDEN", 1, 1) != 0;
+    config.connectGraceS = static_cast<uint32_t>(
+        envUInt("MBUSIM_CONNECT_GRACE_S", 15, UINT32_MAX));
     return config;
 }
 
@@ -107,7 +152,20 @@ core::SweepReport
 runDistributedSweep(core::Study& study, const DistConfig& config,
                     const core::Study::ProgressFn& progress)
 {
-    if (config.workerProcs == 0)
+    // Dial targets are validated up front; a malformed entry is a
+    // configuration error, not a host to retry forever.
+    std::vector<HostSpec> dial_hosts;
+    for (const std::string& spec : config.hosts) {
+        HostSpec host;
+        if (parseHostPort(spec, host))
+            dial_hosts.push_back(std::move(host));
+        else
+            warn("dist: ignoring malformed host '%s' (want "
+                 "host:port)", spec.c_str());
+    }
+
+    if (config.workerProcs == 0 && dial_hosts.empty() &&
+        config.listenPort < 0)
         return study.runSweep(progress);
 
     const Clock::time_point started = Clock::now();
@@ -115,7 +173,8 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
     const core::StudyConfig& sc = study.config();
 
     // A worker that dies between our poll and our write would
-    // otherwise SIGPIPE the whole coordinator.
+    // otherwise SIGPIPE the whole coordinator; so would a remote
+    // worker whose connection resets.
     std::signal(SIGPIPE, SIG_IGN);
 
     core::SweepReport report;
@@ -127,8 +186,11 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
     // leftover shards, enumerate, replay journals, plan cohorts.
     std::vector<std::string> cached_keys;
     std::vector<std::unique_ptr<core::SweepCell>> cells =
-        study.prepareSweepCells(report, cached_keys,
-                                config.workerProcs);
+        study.prepareSweepCells(
+            report, cached_keys,
+            std::max<uint32_t>(
+                1, config.workerProcs +
+                       static_cast<uint32_t>(dial_hosts.size())));
 
     Metrics& m = metrics();
     Counter& respawns_ctr = m.counter("dist.respawns");
@@ -159,11 +221,69 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
     for (const std::string& key : cached_keys)
         notify(key, true);
 
+    // Golden identity per workload, built on demand from the
+    // coordinator's own artifacts (already simulated for cohort
+    // planning): the content-addressed key rides in every work frame
+    // so a worker on a skewed build refuses the unit, and the blob is
+    // served to remote workers over `need`/`art`.
+    std::map<const workloads::Workload*,
+             std::pair<std::string, std::string>>
+        golden_wire;   // workload -> {key, blob}
+    auto goldenFor =
+        [&](core::SweepCell& cell)
+        -> const std::pair<std::string, std::string>& {
+        auto it = golden_wire.find(cell.workload);
+        if (it == golden_wire.end()) {
+            std::string blob = core::serializeGoldenWire(
+                core::wireFromArtifacts(
+                    cell.campaign->goldenArtifacts()));
+            std::string key = core::goldenWireKey(
+                cell.campaign->outcomeKey(), blob);
+            it = golden_wire
+                     .emplace(cell.workload,
+                              std::make_pair(std::move(key),
+                                             std::move(blob)))
+                     .first;
+        }
+        return it->second;
+    };
+
+    // Remote workers cannot journal into the coordinator's filesystem,
+    // so their streamed records are journalled here, into one
+    // coordinator-side shard per cell, before adoption — same
+    // durability contract as a local worker's own shard, merged
+    // through the same path. The handle must be closed before any
+    // merge renames the file.
+    std::map<const core::SweepCell*, std::unique_ptr<Journal>>
+        remote_shards;
+    auto remoteShardAppend = [&](core::SweepCell& cell,
+                                 const core::RunRecord& record) {
+        if (sc.journalDir.empty())
+            return;
+        auto it = remote_shards.find(&cell);
+        if (it == remote_shards.end()) {
+            const std::string path = sc.journalDir + "/" + cell.key +
+                                     ".journal.shard-coord";
+            auto journal = std::make_unique<Journal>(
+                path, cell.campaign->journalHeader());
+            if (!journal->open()) {
+                warn("dist: cannot write remote-record shard '%s'; "
+                     "remote records of this cell will not survive a "
+                     "coordinator crash", path.c_str());
+                journal.reset();
+            }
+            it = remote_shards.emplace(&cell, std::move(journal))
+                     .first;
+        }
+        if (it->second)
+            it->second->append(core::serializeRunRecord(record));
+    };
+
     // Merge a completed cell's shards into its canonical journal.
     // Safe mid-sweep: the cell has zero pending runs, so neither the
     // workers nor the coordinator will ever append to it again (the
-    // coordinator adopts records without journaling precisely so the
-    // rename cannot orphan a live appender).
+    // coordinator's own shard appender is closed first — a rename
+    // must never orphan a live appender).
     auto mergeCellShards = [&](const core::SweepCell& cell) {
         if (sc.journalDir.empty())
             return;
@@ -186,6 +306,7 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
     auto finalizeCell = [&](core::SweepCell& cell) {
         if (!finalized.insert(&cell).second)
             return;
+        remote_shards.erase(&cell);
         mergeCellShards(cell);
         study.installCellResult(cell);
         notify(cell.key, false);
@@ -223,9 +344,14 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
 
     // Adoption: one streamed record enters the coordinator's
     // Execution, and the worker that retires a cell's last run
-    // completes the cell.
-    auto adopt = [&](core::SweepCell& cell, core::RunRecord record) {
+    // completes the cell. Records from remote workers are journalled
+    // into the coordinator-side shard first; local workers' records
+    // are already durable in their own shards.
+    auto adopt = [&](core::SweepCell& cell, core::RunRecord record,
+                     bool journal_here) {
         const bool was_pending = cell.exec->pending(record.index);
+        if (journal_here && was_pending)
+            remoteShardAppend(cell, record);
         const uint32_t remaining =
             cell.exec->adoptRecord(std::move(record));
         if (was_pending)
@@ -278,7 +404,43 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
         return args;
     };
 
-    std::vector<WorkerSlot> slots(config.workerProcs);
+    // The cfg frame sent first on every remote connection: the same
+    // campaign parameters local workers get via argv, plus the
+    // environment knobs a Campaign resolves (they change planned
+    // cohorts and RunRecord fields, so the coordinator's values must
+    // win on every host). Only cleanly numeric values are forwarded —
+    // a garbage local value falls back to the same default on both
+    // sides.
+    CfgFrame cfg_frame;
+    cfg_frame.injections = sc.injections;
+    cfg_frame.seed = sc.seed;
+    cfg_frame.clusterRows = sc.cluster.rows;
+    cfg_frame.clusterCols = sc.cluster.cols;
+    cfg_frame.timeoutFactor = sc.timeoutFactor;
+    cfg_frame.inOrder = sc.cpu.inOrderIssue;
+    cfg_frame.heartbeatMs = heartbeat_ms;
+    cfg_frame.shipGolden = config.shipGolden;
+    for (const std::string& knob : forwardedEnvKnobs()) {
+        const std::string value = envString(knob.c_str(), "");
+        uint64_t numeric = 0;
+        if (!value.empty() && parseU64(value, UINT64_MAX, numeric))
+            cfg_frame.env.emplace_back(knob, value);
+    }
+    const std::string cfg_payload = buildCfgFrame(cfg_frame);
+
+    // Slot table: local subprocess slots first, then one dial slot
+    // per --hosts entry; dial-in workers append Accepted slots
+    // dynamically (deque: references stay valid as slots arrive).
+    std::deque<WorkerSlot> slots(config.workerProcs +
+                                 dial_hosts.size());
+    for (uint32_t i = 0; i < slots.size(); ++i) {
+        slots[i].slot = i;
+        if (i >= config.workerProcs) {
+            slots[i].kind = WorkerSlot::Kind::Dial;
+            slots[i].host = dial_hosts[i - config.workerProcs];
+        }
+    }
+    uint32_t next_slot_id = static_cast<uint32_t>(slots.size());
     uint32_t respawns_used = 0;
     uint32_t alive = 0;
     bool degraded = false;
@@ -344,10 +506,42 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
         slot.frames = FrameBuffer();
         slot.unit = nullptr;
         slot.ready = false;
+        slot.sawEof = false;
         slot.lastFrame = Clock::now();
         ++alive;
         workers_gauge.set(alive);
         return true;
+    };
+
+    // Attach one connected remote socket to @p slot: nonblocking like
+    // a worker pipe, cfg frame first so it is ahead of any work frame
+    // in the stream.
+    auto attachRemote = [&](WorkerSlot& slot, int fd) -> bool {
+        setNonBlocking(fd);
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        slot.toFd = fd;
+        slot.fromFd = fd;
+        slot.frames = FrameBuffer();
+        slot.unit = nullptr;
+        slot.ready = false;
+        slot.sawEof = false;
+        slot.everConnected = true;
+        slot.lastFrame = Clock::now();
+        if (!writeFrame(fd, cfg_payload)) {
+            slot.toFd = -1;
+            closeFd(slot.fromFd);
+            return false;
+        }
+        ++alive;
+        workers_gauge.set(alive);
+        return true;
+    };
+
+    auto dialRemote = [&](WorkerSlot& slot) -> bool {
+        int fd = tcpConnect(slot.host.host, slot.host.port, 2000);
+        if (fd < 0)
+            return false;
+        return attachRemote(slot, fd);
     };
 
     auto sendWork = [&](WorkerSlot& slot) {
@@ -366,17 +560,18 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
                 continue;
             }
             unit->indices = std::move(pending);
-            std::string frame = strprintf(
-                "work %lld %s %s %u %zu",
-                static_cast<long long>(unit->id),
-                unit->cell->workload->name.c_str(),
-                core::componentShortName(unit->cell->component),
-                unit->cell->faults, unit->indices.size());
-            for (uint32_t index : unit->indices)
-                frame += strprintf(" %u", index);
-            if (!writeFrame(slot.toFd, frame)) {
-                // Dead pipe: the reaper will reclaim; requeue the
-                // unit so someone else picks it up first.
+            WorkFrame frame;
+            frame.unit = unit->id;
+            frame.workload = unit->cell->workload->name;
+            frame.component =
+                core::componentShortName(unit->cell->component);
+            frame.faults = unit->cell->faults;
+            frame.goldenKey = goldenFor(*unit->cell).first;
+            frame.indices = unit->indices;
+            if (!writeFrame(slot.toFd, buildWorkFrame(frame))) {
+                // Dead transport: the reaper (local) or the EOF sweep
+                // (remote) will reclaim; requeue the unit so someone
+                // else picks it up first.
                 ready.push_front(unit);
                 return;
             }
@@ -431,7 +626,20 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
         core::RunRecord record;
         record.index = pending.front();
         record.outcome = core::Outcome::Error;
-        adopt(*unit->cell, std::move(record));
+        adopt(*unit->cell, std::move(record), false);
+    };
+
+    auto releaseSlot = [&](WorkerSlot& slot) {
+        if (slot.toFd == slot.fromFd)
+            slot.toFd = -1;   // one socket: close it exactly once
+        closeFd(slot.toFd);
+        closeFd(slot.fromFd);
+        slot.pid = -1;
+        slot.ready = false;
+        slot.sawEof = false;
+        if (alive > 0)
+            --alive;
+        workers_gauge.set(alive);
     };
 
     auto handleFrame = [&](WorkerSlot& slot,
@@ -462,7 +670,8 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
             }
             record.wallMicros = wall_us;
             if (slot.unit != nullptr && slot.unit->id == unit_id)
-                adopt(*slot.unit->cell, std::move(record));
+                adopt(*slot.unit->cell, std::move(record),
+                      slot.kind != WorkerSlot::Kind::Local);
         } else if (tag == "unit-done") {
             long long unit_id = -1;
             in >> unit_id;
@@ -471,6 +680,54 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
                 --units_open;
             }
             sendWork(slot);
+        } else if (tag == "need") {
+            // A remote worker wants the golden blob for one key
+            // (byte-level verification against its own rebuild).
+            std::string key;
+            in >> key;
+            const std::string* blob = nullptr;
+            for (const auto& [workload, wire] : golden_wire) {
+                if (wire.first == key) {
+                    blob = &wire.second;
+                    break;
+                }
+            }
+            if (blob == nullptr || !config.shipGolden) {
+                writeFrame(slot.toFd, "art-miss " + key);
+                return;
+            }
+            uint64_t offset = 0;
+            do {
+                ArtFrame art;
+                art.key = key;
+                art.total = blob->size();
+                art.offset = offset;
+                art.chunk = blob->substr(offset, ArtChunkBytes);
+                if (!writeFrame(slot.toFd, buildArtFrame(art)))
+                    break;   // dead transport: EOF sweep reclaims
+                offset += art.chunk.size();
+            } while (offset < blob->size());
+        } else if (tag == "bad-golden") {
+            // The worker's rebuilt golden run does not match ours:
+            // simulator or workload version skew. Requeue the unit
+            // without a strike (the unit is innocent) and never use
+            // this worker again — every unit it gets would bounce.
+            long long unit_id = -1;
+            std::string have, want;
+            in >> unit_id >> have >> want;
+            warn("dist: %s worker %u refused unit %lld: its golden "
+                 "key %s != coordinator's %s (version skew); "
+                 "retiring that worker",
+                 slotLabel(slot), slot.slot, unit_id, have.c_str(),
+                 want.c_str());
+            reclaim(slot, false);
+            slot.defunct = true;
+            if (slot.kind == WorkerSlot::Kind::Local) {
+                if (slot.pid > 0)
+                    ::kill(slot.pid, SIGTERM);
+            } else {
+                slot.sawEof = true;   // the EOF sweep retires it
+            }
         } else if (tag == "log") {
             char level = 'I';
             in >> level;
@@ -498,30 +755,55 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
             }
             if (n < 0 && errno == EINTR)
                 continue;
-            break;   // EAGAIN (drained) or EOF/error (reaper's job)
+            if (slot.kind != WorkerSlot::Kind::Local &&
+                (n == 0 ||
+                 (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK))) {
+                // A remote death has no SIGCHLD; EOF/reset on the
+                // socket is its obituary. Frames already fed still
+                // get handled below — a lost worker's last records
+                // are not lost work.
+                slot.sawEof = true;
+            }
+            break;   // EAGAIN (drained), EOF or error
         }
         std::string payload;
         while (slot.frames.next(payload))
             handleFrame(slot, payload);
         if (slot.frames.corrupt()) {
-            warn("dist: worker %u sent a corrupt stream; killing it",
+            warn("dist: worker %u sent a corrupt stream; dropping it",
                  slot.slot);
-            if (slot.pid > 0)
-                ::kill(slot.pid, SIGKILL);
+            if (slot.kind == WorkerSlot::Kind::Local) {
+                if (slot.pid > 0)
+                    ::kill(slot.pid, SIGKILL);
+            } else {
+                slot.sawEof = true;
+            }
         }
     };
 
-    auto releaseSlot = [&](WorkerSlot& slot) {
-        closeFd(slot.toFd);
-        closeFd(slot.fromFd);
-        slot.pid = -1;
-        slot.ready = false;
-        if (alive > 0)
-            --alive;
-        workers_gauge.set(alive);
+    // Retire remote slots whose transport died: adopt what arrived,
+    // strike the unit, requeue its pending runs on the survivors.
+    // Dial slots re-dial later under the respawn budget; Accepted
+    // slots are gone until their worker dials back in.
+    auto sweepRemoteDead = [&]() {
+        for (WorkerSlot& slot : slots) {
+            if (slot.kind == WorkerSlot::Kind::Local ||
+                slot.fromFd < 0 || !slot.sawEof)
+                continue;
+            if (slot.unit != nullptr) {
+                warn("dist: %s worker %u lost its connection holding "
+                     "unit %lld; requeueing its pending runs",
+                     slotLabel(slot), slot.slot,
+                     static_cast<long long>(slot.unit->id));
+            }
+            reclaim(slot, true);
+            releaseSlot(slot);
+            slot.nextSpawn =
+                Clock::now() + std::chrono::milliseconds(250);
+        }
     };
 
-    // Reap exited workers; a death with a lease is a strike.
+    // Reap exited local workers; a death with a lease is a strike.
     auto reapDead = [&]() {
         for (;;) {
             int status = 0;
@@ -591,94 +873,204 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
         return true;
     };
 
-    // Initial fleet.
-    for (uint32_t i = 0; i < slots.size(); ++i) {
-        slots[i].slot = i;
-        if (units_open > 0)
-            spawn(slots[i], false);
+    // Listen socket for dial-in workers (`mbusim worker --connect`).
+    int listen_fd = -1;
+    if (config.listenPort >= 0) {
+        uint16_t bound = 0;
+        listen_fd = tcpListen(
+            static_cast<uint16_t>(config.listenPort), bound);
+        if (listen_fd >= 0) {
+            setNonBlocking(listen_fd);
+            ::fcntl(listen_fd, F_SETFD, FD_CLOEXEC);
+            inform("dist: accepting workers on port %u", bound);
+        }
+    }
+    auto acceptRemote = [&]() {
+        for (;;) {
+            int fd = tcpAccept(listen_fd);
+            if (fd < 0)
+                return;
+            slots.emplace_back();
+            WorkerSlot& slot = slots.back();
+            slot.kind = WorkerSlot::Kind::Accepted;
+            slot.slot = next_slot_id++;
+            if (attachRemote(slot, fd))
+                inform("dist: worker %u dialed in", slot.slot);
+        }
+    };
+
+    const Clock::time_point connect_grace_end =
+        started + std::chrono::seconds(config.connectGraceS);
+
+    // Initial fleet: spawn local slots, dial every host. Dial
+    // failures retry during the connection grace window without
+    // touching the respawn budget.
+    for (WorkerSlot& slot : slots) {
+        if (units_open == 0)
+            break;
+        if (slot.kind == WorkerSlot::Kind::Local)
+            spawn(slot, false);
+        else if (!dialRemote(slot))
+            slot.nextSpawn =
+                Clock::now() + std::chrono::milliseconds(250);
     }
 
     // --- The event loop. Single-threaded: every mutation of cells,
     // units and leases happens here, so there is no locking anywhere
     // in the coordinator.
     Clock::time_point last_beat = started;
+    Clock::time_point zero_alive_since = Clock::time_point::min();
     while (units_open > 0 && !shouldStop()) {
         // Keep the fleet at strength while the respawn budget lasts.
+        // A dial slot that never connected dials for free until the
+        // grace window closes; after that, every attempt — successful
+        // or not — draws on the budget, so a dead host drains it in
+        // bounded time instead of being retried forever.
         const Clock::time_point now = Clock::now();
         for (WorkerSlot& slot : slots) {
-            if (slot.pid >= 0 || ready.empty())
-                continue;
-            if (respawns_used >= config.respawnBudget)
+            if (slot.kind == WorkerSlot::Kind::Accepted ||
+                slotActive(slot) || slot.defunct || ready.empty())
                 continue;
             if (now < slot.nextSpawn)
                 continue;
+            const bool free_dial =
+                slot.kind == WorkerSlot::Kind::Dial &&
+                !slot.everConnected && now < connect_grace_end;
+            if (!free_dial && respawns_used >= config.respawnBudget)
+                continue;
             ++slot.generation;
-            if (spawn(slot, true)) {
-                ++respawns_used;
-                respawns_ctr.add(1);
-                // Capped exponential backoff per slot: a worker that
-                // dies instantly (bad exe, OOM storm) must not burn
-                // the whole budget in one scheduler beat.
-                slot.spawnFailures =
-                    std::min<uint32_t>(slot.spawnFailures + 1, 6);
-                slot.nextSpawn =
-                    now + std::chrono::milliseconds(
-                              std::min<uint64_t>(
-                                  50ull << slot.spawnFailures, 2000));
+            if (slot.kind == WorkerSlot::Kind::Local) {
+                if (spawn(slot, true)) {
+                    ++respawns_used;
+                    respawns_ctr.add(1);
+                    // Capped exponential backoff per slot: a worker
+                    // that dies instantly (bad exe, OOM storm) must
+                    // not burn the whole budget in one scheduler
+                    // beat.
+                    slot.spawnFailures =
+                        std::min<uint32_t>(slot.spawnFailures + 1, 6);
+                    slot.nextSpawn =
+                        now + std::chrono::milliseconds(
+                                  std::min<uint64_t>(
+                                      50ull << slot.spawnFailures,
+                                      2000));
+                } else {
+                    slot.nextSpawn = now + std::chrono::seconds(1);
+                }
             } else {
-                slot.nextSpawn = now + std::chrono::seconds(1);
+                if (!free_dial) {
+                    ++respawns_used;
+                    respawns_ctr.add(1);
+                }
+                if (dialRemote(slot)) {
+                    slot.spawnFailures = 0;
+                } else {
+                    slot.spawnFailures =
+                        std::min<uint32_t>(slot.spawnFailures + 1, 6);
+                    slot.nextSpawn =
+                        now + std::chrono::milliseconds(
+                                  std::min<uint64_t>(
+                                      50ull << slot.spawnFailures,
+                                      2000));
+                }
             }
         }
         if (alive == 0) {
-            if (respawns_used >= config.respawnBudget &&
-                units_open > 0) {
+            // Degrade only when nothing can come back: no local
+            // respawn or re-dial possible, and no dial-in worker
+            // plausibly arriving (one lease-timeout of patience when
+            // a listen socket is open).
+            bool recoverable = false;
+            for (const WorkerSlot& slot : slots) {
+                if (slot.defunct ||
+                    slot.kind == WorkerSlot::Kind::Accepted)
+                    continue;
+                const bool free_dial =
+                    slot.kind == WorkerSlot::Kind::Dial &&
+                    !slot.everConnected &&
+                    Clock::now() < connect_grace_end;
+                if (free_dial ||
+                    respawns_used < config.respawnBudget) {
+                    recoverable = true;
+                    break;
+                }
+            }
+            if (!recoverable && listen_fd >= 0) {
+                if (zero_alive_since == Clock::time_point::min())
+                    zero_alive_since = Clock::now();
+                recoverable =
+                    Clock::now() - zero_alive_since <
+                    std::chrono::seconds(
+                        std::max<uint32_t>(1, config.leaseTimeoutS));
+            }
+            if (!recoverable && units_open > 0) {
                 degraded = true;
                 break;
             }
-            // All spawns are backing off; don't spin.
+        } else {
+            zero_alive_since = Clock::time_point::min();
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<WorkerSlot*> fd_slots;
+        if (listen_fd >= 0)
+            fds.push_back({listen_fd, POLLIN, 0});
+        for (WorkerSlot& slot : slots) {
+            if (slotActive(slot) && slot.fromFd >= 0) {
+                fds.push_back({slot.fromFd, POLLIN, 0});
+                fd_slots.push_back(&slot);
+            }
+        }
+        if (fds.empty()) {
+            // All spawns and dials are backing off; don't spin.
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(20));
             reapDead();
             continue;
         }
-
-        std::vector<pollfd> fds;
-        std::vector<WorkerSlot*> fd_slots;
-        for (WorkerSlot& slot : slots) {
-            if (slot.pid >= 0 && slot.fromFd >= 0) {
-                fds.push_back({slot.fromFd, POLLIN, 0});
-                fd_slots.push_back(&slot);
-            }
-        }
         ::poll(fds.data(), fds.size(), 100);
-        for (size_t i = 0; i < fds.size(); ++i) {
-            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        const size_t base = listen_fd >= 0 ? 1 : 0;
+        if (base == 1 && (fds[0].revents & POLLIN))
+            acceptRemote();
+        for (size_t i = 0; i < fd_slots.size(); ++i) {
+            if (fds[base + i].revents & (POLLIN | POLLHUP | POLLERR))
                 drainPipe(*fd_slots[i]);
         }
         reapDead();
+        sweepRemoteDead();
 
         // Lease audit: a worker silent past the timeout is presumed
         // hung (its heartbeat thread would have spoken otherwise) and
-        // killed; the reaper then requeues its unit with a strike.
+        // killed or disconnected; its unit requeues with a strike.
         if (config.leaseTimeoutS > 0) {
             const Clock::time_point cutoff =
                 Clock::now() -
                 std::chrono::seconds(config.leaseTimeoutS);
             for (WorkerSlot& slot : slots) {
-                if (slot.pid >= 0 && slot.lastFrame < cutoff) {
-                    warn("dist: worker %u (pid %d) silent for %us; "
-                         "revoking its lease",
-                         slot.slot, static_cast<int>(slot.pid),
-                         config.leaseTimeoutS);
-                    reclaimed_ctr.add(1);
+                if (!slotActive(slot) || slot.lastFrame >= cutoff)
+                    continue;
+                warn("dist: %s worker %u silent for %us; revoking "
+                     "its lease",
+                     slotLabel(slot), slot.slot,
+                     config.leaseTimeoutS);
+                reclaimed_ctr.add(1);
+                if (slot.kind == WorkerSlot::Kind::Local) {
                     ::kill(slot.pid, SIGKILL);
+                } else {
+                    drainPipe(slot);   // adopt its last frames
+                    reclaim(slot, true);
+                    releaseSlot(slot);
+                    slot.nextSpawn =
+                        Clock::now() +
+                        std::chrono::milliseconds(250);
                 }
             }
         }
 
         // Idle-but-ready workers pick up requeued units.
         for (WorkerSlot& slot : slots) {
-            if (slot.pid >= 0 && slot.ready && slot.unit == nullptr)
+            if (slotActive(slot) && slot.ready &&
+                slot.unit == nullptr)
                 sendWork(slot);
         }
 
@@ -687,28 +1079,35 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
                 std::chrono::seconds(heartbeat_s)) {
             last_beat = Clock::now();
             inform("dist: %llu/%llu runs, %u/%u cells done | "
-                   "workers=%u/%u queue=%zu respawns=%u/%u "
+                   "workers=%u/%zu queue=%zu respawns=%u/%u "
                    "reclaimed=%llu",
                    static_cast<unsigned long long>(runs_done),
                    static_cast<unsigned long long>(runs_total),
-                   cells_done, report.cells, alive,
-                   config.workerProcs, ready.size(), respawns_used,
+                   cells_done, report.cells, alive, slots.size(),
+                   ready.size(), respawns_used,
                    config.respawnBudget,
                    static_cast<unsigned long long>(
                        reclaimed_ctr.value()));
         }
     }
 
-    // --- Shutdown: ask nicely (shutdown frame + EOF + SIGTERM),
-    // adopt every record still in flight, then escalate to SIGKILL
-    // after a grace period.
+    // --- Shutdown: ask nicely (shutdown frame, then EOF — closed
+    // pipe or TCP FIN — plus SIGTERM for locals), adopt every record
+    // still in flight, then escalate to SIGKILL / a hard close after
+    // a grace period.
     for (WorkerSlot& slot : slots) {
-        if (slot.pid < 0)
+        if (!slotActive(slot))
             continue;
         if (slot.toFd >= 0)
             writeFrame(slot.toFd, "shutdown");
-        closeFd(slot.toFd);
-        ::kill(slot.pid, SIGTERM);
+        if (slot.kind == WorkerSlot::Kind::Local) {
+            closeFd(slot.toFd);
+            ::kill(slot.pid, SIGTERM);
+        } else {
+            // Half-close: the worker sees EOF after the shutdown
+            // frame but its in-flight records still drain to us.
+            ::shutdown(slot.fromFd, SHUT_WR);
+        }
     }
     const Clock::time_point grace_end =
         Clock::now() + std::chrono::seconds(2);
@@ -716,7 +1115,7 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
         std::vector<pollfd> fds;
         std::vector<WorkerSlot*> fd_slots;
         for (WorkerSlot& slot : slots) {
-            if (slot.pid >= 0 && slot.fromFd >= 0) {
+            if (slotActive(slot) && slot.fromFd >= 0) {
                 fds.push_back({slot.fromFd, POLLIN, 0});
                 fd_slots.push_back(&slot);
             }
@@ -729,25 +1128,30 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
             }
         }
         reapDead();
+        sweepRemoteDead();
     }
     for (WorkerSlot& slot : slots) {
-        if (slot.pid >= 0) {
+        if (!slotActive(slot))
+            continue;
+        if (slot.kind == WorkerSlot::Kind::Local) {
             ::kill(slot.pid, SIGKILL);
             int status = 0;
             ::waitpid(slot.pid, &status, 0);
-            drainPipe(slot);
-            reclaim(slot, true);
-            releaseSlot(slot);
         }
+        drainPipe(slot);
+        reclaim(slot, true);
+        releaseSlot(slot);
     }
+    closeFd(listen_fd);
     workers_gauge.set(0);
 
-    // --- Graceful degradation: the respawn budget is gone but runs
-    // remain. Finish them in this process with the same cohort
-    // machinery rather than abandoning the sweep.
+    // --- Graceful degradation: every transport is gone — the respawn
+    // budget is exhausted, no host answers — but runs remain. Finish
+    // them in this process with the same cohort machinery rather than
+    // abandoning the sweep.
     if (degraded && !shouldStop()) {
-        warn("dist: respawn budget (%u) exhausted with %llu/%llu runs "
-             "done; draining the remainder in-process",
+        warn("dist: no workers left (respawn budget %u used) with "
+             "%llu/%llu runs done; draining the remainder in-process",
              config.respawnBudget,
              static_cast<unsigned long long>(runs_done),
              static_cast<unsigned long long>(runs_total));
@@ -803,8 +1207,10 @@ runDistributedSweep(core::Study& study, const DistConfig& config,
     // Anything a killed worker journalled for a still-incomplete cell
     // is merged now, so the next sweep (serial or distributed)
     // resumes from every run that ever completed. Nothing appends to
-    // these journals anymore: workers are reaped and the drain pool
+    // these journals anymore: workers are reaped or disconnected, the
+    // coordinator-side shard appenders are closed, and the drain pool
     // has joined.
+    remote_shards.clear();
     if (!sc.journalDir.empty())
         mergeShardJournals(sc.journalDir);
 

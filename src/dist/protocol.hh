@@ -1,29 +1,39 @@
 /**
  * @file
- * Wire protocol between the sweep coordinator and its worker
- * processes (DESIGN.md §14).
+ * Wire protocol between the sweep coordinator and its workers
+ * (DESIGN.md §14, §17).
  *
  * Frames are a 4-byte little-endian payload length followed by the
  * payload bytes; payloads are single-line text messages so the
  * protocol can be read in a debugger and unit-tested without a
- * process pair. The length prefix makes torn pipes detectable: a
+ * process pair. The length prefix makes torn streams detectable: a
  * worker SIGKILLed mid-write leaves a short final frame that the
- * coordinator discards instead of misparsing.
+ * coordinator discards instead of misparsing. The same frames ride
+ * pipes (local workers, fds 3/4) and TCP sockets (remote workers,
+ * transport.hh); nothing on the wire is authenticated or encrypted,
+ * so the protocol is for trusted networks only.
  *
  * Messages (coordinator -> worker):
- *   work <unit> <workload> <component> <faults> <n> <i0> ... <in-1>
+ *   cfg <k=v ...>                        (campaign parameters, remote)
+ *   work <unit> <workload> <component> <faults> <gkey> <n> <i0> ...
+ *   art <key> <total> <offset> <b64|->   (golden blob chunk)
+ *   art-miss <key>                       (no blob for that key)
  *   shutdown
  *
  * Messages (worker -> coordinator):
  *   hello <pid>
- *   rec <unit> <wall_us> run <index> ...   (serializeRunRecord payload)
+ *   need <key>                           (request the golden blob)
+ *   bad-golden <unit> <have> <want>      (golden key mismatch)
+ *   rec <unit> <wall_us> run <index> ... (serializeRunRecord payload)
  *   unit-done <unit>
  *   log <W|I> <text>
  *   hb
  *
  * Every worker->coordinator frame renews the worker's lease; `hb` is
  * sent by a worker-side heartbeat thread so a long run does not look
- * like a hang.
+ * like a hang. All numeric fields parse strictly (util/parse.hh): a
+ * malformed field rejects the whole frame rather than running a
+ * wrong-but-plausible injection.
  */
 
 #ifndef MBUSIM_DIST_PROTOCOL_HH
@@ -31,29 +41,44 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mbusim::dist {
 
 /**
  * Hard ceiling on one frame's payload. The largest legitimate frame
- * is a work unit listing a few thousand run indices; anything bigger
- * means a corrupted length prefix, and reading it would ask the
- * coordinator to allocate garbage gigabytes.
+ * is a work unit listing a few thousand run indices or one golden
+ * blob chunk; anything bigger means a corrupted length prefix, and
+ * reading it would ask the coordinator to allocate garbage gigabytes.
  */
 constexpr uint32_t MaxFrameBytes = 1u << 20;
 
+/** Ceiling on a whole golden-artifact blob (`art` frames' total).
+ *  Legitimate blobs are a few KiB; this bounds what a worker will
+ *  ever buffer for one transfer. */
+constexpr uint64_t MaxArtifactBytes = 16u << 20;
+
+/** Raw bytes per `art` chunk; base64 inflation keeps the frame under
+ *  MaxFrameBytes with room for the header fields. */
+constexpr size_t ArtChunkBytes = 512u << 10;
+
 /**
- * Write one length-prefixed frame to @p fd, retrying short writes and
- * EINTR. Returns false on any other error (EPIPE once the peer is
- * dead); callers treat that as the peer being gone, never as fatal.
+ * Write one length-prefixed frame to @p fd, retrying short writes,
+ * EINTR and (for nonblocking sockets) EAGAIN via poll. Returns false
+ * on any other error (EPIPE/ECONNRESET once the peer is dead);
+ * callers treat that as the peer being gone, never as fatal.
  */
 bool writeFrame(int fd, const std::string& payload);
 
 /**
  * Blocking read of one frame from @p fd. Returns 1 on a frame, 0 on
  * clean EOF at a frame boundary, -1 on error, torn trailing data or
- * an oversized length prefix. EINTR counts as an error: a termination
- * signal must be able to pop the worker out of a blocking read.
+ * an oversized length prefix. EINTR before the first byte of a frame
+ * returns -1 — a termination signal must be able to pop the worker
+ * out of its between-frames read — but EINTR after a frame has
+ * started (mid-prefix or mid-payload) is absorbed and the read
+ * resumes: a signal landing mid-frame is not a torn frame.
  */
 int readFrame(int fd, std::string& payload);
 
@@ -83,6 +108,86 @@ class FrameBuffer
     std::string buffer_;
     bool corrupt_ = false;
 };
+
+/** Strict base64 (RFC 4648, padded). decode rejects any non-alphabet
+ *  byte, bad length or misplaced padding. */
+std::string b64Encode(const std::string& data);
+bool b64Decode(const std::string& text, std::string& out);
+
+/** One work unit as framed on the wire. */
+struct WorkFrame
+{
+    int64_t unit = -1;
+    std::string workload;
+    std::string component;
+    uint32_t faults = 0;
+    /** Golden-wire key the worker must verify ("-" = unchecked). */
+    std::string goldenKey;
+    std::vector<uint32_t> indices;
+};
+
+std::string buildWorkFrame(const WorkFrame& frame);
+
+/**
+ * Parse a `work` frame strictly: every field numeric where expected,
+ * the index count matching the index list exactly, no trailing
+ * garbage. Returns false without running anything on any deviation —
+ * a malformed unit descriptor must never become an injection.
+ */
+bool parseWorkFrame(const std::string& payload, WorkFrame& out);
+
+/**
+ * Campaign parameters for a remote worker, sent first on every
+ * connection. Local workers get the same values via argv; remote
+ * workers cannot, so the coordinator frames them — including the
+ * MBUSIM_* environment knobs that change RunRecord fields (ladder
+ * targets, early exit), which the worker applies to its own
+ * environment before building any campaign.
+ */
+struct CfgFrame
+{
+    uint32_t injections = 200;
+    uint64_t seed = 0x5eed;
+    uint32_t clusterRows = 3;
+    uint32_t clusterCols = 3;
+    uint32_t timeoutFactor = 4;
+    bool inOrder = false;
+    uint32_t heartbeatMs = 0;
+    /** Ship golden blobs (`need`/`art`) instead of key-verify only. */
+    bool shipGolden = true;
+    /** Forwarded MBUSIM_* knobs, name/value pairs. */
+    std::vector<std::pair<std::string, std::string>> env;
+};
+
+std::string buildCfgFrame(const CfgFrame& frame);
+bool parseCfgFrame(const std::string& payload, CfgFrame& out);
+
+/**
+ * The environment knobs a cfg frame forwards: everything a Campaign
+ * constructor resolves that changes planned cohorts or RunRecord
+ * fields. The worker clears all of these before applying the frame's
+ * pairs, so an unset knob on the coordinator is unset on the worker.
+ */
+const std::vector<std::string>& forwardedEnvKnobs();
+
+/** One chunk of a golden blob transfer. `chunk` holds raw bytes
+ *  (base64 on the wire). */
+struct ArtFrame
+{
+    std::string key;
+    uint64_t total = 0;
+    uint64_t offset = 0;
+    std::string chunk;
+};
+
+std::string buildArtFrame(const ArtFrame& frame);
+
+/**
+ * Parse an `art` frame strictly. Rejects totals past
+ * MaxArtifactBytes and chunks that overrun the declared total, so a
+ * hostile stream cannot make the worker buffer unbounded garbage.
+ */
+bool parseArtFrame(const std::string& payload, ArtFrame& out);
 
 } // namespace mbusim::dist
 

@@ -1,0 +1,157 @@
+#include "dist/transport.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/log.hh"
+#include "util/parse.hh"
+
+namespace mbusim::dist {
+
+namespace {
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+bool
+parseHostPort(const std::string& spec, HostSpec& out)
+{
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+        return false;
+    uint32_t port = 0;
+    if (!parseU32(spec.substr(colon + 1), 65535, port) || port == 0)
+        return false;
+    out.host = spec.substr(0, colon);
+    out.port = static_cast<uint16_t>(port);
+    return true;
+}
+
+std::vector<std::string>
+splitCommaList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+tcpListen(uint16_t port, uint16_t& bound_port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("tcp: socket() failed: %s", std::strerror(errno));
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        warn("tcp: cannot listen on port %u: %s", port,
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0)
+        bound_port = ntohs(addr.sin_port);
+    else
+        bound_port = port;
+    return fd;
+}
+
+int
+tcpAccept(int listen_fd)
+{
+    // EINTR returns -1 on purpose: a listening worker blocked in
+    // accept must notice a termination signal.
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return -1;
+    setNoDelay(fd);
+    return fd;
+}
+
+int
+tcpConnect(const std::string& host, uint16_t port, int timeout_ms)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string service = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) !=
+            0 ||
+        res == nullptr)
+        return -1;
+
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        // Nonblocking connect + poll: a host that is down (or a
+        // blackholing firewall) must cost timeout_ms, not the kernel's
+        // multi-minute SYN retry budget.
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno == EINPROGRESS) {
+            pollfd pfd = {fd, POLLOUT, 0};
+            rc = ::poll(&pfd, 1, timeout_ms) == 1 ? 0 : -1;
+            if (rc == 0) {
+                int err = 0;
+                socklen_t len = sizeof(err);
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                rc = err == 0 ? 0 : -1;
+            }
+        }
+        if (rc == 0) {
+            ::fcntl(fd, F_SETFL, flags);   // back to blocking
+            setNoDelay(fd);
+            break;
+        }
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace mbusim::dist

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TCP transport for the cross-host sweep (DESIGN.md §17).
+ *
+ * The coordinator/worker frame protocol (protocol.hh) is transport-
+ * agnostic: locally it rides pipes, across hosts it rides one TCP
+ * connection per worker, carried by the helpers here. The protocol
+ * authenticates nothing and encrypts nothing — it is built for
+ * trusted lab networks only (a compute cluster behind a firewall, or
+ * loopback in tests); never expose a listen port to an untrusted
+ * network.
+ */
+
+#ifndef MBUSIM_DIST_TRANSPORT_HH
+#define MBUSIM_DIST_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbusim::dist {
+
+/** One `host:port` endpoint. */
+struct HostSpec
+{
+    std::string host;
+    uint16_t port = 0;
+};
+
+/**
+ * Parse `host:port` strictly (non-empty host, all-digit port in
+ * [1, 65535]). Returns false without touching @p out on any deviation.
+ */
+bool parseHostPort(const std::string& spec, HostSpec& out);
+
+/** Split a comma-separated list, dropping empty segments. */
+std::vector<std::string> splitCommaList(const std::string& csv);
+
+/**
+ * Bind and listen on @p port (0 = ephemeral; the kernel's choice is
+ * reported through @p bound_port either way). Returns the listening
+ * fd, or -1 with a warn() on failure. The socket accepts from any
+ * interface — see the trusted-network caveat above.
+ */
+int tcpListen(uint16_t port, uint16_t& bound_port);
+
+/**
+ * Accept one connection from @p listen_fd. Returns the connected fd
+ * with TCP_NODELAY set (frames are small and latency-sensitive), or
+ * -1 when nothing is pending or on error.
+ */
+int tcpAccept(int listen_fd);
+
+/**
+ * Connect to @p host:@p port, waiting at most @p timeout_ms for the
+ * handshake so one dead host cannot stall the coordinator's event
+ * loop. Returns a blocking fd with TCP_NODELAY set, or -1.
+ */
+int tcpConnect(const std::string& host, uint16_t port, int timeout_ms);
+
+/** Set O_NONBLOCK (the coordinator's event loop reads remote sockets
+ *  exactly like worker pipes: nonblocking, drained on POLLIN). */
+void setNonBlocking(int fd);
+
+} // namespace mbusim::dist
+
+#endif // MBUSIM_DIST_TRANSPORT_HH

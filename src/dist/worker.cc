@@ -7,7 +7,6 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
-#include <sstream>
 #include <thread>
 
 #include <signal.h>
@@ -15,11 +14,14 @@
 
 #include "core/campaign.hh"
 #include "core/golden_store.hh"
+#include "core/golden_wire.hh"
 #include "core/technology.hh"
 #include "dist/protocol.hh"
+#include "dist/transport.hh"
 #include "util/env.hh"
 #include "util/interrupt.hh"
 #include "util/log.hh"
+#include "util/parse.hh"
 #include "workloads/workload.hh"
 
 namespace mbusim::dist {
@@ -27,7 +29,8 @@ namespace mbusim::dist {
 namespace {
 
 /** Campaign parameters the coordinator resolved for the whole sweep;
- *  forwarded verbatim so every worker plans identical runs. */
+ *  forwarded verbatim (argv for local workers, a cfg frame for remote
+ *  ones) so every worker plans identical runs. */
 struct WorkerArgs
 {
     int inFd = 3;
@@ -41,6 +44,12 @@ struct WorkerArgs
     std::string shard;
     uint32_t heartbeatMs = 0;
     bool crashHook = true;
+    bool shipGolden = true;
+    /** --listen PORT: serve TCP coordinators (0 = ephemeral port). */
+    int listenPort = -1;
+    /** --connect HOST:PORT: dial a listening coordinator. */
+    bool connectMode = false;
+    HostSpec connectTo;
 };
 
 bool
@@ -55,41 +64,52 @@ parseWorkerArgs(const std::vector<std::string>& args, WorkerArgs& out)
         auto next = [&]() -> const char* {
             return ++i < args.size() ? args[i].c_str() : nullptr;
         };
-        auto uval = [&](uint64_t max) -> uint64_t {
+        // Every numeric option parses strictly (util/parse.hh):
+        // "--seed 12x4" must be a usage error, not seed 12 — and
+        // never the silent seed 0 that strtoull with an ignored end
+        // pointer would produce, which runs a wrong-but-plausible
+        // campaign.
+        auto u32 = [&](const char* opt, uint32_t max, uint32_t& dst) {
             const char* v = next();
-            if (!v)
-                return max + 1;
-            char* end = nullptr;
-            unsigned long long n = std::strtoull(v, &end, 10);
-            return (end && *end == '\0' && n <= max) ? n : max + 1;
+            if (v == nullptr || !parseU32(v, max, dst))
+                return bad(std::string(opt) +
+                           " needs an unsigned integer");
+            return true;
         };
         if (arg == "--in") {
-            out.inFd = static_cast<int>(uval(INT32_MAX));
+            uint32_t fd = 0;
+            if (!u32("--in", INT32_MAX, fd))
+                return false;
+            out.inFd = static_cast<int>(fd);
         } else if (arg == "--out") {
-            out.outFd = static_cast<int>(uval(INT32_MAX));
+            uint32_t fd = 0;
+            if (!u32("--out", INT32_MAX, fd))
+                return false;
+            out.outFd = static_cast<int>(fd);
         } else if (arg == "--injections") {
-            out.injections = static_cast<uint32_t>(uval(UINT32_MAX));
+            if (!u32("--injections", UINT32_MAX, out.injections))
+                return false;
         } else if (arg == "--seed") {
             const char* v = next();
-            if (!v)
-                return bad("--seed needs a value");
-            out.seed = std::strtoull(v, nullptr, 10);
+            if (v == nullptr || !parseU64(v, UINT64_MAX, out.seed))
+                return bad("--seed needs an unsigned integer");
         } else if (arg == "--cluster") {
             const char* v = next();
-            if (!v)
+            if (v == nullptr)
                 return bad("--cluster needs a value");
             std::string s(v);
             size_t x = s.find('x');
-            if (x == std::string::npos)
-                return bad("--cluster expects RxC");
-            out.cluster.rows = static_cast<uint32_t>(
-                std::strtoul(s.substr(0, x).c_str(), nullptr, 10));
-            out.cluster.cols = static_cast<uint32_t>(
-                std::strtoul(s.substr(x + 1).c_str(), nullptr, 10));
-            if (out.cluster.rows == 0 || out.cluster.cols == 0)
+            if (x == std::string::npos ||
+                !parseU32(s.substr(0, x), UINT32_MAX,
+                          out.cluster.rows) ||
+                !parseU32(s.substr(x + 1), UINT32_MAX,
+                          out.cluster.cols) ||
+                out.cluster.rows == 0 || out.cluster.cols == 0)
                 return bad("--cluster expects RxC");
         } else if (arg == "--timeout-factor") {
-            out.timeoutFactor = static_cast<uint32_t>(uval(UINT32_MAX));
+            if (!u32("--timeout-factor", UINT32_MAX,
+                     out.timeoutFactor))
+                return false;
         } else if (arg == "--in-order") {
             out.inOrder = true;
         } else if (arg == "--journal-dir") {
@@ -103,14 +123,28 @@ parseWorkerArgs(const std::vector<std::string>& args, WorkerArgs& out)
                 return bad("--shard needs a value");
             out.shard = v;
         } else if (arg == "--heartbeat-ms") {
-            out.heartbeatMs = static_cast<uint32_t>(uval(UINT32_MAX));
+            if (!u32("--heartbeat-ms", UINT32_MAX, out.heartbeatMs))
+                return false;
         } else if (arg == "--no-crash-hook") {
             out.crashHook = false;
+        } else if (arg == "--listen") {
+            uint32_t port = 0;
+            if (!u32("--listen", 65535, port))
+                return false;
+            out.listenPort = static_cast<int>(port);
+        } else if (arg == "--connect") {
+            const char* v = next();
+            if (v == nullptr || !parseHostPort(v, out.connectTo))
+                return bad("--connect expects host:port");
+            out.connectMode = true;
         } else {
             return bad("unknown option '" + arg + "'");
         }
     }
-    if (out.shard.empty())
+    if (out.listenPort >= 0 && out.connectMode)
+        return bad("--listen and --connect are mutually exclusive");
+    const bool remote = out.listenPort >= 0 || out.connectMode;
+    if (!remote && out.shard.empty())
         return bad("--shard is required");
     return true;
 }
@@ -122,32 +156,49 @@ struct CellState
     std::unique_ptr<core::Campaign::Execution> exec;
 };
 
-} // namespace
-
-int
-workerMain(const std::vector<std::string>& args)
+const workloads::Workload*
+findWorkload(const std::string& name)
 {
-    WorkerArgs cfg;
-    if (!parseWorkerArgs(args, cfg))
-        return 2;
+    for (const workloads::Workload& w : workloads::allWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
 
-    // The coordinator may die first; a write to the closed pipe must
-    // surface as EPIPE (worker exits), not SIGPIPE (worker vanishes
-    // without reaching its own cleanup).
-    std::signal(SIGPIPE, SIG_IGN);
-    installTerminationHandlers();
+bool
+knownComponent(const std::string& name)
+{
+    for (core::Component c : core::AllComponents) {
+        if (name == core::componentShortName(c))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Serve one coordinator connection: the frame loop over (inFd, outFd),
+ * which are a pipe pair for local workers and one socket for remote
+ * ones. Returns the process exit code for this session (0 clean EOF/
+ * shutdown, 1 peer lost, 130 interrupted).
+ */
+int
+serveSession(int inFd, int outFd, const WorkerArgs& base, bool remote,
+             core::GoldenStore& store)
+{
+    WorkerArgs cfg = base;
 
     std::mutex writeMutex;   // run observer vs heartbeat thread
     std::atomic<bool> peer_gone{false};
     auto send = [&](const std::string& payload) {
         std::lock_guard<std::mutex> lock(writeMutex);
-        if (!writeFrame(cfg.outFd, payload))
+        if (!writeFrame(outFd, payload))
             peer_gone.store(true, std::memory_order_relaxed);
     };
 
-    // Satellite: the coordinator owns stderr. Everything the campaign
-    // machinery would print goes over the pipe instead, so N workers
-    // never interleave bytes mid-line on a shared terminal.
+    // The coordinator owns stderr. Everything the campaign machinery
+    // would print goes over the transport instead, so N workers never
+    // interleave bytes mid-line on a shared terminal.
     setLogSink([&](LogLevel level, const std::string& msg) {
         send(strprintf("log %c %s",
                        level == LogLevel::Warn ? 'W' : 'I',
@@ -166,9 +217,11 @@ workerMain(const std::vector<std::string>& args)
     const std::string crash_cell =
         envString("MBUSIM_TEST_CRASH_CELL", "");
     uint32_t crash_at = UINT32_MAX;
-    if (cfg.crashHook && !crash_at_s.empty()) {
-        crash_at = static_cast<uint32_t>(
-            std::strtoul(crash_at_s.c_str(), nullptr, 10));
+    if (cfg.crashHook && !crash_at_s.empty() &&
+        !parseU32(crash_at_s, UINT32_MAX - 1, crash_at)) {
+        warn("worker: ignoring malformed MBUSIM_TEST_CRASH_AT '%s'",
+             crash_at_s.c_str());
+        crash_at = UINT32_MAX;
     }
 
     send(strprintf("hello %d", static_cast<int>(::getpid())));
@@ -177,22 +230,26 @@ workerMain(const std::vector<std::string>& args)
     // for the length of one long run, so a dedicated thread keeps the
     // coordinator's lease fresh while the process is healthy. A hung
     // or SIGKILLed worker stops heartbeating and loses its lease.
+    // Remote sessions learn the interval from the cfg frame and start
+    // it then.
     std::mutex hbMutex;
     std::condition_variable hbCv;
     bool hb_stop = false;
     std::thread heartbeat;
-    if (cfg.heartbeatMs > 0) {
-        heartbeat = std::thread([&]() {
+    auto start_heartbeat = [&](uint32_t interval_ms) {
+        if (heartbeat.joinable() || interval_ms == 0)
+            return;
+        heartbeat = std::thread([&, interval_ms]() {
             std::unique_lock<std::mutex> lock(hbMutex);
             while (!hb_stop) {
                 hbCv.wait_for(lock,
-                              std::chrono::milliseconds(cfg.heartbeatMs));
+                              std::chrono::milliseconds(interval_ms));
                 if (hb_stop)
                     return;
                 send("hb");
             }
         });
-    }
+    };
     auto stop_heartbeat = [&]() {
         if (!heartbeat.joinable())
             return;
@@ -203,25 +260,133 @@ workerMain(const std::vector<std::string>& args)
         hbCv.notify_all();
         heartbeat.join();
     };
+    if (!remote)
+        start_heartbeat(cfg.heartbeatMs);
 
-    core::GoldenStore store;
+    bool configured = !remote;   // pipe sessions configure via argv
     std::map<std::string, CellState> cells;
+    // Workloads whose golden identity this session already proved
+    // equal to the coordinator's, by golden-wire key.
+    std::map<std::string, std::string> verified;
     int64_t current_unit = -1;
 
     // Abandon the cohort as soon as the coordinator is gone: every
-    // completed run is already durable in the shard journal, and a
-    // resuming coordinator replans the remainder, so simulating for a
-    // dead peer only wastes CPU.
+    // completed run is already durable (the shard journal locally, the
+    // coordinator's record stream remotely), and a resuming
+    // coordinator replans the remainder, so simulating for a dead peer
+    // only wastes CPU.
     auto stop = [&peer_gone]() {
         return interruptRequested() ||
                peer_gone.load(std::memory_order_relaxed);
     };
+
+    // Fetch the coordinator's golden blob for @p key (`need` -> `art`
+    // chunk stream). Returns 1 with the blob assembled, 0 on art-miss,
+    // -1 when the session must end (EOF, shutdown, interrupt).
     std::string payload;
+    auto fetchBlob = [&](const std::string& key,
+                         std::string& blob) -> int {
+        send("need " + key);
+        blob.clear();
+        uint64_t total = UINT64_MAX;   // unknown until the first chunk
+        for (;;) {
+            if (stop())
+                return -1;
+            int rc = readFrame(inFd, payload);
+            if (rc <= 0 || payload == "shutdown")
+                return -1;
+            if (payload.rfind("art-miss ", 0) == 0) {
+                if (payload.substr(9) == key)
+                    return 0;
+                continue;
+            }
+            ArtFrame art;
+            if (payload.rfind("art ", 0) == 0) {
+                if (!parseArtFrame(payload, art)) {
+                    warn("worker: malformed art frame, aborting "
+                         "transfer");
+                    return 0;
+                }
+                if (art.key != key)
+                    continue;
+                if (total == UINT64_MAX)
+                    total = art.total;
+                if (art.total != total ||
+                    art.offset != blob.size()) {
+                    warn("worker: out-of-order art chunk, aborting "
+                         "transfer");
+                    return 0;
+                }
+                blob += art.chunk;
+                if (blob.size() == total)
+                    return 1;
+                continue;
+            }
+            warn("worker: ignoring frame during art transfer");
+        }
+    };
+
+    // Prove this host's golden run is the coordinator's golden run
+    // before simulating anything against it. The local artifacts are
+    // rebuilt (one golden simulation, exactly as local workers always
+    // did) and their content-addressed key must equal the one in the
+    // work frame; with shipping enabled the coordinator's blob is
+    // fetched and compared byte-for-byte as well, which pins down
+    // *what* diverged when keys disagree.
+    auto verifyGolden = [&](const workloads::Workload& workload,
+                            const std::string& want,
+                            int64_t unit) -> int {
+        auto it = verified.find(workload.name);
+        if (it != verified.end())
+            return it->second == want ? 1 : 0;
+        core::CampaignConfig cc;
+        cc.cpu.inOrderIssue = cfg.inOrder;
+        cc.cpu.decodeCache =
+            envUInt("MBUSIM_DECODE_CACHE",
+                    cc.cpu.decodeCache ? 1 : 0, 1) != 0;
+        auto artifacts =
+            store.get(workload, cc.cpu,
+                      core::resolvedCheckpointTarget(cc),
+                      core::resolvedDigestTarget(cc));
+        const std::string blob = core::serializeGoldenWire(
+            core::wireFromArtifacts(*artifacts));
+        const std::string have = core::goldenWireKey(
+            core::outcomeDigest(cc.cpu, workload.source), blob);
+        if (have == want && remote && cfg.shipGolden) {
+            std::string theirs;
+            const int rc = fetchBlob(want, theirs);
+            if (rc < 0)
+                return -1;
+            if (rc == 1 && theirs != blob) {
+                // Keys collide but blobs differ — should be
+                // impossible short of a hash collision; refuse.
+                warn("worker: golden blob mismatch under matching "
+                     "key %s", want.c_str());
+                send(strprintf("bad-golden %lld %s %s",
+                               static_cast<long long>(unit),
+                               have.c_str(), want.c_str()));
+                return 0;
+            }
+        }
+        if (have != want) {
+            warn("worker: golden mismatch for %s: local %s, "
+                 "coordinator %s (simulator or workload version "
+                 "skew?); refusing the unit",
+                 workload.name.c_str(), have.c_str(), want.c_str());
+            send(strprintf("bad-golden %lld %s %s",
+                           static_cast<long long>(unit),
+                           have.c_str(), want.c_str()));
+            return 0;
+        }
+        verified.emplace(workload.name, have);
+        return 1;
+    };
+
     int exit_code = 0;
     for (;;) {
-        int rc = readFrame(cfg.inFd, payload);
+        int rc = readFrame(inFd, payload);
         if (rc == 0)
-            break;   // coordinator closed the pipe: normal shutdown
+            break;   // coordinator closed the transport: shutdown
         if (rc < 0 || interruptRequested() ||
             peer_gone.load(std::memory_order_relaxed)) {
             exit_code = interruptRequested() ? 130 : 1;
@@ -229,37 +394,72 @@ workerMain(const std::vector<std::string>& args)
         }
         if (payload == "shutdown")
             break;
-        std::istringstream in(payload);
-        std::string tag;
-        in >> tag;
-        if (tag != "work") {
-            warn("worker: ignoring unknown frame '%s'",
-                 tag.c_str());
+        if (payload.rfind("cfg", 0) == 0) {
+            CfgFrame frame;
+            if (!remote || !parseCfgFrame(payload, frame)) {
+                warn("worker: ignoring %s cfg frame",
+                     remote ? "malformed" : "unexpected");
+                continue;
+            }
+            cfg.injections = frame.injections;
+            cfg.seed = frame.seed;
+            cfg.cluster.rows = frame.clusterRows;
+            cfg.cluster.cols = frame.clusterCols;
+            cfg.timeoutFactor = frame.timeoutFactor;
+            cfg.inOrder = frame.inOrder;
+            cfg.shipGolden = frame.shipGolden;
+            // The knobs a Campaign constructor resolves from the
+            // environment change planned cohorts and RunRecord fields;
+            // the coordinator's settings must win over whatever this
+            // host happens to export.
+            for (const std::string& knob : forwardedEnvKnobs())
+                ::unsetenv(knob.c_str());
+            for (const auto& [name, value] : frame.env)
+                ::setenv(name.c_str(), value.c_str(), 1);
+            cells.clear();
+            verified.clear();
+            configured = true;
+            start_heartbeat(frame.heartbeatMs);
             continue;
         }
-        int64_t unit = -1;
-        std::string workload_name, component_name;
-        uint32_t faults = 0;
-        size_t count = 0;
-        in >> unit >> workload_name >> component_name >> faults >>
-            count;
-        std::vector<uint32_t> indices(count);
-        for (uint32_t& index : indices)
-            in >> index;
-        if (!in || unit < 0) {
+        WorkFrame frame;
+        if (!parseWorkFrame(payload, frame)) {
+            // Strict rejection: a frame with a non-numeric or
+            // overflowed field, a truncated index list or trailing
+            // garbage is torn, and running a guessed-at injection
+            // would poison the sweep's determinism.
             warn("worker: malformed work frame, ignoring");
             continue;
         }
+        if (!configured) {
+            warn("worker: work frame before cfg, ignoring");
+            continue;
+        }
+        const workloads::Workload* workload =
+            findWorkload(frame.workload);
+        if (workload == nullptr || !knownComponent(frame.component)) {
+            warn("worker: work frame names unknown %s, ignoring",
+                 workload == nullptr ? "workload" : "component");
+            continue;
+        }
+        if (frame.goldenKey != "-") {
+            const int ok =
+                verifyGolden(*workload, frame.goldenKey, frame.unit);
+            if (ok < 0)
+                break;
+            if (ok == 0)
+                continue;   // refused; coordinator requeues elsewhere
+        }
 
-        const std::string cell_key = workload_name + ":" +
-                                     component_name + ":f" +
-                                     std::to_string(faults);
+        const std::string cell_key = frame.workload + ":" +
+                                     frame.component + ":f" +
+                                     std::to_string(frame.faults);
         CellState& cell = cells[cell_key];
         if (!cell.campaign) {
             core::CampaignConfig cc;
             cc.component =
-                core::componentFromShortName(component_name.c_str());
-            cc.faults = faults;
+                core::componentFromShortName(frame.component.c_str());
+            cc.faults = frame.faults;
             cc.injections = cfg.injections;
             cc.seed = cfg.seed;
             cc.cluster = cfg.cluster;
@@ -278,7 +478,7 @@ workerMain(const std::vector<std::string>& args)
                 };
             }
             cell.campaign = std::make_unique<core::Campaign>(
-                workloads::workloadByName(workload_name), cc, store);
+                *workload, cc, store);
             cell.exec = cell.campaign->prepare();
             cell.exec->setRunObserver(
                 [&send, &current_unit](const core::RunRecord& r) {
@@ -290,21 +490,107 @@ workerMain(const std::vector<std::string>& args)
                 });
         }
 
-        current_unit = unit;
+        current_unit = frame.unit;
         core::Campaign::Execution::Cohort cohort =
-            cell.exec->makeCohort(indices, unit);
+            cell.exec->makeCohort(frame.indices, frame.unit);
         cell.exec->runCohort(cohort, stop);
         if (interruptRequested()) {
             exit_code = 130;
             break;
         }
         send(strprintf("unit-done %lld",
-                       static_cast<long long>(unit)));
+                       static_cast<long long>(frame.unit)));
     }
 
     stop_heartbeat();
     setLogSink(nullptr);
     return exit_code;
+}
+
+} // namespace
+
+int
+workerMain(const std::vector<std::string>& args)
+{
+    WorkerArgs cfg;
+    if (!parseWorkerArgs(args, cfg))
+        return 2;
+
+    // The coordinator may die first; a write to the closed transport
+    // must surface as EPIPE (worker exits), not SIGPIPE (worker
+    // vanishes without reaching its own cleanup).
+    std::signal(SIGPIPE, SIG_IGN);
+    installTerminationHandlers();
+
+    core::GoldenStore store;
+    const bool remote = cfg.listenPort >= 0 || cfg.connectMode;
+    if (remote) {
+        // Remote workers have no shared filesystem with the
+        // coordinator: durability is the coordinator-side record
+        // stream, never a local journal that nothing would merge.
+        cfg.journalDir.clear();
+        cfg.shard.clear();
+        ::unsetenv("MBUSIM_JOURNAL_DIR");
+    }
+
+    if (cfg.connectMode) {
+        // Dial the coordinator, waiting for it to come up: worker
+        // fleets are often started before the sweep.
+        const uint32_t wait_s = static_cast<uint32_t>(
+            envUInt("MBUSIM_CONNECT_WAIT_S", 30, UINT32_MAX));
+        const auto give_up =
+            std::chrono::steady_clock::now() +
+            std::chrono::seconds(wait_s);
+        int fd = -1;
+        while (fd < 0 && !interruptRequested() &&
+               std::chrono::steady_clock::now() < give_up) {
+            fd = tcpConnect(cfg.connectTo.host, cfg.connectTo.port,
+                            2000);
+            if (fd < 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(500));
+        }
+        if (fd < 0) {
+            std::fprintf(stderr,
+                         "mbusim worker: cannot connect to %s:%u\n",
+                         cfg.connectTo.host.c_str(),
+                         cfg.connectTo.port);
+            return interruptRequested() ? 130 : 1;
+        }
+        const int code = serveSession(fd, fd, cfg, true, store);
+        ::close(fd);
+        return code;
+    }
+
+    if (cfg.listenPort >= 0) {
+        uint16_t port = 0;
+        int listen_fd =
+            tcpListen(static_cast<uint16_t>(cfg.listenPort), port);
+        if (listen_fd < 0)
+            return 1;
+        // Parsed by tests and launch scripts; must reach the terminal
+        // before the first coordinator dials in.
+        std::printf("mbusim worker: listening on port %u\n", port);
+        std::fflush(stdout);
+        int code = 0;
+        while (!interruptRequested()) {
+            int fd = tcpAccept(listen_fd);
+            if (fd < 0)
+                continue;   // EINTR: loop re-checks the interrupt flag
+            // Sessions are served one at a time: a coordinator that
+            // re-dials after a lease revocation first closed (or
+            // abandoned) its previous connection, whose session ends
+            // on EOF.
+            code = serveSession(fd, fd, cfg, true, store);
+            ::close(fd);
+            if (code == 130)
+                break;
+        }
+        ::close(listen_fd);
+        return interruptRequested() ? 130 : code;
+    }
+
+    return serveSession(cfg.inFd, cfg.outFd, cfg, false, store);
 }
 
 } // namespace mbusim::dist

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Strict unsigned-integer parsing.
+ *
+ * strtoull-family calls with an ignored end pointer turn malformed
+ * input into a silent zero — which, fed into a seed or a cluster
+ * shape, runs a wrong-but-plausible injection instead of failing.
+ * Everything that crosses a trust boundary (worker argv, wire frames,
+ * journal lines) parses through here instead: the whole token must be
+ * digits, must not overflow, and must not exceed the caller's cap.
+ */
+
+#ifndef MBUSIM_UTIL_PARSE_HH
+#define MBUSIM_UTIL_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mbusim {
+
+/**
+ * Parse the entire string @p text as a decimal uint64 in [0, max].
+ * Rejects empty strings, signs, whitespace, trailing garbage and
+ * overflow. Returns false without touching @p out on any deviation.
+ */
+inline bool
+parseU64(const char* text, uint64_t max, uint64_t& out)
+{
+    if (text == nullptr || *text < '0' || *text > '9')
+        return false;   // strtoull would skip spaces and accept '-'
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0' || n > max)
+        return false;
+    out = n;
+    return true;
+}
+
+inline bool
+parseU64(const std::string& text, uint64_t max, uint64_t& out)
+{
+    return parseU64(text.c_str(), max, out);
+}
+
+/** parseU64 narrowed to uint32. */
+inline bool
+parseU32(const std::string& text, uint32_t max, uint32_t& out)
+{
+    uint64_t wide = 0;
+    if (!parseU64(text.c_str(), max, wide))
+        return false;
+    out = static_cast<uint32_t>(wide);
+    return true;
+}
+
+} // namespace mbusim
+
+#endif // MBUSIM_UTIL_PARSE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests of the portable golden-artifact blob (DESIGN.md §17).
+ *
+ * The blob crosses host boundaries, so two properties carry all the
+ * weight: serialization round-trips every field exactly (a worker
+ * byte-compares its rebuilt blob against the coordinator's), and the
+ * parser rejects any corrupted or adversarial blob outright — the
+ * content-addressed key is only as trustworthy as the strictness of
+ * what it names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/golden_wire.hh"
+
+namespace mbusim::core {
+namespace {
+
+GoldenWire
+sampleWire()
+{
+    GoldenWire wire;
+    wire.result.status.kind = sim::ExitKind::Exited;
+    wire.result.status.exitCode = 3;
+    wire.result.status.faultPc = 0x1234;
+    wire.result.status.faultAddr = 0xdeadbeef;
+    wire.result.output = {0x00, 0x41, 0xff, 0x0a};
+    wire.result.cycles = 123456789;
+    wire.result.instructions = 98765;
+    wire.result.cpuStats.committed = 1;
+    wire.result.cpuStats.mispredicts = 2;
+    wire.result.l1dStats.hits = 10;
+    wire.result.l1dStats.misses = 4;
+    wire.result.l1dStats.writebacks = 2;
+    wire.result.l2Stats.hits = 7;
+    wire.result.itlbStats.hits = 5;
+    wire.result.dtlbStats.misses = 6;
+    wire.result.pageWalks = 11;
+    wire.result.earlyExit = sim::EarlyExit::None;
+    wire.digests = {{100, 0xabc}, {200, 0xdef}, {300, 0x123}};
+    wire.checkpointCycles = {0, 1000, 2000};
+    return wire;
+}
+
+TEST(GoldenWireTest, RoundTripsEveryField)
+{
+    const GoldenWire in = sampleWire();
+    const std::string blob = serializeGoldenWire(in);
+
+    GoldenWire out;
+    ASSERT_TRUE(parseGoldenWire(blob, out));
+    EXPECT_EQ(out.result.status.kind, in.result.status.kind);
+    EXPECT_EQ(out.result.status.exitCode, in.result.status.exitCode);
+    EXPECT_EQ(out.result.status.faultPc, in.result.status.faultPc);
+    EXPECT_EQ(out.result.status.faultAddr, in.result.status.faultAddr);
+    EXPECT_EQ(out.result.output, in.result.output);
+    EXPECT_EQ(out.result.cycles, in.result.cycles);
+    EXPECT_EQ(out.result.instructions, in.result.instructions);
+    EXPECT_EQ(out.result.cpuStats.committed,
+              in.result.cpuStats.committed);
+    EXPECT_EQ(out.result.l1dStats.misses, in.result.l1dStats.misses);
+    EXPECT_EQ(out.result.pageWalks, in.result.pageWalks);
+    ASSERT_EQ(out.digests.size(), in.digests.size());
+    EXPECT_EQ(out.digests[1].cycle, 200u);
+    EXPECT_EQ(out.digests[1].digest, 0xdefull);
+    EXPECT_EQ(out.checkpointCycles, in.checkpointCycles);
+
+    // Determinism: re-serializing the parse reproduces the bytes —
+    // the byte-compare on the worker is meaningful.
+    EXPECT_EQ(serializeGoldenWire(out), blob);
+}
+
+TEST(GoldenWireTest, KeyIsStableAndSensitive)
+{
+    const GoldenWire wire = sampleWire();
+    const std::string blob = serializeGoldenWire(wire);
+    const std::string key = goldenWireKey(0x1111, blob);
+    EXPECT_TRUE(validGoldenKey(key));
+    EXPECT_EQ(key, goldenWireKey(0x1111, blob));
+
+    // Different outcome digest, or any byte of the blob, moves the
+    // key: version skew between hosts cannot alias.
+    EXPECT_NE(key, goldenWireKey(0x2222, blob));
+    GoldenWire tweaked = wire;
+    tweaked.result.cycles ^= 1;
+    EXPECT_NE(key,
+              goldenWireKey(0x1111, serializeGoldenWire(tweaked)));
+}
+
+TEST(GoldenWireTest, ValidGoldenKeySyntax)
+{
+    EXPECT_TRUE(validGoldenKey("g0123456789abcdef-fedcba9876543210"));
+    const char* bad[] = {
+        "",
+        "-",
+        "g0123456789abcdef-fedcba987654321",    // short
+        "g0123456789abcdef-fedcba98765432100",  // long
+        "x0123456789abcdef-fedcba9876543210",   // wrong magic
+        "g0123456789abcdeF-fedcba9876543210",   // uppercase hex
+        "g0123456789abcdef=fedcba9876543210",   // wrong separator
+        "g0123456789abcdeg-fedcba9876543210",   // non-hex
+    };
+    for (const char* key : bad)
+        EXPECT_FALSE(validGoldenKey(key)) << key;
+}
+
+TEST(GoldenWireTest, RejectsCorruptBlobs)
+{
+    const std::string blob = serializeGoldenWire(sampleWire());
+    GoldenWire out;
+
+    EXPECT_FALSE(parseGoldenWire("", out));
+    EXPECT_FALSE(parseGoldenWire("not-a-blob", out));
+    EXPECT_FALSE(parseGoldenWire("mbusim-golden v2", out));
+    // Truncations at every whitespace boundary: a torn transfer must
+    // never parse.
+    for (size_t pos = blob.rfind(' '); pos != std::string::npos &&
+                                       pos > 20;
+         pos = blob.rfind(' ', pos - 1))
+        EXPECT_FALSE(parseGoldenWire(blob.substr(0, pos), out))
+            << "truncated at " << pos;
+    // Trailing garbage after a complete blob.
+    EXPECT_FALSE(parseGoldenWire(blob + " 7", out));
+    // Non-numeric damage in the middle.
+    std::string mangled = blob;
+    const size_t digit = mangled.find_last_of("0123456789");
+    mangled[digit] = 'z';
+    EXPECT_FALSE(parseGoldenWire(mangled, out));
+}
+
+TEST(GoldenWireTest, RejectsOversizedCounts)
+{
+    GoldenWire out;
+    // A hostile digest count must be refused before any allocation,
+    // not after a multi-gigabyte reserve. An empty wire's blob ends
+    // "<output_len> - <digests> <checkpoints>" = "... 0 - 0 0";
+    // replace the digest count with an absurd one.
+    const std::string blob = serializeGoldenWire(GoldenWire{});
+    ASSERT_TRUE(blob.size() > 4 &&
+                blob.compare(blob.size() - 4, 4, " 0 0") == 0);
+    const std::string hostile =
+        blob.substr(0, blob.size() - 3) + "99999999999 0";
+    EXPECT_FALSE(parseGoldenWire(hostile, out));
+}
+
+} // namespace
+} // namespace mbusim::core

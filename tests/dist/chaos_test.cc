@@ -55,6 +55,9 @@ class ChaosTest : public ::testing::Test
               "MBUSIM_LOCKSTEP",
               "MBUSIM_WORKER_PROCS", "MBUSIM_WORKER_EXE",
               "MBUSIM_LEASE_TIMEOUT_S", "MBUSIM_RESPAWN_BUDGET",
+              "MBUSIM_HOSTS", "MBUSIM_SHIP_GOLDEN",
+              "MBUSIM_CONNECT_GRACE_S", "MBUSIM_CONNECT_WAIT_S",
+              "MBUSIM_DELTA_SNAPSHOTS", "MBUSIM_DECODE_CACHE",
               "MBUSIM_TEST_CRASH_AT", "MBUSIM_TEST_CRASH_CELL",
               "MBUSIM_TEST_CRASH_STICKY"}) {
             unsetenv(knob);
@@ -386,6 +389,189 @@ TEST_F(ChaosTest, KilledCoordinatorLeavesResumableShards)
                                   journals, "--trace-out", trace},
                                  TinySweep);
     ASSERT_EQ(rerun.exitCode, 0) << rerun.err;
+    EXPECT_EQ(canonicalRuns(trace), serial);
+}
+
+// ---------------------------------------------------------------------
+// Cross-host execution over loopback TCP (DESIGN.md §17). The remote
+// transport must be invisible in the results: the same frames ride
+// sockets instead of pipes, golden identity is proven by the
+// content-addressed key in each work frame, and a lost connection is
+// just another lease expiry.
+
+/** Spawn `mbusim worker <args>`, stdout/stderr captured. */
+pid_t
+spawnWorker(const std::vector<std::string>& args, const EnvList& envs,
+            const std::string& outPath, const std::string& errPath)
+{
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    for (const auto& [key, value] : envs)
+        setenv(key.c_str(), value.c_str(), 1);
+    if (!std::freopen(outPath.c_str(), "w", stdout) ||
+        !std::freopen(errPath.c_str(), "w", stderr))
+        _exit(126);
+    std::vector<std::string> full = {MBUSIM_CLI_PATH, "worker"};
+    full.insert(full.end(), args.begin(), args.end());
+    std::vector<char*> argv;
+    for (std::string& arg : full)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(MBUSIM_CLI_PATH, argv.data());
+    _exit(127);
+}
+
+/**
+ * Poll @p path until a line containing "<needle> <port>" appears;
+ * returns the port, or 0 on timeout. Both the worker (--listen 0) and
+ * the coordinator (sweep --listen 0) announce their ephemeral port
+ * this way.
+ */
+uint16_t
+waitForPort(const std::string& path, const std::string& needle,
+            int timeoutMs)
+{
+    for (int elapsed = 0; elapsed < timeoutMs; elapsed += 50) {
+        std::string text = slurp(path);
+        size_t at = text.find(needle);
+        if (at != std::string::npos) {
+            at += needle.size();
+            unsigned port = 0;
+            if (std::sscanf(text.c_str() + at, "%u", &port) == 1 &&
+                port > 0 && port <= 65535)
+                return static_cast<uint16_t>(port);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return 0;
+}
+
+/** SIGTERM + reap one helper process, tolerating prior death. */
+void
+stopProcess(pid_t pid)
+{
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    for (int elapsed = 0; elapsed < 5000; elapsed += 50) {
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+}
+
+/**
+ * Two loopback TCP workers, zero local ones: the sweep's trace must be
+ * field-for-field identical to serial on everything deterministic in
+ * (config, index) — the documented host-side tail (wall_us, cohort
+ * identity, replayed) is the only permitted difference.
+ */
+TEST_F(ChaosTest, TcpLoopbackHostsMatchSerial)
+{
+    std::string scratch = freshDir("tcp_hosts");
+    std::multiset<std::string> serial = serialReference(scratch);
+
+    pid_t w1 = spawnWorker({"--listen", "0"}, {}, scratch + "/w1.out",
+                           scratch + "/w1.err");
+    pid_t w2 = spawnWorker({"--listen", "0"}, {}, scratch + "/w2.out",
+                           scratch + "/w2.err");
+    uint16_t p1 = waitForPort(scratch + "/w1.out",
+                              "listening on port ", 5000);
+    uint16_t p2 = waitForPort(scratch + "/w2.out",
+                              "listening on port ", 5000);
+    ASSERT_GT(p1, 0) << slurp(scratch + "/w1.err");
+    ASSERT_GT(p2, 0) << slurp(scratch + "/w2.err");
+
+    std::string trace = scratch + "/dist.jsonl";
+    SweepResult dist =
+        runSweep(scratch,
+                 {"--worker-procs", "0", "--hosts",
+                  "127.0.0.1:" + std::to_string(p1) + ",127.0.0.1:" +
+                      std::to_string(p2),
+                  "--journal-dir", scratch + "/j", "--trace-out",
+                  trace},
+                 TinySweep);
+    stopProcess(w1);
+    stopProcess(w2);
+    ASSERT_EQ(dist.exitCode, 0) << dist.err;
+    EXPECT_EQ(canonicalRuns(trace), serial);
+}
+
+/**
+ * SIGKILL one of two remote workers mid-sweep: the broken connection
+ * expires its lease, the in-flight unit requeues on the survivor, and
+ * the sweep completes with zero lost and zero duplicated runs.
+ */
+TEST_F(ChaosTest, TcpKilledRemoteWorkerIsReclaimed)
+{
+    std::string scratch = freshDir("tcp_kill");
+    std::multiset<std::string> serial = serialReference(scratch);
+
+    pid_t w1 = spawnWorker({"--listen", "0"}, {}, scratch + "/w1.out",
+                           scratch + "/w1.err");
+    pid_t w2 = spawnWorker({"--listen", "0"}, {}, scratch + "/w2.out",
+                           scratch + "/w2.err");
+    uint16_t p1 = waitForPort(scratch + "/w1.out",
+                              "listening on port ", 5000);
+    uint16_t p2 = waitForPort(scratch + "/w2.out",
+                              "listening on port ", 5000);
+    ASSERT_GT(p1, 0);
+    ASSERT_GT(p2, 0);
+
+    std::string journals = scratch + "/j";
+    std::string trace = scratch + "/dist.jsonl";
+    pid_t sweep = spawnSweep(
+        {"--worker-procs", "0", "--hosts",
+         "127.0.0.1:" + std::to_string(p1) + ",127.0.0.1:" +
+             std::to_string(p2),
+         "--journal-dir", journals, "--trace-out", trace},
+        TinySweep, scratch + "/c.out", scratch + "/c.err");
+    // Remote records land in coordinator-side shards; once some are
+    // durable the sweep is mid-flight and worker 1 likely holds a
+    // lease. If the sweep wins the race and finishes first the kill
+    // is a no-op — the equivalence assertion holds either way.
+    waitForShardBytes(journals, 256, 8000);
+    ::kill(w1, SIGKILL);
+    int status = 0;
+    ::waitpid(w1, &status, 0);
+
+    SweepResult dist =
+        await(sweep, scratch + "/c.out", scratch + "/c.err");
+    stopProcess(w2);
+    ASSERT_EQ(dist.exitCode, 0) << dist.err;
+    EXPECT_EQ(canonicalRuns(trace), serial);
+}
+
+/**
+ * The dial-in direction: the coordinator opens a listen socket
+ * (`sweep --listen 0`) and a remote worker connects to it (`worker
+ * --connect`). Same equivalence bar as the dial-out path.
+ */
+TEST_F(ChaosTest, TcpDialInWorkerMatchesSerial)
+{
+    std::string scratch = freshDir("tcp_dialin");
+    std::multiset<std::string> serial = serialReference(scratch);
+
+    std::string trace = scratch + "/dist.jsonl";
+    pid_t sweep = spawnSweep({"--worker-procs", "0", "--listen", "0",
+                              "--journal-dir", scratch + "/j",
+                              "--trace-out", trace},
+                             TinySweep, scratch + "/c.out",
+                             scratch + "/c.err");
+    uint16_t port = waitForPort(scratch + "/c.err",
+                                "accepting workers on port ", 5000);
+    ASSERT_GT(port, 0) << slurp(scratch + "/c.err");
+
+    pid_t worker = spawnWorker(
+        {"--connect", "127.0.0.1:" + std::to_string(port)}, {},
+        scratch + "/w.out", scratch + "/w.err");
+    SweepResult dist =
+        await(sweep, scratch + "/c.out", scratch + "/c.err");
+    stopProcess(worker);
+    ASSERT_EQ(dist.exitCode, 0)
+        << dist.err << "\nworker: " << slurp(scratch + "/w.err");
     EXPECT_EQ(canonicalRuns(trace), serial);
 }
 

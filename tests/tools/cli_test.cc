@@ -21,6 +21,7 @@
 #include <fstream>
 #include <string>
 #include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 namespace {
@@ -45,8 +46,11 @@ slurp(const std::string& path)
 CliResult
 runCli(const std::string& args)
 {
+    // Keyed by pid: ctest runs every case as its own process, so a
+    // process-local counter alone collides under `ctest -j`.
     static int serial = 0;
     std::string base = testing::TempDir() + "/cli_test_" +
+                       std::to_string(::getpid()) + "_" +
                        std::to_string(serial++);
     std::string outPath = base + ".out", errPath = base + ".err";
     std::string cmd = std::string(MBUSIM_CLI_PATH) + " " + args + " >" +

@@ -13,10 +13,12 @@
  *                                         cardinality) study sweep
  *   report [opts]                         export the weighted-AVF / FIT
  *                                         tables (sweeps uncached cells)
- *   worker [opts]                         internal: sweep worker process
- *                                         spawned by `sweep
- *                                         --worker-procs N`; not for
- *                                         interactive use
+ *   worker [opts]                         sweep worker process: spawned
+ *                                         by `sweep --worker-procs N`,
+ *                                         or started by hand on a
+ *                                         remote host with --listen
+ *                                         PORT / --connect HOST:PORT
+ *                                         (trusted networks only)
  *
  * Common options:
  *   --func                 use the functional reference model (run)
@@ -40,6 +42,13 @@
  *                          DESIGN.md §14 for the lease/respawn knobs
  *                          MBUSIM_LEASE_TIMEOUT_S and
  *                          MBUSIM_RESPAWN_BUDGET.
+ *   --hosts LIST           also dial remote workers, comma-separated
+ *                          host:port entries, each running `mbusim
+ *                          worker --listen PORT` (sweep; DESIGN.md
+ *                          §17; trusted networks only)
+ *   --listen PORT          accept dial-in remote workers (`mbusim
+ *                          worker --connect HOST:PORT`) on PORT, 0 =
+ *                          ephemeral (sweep)
  *   --trace-out FILE       JSONL run trace: one record per injected
  *                          run (campaign, sweep)
  *   --report-out FILE      result tables; ".json" selects JSON, "-"
@@ -80,6 +89,7 @@
 #include "core/sampling.hh"
 #include "core/study.hh"
 #include "dist/coordinator.hh"
+#include "dist/transport.hh"
 #include "dist/worker.hh"
 #include "sim/assembler.hh"
 #include "sim/funcsim.hh"
@@ -117,6 +127,12 @@ struct Options
     /** UINT32_MAX = flag absent (defer to MBUSIM_WORKER_PROCS); an
      *  explicit 0 forces the in-process scheduler. */
     uint32_t workerProcs = UINT32_MAX;
+    /** --hosts: remote workers to dial, host:port each. Empty = flag
+     *  absent (defer to MBUSIM_HOSTS). */
+    std::vector<std::string> hosts;
+    bool hostsGiven = false;
+    /** --listen: accept dial-in workers (-1 = no listen socket). */
+    int listenPort = -1;
     std::string traceOut;
     std::string reportOut;
 };
@@ -259,6 +275,22 @@ parseOptions(int argc, char** argv, int first)
         } else if (arg == "--worker-procs") {
             opts.workerProcs = static_cast<uint32_t>(
                 parseUInt("--worker-procs", next(), 0, 4096));
+        } else if (arg == "--hosts") {
+            // Validated here so a typo'd host:port is a usage error,
+            // not a silently skipped worker mid-sweep.
+            opts.hostsGiven = true;
+            opts.hosts = dist::splitCommaList(next());
+            for (const std::string& spec : opts.hosts) {
+                dist::HostSpec host;
+                if (!dist::parseHostPort(spec, host)) {
+                    usageError("option --hosts: malformed entry '%s' "
+                               "(expected host:port, port 1-65535)",
+                               spec.c_str());
+                }
+            }
+        } else if (arg == "--listen") {
+            opts.listenPort = static_cast<int>(
+                parseUInt("--listen", next(), 0, 65535));
         } else if (arg == "--trace-out") {
             opts.traceOut = next();
         } else if (arg == "--report-out") {
@@ -289,6 +321,10 @@ parseOptions(int argc, char** argv, int first)
     if (opts.serial && opts.workerProcs != UINT32_MAX &&
         opts.workerProcs > 0) {
         usageError("--worker-procs is incompatible with --serial "
+                   "(pick one execution mode)");
+    }
+    if (opts.serial && (opts.hostsGiven || opts.listenPort >= 0)) {
+        usageError("--hosts/--listen are incompatible with --serial "
                    "(pick one execution mode)");
     }
     return opts;
@@ -543,8 +579,14 @@ cmdSweep(const Options& opts)
     dist::DistConfig dist_config = dist::defaultDistConfig();
     if (opts.workerProcs != UINT32_MAX)
         dist_config.workerProcs = opts.workerProcs;
-    if (opts.serial)
+    if (opts.hostsGiven)
+        dist_config.hosts = opts.hosts;
+    dist_config.listenPort = opts.listenPort;
+    if (opts.serial) {
         dist_config.workerProcs = 0;
+        dist_config.hosts.clear();
+        dist_config.listenPort = -1;
+    }
 
     core::Study study(config);
     // workerProcs == 0 falls straight through to Study::runSweep.
